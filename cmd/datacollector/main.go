@@ -1,0 +1,177 @@
+// Command datacollector runs one data collector for one round: it
+// attaches to a torsim event feed as one measuring relay and
+// participates in a PrivCount or PSC round against a tally server,
+// mirroring the paper's one-DC-per-relay deployment (§3.1).
+//
+// PrivCount mode counts the Figure 1 stream statistics (the tally must
+// be configured with the matching -stats spec, see below); PSC mode
+// observes unique client IPs from connection events (Table 5).
+//
+//	datacollector -protocol privcount -tally 127.0.0.1:7001 \
+//	              -torsim 127.0.0.1:7000 -relay 3 -name dc-3
+//
+// The matching tally spec for privcount mode is:
+//
+//	exit-streams:initial,subsequent:SIGMA;initial-target:hostname,ipv4,ipv6:SIGMA;hostname-port:web,other:SIGMA
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/wire"
+)
+
+func main() {
+	protocol := flag.String("protocol", "privcount", "privcount or psc")
+	tallyAddr := flag.String("tally", "127.0.0.1:7001", "tally server address")
+	torsim := flag.String("torsim", "127.0.0.1:7000", "torsim event feed address")
+	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all)")
+	name := flag.String("name", "dc-0", "data collector name")
+	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	flag.Parse()
+
+	feed, err := dialFeed(*torsim, *relay, *timeout)
+	if err != nil {
+		log.Fatalf("datacollector %s: torsim: %v", *name, err)
+	}
+	defer feed.Close()
+
+	conn, err := wire.Dial(*tallyAddr, nil, *timeout)
+	if err != nil {
+		log.Fatalf("datacollector %s: tally: %v", *name, err)
+	}
+	defer conn.Close()
+
+	switch *protocol {
+	case "privcount":
+		err = runPrivCount(*name, conn, feed)
+	case "psc":
+		err = runPSC(*name, conn, feed)
+	default:
+		err = fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		log.Fatalf("datacollector %s: %v", *name, err)
+	}
+	fmt.Printf("datacollector %s: round complete\n", *name)
+}
+
+// dialFeed attaches to the torsim event stream for one relay.
+func dialFeed(addr string, relay int, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sel := fmt.Sprintf("relay %d\n", relay)
+	if relay < 0 {
+		sel = "relay all\n"
+	}
+	if _, err := io.WriteString(c, sel); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// forEachEvent decodes the torsim frame stream until EOF.
+func forEachEvent(feed net.Conn, fn func(event.Event)) error {
+	r := bufio.NewReaderSize(feed, 1<<16)
+	var lenb [4]byte
+	buf := make([]byte, 0, 512)
+	for {
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		n := binary.BigEndian.Uint32(lenb[:])
+		if n > 1<<20 {
+			return fmt.Errorf("oversized event frame %d", n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		ev, err := event.Unmarshal(buf)
+		if err != nil {
+			return err
+		}
+		fn(ev)
+	}
+}
+
+// runPrivCount participates in a round with the Figure 1 schema.
+func runPrivCount(name string, conn *wire.Conn, feed net.Conn) error {
+	dc := privcount.NewDC(name, conn, nil)
+	if err := dc.Setup(); err != nil {
+		return err
+	}
+	count := 0
+	err := forEachEvent(feed, func(ev event.Event) {
+		s, ok := ev.(*event.StreamEnd)
+		if !ok {
+			return
+		}
+		count++
+		if !s.IsInitial {
+			_ = dc.Increment("exit-streams", 1, 1)
+			return
+		}
+		_ = dc.Increment("exit-streams", 0, 1)
+		switch s.Target {
+		case event.TargetHostname:
+			_ = dc.Increment("initial-target", 0, 1)
+			bin := 1
+			if s.IsWebPort() {
+				bin = 0
+			}
+			_ = dc.Increment("hostname-port", bin, 1)
+		case event.TargetIPv4:
+			_ = dc.Increment("initial-target", 1, 1)
+		case event.TargetIPv6:
+			_ = dc.Increment("initial-target", 2, 1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datacollector %s: %d stream events consumed\n", name, count)
+	return dc.Finish()
+}
+
+// runPSC observes unique client IPs from connection events.
+func runPSC(name string, conn *wire.Conn, feed net.Conn) error {
+	dc := psc.NewDC(name, conn)
+	if err := dc.Setup(); err != nil {
+		return err
+	}
+	count := 0
+	err := forEachEvent(feed, func(ev event.Event) {
+		c, ok := ev.(*event.ConnectionEnd)
+		if !ok {
+			return
+		}
+		count++
+		_ = dc.Observe(c.ClientIP.String())
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datacollector %s: %d connection events consumed\n", name, count)
+	return dc.Finish()
+}

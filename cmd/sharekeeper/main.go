@@ -1,0 +1,44 @@
+// Command sharekeeper runs one PrivCount share keeper for one round: it
+// connects to the tally server, receives sealed blinding shares relayed
+// from every data collector, and answers the end-of-round collection
+// with negated sums. PrivCount's privacy guarantee requires at least
+// one honest share keeper (§2.3); operators run this binary on
+// infrastructure independent of the tally server.
+//
+// Usage:
+//
+//	sharekeeper -tally 127.0.0.1:7001 -name sk-alpha
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/privcount"
+	"repro/internal/wire"
+)
+
+func main() {
+	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
+	name := flag.String("name", "sk-0", "share keeper name")
+	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	flag.Parse()
+
+	conn, err := wire.Dial(*tally, nil, *timeout)
+	if err != nil {
+		log.Fatalf("sharekeeper %s: dial: %v", *name, err)
+	}
+	defer conn.Close()
+
+	sk, err := privcount.NewSK(*name, conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharekeeper %s: connected to %s\n", *name, *tally)
+	if err := sk.Serve(); err != nil {
+		log.Fatalf("sharekeeper %s: %v", *name, err)
+	}
+	fmt.Printf("sharekeeper %s: round complete\n", *name)
+}

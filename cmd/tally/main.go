@@ -1,0 +1,138 @@
+// Command tally runs a tally server for one measurement round of
+// either protocol, accepting party connections over TCP (optionally
+// TLS) and printing the aggregated result. It is the TS role of §3.1.
+//
+// PrivCount round with 16 DCs and 3 SKs counting two statistics:
+//
+//	tally -protocol privcount -listen 127.0.0.1:7001 -dcs 16 -sks 3 \
+//	      -stats "exit-streams:initial,subsequent:3100;bytes::1e6"
+//
+// PSC round with 10 DCs and 3 CPs:
+//
+//	tally -protocol psc -listen 127.0.0.1:7001 -dcs 10 -cps 3 \
+//	      -bins 4096 -noise 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+func main() {
+	protocol := flag.String("protocol", "privcount", "privcount or psc")
+	listen := flag.String("listen", "127.0.0.1:7001", "address to accept parties on")
+	dcs := flag.Int("dcs", 1, "number of data collectors")
+	sks := flag.Int("sks", 1, "number of share keepers (privcount)")
+	cps := flag.Int("cps", 1, "number of computation parties (psc)")
+	statsSpec := flag.String("stats", "count::0", "privcount statistics: name:bin1,bin2:sigma;...")
+	bins := flag.Int("bins", 4096, "psc hash-table size")
+	noise := flag.Int("noise", 64, "psc noise coins per CP")
+	proofRounds := flag.Int("proof-rounds", 8, "psc shuffle-proof rounds")
+	round := flag.Uint64("round", 1, "round number")
+	flag.Parse()
+
+	ln, err := wire.Listen(*listen, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("tally: %s round %d listening on %s\n", *protocol, *round, ln.Addr())
+
+	switch *protocol {
+	case "privcount":
+		runPrivCount(ln, *round, *dcs, *sks, *statsSpec)
+	case "psc":
+		runPSC(ln, *round, *dcs, *cps, *bins, *noise, *proofRounds)
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
+	}
+}
+
+func acceptN(ln wire.Listener, n int) []*wire.Conn {
+	conns := make([]*wire.Conn, 0, n)
+	for len(conns) < n {
+		c, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		conns = append(conns, c)
+		fmt.Printf("tally: party %d/%d connected from %s\n", len(conns), n, c.RemoteAddr())
+	}
+	return conns
+}
+
+func runPrivCount(ln wire.Listener, round uint64, dcs, sks int, spec string) {
+	cfgStats, err := parseStats(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tally, err := privcount.NewTally(privcount.TallyConfig{
+		Round: round, Stats: cfgStats, NumDCs: dcs, NumSKs: sks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tally.Run(acceptN(ln, dcs+sks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range cfgStats {
+		vals := res[st.Name]
+		for i, bin := range st.Bins {
+			label := bin
+			if label == "" {
+				label = "(value)"
+			}
+			iv := stats.NormalCI(vals[i], st.Sigma)
+			fmt.Printf("  %s/%s = %s\n", st.Name, label, iv)
+		}
+	}
+}
+
+func runPSC(ln wire.Listener, round uint64, dcs, cps, bins, noise, proofRounds int) {
+	tally, err := psc.NewTally(psc.Config{
+		Round: round, Bins: bins, NoisePerCP: noise,
+		ShuffleProofRounds: proofRounds, NumDCs: dcs, NumCPs: cps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tally.Run(acceptN(ln, dcs+cps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
+		Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  reported=%d bins=%d noise-trials=%d\n", res.Reported, res.Bins, res.NoiseTrials)
+	fmt.Printf("  distinct count = %s\n", iv)
+}
+
+// parseStats parses "name:bin1,bin2:sigma;name2::sigma2".
+func parseStats(spec string) ([]privcount.StatConfig, error) {
+	var out []privcount.StatConfig
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad stat spec %q (want name:bins:sigma)", part)
+		}
+		bins := strings.Split(fields[1], ",")
+		sigma, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sigma in %q: %v", part, err)
+		}
+		out = append(out, privcount.StatConfig{Name: fields[0], Bins: bins, Sigma: sigma})
+	}
+	return out, nil
+}

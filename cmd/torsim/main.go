@@ -1,0 +1,157 @@
+// Command torsim runs the simulated Tor network and streams the events
+// observed at the measuring relays to connected data collectors over
+// TCP, in the binary event wire format. This is the stand-in for the
+// instrumented Tor relays of the paper's deployment (§3.1): each
+// privcount/psc data collector connects and receives the event feed for
+// one relay.
+//
+// Usage:
+//
+//	torsim -listen 127.0.0.1:7000 -days 1 -scale 2000 -wait 16
+//
+// The simulator waits for -wait collector connections, each of which
+// first sends one line "relay <id>\n" selecting its relay (or "relay
+// all"), then runs the virtual days and streams 4-byte-length-framed
+// events to each subscriber before closing.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alexa"
+	"repro/internal/asn"
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/tornet"
+	"repro/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to serve event feeds on")
+	days := flag.Int("days", 1, "virtual days to simulate")
+	scale := flag.Float64("scale", 2000, "population scale divisor")
+	seed := flag.Uint64("seed", 2018, "simulation seed")
+	wait := flag.Int("wait", 1, "number of collector connections to wait for")
+	alexaN := flag.Int("alexa", 100000, "synthetic Alexa list size")
+	flag.Parse()
+
+	if err := run(*listen, *days, *scale, *seed, *wait, *alexaN); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type subscriber struct {
+	conn  net.Conn
+	w     *bufio.Writer
+	relay event.RelayID
+	all   bool
+}
+
+func run(listen string, days int, scale float64, seed uint64, wait, alexaN int) error {
+	log.Printf("torsim: building network (scale=%g seed=%d)", scale, seed)
+	g := geo.Build(seed)
+	a := asn.Build(g, seed)
+	cfg := tornet.DefaultConsensusConfig()
+	cfg.Seed = seed
+	cons, err := tornet.NewConsensus(cfg)
+	if err != nil {
+		return err
+	}
+	net0 := tornet.NewNetwork(cons, g, a)
+	list := alexa.Generate(alexa.Config{N: alexaN, Seed: seed})
+	driver, err := workload.New(workload.DefaultParams(scale, seed), net0, list)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("torsim: listening on %s, waiting for %d collectors\n", ln.Addr(), wait)
+
+	subs := make([]*subscriber, 0, wait)
+	for len(subs) < wait {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		sub, err := handshake(conn)
+		if err != nil {
+			log.Printf("torsim: rejected collector: %v", err)
+			conn.Close()
+			continue
+		}
+		subs = append(subs, sub)
+		log.Printf("torsim: collector %d/%d attached (relay=%v all=%v)",
+			len(subs), wait, sub.relay, sub.all)
+	}
+
+	var buf []byte
+	sent := 0
+	net0.Bus.Subscribe(func(e event.Event) {
+		buf = event.Marshal(buf[:0], e)
+		for _, s := range subs {
+			if !s.all && s.relay != e.Observer() {
+				continue
+			}
+			var lenb [4]byte
+			binary.BigEndian.PutUint32(lenb[:], uint32(len(buf)))
+			if _, err := s.w.Write(lenb[:]); err != nil {
+				continue
+			}
+			if _, err := s.w.Write(buf); err != nil {
+				continue
+			}
+			sent++
+		}
+	})
+
+	log.Printf("torsim: running %d virtual day(s)", days)
+	driver.Run(days)
+
+	for _, s := range subs {
+		s.w.Flush()
+		s.conn.Close()
+	}
+	fmt.Printf("torsim: done; %d events delivered\n", sent)
+	return nil
+}
+
+func handshake(conn net.Conn) (*subscriber, error) {
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 2 || fields[0] != "relay" {
+		return nil, fmt.Errorf("bad handshake %q", line)
+	}
+	sub := &subscriber{conn: conn, w: bufio.NewWriterSize(conn, 1<<16)}
+	if fields[1] == "all" {
+		sub.all = true
+		return sub, nil
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	sub.relay = event.RelayID(id)
+	return sub, nil
+}
+
+func init() {
+	log.SetOutput(os.Stderr)
+	log.SetPrefix("")
+	log.SetFlags(log.Ltime)
+}

@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCmdDeployment builds the real binaries and runs the full
+// distributed deployment as separate processes over TCP loopback:
+// torsim feeding three datacollectors, which run a PrivCount round
+// against a tally server with two sharekeepers — the README's
+// multi-terminal walkthrough, automated.
+func TestCmdDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bindir := t.TempDir()
+	for _, name := range []string{"torsim", "tally", "sharekeeper", "datacollector"} {
+		cmd := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bindir, name), "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+	}
+
+	// torsim: small population, three collector slots (relays 0-2 are
+	// measuring exits).
+	torsim := newProc(ctx, t, filepath.Join(bindir, "torsim"),
+		"-listen", "127.0.0.1:0", "-wait", "3", "-scale", "20000", "-days", "1", "-alexa", "2000")
+	torsimAddr := torsim.waitForAddr(t, "torsim: listening on ")
+
+	// tally: the Figure 1 statistic schema with small sigmas.
+	spec := "exit-streams:initial,subsequent:10;initial-target:hostname,ipv4,ipv6:10;hostname-port:web,other:10"
+	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
+		"-protocol", "privcount", "-listen", "127.0.0.1:0",
+		"-dcs", "3", "-sks", "2", "-stats", spec)
+	tallyAddr := tally.waitForAddr(t, "listening on ")
+
+	var procs []*proc
+	for i := 0; i < 2; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "sharekeeper"),
+			"-tally", tallyAddr, "-name", fmt.Sprintf("sk-%d", i)))
+	}
+	for i := 0; i < 3; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"),
+			"-protocol", "privcount", "-tally", tallyAddr, "-torsim", torsimAddr,
+			"-relay", fmt.Sprintf("%d", i), "-name", fmt.Sprintf("dc-%d", i)))
+	}
+
+	for _, p := range append(procs, torsim) {
+		p.mustSucceed(t)
+	}
+	tally.mustSucceed(t)
+
+	out := tally.output()
+	for _, want := range []string{"exit-streams/initial =", "hostname-port/web ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tally output missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("tally output:\n%s", out)
+}
+
+// TestCmdDeploymentPSC runs the PSC variant of the deployment: torsim
+// feeding two datacollectors at guard relays, a PSC tally, and two
+// computation parties, counting unique client IPs.
+func TestCmdDeploymentPSC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bindir := t.TempDir()
+	for _, name := range []string{"torsim", "tally", "psc-cp", "datacollector"} {
+		cmd := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bindir, name), "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+	}
+
+	torsim := newProc(ctx, t, filepath.Join(bindir, "torsim"),
+		"-listen", "127.0.0.1:0", "-wait", "2", "-scale", "20000", "-days", "1", "-alexa", "2000")
+	torsimAddr := torsim.waitForAddr(t, "torsim: listening on ")
+
+	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
+		"-protocol", "psc", "-listen", "127.0.0.1:0",
+		"-dcs", "2", "-cps", "2", "-bins", "1024", "-noise", "16", "-proof-rounds", "1")
+	tallyAddr := tally.waitForAddr(t, "listening on ")
+
+	var procs []*proc
+	for i := 0; i < 2; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "psc-cp"),
+			"-tally", tallyAddr, "-name", fmt.Sprintf("cp-%d", i)))
+	}
+	// Guards are relays 6 and 7 in the default consensus.
+	for i := 0; i < 2; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"),
+			"-protocol", "psc", "-tally", tallyAddr, "-torsim", torsimAddr,
+			"-relay", fmt.Sprintf("%d", 6+i), "-name", fmt.Sprintf("dc-%d", i)))
+	}
+	for _, p := range append(procs, torsim) {
+		p.mustSucceed(t)
+	}
+	tally.mustSucceed(t)
+	out := tally.output()
+	if !strings.Contains(out, "distinct count =") {
+		t.Fatalf("psc tally output missing result:\n%s", out)
+	}
+	t.Logf("psc tally output:\n%s", out)
+}
+
+// proc wraps a running command with captured output and line-watching.
+type proc struct {
+	cmd   *exec.Cmd
+	name  string
+	mu    sync.Mutex
+	buf   strings.Builder
+	lines chan string
+	done  chan error
+}
+
+func newProc(ctx context.Context, t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{
+		cmd:   exec.CommandContext(ctx, bin, args...),
+		name:  filepath.Base(bin),
+		lines: make(chan string, 256),
+		done:  make(chan error, 1),
+	}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = p.cmd.Stdout // interleave; Stdout is the pipe
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", p.name, err)
+	}
+	go p.pump(stdout)
+	go func() { p.done <- p.cmd.Wait() }()
+	t.Cleanup(func() { p.cmd.Process.Kill() })
+	return p
+}
+
+func (p *proc) pump(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		p.mu.Lock()
+		p.buf.WriteString(line)
+		p.buf.WriteByte('\n')
+		p.mu.Unlock()
+		select {
+		case p.lines <- line:
+		default:
+		}
+	}
+	close(p.lines)
+}
+
+// waitForAddr scans output lines for a prefix and returns the rest of
+// the line (the bound address).
+func (p *proc) waitForAddr(t *testing.T, prefix string) string {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("%s exited before printing %q:\n%s", p.name, prefix, p.output())
+			}
+			if i := strings.Index(line, prefix); i >= 0 {
+				addr := strings.Fields(line[i+len(prefix):])[0]
+				addr = strings.TrimSuffix(addr, ",")
+				return addr
+			}
+		case <-deadline:
+			t.Fatalf("%s did not print %q in time:\n%s", p.name, prefix, p.output())
+		}
+	}
+}
+
+func (p *proc) mustSucceed(t *testing.T) {
+	t.Helper()
+	select {
+	case err := <-p.done:
+		if err != nil {
+			t.Fatalf("%s failed: %v\n%s", p.name, err, p.output())
+		}
+	case <-time.After(150 * time.Second):
+		t.Fatalf("%s did not finish in time:\n%s", p.name, p.output())
+	}
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}

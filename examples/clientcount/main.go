@@ -1,0 +1,62 @@
+// Clientcount: count unique Tor clients without ever storing an IP.
+//
+// This example reproduces the paper's §5.1 unique-client measurement in
+// miniature using PSC: data collectors at the guard relays hash each
+// observed client IP into an encrypted bit table and discard it; three
+// computation parties mix and jointly decrypt only the number of
+// distinct clients, plus calibrated binomial noise. It then applies the
+// naive users-per-IP inference the paper uses to conclude Tor Metrics
+// undercounts users by ~4x.
+//
+//	go run ./examples/clientcount
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/tornet"
+)
+
+func main() {
+	env := &core.Env{Scale: 1500, Seed: 5, AlexaN: 50_000, ProofRounds: 1}
+
+	fr := tornet.StudyFractions()
+	fr.Guard = 0.0119 // the paper's guard weight for this measurement
+
+	sim, err := env.BuildSim(fr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guards := sim.Net.Consensus.MeasuringGuards()
+
+	res, err := env.RunPSC(core.PSCRun{
+		Fractions: fr,
+		Days:      1,
+		Relays:    guards, // only relays in a position to observe (§3.1)
+		Item: func(ev event.Event) (string, bool) {
+			c, ok := ev.(*event.ConnectionEnd)
+			if !ok {
+				return "", false
+			}
+			return c.ClientIP.String(), true // hashed and discarded by the DC
+		},
+		Sensitivity:    4, // Table 1: 4 new IPs per user-day
+		ExpectedUnique: int(11e6 / env.Scale * 0.04),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("protocol output: %d non-empty bins of %d (noise trials %d)\n",
+		res.Raw.Reported, res.Raw.Bins, res.Raw.NoiseTrials)
+	local := res.Interval
+	fmt.Printf("unique client IPs at our guards:   %s\n", local)
+	fmt.Printf("scaled to the paper's deployment:  %s  (paper: 313,213)\n", local.Scale(env.Scale))
+
+	// The paper's naive estimate: each client contacts ~3 guards.
+	users := local.Scale(env.Scale / fr.Guard / 3)
+	fmt.Printf("naive daily-user estimate:         %.3g  (paper: ~8.77M; Tor Metrics said 2.15M)\n", users.Value)
+}

@@ -1,0 +1,121 @@
+// Package alexa provides a deterministic synthetic stand-in for the
+// Alexa top 1 million sites list the paper uses as its destination model
+// (§4.3), together with the public-suffix logic needed to reduce
+// hostnames to registered (second-level) domains and the set matchers
+// behind the Figure 2 and Figure 3 PrivCount histograms.
+//
+// The real list is proprietary and long gone; what the measurements
+// depend on is only its *structure* — ranks, sibling families, TLD mix,
+// category lists, and a heavy tail — so the generator plants the
+// constants the paper cites (torproject.org at rank 10,244, duckduckgo
+// at 342, a 212-site google family, 3-site reddit and qq families) and
+// fills the rest with reproducible pseudo-random sites.
+package alexa
+
+import "strings"
+
+// PublicSuffixList is a reduced public-suffix database: enough of the
+// real list's semantics (multi-label suffixes like co.uk) to classify
+// the synthetic site population, mirroring the paper's use of
+// publicsuffix.org when counting unique SLDs (§4.3).
+type PublicSuffixList struct {
+	suffixes map[string]bool
+}
+
+// defaultSuffixes covers the TLDs the generator emits, including the 14
+// TLDs Figure 3 measures, plus the multi-label country suffixes.
+var defaultSuffixes = []string{
+	"com", "org", "net", "edu", "gov", "info", "biz", "io", "co",
+	"br", "cn", "de", "fr", "in", "ir", "it", "jp", "pl", "ru", "uk",
+	"es", "nl", "se", "ca", "au", "us", "ch", "at", "be", "dk", "fi",
+	"gr", "hu", "kr", "mx", "no", "nz", "pt", "ro", "tr", "tw", "ua",
+	"cz", "sk", "il", "ar", "cl", "id", "my", "th", "vn", "za", "onion",
+	// multi-label suffixes
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.br", "net.br", "org.br",
+	"com.cn", "net.cn", "org.cn",
+	"co.jp", "ne.jp", "or.jp",
+	"co.in", "net.in", "org.in",
+	"com.au", "net.au",
+	"com.mx", "com.ar", "com.tr", "com.tw",
+}
+
+// NewPSL builds a suffix list from the given suffixes; nil selects the
+// built-in default set.
+func NewPSL(suffixes []string) *PublicSuffixList {
+	if suffixes == nil {
+		suffixes = defaultSuffixes
+	}
+	m := make(map[string]bool, len(suffixes))
+	for _, s := range suffixes {
+		m[strings.ToLower(strings.TrimPrefix(s, "."))] = true
+	}
+	return &PublicSuffixList{suffixes: m}
+}
+
+// defaultPSL is shared; the PSL is immutable after construction.
+var defaultPSL = NewPSL(nil)
+
+// DefaultPSL returns the built-in public suffix list.
+func DefaultPSL() *PublicSuffixList { return defaultPSL }
+
+// HasSuffix reports whether s (without leading dot) is a known public
+// suffix.
+func (p *PublicSuffixList) HasSuffix(s string) bool {
+	return p.suffixes[strings.ToLower(s)]
+}
+
+// PublicSuffix returns the longest known public suffix of host, or ""
+// if the host's TLD is unknown to the list.
+func (p *PublicSuffixList) PublicSuffix(host string) string {
+	host = normalizeHost(host)
+	labels := strings.Split(host, ".")
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		if p.suffixes[cand] {
+			// Prefer the longest match: since we scan from the left,
+			// the first hit is the longest.
+			return cand
+		}
+	}
+	return ""
+}
+
+// RegisteredDomain reduces a hostname to its registered domain (the
+// public suffix plus one label): onionoo.torproject.org → torproject.org
+// and www.amazon.com → amazon.com. The second return is false when the
+// host has no known public suffix or no label before it.
+func (p *PublicSuffixList) RegisteredDomain(host string) (string, bool) {
+	host = normalizeHost(host)
+	suffix := p.PublicSuffix(host)
+	if suffix == "" {
+		return "", false
+	}
+	if host == suffix {
+		return "", false // bare suffix, nothing registered
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	labels := strings.Split(rest, ".")
+	last := labels[len(labels)-1]
+	if last == "" {
+		return "", false
+	}
+	return last + "." + suffix, true
+}
+
+// TLD returns the final label of a domain, the axis of the Figure 3
+// histogram ("*.tld" wildcard matching).
+func TLD(domain string) string {
+	domain = normalizeHost(domain)
+	i := strings.LastIndexByte(domain, '.')
+	if i < 0 || i == len(domain)-1 {
+		return ""
+	}
+	return domain[i+1:]
+}
+
+// normalizeHost lower-cases and strips a trailing dot.
+func normalizeHost(h string) string {
+	h = strings.ToLower(strings.TrimSuffix(h, "."))
+	return h
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("baseline", "Tor Metrics directory heuristic vs direct measurement (§5.1/§7)", runBaseline)
+}
+
+// runBaseline runs the Tor Metrics Portal's indirect user-estimation
+// heuristic and PSC's direct unique-client measurement over the *same*
+// simulated network, reproducing the paper's central methodological
+// claim: the directory heuristic undercounts Tor's daily users by
+// roughly a factor of four.
+func runBaseline(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Guard = 0.0119
+
+	sim, err := e.BuildSim(fr, 0x0B00_0001)
+	if err != nil {
+		return nil, err
+	}
+	guards := sim.Net.Consensus.MeasuringGuards()
+
+	// The Metrics-style estimator watches the same guards' directory
+	// circuits, pretending they are reporting directory mirrors with
+	// the same capacity fraction.
+	est, err := metrics.NewEstimator(fr.Guard)
+	if err != nil {
+		return nil, err
+	}
+
+	// Direct measurement: PSC unique client IPs (as in table5), with
+	// the metrics estimator subscribed to the same simulation run.
+	res, err := e.RunPSCWithSim(PSCRun{
+		Fractions: fr, Days: 1, Relays: guards,
+		Item: func(ev event.Event) (string, bool) {
+			c, ok := ev.(*event.ConnectionEnd)
+			if !ok {
+				return "", false
+			}
+			return c.ClientIP.String(), true
+		},
+		Sensitivity:    4,
+		ExpectedUnique: int(11e6 / e.Scale * 0.04),
+		Salt:           0x0B00_0001,
+	}, func(s *Sim) {
+		for _, g := range s.Net.Consensus.MeasuringGuards() {
+			s.Net.Bus.SubscribeFiltered([]event.RelayID{g}, nil, est.Observe)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	metricsUsers, err := est.DailyUsers(1)
+	if err != nil {
+		return nil, err
+	}
+	metricsUsers *= e.Scale
+
+	// The paper's direct estimate: observed unique IPs / guard weight /
+	// 3 guards per client.
+	direct := res.Interval.Scale(e.Scale / fr.Guard / 3)
+
+	rep := &Report{ID: "baseline", Title: "Directory heuristic vs direct measurement of daily users"}
+	rep.Add("Metrics-style estimate", stats.Interval{Value: metricsUsers, Lo: metricsUsers, Hi: metricsUsers},
+		"users", "2.15M (Tor Metrics, April 2018)")
+	rep.Add("Direct estimate (PSC)", direct, "users", "~8.77M (§5.1)")
+	factor := metrics.UndercountFactor(direct.Value, metricsUsers)
+	rep.Add("Undercount factor", stats.Interval{Value: factor, Lo: factor, Hi: factor}, "x", "~4x")
+	rep.Note("both estimators consumed the same simulated guard events; the gap is methodological, not sampling")
+	rep.Note("the heuristic assumes %.0f consensus fetches/client/day; blocked and promiscuous clients violate it in both directions", est.RequestsPerClientDay)
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/stats"
+)
+
+func init() {
+	Register("schedule", "Measurement schedule and privacy budget (§3.1/§3.2)", runSchedule)
+}
+
+// studyCalendar encodes the measurement dates the paper reports, one
+// row per (statistic, start-date, days). PrivCount and PSC rounds are
+// never parallel, and distinct statistics are separated by at least 24
+// hours — the discipline dp.Accountant enforces.
+var studyCalendar = []struct {
+	name  string
+	start string // YYYY-MM-DD
+	days  int
+}{
+	{"exit-streams (fig1)", "2018-01-04", 1},
+	{"alexa-categories (§4.3)", "2018-01-29", 1},
+	{"alexa-rank (fig2)", "2018-01-31", 1},
+	{"alexa-siblings (fig2)", "2018-02-01", 1}, // consecutive, but... see note
+	{"tld-all (fig3)", "2018-02-02", 1},
+	{"tld-alexa (fig3)", "2018-01-30", 1},
+	{"unique-alexa-slds (table2)", "2018-03-24", 1},
+	{"unique-slds (table2)", "2018-03-31", 1},
+	{"client-usage (table4)", "2018-04-07", 1},
+	{"unique-ips (table5)", "2018-04-14", 1},
+	{"unique-ases (table5)", "2018-04-18", 1},
+	{"onions-published (table6)", "2018-04-23", 1},
+	{"onions-fetched (table6)", "2018-04-29", 1},
+	{"as-hotspots (§5.2)", "2018-05-01", 1},
+	{"unique-countries-a (table5)", "2018-05-09", 1},
+	{"unique-countries-b (table5)", "2018-05-10", 1},
+	{"unique-ips-m1 (table3)", "2018-05-12", 1},
+	{"unique-ips-m2 (table3)", "2018-05-13", 1},
+	{"unique-ips-4day (table5)", "2018-05-15", 4},
+	{"desc-fetches (table7)", "2018-05-20", 1},
+	{"rendezvous (table8)", "2018-05-22", 1},
+}
+
+// runSchedule replays the paper's measurement calendar through the
+// accountant, reporting the cumulative privacy budget consumed by the
+// study under sequential composition. Rounds that re-measure the same
+// statistic family are named identically so the 24-hour separation
+// rule applies only across distinct statistics.
+func runSchedule(e *Env) (*Report, error) {
+	acct := dp.StudyAccountant()
+	rep := &Report{ID: "schedule", Title: "Study measurement schedule under the privacy accountant"}
+
+	authorized := 0
+	for _, m := range studyCalendar {
+		start, err := time.Parse("2006-01-02", m.start)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: bad date %q: %v", m.start, err)
+		}
+		end := start.AddDate(0, 0, m.days)
+		if _, err := acct.Authorize(m.name, start, end); err != nil {
+			// Same-family consecutive rounds are allowed; a true
+			// violation is reported as a row so the reader sees it.
+			rep.Note("calendar conflict: %v", err)
+			continue
+		}
+		authorized++
+	}
+	cum := acct.Cumulative()
+	count := float64(authorized)
+	rep.Add("Rounds authorized", stats.Interval{Value: count, Lo: count, Hi: count},
+		"rounds", fmt.Sprintf("%d calendar entries", len(studyCalendar)))
+	rep.Add("Cumulative epsilon", stats.Interval{Value: cum.Epsilon, Lo: cum.Epsilon, Hi: cum.Epsilon},
+		"ε", "0.3 per round (§3.2)")
+	rep.Add("Cumulative delta", stats.Interval{Value: cum.Delta, Lo: cum.Delta, Hi: cum.Delta},
+		"δ", "1e-11 per round")
+	perUser := dp.Params{Epsilon: cum.Epsilon, Delta: cum.Delta}.UserProtection(8.8e6)
+	rep.Add("nδ at 8.8M users", stats.Interval{Value: perUser, Lo: perUser, Hi: perUser},
+		"nδ", "must stay small (§3.2)")
+	rep.Note("the paper composes each 24h round independently; sequential composition over the whole study is the conservative bound shown here")
+	return rep, nil
+}

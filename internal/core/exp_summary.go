@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("summary", "Conclusion headline numbers (§9)", runSummary)
+}
+
+const (
+	statSummaryEntry = "summary-entry-bytes"
+	statSummaryRend  = "summary-rend-bytes"
+	statSummaryCirc  = "summary-circuits"
+)
+
+// runSummary reproduces the conclusion's combined statistics (§9): the
+// network carries >1.2 billion circuits and ~517 TiB per day
+// (6.1 GiB/s), of which rendezvous (onion-service) traffic is roughly
+// 3.9%. Entry and rendezvous volumes are measured in a single round so
+// the share comes from one network snapshot.
+func runSummary(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Guard = 0.0144
+	fr.Rend = 0.0088
+
+	counters := []CounterSpec{
+		{Name: statSummaryEntry, Bins: []string{""}, Sensitivity: 407 << 20, Expected: 517 * tib * fr.Guard},
+		{Name: statSummaryRend, Bins: []string{""}, Sensitivity: 400 << 20, Expected: 20.1 * tib * fr.Rend},
+		{Name: statSummaryCirc, Bins: []string{""}, Sensitivity: 651, Expected: 1.286e9 * fr.Guard},
+	}
+	res, err := e.RunPrivCount(PrivCountRun{
+		Fractions: fr,
+		Days:      1,
+		Counters:  counters,
+		Handle: func(ev event.Event, inc Incrementer) {
+			switch v := ev.(type) {
+			case *event.ConnectionEnd:
+				inc(statSummaryEntry, 0, float64(v.BytesSent+v.BytesRecv))
+			case *event.CircuitEnd:
+				inc(statSummaryCirc, 0, 1)
+			case *event.RendezvousEnd:
+				inc(statSummaryRend, 0, float64(v.PayloadBytes))
+			}
+		},
+		Salt: 0x0900_0001,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	entry, err := stats.InferTotal(res.Interval(statSummaryEntry, 0), fr.Guard)
+	if err != nil {
+		return nil, err
+	}
+	rend, err := stats.InferTotal(res.Interval(statSummaryRend, 0), fr.Rend)
+	if err != nil {
+		return nil, err
+	}
+	circs, err := stats.InferTotal(res.Interval(statSummaryCirc, 0), fr.Guard)
+	if err != nil {
+		return nil, err
+	}
+	entry = e.paperScale(entry).ClampNonNegative()
+	rend = e.paperScale(rend).ClampNonNegative()
+	circs = e.paperScale(circs).ClampNonNegative()
+
+	rep := &Report{ID: "summary", Title: "Conclusion headline numbers"}
+	rep.Add("Circuits per day", circs.Scale(1e-9), "billions", ">1.2 billion")
+	rep.Add("Data per day", entry.Scale(1/tib), "TiB", "~517 TiB (6.1 GiB/s)")
+	rep.Add("Data rate", entry.Scale(1/daySeconds/(1<<30)), "GiB/s", "6.1 GiB/s")
+	rep.Add("Onion-service payload", rend.Scale(1/tib), "TiB", "20.1 TiB")
+	if entry.Value > 0 {
+		share := rend.Scale(100 / entry.Value)
+		rep.Add("Onion share of traffic", share, "%", "~3.9%")
+	}
+	rep.Note("rendezvous payload counts each byte once at the RP; entry bytes include directory overhead (§9)")
+	return rep, nil
+}

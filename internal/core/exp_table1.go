@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/stats"
+)
+
+func init() {
+	Register("table1", "Action bounds for measurements (Table 1)", runTable1)
+}
+
+// runTable1 derives the action-bound table from the activity models of
+// §3.2 — web browsing, Ricochet chat, and running an onionsite — and
+// renders it against the paper's published bounds. This experiment is a
+// pure derivation: no simulation or protocol round is involved.
+func runTable1(e *Env) (*Report, error) {
+	bounds := dp.StudyBounds()
+	rep := &Report{ID: "table1", Title: "Action bounds for measurements"}
+
+	type rowSpec struct {
+		action dp.Action
+		label  string
+		unit   string
+		scale  float64 // render divisor (e.g. bytes -> MB)
+		paper  string
+	}
+	const mb = 1 << 20
+	specs := []rowSpec{
+		{dp.ActionConnectDomain, "Connect to domain", "domains", 1, "20 domains (web)"},
+		{dp.ActionExitData, "Send or receive exit data", "MB", mb, "400 MB (web)"},
+		{dp.ActionNewIPFirstDay, "Connect from new IP (day 1)", "IPs", 1, "4 IPs (n/a)"},
+		{dp.ActionNewIPLaterDay, "Connect from new IP (day 2+)", "IPs", 1, "3 IPs (n/a)"},
+		{dp.ActionTCPConnect, "Create TCP connection to Tor", "conns", 1, "12 connections (n/a)"},
+		{dp.ActionCircuit, "Create circuit through guard", "circuits", 1, "651 circuits (chat)"},
+		{dp.ActionEntryData, "Send or receive entry data", "MB", mb, "407 MB (web)"},
+		{dp.ActionDescUpload, "Upload descriptor", "uploads", 1, "450 uploads (onionsite)"},
+		{dp.ActionDescUploadNewAddress, "Upload descriptor, new address", "addresses", 1, "3 addresses (onionsite)"},
+		{dp.ActionDescFetch, "Fetch descriptor", "fetches", 1, "30 fetches (onionsite)"},
+		{dp.ActionRendConnect, "Create rendezvous connection", "conns", 1, "180 connections (chat)"},
+		{dp.ActionRendData, "Send or receive rendezvous data", "MB", mb, "400 MB (web/onionsite)"},
+	}
+	for _, s := range specs {
+		row, ok := bounds[s.action]
+		if !ok {
+			return nil, fmt.Errorf("table1: no derived bound for %v", s.action)
+		}
+		v := row.Daily / s.scale
+		rep.Add(fmt.Sprintf("%s [%s]", s.label, row.Defining),
+			stats.Interval{Value: v, Lo: v, Hi: v}, s.unit, s.paper)
+	}
+	rep.Note("bounds derived from activity models: web=%+v", dp.DefaultWeb())
+	rep.Note("4-day IP adjacency bound (churn measurement): %.0f IPs",
+		bounds.OverDays(dp.ActionNewIPFirstDay, 4))
+	return rep, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("table2", "Unique second-level domains via PSC (Table 2)", runTable2)
+}
+
+// runTable2 reproduces the §4.3 unique-SLD measurements: two PSC rounds
+// over exit relays only (the paper used 5 of its 6 exits, 1.24% exit
+// weight) counting distinct registered domains, then the power-law
+// Monte-Carlo extrapolation of the Alexa-SLD count to the whole
+// network.
+func runTable2(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Exit = 0.0124
+	psl := e.Alexa().PSL()
+	list := e.Alexa()
+
+	// Expected uniques scale with observed primary streams.
+	expected := int(105e6 / e.Scale * fr.Exit)
+
+	newSim, err := e.BuildSim(fr, 0) // probe the exit set for DC placement
+	if err != nil {
+		return nil, err
+	}
+	exits := newSim.Net.Consensus.MeasuringExits()
+	// The paper used 5 of 6 exits to reduce operator overhead (§4.3).
+	exits = exits[:len(exits)-1]
+
+	// Round 1: all SLDs whose TLD is on the public suffix list.
+	all, err := e.RunPSC(PSCRun{
+		Fractions: fr,
+		Days:      1,
+		Relays:    exits,
+		Item: func(ev event.Event) (string, bool) {
+			s, ok := ev.(*event.StreamEnd)
+			if !ok || !s.IsInitial || s.Target != event.TargetHostname || !s.IsWebPort() {
+				return "", false
+			}
+			return psl.RegisteredDomain(s.Hostname)
+		},
+		Sensitivity:    20, // Table 1: 20 domain connections/day
+		ExpectedUnique: expected,
+		Salt:           0x0200_0001,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2 (separate measurement day): only Alexa-listed SLDs.
+	alexaRound, err := e.RunPSC(PSCRun{
+		Fractions: fr,
+		Days:      1,
+		Relays:    exits,
+		Item: func(ev event.Event) (string, bool) {
+			s, ok := ev.(*event.StreamEnd)
+			if !ok || !s.IsInitial || s.Target != event.TargetHostname || !s.IsWebPort() {
+				return "", false
+			}
+			dom, ok := psl.RegisteredDomain(s.Hostname)
+			if !ok || !list.Contains(dom) {
+				return "", false
+			}
+			return dom, true
+		},
+		Sensitivity:    20,
+		ExpectedUnique: expected / 2,
+		Salt:           0x0200_0002,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "table2", Title: "Locally observed unique second-level domains (PSC)"}
+	rep.Add("SLDs (local)", e.paperScale(all.Interval), "domains", "471,228 [470,357; 472,099]")
+	rep.Add("Alexa SLDs (local)", e.paperScale(alexaRound.Interval), "domains", "35,660 [34,789; 37,393]")
+
+	// Shape check the paper draws: a long tail exists — the unique SLD
+	// count far exceeds the unique Alexa count.
+	ratio := all.Interval.Value / maxf(alexaRound.Interval.Value, 1)
+	rep.Note("unique SLDs / unique Alexa SLDs = %.1fx (paper: >10x at full scale; compresses at 1/%g scale)", ratio, e.Scale)
+
+	// §4.3 extrapolation: fit a power law to the local Alexa-SLD count
+	// and infer the network-wide unique count.
+	visits := 105e6 / e.Scale * 0.275 // Alexa-Zipf component of primary streams
+	model := stats.ZipfUniqueModel{Sites: list.N(), Fraction: fr.Exit, Visits: visits}
+	ex, err := model.Extrapolate(alexaRound.Interval, stats.DefaultExtrapolateConfig())
+	if err != nil {
+		rep.Note("network-wide Alexa-SLD extrapolation failed to fit: %v (the paper hits the same wall for all-site SLDs)", err)
+	} else {
+		// Unique counts do not scale linearly with the simulation, so
+		// the scale-honest comparison is the share of the list accessed
+		// network-wide: the paper finds 513,342 of 1M ≈ 51.3%.
+		share := ex.Network.Scale(100 / float64(list.N()))
+		if share.Hi > 100 {
+			share.Hi = 100
+		}
+		rep.Add("Alexa list accessed (network)", share, "% of list", "51.3% (513,342 of 1M)")
+		rep.Note("accepted power-law exponents [%.3f, %.3f] over %d simulations",
+			ex.ExponentLo, ex.ExponentHi, ex.Accepted)
+	}
+	rep.Note("all-site SLD accesses could not be fit to a distribution (paper §4.3); range-only bound: [x, x/p]")
+	ro, err := stats.RangeOnly(all.Interval.Value, fr.Exit)
+	if err == nil {
+		rep.Add("SLDs (network-wide range)", e.paperScale(ro), "domains", "not extrapolated in paper")
+	}
+	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

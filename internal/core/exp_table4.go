@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("table4", "Network-wide client usage statistics (Table 4)", runTable4)
+}
+
+const (
+	statEntryBytes  = "entry-bytes"
+	statConnections = "client-connections"
+	statCircuits    = "client-circuits"
+)
+
+const tib = float64(1 << 40)
+
+// runTable4 reproduces the §5.1 client-usage round: a 24-hour PrivCount
+// measurement at the guards counting transferred bytes, client
+// connections, and client circuits, inferred by the entry-position
+// selection probability.
+func runTable4(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Guard = 0.0144 // the paper's entry-position probability for this round
+
+	counters := []CounterSpec{
+		// Sensitivity: entry-data bound 407 MB/day (Table 1).
+		{Name: statEntryBytes, Bins: []string{""}, Sensitivity: 407 << 20, Expected: 517 * tib * 0.0144},
+		// Sensitivity: 12 TCP connections/day (Table 1).
+		{Name: statConnections, Bins: []string{""}, Sensitivity: 12, Expected: 148e6 * 0.0144},
+		// Sensitivity: 651 circuits/day (Table 1).
+		{Name: statCircuits, Bins: []string{""}, Sensitivity: 651, Expected: 1.286e9 * 0.0144},
+	}
+	res, err := e.RunPrivCount(PrivCountRun{
+		Fractions: fr,
+		Days:      1,
+		Counters:  counters,
+		Handle: func(ev event.Event, inc Incrementer) {
+			switch v := ev.(type) {
+			case *event.ConnectionEnd:
+				inc(statConnections, 0, 1)
+				inc(statEntryBytes, 0, float64(v.BytesSent+v.BytesRecv))
+			case *event.CircuitEnd:
+				inc(statCircuits, 0, 1)
+			}
+		},
+		Salt: 0x0401,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "table4", Title: "Network-wide client usage (per day)"}
+	infer := func(stat string, scale float64) (stats.Interval, error) {
+		iv, err := stats.InferTotal(res.Interval(stat, 0), fr.Guard)
+		if err != nil {
+			return stats.Interval{}, err
+		}
+		return e.paperScale(iv).ClampNonNegative().Scale(1 / scale), nil
+	}
+
+	bytesIv, err := infer(statEntryBytes, tib)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("Data (TiB)", bytesIv, "TiB", "517 [504; 530]")
+
+	connsIv, err := infer(statConnections, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("Connections (x10^6)", connsIv, "M conns", "148 [143; 153]")
+
+	circIv, err := infer(statCircuits, 1e6)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add("Circuits (x10^6)", circIv, "M circs", "1,286 [1,246; 1,326]")
+
+	rep.Note("entry probability %.4f; ×%g to paper scale", fr.Guard, e.Scale)
+	rep.Note("connections are DDoS-inflated vs the 80.6M of Jansen & Johnson 2016 (§5.1)")
+	return rep, nil
+}

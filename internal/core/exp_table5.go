@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("table5", "Unique client statistics via PSC (Table 5)", runTable5)
+}
+
+// connectionItem extracts PSC items from guard-side connection events.
+func connectionItem(extract func(*event.ConnectionEnd) (string, bool)) func(event.Event) (string, bool) {
+	return func(ev event.Event) (string, bool) {
+		c, ok := ev.(*event.ConnectionEnd)
+		if !ok {
+			return "", false
+		}
+		return extract(c)
+	}
+}
+
+// runTable5 reproduces the §5.1/§5.2 unique-client measurements: five
+// separate PSC rounds (IPs over one day, IPs over four days for churn,
+// countries, and ASes), each deployed on the guard relays only.
+func runTable5(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Guard = 0.0119
+
+	sim, err := e.BuildSim(fr, 0)
+	if err != nil {
+		return nil, err
+	}
+	guards := sim.Net.Consensus.MeasuringGuards()
+	expectedIPs := int(11e6 / e.Scale * 0.036) // ~P(any of 3 guards measuring)
+
+	// Round 1: unique client IPs, 24 hours. Sensitivity: 4 new IPs/day
+	// (Table 1).
+	ips1, err := e.RunPSC(PSCRun{
+		Fractions: fr, Days: 1, Relays: guards,
+		Item: connectionItem(func(c *event.ConnectionEnd) (string, bool) {
+			return c.ClientIP.String(), true
+		}),
+		Sensitivity: 4, ExpectedUnique: expectedIPs, Salt: 0x0500_0001,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: unique client IPs over four days (churn measurement).
+	// Sensitivity over 4 days: 4 + 3·3 = 13 IPs (Table 1 adjacency).
+	ips4, err := e.RunPSC(PSCRun{
+		Fractions: fr, Days: 4, Relays: guards,
+		Item: connectionItem(func(c *event.ConnectionEnd) (string, bool) {
+			return c.ClientIP.String(), true
+		}),
+		Sensitivity:    13.0 / 4.0, // per-day rate; harness multiplies by days
+		ExpectedUnique: expectedIPs * 3, Salt: 0x0500_0002,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: unique countries, averaged over two consecutive one-day
+	// measurements to beat the noise (§5.2).
+	countryRun := func(salt uint64) (*PSCResult, error) {
+		return e.RunPSC(PSCRun{
+			Fractions: fr, Days: 1, Relays: guards,
+			Item: connectionItem(func(c *event.ConnectionEnd) (string, bool) {
+				if c.Country == "" {
+					return "", false
+				}
+				return c.Country, true
+			}),
+			Sensitivity: 4, ExpectedUnique: geo.NumCountries, Salt: salt,
+		})
+	}
+	countriesA, err := countryRun(0x0500_0003)
+	if err != nil {
+		return nil, err
+	}
+	countriesB, err := countryRun(0x0500_0004)
+	if err != nil {
+		return nil, err
+	}
+	countries := stats.Interval{
+		Value: (countriesA.Interval.Value + countriesB.Interval.Value) / 2,
+		Lo:    (countriesA.Interval.Lo + countriesB.Interval.Lo) / 2,
+		Hi:    (countriesA.Interval.Hi + countriesB.Interval.Hi) / 2,
+	}
+	if countries.Hi > geo.NumCountries {
+		countries.Hi = geo.NumCountries
+	}
+
+	// Round 4: unique ASes.
+	ases, err := e.RunPSC(PSCRun{
+		Fractions: fr, Days: 1, Relays: guards,
+		Item: connectionItem(func(c *event.ConnectionEnd) (string, bool) {
+			if c.ASN == 0 {
+				return "", false
+			}
+			return fmt.Sprintf("AS%d", c.ASN), true
+		}),
+		Sensitivity: 4, ExpectedUnique: int(12000 / math.Sqrt(e.Scale)), Salt: 0x0500_0005,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	churn, err := stats.ChurnPerDay(ips1.Interval, ips4.Interval, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "table5", Title: "Locally observed unique client statistics (PSC)"}
+	rep.Add("IPs (1-day)", e.paperScale(ips1.Interval), "IPs", "313,213 [313,039; 376,343]")
+	rep.Add("Countries", countries, "countries", "203 [141; 250]")
+	rep.Add("ASes", ases.Interval, "ASes", "11,882 [11,708; 12,053]")
+	rep.Add("IPs (4-day)", e.paperScale(ips4.Interval), "IPs", "672,303 [671,781; 1,118,147]")
+	rep.Add("Churn per day", e.paperScale(churn), "IPs/day", "119,697 [119,581; 247,268]")
+
+	turnover := ips4.Interval.Value / maxf(ips1.Interval.Value, 1)
+	rep.Note("4-day/1-day unique-IP ratio %.2f (paper: ~2.15 — IPs turn over almost twice in 4 days)", turnover)
+	naive := ips1.Interval.Value * e.Scale / fr.Guard / 3
+	rep.Note("naive user estimate observed/weight/3 = %.3g (paper: ~8.77M vs Tor Metrics %.3g)", naive, float64(TorMetricsDailyUsers))
+	rep.Note("countries and ASes are reported at simulation scale: unique-category counts do not scale linearly")
+	return rep, nil
+}

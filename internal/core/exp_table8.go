@@ -1,0 +1,107 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+)
+
+func init() {
+	Register("table8", "Rendezvous point usage (Table 8)", runTable8)
+}
+
+const (
+	statRendOutcome = "rend-outcome" // bins: succeeded, conn-closed, expired
+	statRendBytes   = "rend-bytes"
+	statRendCells   = "rend-cells"
+)
+
+// runTable8 reproduces the §6.3 rendezvous round: a PrivCount
+// measurement at the measuring relays acting as rendezvous points,
+// counting circuits by outcome and the end-to-end encrypted cell
+// payload they carried (0.88% rendezvous weight).
+func runTable8(e *Env) (*Report, error) {
+	fr := tornet.StudyFractions()
+	fr.Rend = 0.0088
+
+	counters := []CounterSpec{
+		// Sensitivity: 180 rendezvous connections/day (Table 1); each
+		// successful rendezvous is two circuits at the RP.
+		{Name: statRendOutcome, Bins: []string{"succeeded", "conn-closed", "expired"},
+			Sensitivity: 360, Expected: 366e6 * fr.Rend},
+		// Sensitivity: 400 MB rendezvous data/day (Table 1).
+		{Name: statRendBytes, Bins: []string{""}, Sensitivity: 400 << 20, Expected: 20.1 * tib * fr.Rend},
+		{Name: statRendCells, Bins: []string{""}, Sensitivity: (400 << 20) / 498, Expected: 20.1 * tib / 498 * fr.Rend},
+	}
+	res, err := e.RunPrivCount(PrivCountRun{
+		Fractions: fr,
+		Days:      1,
+		Counters:  counters,
+		Handle: func(ev event.Event, inc Incrementer) {
+			r, ok := ev.(*event.RendezvousEnd)
+			if !ok {
+				return
+			}
+			switch r.Outcome {
+			case event.RendSucceeded:
+				inc(statRendOutcome, 0, 1)
+			case event.RendConnClosed:
+				inc(statRendOutcome, 1, 1)
+			case event.RendExpired:
+				inc(statRendOutcome, 2, 1)
+			}
+			inc(statRendBytes, 0, float64(r.PayloadBytes))
+			inc(statRendCells, 0, float64(r.PayloadCells))
+		},
+		Salt: 0x0800_0001,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	infer := func(stat string, bin int) (stats.Interval, error) {
+		iv, err := stats.InferTotal(res.Interval(stat, bin), fr.Rend)
+		if err != nil {
+			return stats.Interval{}, err
+		}
+		return e.paperScale(iv).ClampNonNegative(), nil
+	}
+	succ, err := infer(statRendOutcome, 0)
+	if err != nil {
+		return nil, err
+	}
+	closed, err := infer(statRendOutcome, 1)
+	if err != nil {
+		return nil, err
+	}
+	expired, err := infer(statRendOutcome, 2)
+	if err != nil {
+		return nil, err
+	}
+	total := stats.Interval{
+		Value: succ.Value + closed.Value + expired.Value,
+		Lo:    succ.Lo + closed.Lo + expired.Lo,
+		Hi:    succ.Hi + closed.Hi + expired.Hi,
+	}
+	payload, err := infer(statRendBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "table8", Title: "Network-wide rendezvous statistics"}
+	rep.Add("Total circuits", total.Scale(1e-6), "M circs", "366 [351; 380] million")
+	if total.Value > 0 {
+		rep.Add("Succeeded", succ.Scale(100/total.Value), "%", "8.08 [3.47; 13.1]%")
+		rep.Add("Failed: conn closed", closed.Scale(100/total.Value), "%", "4.37 [0.0; 9.23]%")
+		rep.Add("Failed: circuit expired", expired.Scale(100/total.Value), "%", "84.9 [77.0; 93.5]%")
+	}
+	rep.Add("Cell payload (TiB)", payload.Scale(1/tib), "TiB", "20.1 [15.2; 24.9]")
+	// Gbit/s = bytes*8 / 86400 / 1e9.
+	rep.Add("Cell payload rate", payload.Scale(8/daySeconds/1e9), "Gbit/s", "2.04 [1.55; 2.53]")
+	if succ.Value > 0 {
+		perCirc := payload.Scale(1 / succ.Value / 1024)
+		rep.Add("Payload per active circuit", perCirc, "KiB", "730 [341; 2,070]")
+	}
+	rep.Note("rendezvous weight %.2f%%; payloads are end-to-end encrypted so only cells are observable (§6.3)", fr.Rend*100)
+	return rep, nil
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dp"
+	"repro/internal/event"
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/stats"
+	"repro/internal/tornet"
+	"repro/internal/wire"
+)
+
+// This file is the deployment harness: it spins up the PrivCount or PSC
+// parties as concurrent goroutines connected by the wire transport,
+// attaches one data collector per measuring relay to the simulator's
+// event bus, runs the virtual measurement period, and gathers results.
+//
+// Noise scaling: the dp package computes the calibrated noise for the
+// real network; the harness divides sigma by the scale divisor (and
+// PSC coin trials by its square) so the *relative* noise level in the
+// scaled simulation matches the paper's deployment. EXPERIMENTS.md
+// documents this regime.
+
+// Incrementer updates a PrivCount statistic bin.
+type Incrementer func(stat string, bin int, delta float64)
+
+// CounterSpec declares one PrivCount statistic for a round.
+type CounterSpec struct {
+	Name string
+	Bins []string
+	// Sensitivity at paper scale, derived from the Table 1 action
+	// bounds (documented per experiment).
+	Sensitivity float64
+	// Expected magnitude at paper scale, for optimal allocation; zero
+	// selects equal allocation weighting for this statistic.
+	Expected float64
+}
+
+// PrivCountRun describes one PrivCount measurement round.
+type PrivCountRun struct {
+	Fractions tornet.Fractions
+	Days      int
+	Counters  []CounterSpec
+	// Handle converts an observed event into counter increments. It
+	// runs in the context of the observing relay's DC.
+	Handle func(e event.Event, inc Incrementer)
+	// Salt decorrelates this round's population from other rounds.
+	Salt uint64
+}
+
+// PrivCountResult carries a round's noisy totals and the sigmas used,
+// both at simulation scale.
+type PrivCountResult struct {
+	Values map[string][]float64
+	Sigmas map[string]float64
+	Sim    *Sim
+}
+
+// Interval builds the 95% CI for a statistic bin at simulation scale.
+func (r *PrivCountResult) Interval(stat string, bin int) stats.Interval {
+	return stats.NormalCI(r.Values[stat][bin], r.Sigmas[stat])
+}
+
+// RunPrivCount executes a full PrivCount round over the simulation: 3
+// share keepers, one DC per measuring relay, one tally server, all
+// speaking the real protocol over in-memory transport.
+func (e *Env) RunPrivCount(run PrivCountRun) (*PrivCountResult, error) {
+	return e.RunPrivCountWithSim(run, nil)
+}
+
+// RunPrivCountWithSim is RunPrivCount with a hook invoked after the
+// simulation is built but before any events flow, letting experiments
+// capture simulation state their handlers need (e.g. the ahmia index).
+func (e *Env) RunPrivCountWithSim(run PrivCountRun, onSim func(*Sim)) (*PrivCountResult, error) {
+	if run.Days <= 0 {
+		run.Days = 1
+	}
+	sim, err := e.BuildSim(run.Fractions, run.Salt)
+	if err != nil {
+		return nil, err
+	}
+	if onSim != nil {
+		onSim(sim)
+	}
+
+	// Noise calibration at paper scale, then scaled down.
+	dpStats := make([]dp.Statistic, len(run.Counters))
+	mode := dp.AllocateEqual
+	for i, c := range run.Counters {
+		dpStats[i] = dp.Statistic{Name: c.Name, Sensitivity: c.Sensitivity, Expected: c.Expected}
+		if c.Expected > 0 {
+			mode = dp.AllocateOptimal
+		}
+	}
+	alloc, err := dp.Allocate(dp.StudyParams(), dpStats, mode)
+	if err != nil {
+		return nil, err
+	}
+	cfgStats := make([]privcount.StatConfig, len(run.Counters))
+	sigmas := make(map[string]float64, len(run.Counters))
+	for i, c := range run.Counters {
+		sigma := alloc.Sigmas[c.Name] / e.Scale * float64(run.Days)
+		sigmas[c.Name] = sigma
+		cfgStats[i] = privcount.StatConfig{Name: c.Name, Bins: c.Bins, Sigma: sigma}
+	}
+
+	relays := sim.Net.Consensus.MeasuringRelays()
+	const numSKs = 3
+	tally, err := privcount.NewTally(privcount.TallyConfig{
+		Round: 1, Stats: cfgStats, NumDCs: len(relays), NumSKs: numSKs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tsConns []*wire.Conn
+	var skWG, setupWG sync.WaitGroup
+	errs := make(chan error, len(relays)+numSKs+1)
+
+	for i := 0; i < numSKs; i++ {
+		tsSide, skSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		sk, err := privcount.NewSK(fmt.Sprintf("sk-%d", i), skSide)
+		if err != nil {
+			return nil, err
+		}
+		skWG.Add(1)
+		go func() {
+			defer skWG.Done()
+			if err := sk.Serve(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	dcs := make([]*privcount.DC, len(relays))
+	for i, relay := range relays {
+		tsSide, dcSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		dcs[i] = privcount.NewDC(fmt.Sprintf("dc-%d", relay), dcSide, nil)
+		setupWG.Add(1)
+		go func(dc *privcount.DC) {
+			defer setupWG.Done()
+			if err := dc.Setup(); err != nil {
+				errs <- err
+			}
+		}(dcs[i])
+	}
+	resCh := make(chan map[string][]float64, 1)
+	go func() {
+		res, err := tally.Run(tsConns)
+		if err != nil {
+			errs <- err
+			return
+		}
+		resCh <- res
+	}()
+	setupWG.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	// Attach each relay's DC to the event bus.
+	for i, relay := range relays {
+		dc := dcs[i]
+		inc := func(stat string, bin int, delta float64) {
+			// Unknown statistics are a programming error in the
+			// experiment; surface loudly.
+			if err := dc.Increment(stat, bin, delta); err != nil {
+				panic(err)
+			}
+		}
+		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relay}, nil, func(ev event.Event) {
+			run.Handle(ev, inc)
+		})
+	}
+
+	sim.Driver.Run(run.Days)
+
+	// Finish concurrently: the tally server collects reports in its own
+	// order, and the pipe transport is synchronous, so sequential
+	// finishing could deadlock against the TS's collection order.
+	var finWG sync.WaitGroup
+	for _, dc := range dcs {
+		finWG.Add(1)
+		go func(dc *privcount.DC) {
+			defer finWG.Done()
+			if err := dc.Finish(); err != nil {
+				errs <- err
+			}
+		}(dc)
+	}
+	finWG.Wait()
+	skWG.Wait()
+	select {
+	case res := <-resCh:
+		return &PrivCountResult{Values: res, Sigmas: sigmas, Sim: sim}, nil
+	case err := <-errs:
+		return nil, err
+	}
+}
+
+// PSCRun describes one PSC unique-count round.
+type PSCRun struct {
+	Fractions tornet.Fractions
+	Days      int
+	// Relays restricts the DC deployment to relays in a position to
+	// observe the events of interest (§3.1); nil uses all measuring
+	// relays.
+	Relays []event.RelayID
+	// Item extracts the set item from an event ("", false to skip).
+	Item func(e event.Event) (string, bool)
+	// Sensitivity is the per-day action bound for the item type.
+	Sensitivity float64
+	// ExpectedUnique estimates the observed distinct count, used to
+	// size the hash table (bins ≈ 4× expected, clamped).
+	ExpectedUnique int
+	Salt           uint64
+}
+
+// PSCResult carries the protocol output and the derived interval, both
+// at simulation scale.
+type PSCResult struct {
+	Raw      psc.Result
+	Interval stats.Interval
+	Sim      *Sim
+}
+
+// RunPSC executes a full PSC round over the simulation: 3 computation
+// parties, one DC per selected relay, one tally server.
+func (e *Env) RunPSC(run PSCRun) (*PSCResult, error) {
+	return e.RunPSCWithSim(run, nil)
+}
+
+// RunPSCWithSim is RunPSC with a hook invoked after the simulation is
+// built but before any events flow.
+func (e *Env) RunPSCWithSim(run PSCRun, onSim func(*Sim)) (*PSCResult, error) {
+	if run.Days <= 0 {
+		run.Days = 1
+	}
+	sim, err := e.BuildSim(run.Fractions, run.Salt)
+	if err != nil {
+		return nil, err
+	}
+	if onSim != nil {
+		onSim(sim)
+	}
+	relays := run.Relays
+	if relays == nil {
+		relays = sim.Net.Consensus.MeasuringRelays()
+	}
+
+	const numCPs = 3
+	// Full-deployment coin trials, then scaled by Scale² so relative
+	// noise matches; floor keeps the noise model non-degenerate.
+	fullTrials, err := dp.PSCNoiseTrials(dp.StudyParams(), run.Sensitivity*float64(run.Days), numCPs)
+	if err != nil {
+		return nil, err
+	}
+	perCP := int(math.Ceil(float64(fullTrials) / (e.Scale * e.Scale)))
+	if perCP < 16 {
+		perCP = 16
+	}
+
+	bins := 256
+	for bins < 4*run.ExpectedUnique {
+		bins *= 2
+	}
+	if bins > 1<<16 {
+		bins = 1 << 16
+	}
+
+	cfg := psc.Config{
+		Round:              1,
+		Bins:               bins,
+		NoisePerCP:         perCP,
+		ShuffleProofRounds: e.ProofRounds,
+		NumDCs:             len(relays),
+		NumCPs:             numCPs,
+	}
+	tally, err := psc.NewTally(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var tsConns []*wire.Conn
+	var cpWG, setupWG sync.WaitGroup
+	errs := make(chan error, len(relays)+numCPs+1)
+	for i := 0; i < numCPs; i++ {
+		tsSide, cpSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		cp := psc.NewCP(fmt.Sprintf("cp-%d", i), cpSide, nil)
+		cpWG.Add(1)
+		go func() {
+			defer cpWG.Done()
+			if err := cp.Serve(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	dcs := make([]*psc.DC, len(relays))
+	for i, relay := range relays {
+		tsSide, dcSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		dcs[i] = psc.NewDC(fmt.Sprintf("dc-%d", relay), dcSide)
+		setupWG.Add(1)
+		go func(dc *psc.DC) {
+			defer setupWG.Done()
+			if err := dc.Setup(); err != nil {
+				errs <- err
+			}
+		}(dcs[i])
+	}
+	resCh := make(chan psc.Result, 1)
+	go func() {
+		res, err := tally.Run(tsConns)
+		if err != nil {
+			errs <- err
+			return
+		}
+		resCh <- res
+	}()
+	setupWG.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	for i, relay := range relays {
+		dc := dcs[i]
+		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relay}, nil, func(ev event.Event) {
+			if item, ok := run.Item(ev); ok {
+				if err := dc.Observe(item); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+
+	sim.Driver.Run(run.Days)
+
+	// Finish concurrently: the PSC tally collects tables in sorted-name
+	// order, which need not match relay order, and pipe writes block.
+	var finWG sync.WaitGroup
+	for _, dc := range dcs {
+		finWG.Add(1)
+		go func(dc *psc.DC) {
+			defer finWG.Done()
+			if err := dc.Finish(); err != nil {
+				errs <- err
+			}
+		}(dc)
+	}
+	finWG.Wait()
+	cpWG.Wait()
+	select {
+	case res := <-resCh:
+		iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
+			Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &PSCResult{Raw: res, Interval: iv, Sim: sim}, nil
+	case err := <-errs:
+		return nil, err
+	}
+}
+
+// paperScale converts a simulation-scale interval to paper scale.
+func (e *Env) paperScale(iv stats.Interval) stats.Interval { return iv.Scale(e.Scale) }
+
+// daySeconds is used for per-second rates.
+const daySeconds = float64(24 * 60 * 60)

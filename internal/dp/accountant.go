@@ -1,0 +1,87 @@
+package dp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Accountant enforces the paper's measurement-scheduling discipline
+// (§3.1): PrivCount and PSC measurements are never conducted in
+// parallel, at least 24 hours separate the starts of sequential
+// measurements of distinct statistics (the paper's own calendar runs
+// back-to-back 24-hour rounds), and the cumulative privacy budget
+// across the study is tracked by sequential composition.
+type Accountant struct {
+	perRound   Params
+	minGap     time.Duration
+	rounds     []roundRecord
+	cumulative Params
+}
+
+type roundRecord struct {
+	name       string
+	start, end time.Time
+}
+
+// NewAccountant returns an accountant granting each round the given
+// budget and requiring minGap between the end of one round and the start
+// of the next round measuring different statistics.
+func NewAccountant(perRound Params, minGap time.Duration) (*Accountant, error) {
+	if err := perRound.Validate(); err != nil {
+		return nil, err
+	}
+	if minGap < 0 {
+		return nil, fmt.Errorf("dp: negative gap %v", minGap)
+	}
+	return &Accountant{perRound: perRound, minGap: minGap}, nil
+}
+
+// StudyAccountant returns the accountant configured as in the paper:
+// per-round (0.3, 10⁻¹¹) and a 24-hour separation rule.
+func StudyAccountant() *Accountant {
+	a, err := NewAccountant(StudyParams(), 24*time.Hour)
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
+	return a
+}
+
+// Authorize records a measurement round named name over [start, end) and
+// returns its budget. It fails if the round overlaps any prior round, or
+// if it measures different statistics than the previous round without
+// the required separation.
+func (a *Accountant) Authorize(name string, start, end time.Time) (Params, error) {
+	if !end.After(start) {
+		return Params{}, fmt.Errorf("dp: round %q has non-positive duration", name)
+	}
+	for _, r := range a.rounds {
+		if start.Before(r.end) && r.start.Before(end) {
+			return Params{}, fmt.Errorf("dp: round %q overlaps round %q: measurements must never run in parallel", name, r.name)
+		}
+		if r.name != name {
+			if gap := absDur(start.Sub(r.start)); gap < a.minGap {
+				return Params{}, fmt.Errorf("dp: round %q starts %v from distinct round %q; need %v separation",
+					name, gap, r.name, a.minGap)
+			}
+		}
+	}
+	a.rounds = append(a.rounds, roundRecord{name: name, start: start, end: end})
+	sort.Slice(a.rounds, func(i, j int) bool { return a.rounds[i].start.Before(a.rounds[j].start) })
+	a.cumulative = a.cumulative.Compose(a.perRound)
+	return a.perRound, nil
+}
+
+// Cumulative returns the total budget consumed so far under basic
+// sequential composition.
+func (a *Accountant) Cumulative() Params { return a.cumulative }
+
+// Rounds reports the number of authorized rounds.
+func (a *Accountant) Rounds() int { return len(a.rounds) }
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

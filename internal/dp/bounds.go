@@ -1,0 +1,302 @@
+package dp
+
+import "fmt"
+
+// Action identifies one of the observable network actions the paper
+// bounds in Table 1. Differential privacy is applied to the space of
+// network traces; two traces are adjacent when they differ only in one
+// user's activity and the difference stays within these bounds (§3.2).
+type Action int
+
+// The Table 1 actions.
+const (
+	// ActionConnectDomain is connecting to a distinct domain through an
+	// exit circuit (a circuit's initial hostname stream).
+	ActionConnectDomain Action = iota
+	// ActionExitData is sending or receiving exit data, in bytes.
+	ActionExitData
+	// ActionNewIPFirstDay is connecting to Tor from a new IP address on
+	// the first day of a measurement.
+	ActionNewIPFirstDay
+	// ActionNewIPLaterDay is connecting from a new IP address on each
+	// subsequent day of a multi-day measurement.
+	ActionNewIPLaterDay
+	// ActionTCPConnect is creating a TCP connection to a Tor guard.
+	ActionTCPConnect
+	// ActionCircuit is creating a circuit through an entry guard.
+	ActionCircuit
+	// ActionEntryData is sending or receiving entry (guard) data, bytes.
+	ActionEntryData
+	// ActionDescUpload is uploading an onion-service descriptor.
+	ActionDescUpload
+	// ActionDescUploadNewAddress is uploading a descriptor for a new
+	// onion address.
+	ActionDescUploadNewAddress
+	// ActionDescFetch is fetching an onion-service descriptor.
+	ActionDescFetch
+	// ActionRendConnect is creating a rendezvous connection.
+	ActionRendConnect
+	// ActionRendData is sending or receiving rendezvous data, in bytes.
+	ActionRendData
+
+	numActions
+)
+
+var actionNames = [...]string{
+	ActionConnectDomain:        "connect-to-domain",
+	ActionExitData:             "exit-data",
+	ActionNewIPFirstDay:        "new-ip-first-day",
+	ActionNewIPLaterDay:        "new-ip-later-day",
+	ActionTCPConnect:           "tcp-connect",
+	ActionCircuit:              "circuit",
+	ActionEntryData:            "entry-data",
+	ActionDescUpload:           "descriptor-upload",
+	ActionDescUploadNewAddress: "descriptor-upload-new-address",
+	ActionDescFetch:            "descriptor-fetch",
+	ActionRendConnect:          "rendezvous-connection",
+	ActionRendData:             "rendezvous-data",
+}
+
+func (a Action) String() string {
+	if a >= 0 && int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+const megabyte = 1 << 20
+
+// Activity models one kind of "reasonable" daily Tor use. The paper
+// derives each Table 1 bound as the maximum, across these activities, of
+// the observable network actions the activity generates in 24 hours
+// (§3.2). Amounts returns the per-action daily totals.
+type Activity interface {
+	Name() string
+	Amounts() map[Action]float64
+}
+
+// WebActivity models a day of web browsing with Tor Browser: visiting
+// new sites for several hours, with page loads reusing per-site circuits.
+type WebActivity struct {
+	// NewSitesPerHour is how many previously unvisited sites the user
+	// opens per browsing hour; each gets a fresh circuit and one initial
+	// domain connection.
+	NewSitesPerHour float64
+	// HoursPerDay is hours of active browsing.
+	HoursPerDay float64
+	// MBPerDay is total web transfer volume (exit bytes).
+	MBPerDay float64
+	// DirOverheadMB is directory/consensus overhead seen at the guard in
+	// addition to relayed data.
+	DirOverheadMB float64
+	// OnionSitesPerDay is how many onionsites the user browses, each
+	// needing a descriptor fetch and a rendezvous connection.
+	OnionSitesPerDay float64
+}
+
+// DefaultWeb returns the web-browsing model used to derive Table 1:
+// two new sites per hour for ten hours per day and 400 MB of traffic.
+func DefaultWeb() WebActivity {
+	return WebActivity{
+		NewSitesPerHour:  2,
+		HoursPerDay:      10,
+		MBPerDay:         400,
+		DirOverheadMB:    7,
+		OnionSitesPerDay: 10,
+	}
+}
+
+// Name implements Activity.
+func (w WebActivity) Name() string { return "web" }
+
+// Amounts implements Activity.
+func (w WebActivity) Amounts() map[Action]float64 {
+	domains := w.NewSitesPerHour * w.HoursPerDay
+	return map[Action]float64{
+		ActionConnectDomain: domains,
+		ActionExitData:      w.MBPerDay * megabyte,
+		// One circuit per new site plus a handful of preemptive and
+		// directory circuits; far below the chat-driven circuit bound.
+		ActionCircuit:   domains + 24,
+		ActionEntryData: (w.MBPerDay + w.DirOverheadMB) * megabyte,
+		ActionDescFetch: w.OnionSitesPerDay,
+		// Browsing an onionsite creates one rendezvous connection.
+		ActionRendConnect: w.OnionSitesPerDay,
+		ActionRendData:    w.MBPerDay * megabyte,
+	}
+}
+
+// ChatActivity models a day of running the Ricochet P2P onion-service
+// messenger: a long-lived service with many contact connections, each of
+// which needs rendezvous and supporting circuits.
+type ChatActivity struct {
+	// Contacts is the number of peers the user chats with.
+	Contacts float64
+	// ReconnectsPerContact is how many times each contact connection is
+	// re-established during the day.
+	ReconnectsPerContact float64
+	// CircuitsPerConnection covers the client- and service-side circuits
+	// each rendezvous connection needs (HSDir fetch, introduction,
+	// rendezvous), averaged over both sides.
+	CircuitsPerConnection float64
+	// BackgroundCircuits is directory and intro-point maintenance
+	// circuits per day.
+	BackgroundCircuits float64
+	// MBPerDay is chat transfer volume.
+	MBPerDay float64
+}
+
+// DefaultChat returns the Ricochet model used to derive Table 1: 30
+// contacts reconnecting six times a day, 3.5 circuits per rendezvous
+// connection plus 21 background circuits — 651 circuits and 180
+// rendezvous connections per day.
+func DefaultChat() ChatActivity {
+	return ChatActivity{
+		Contacts:              30,
+		ReconnectsPerContact:  6,
+		CircuitsPerConnection: 3.5,
+		BackgroundCircuits:    21,
+		MBPerDay:              50,
+	}
+}
+
+// Name implements Activity.
+func (c ChatActivity) Name() string { return "chat" }
+
+// Amounts implements Activity.
+func (c ChatActivity) Amounts() map[Action]float64 {
+	conns := c.Contacts * c.ReconnectsPerContact
+	return map[Action]float64{
+		ActionRendConnect: conns,
+		ActionCircuit:     conns*c.CircuitsPerConnection + c.BackgroundCircuits,
+		// Ricochet caches peer descriptors, so fetches are far fewer
+		// than connections.
+		ActionDescFetch: c.Contacts * 25.0 / 30.0,
+		ActionEntryData: c.MBPerDay * megabyte,
+		ActionRendData:  c.MBPerDay * megabyte,
+	}
+}
+
+// OnionsiteActivity models running a web server as an onionsite:
+// republishing descriptors to the HSDir ring and serving client
+// rendezvous traffic.
+type OnionsiteActivity struct {
+	// HSDirReplicas is the number of HSDirs a v2 descriptor is stored on
+	// (two replicas times a spread of three).
+	HSDirReplicas float64
+	// PublishesPerDay is how many times the descriptor set is
+	// (re)published over the day, including churn-driven republication.
+	PublishesPerDay float64
+	// NewAddresses is how many fresh onion addresses the operator may
+	// bring up in a day.
+	NewAddresses float64
+	// SelfChecksPerDay is how often the operator fetches its own
+	// descriptor to verify reachability.
+	SelfChecksPerDay float64
+	// MBPerDay is the site's daily rendezvous transfer volume.
+	MBPerDay float64
+	// ClientConnections is rendezvous connections from visitors.
+	ClientConnections float64
+}
+
+// DefaultOnionsite returns the onionsite model used to derive Table 1:
+// 75 publish rounds across 6 HSDirs (450 uploads), 3 new addresses, 30
+// reachability self-checks, 400 MB served.
+func DefaultOnionsite() OnionsiteActivity {
+	return OnionsiteActivity{
+		HSDirReplicas:     6,
+		PublishesPerDay:   75,
+		NewAddresses:      3,
+		SelfChecksPerDay:  30,
+		MBPerDay:          400,
+		ClientConnections: 150,
+	}
+}
+
+// Name implements Activity.
+func (o OnionsiteActivity) Name() string { return "onionsite" }
+
+// Amounts implements Activity.
+func (o OnionsiteActivity) Amounts() map[Action]float64 {
+	return map[Action]float64{
+		ActionDescUpload:           o.HSDirReplicas * o.PublishesPerDay,
+		ActionDescUploadNewAddress: o.NewAddresses,
+		ActionDescFetch:            o.SelfChecksPerDay,
+		ActionRendConnect:          o.ClientConnections,
+		ActionRendData:             o.MBPerDay * megabyte,
+		ActionEntryData:            o.MBPerDay * megabyte,
+		ActionCircuit:              o.ClientConnections + o.HSDirReplicas*o.PublishesPerDay/3,
+	}
+}
+
+// Bound is one row of Table 1: the daily bound for an action and the
+// activity that defined it (produced the maximum).
+type Bound struct {
+	Action   Action
+	Daily    float64
+	Defining string // activity name, or "n/a" for protocol-level bounds
+}
+
+// Bounds is the full action-bound table keyed by action.
+type Bounds map[Action]Bound
+
+// Protocol-level bounds that apply to every activity and so have no
+// defining activity (Table 1 rows marked N/A).
+const (
+	// boundNewIPFirstDay: a mobile user may appear from 4 distinct IPs
+	// on the first day and 3 new IPs on each later day.
+	boundNewIPFirstDay = 4
+	boundNewIPLaterDay = 3
+	// boundTCPConnect: connection rotation to the data guard plus the
+	// directory guards yields at most 12 TCP connections a day.
+	boundTCPConnect = 12
+)
+
+// DeriveBounds computes Table 1 from the given activity models: each
+// action's bound is the maximum daily amount any single activity
+// produces, with protocol-level bounds filled in directly.
+func DeriveBounds(activities ...Activity) Bounds {
+	b := Bounds{
+		ActionNewIPFirstDay: {ActionNewIPFirstDay, boundNewIPFirstDay, "n/a"},
+		ActionNewIPLaterDay: {ActionNewIPLaterDay, boundNewIPLaterDay, "n/a"},
+		ActionTCPConnect:    {ActionTCPConnect, boundTCPConnect, "n/a"},
+	}
+	for _, act := range activities {
+		for action, amount := range act.Amounts() {
+			cur, ok := b[action]
+			if !ok || amount > cur.Daily {
+				b[action] = Bound{Action: action, Daily: amount, Defining: act.Name()}
+			}
+		}
+	}
+	return b
+}
+
+// StudyBounds returns Table 1 as derived from the paper's three default
+// activity models.
+func StudyBounds() Bounds {
+	return DeriveBounds(DefaultWeb(), DefaultChat(), DefaultOnionsite())
+}
+
+// Daily returns the daily bound for an action, or 0 if unbounded data
+// was requested for an unknown action.
+func (b Bounds) Daily(a Action) float64 {
+	if row, ok := b[a]; ok {
+		return row.Daily
+	}
+	return 0
+}
+
+// OverDays returns the adjacency bound for a measurement spanning the
+// given number of whole days: per Table 1, IP bounds accumulate as
+// first-day + (days-1)·later-day, while all other bounds scale linearly
+// with days (the adjacency window is 24 h, and sequential days compose).
+func (b Bounds) OverDays(a Action, days int) float64 {
+	if days <= 0 {
+		return 0
+	}
+	if a == ActionNewIPFirstDay || a == ActionNewIPLaterDay {
+		return b.Daily(ActionNewIPFirstDay) + float64(days-1)*b.Daily(ActionNewIPLaterDay)
+	}
+	return float64(days) * b.Daily(a)
+}

@@ -1,0 +1,339 @@
+package elgamal
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestGroupBasics(t *testing.T) {
+	g := Generator()
+	id := Identity()
+	if !id.IsIdentity() || !id.IsValid() {
+		t.Fatal("identity must be valid and identity")
+	}
+	if g.IsIdentity() || !g.IsValid() {
+		t.Fatal("generator must be valid non-identity")
+	}
+	if !g.Add(id).Equal(g) {
+		t.Fatal("G + 0 != G")
+	}
+	if !g.Sub(g).IsIdentity() {
+		t.Fatal("G - G != 0")
+	}
+	two := big.NewInt(2)
+	if !g.Add(g).Equal(g.Mul(two)) {
+		t.Fatal("G+G != 2G")
+	}
+	if !BaseMul(two).Equal(g.Mul(two)) {
+		t.Fatal("BaseMul(2) != 2G")
+	}
+	if !g.Mul(Order()).IsIdentity() {
+		t.Fatal("order·G != identity")
+	}
+	if !g.Neg().Add(g).IsIdentity() {
+		t.Fatal("-G + G != 0")
+	}
+}
+
+func TestPointEncoding(t *testing.T) {
+	for _, p := range []Point{Identity(), Generator(), BaseMul(big.NewInt(12345))} {
+		b := p.Bytes()
+		q, n, err := ParsePoint(b)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if !p.Equal(q) {
+			t.Fatal("round trip mismatch")
+		}
+	}
+	if _, _, err := ParsePoint(nil); err == nil {
+		t.Fatal("empty encoding must fail")
+	}
+	if _, _, err := ParsePoint([]byte{9}); err == nil {
+		t.Fatal("bad tag must fail")
+	}
+	// A coordinate pair off the curve must be rejected.
+	bad := Generator().Bytes()
+	bad[10] ^= 0xFF
+	if _, _, err := ParsePoint(bad); err == nil {
+		t.Fatal("off-curve point must fail")
+	}
+	if _, _, err := ParsePoint(Generator().Bytes()[:20]); err == nil {
+		t.Fatal("short encoding must fail")
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	k := GenerateKey()
+	msg := BaseMul(big.NewInt(777))
+	c := Encrypt(k.PK, msg)
+	if !k.Decrypt(c).Equal(msg) {
+		t.Fatal("decrypt(encrypt(m)) != m")
+	}
+}
+
+func TestEncryptBit(t *testing.T) {
+	k := GenerateKey()
+	if !k.Decrypt(EncryptBit(k.PK, false)).IsIdentity() {
+		t.Fatal("bit 0 must decrypt to identity")
+	}
+	if !k.Decrypt(EncryptBit(k.PK, true)).Equal(Generator()) {
+		t.Fatal("bit 1 must decrypt to G")
+	}
+}
+
+func TestHomomorphicAddIsORInExponent(t *testing.T) {
+	k := GenerateKey()
+	zero := EncryptBit(k.PK, false)
+	one := EncryptBit(k.PK, true)
+
+	sum00 := zero.Add(EncryptBit(k.PK, false))
+	if !k.Decrypt(sum00).IsIdentity() {
+		t.Fatal("0+0 must stay identity")
+	}
+	sum01 := zero.Add(one)
+	if k.Decrypt(sum01).IsIdentity() {
+		t.Fatal("0+1 must be non-identity")
+	}
+	sum11 := one.Add(EncryptBit(k.PK, true))
+	if k.Decrypt(sum11).IsIdentity() {
+		t.Fatal("1+1 must be non-identity (2G)")
+	}
+}
+
+func TestRerandomizePreservesPlaintext(t *testing.T) {
+	k := GenerateKey()
+	msg := BaseMul(big.NewInt(31337))
+	c := Encrypt(k.PK, msg)
+	c2 := c.Rerandomize(k.PK)
+	if c2.Equal(c) {
+		t.Fatal("rerandomization must change the ciphertext")
+	}
+	if !k.Decrypt(c2).Equal(msg) {
+		t.Fatal("rerandomization must preserve the plaintext")
+	}
+}
+
+func TestExpBlindPreservesZeroOnly(t *testing.T) {
+	k := GenerateKey()
+	zero := EncryptBit(k.PK, false).ExpBlind()
+	if !k.Decrypt(zero).IsIdentity() {
+		t.Fatal("blinded 0 must stay identity")
+	}
+	one := EncryptBit(k.PK, true)
+	b1 := one.ExpBlind()
+	b2 := one.ExpBlind()
+	p1, p2 := k.Decrypt(b1), k.Decrypt(b2)
+	if p1.IsIdentity() || p2.IsIdentity() {
+		t.Fatal("blinded 1 must stay non-identity")
+	}
+	if p1.Equal(p2) {
+		t.Fatal("independent blindings should give unlinkable plaintexts")
+	}
+}
+
+func TestDistributedDecryption(t *testing.T) {
+	parties := []*PrivateKey{GenerateKey(), GenerateKey(), GenerateKey()}
+	pk, err := CombineKeys(parties[0].PK, parties[1].PK, parties[2].PK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := BaseMul(big.NewInt(99))
+	c := Encrypt(pk, msg)
+
+	var shares []DecryptionShare
+	for _, p := range parties {
+		shares = append(shares, p.PartialDecrypt(c))
+	}
+	if !Recover(c, shares).Equal(msg) {
+		t.Fatal("full share set must recover the message")
+	}
+	// Missing one share must NOT recover the message.
+	if Recover(c, shares[:2]).Equal(msg) {
+		t.Fatal("partial share set must not recover the message")
+	}
+}
+
+func TestCombineKeysRejectsInvalid(t *testing.T) {
+	if _, err := CombineKeys(); err == nil {
+		t.Fatal("no keys must fail")
+	}
+	if _, err := CombineKeys(Point{}); err == nil {
+		t.Fatal("invalid key must fail")
+	}
+}
+
+func TestCiphertextEncoding(t *testing.T) {
+	k := GenerateKey()
+	c := EncryptBit(k.PK, true)
+	b := c.Bytes()
+	c2, n, err := ParseCiphertext(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("parse: %v (n=%d len=%d)", err, n, len(b))
+	}
+	if !c.Equal(c2) {
+		t.Fatal("ciphertext round trip")
+	}
+	if _, _, err := ParseCiphertext(b[:3]); err == nil {
+		t.Fatal("short ciphertext must fail")
+	}
+}
+
+func TestChaumPedersenShareProof(t *testing.T) {
+	parties := []*PrivateKey{GenerateKey(), GenerateKey()}
+	pk, _ := CombineKeys(parties[0].PK, parties[1].PK)
+	c := EncryptBit(pk, true)
+
+	share := parties[0].PartialDecrypt(c)
+	proof := parties[0].ProveShare(c, share)
+	if !VerifyShare(parties[0].PK, c, share, proof) {
+		t.Fatal("honest share proof must verify")
+	}
+	// Wrong share: computed with a different key.
+	badShare := parties[1].PartialDecrypt(c)
+	if VerifyShare(parties[0].PK, c, badShare, proof) {
+		t.Fatal("proof must not verify a different share")
+	}
+	// Tampered response.
+	tampered := proof
+	tampered.Response = new(big.Int).Add(proof.Response, big.NewInt(1))
+	if VerifyShare(parties[0].PK, c, share, tampered) {
+		t.Fatal("tampered proof must fail")
+	}
+	// Malicious party lying about its share with a proof for its own key.
+	lie := DecryptionShare{Share: BaseMul(big.NewInt(5))}
+	lieProof := parties[0].ProveShare(c, lie)
+	if VerifyShare(parties[0].PK, c, lie, lieProof) {
+		t.Fatal("proof for an incorrect share must fail")
+	}
+}
+
+func TestVerifyShareRejectsGarbage(t *testing.T) {
+	k := GenerateKey()
+	c := EncryptBit(k.PK, false)
+	share := k.PartialDecrypt(c)
+	if VerifyShare(k.PK, c, share, EqualityProof{}) {
+		t.Fatal("empty proof must fail")
+	}
+	if VerifyShare(Point{}, c, share, k.ProveShare(c, share)) {
+		t.Fatal("invalid pk must fail")
+	}
+}
+
+func makeBatch(pk Point, bits []bool) []Ciphertext {
+	out := make([]Ciphertext, len(bits))
+	for i, b := range bits {
+		out[i] = EncryptBit(pk, b)
+	}
+	return out
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	k := GenerateKey()
+	bits := []bool{true, false, true, true, false, false, false, true}
+	in := makeBatch(k.PK, bits)
+	out, _ := Shuffle(k.PK, in)
+	if len(out) != len(in) {
+		t.Fatal("length change")
+	}
+	ones := 0
+	for _, c := range out {
+		if !k.Decrypt(c).IsIdentity() {
+			ones++
+		}
+	}
+	if ones != 4 {
+		t.Fatalf("shuffle changed plaintext multiset: %d ones, want 4", ones)
+	}
+}
+
+func TestShuffleProofHonest(t *testing.T) {
+	k := GenerateKey()
+	in := makeBatch(k.PK, []bool{true, false, true, false, false})
+	out, w := Shuffle(k.PK, in)
+	proof := ProveShuffle(k.PK, in, out, w, 8)
+	if err := VerifyShuffle(k.PK, in, out, proof); err != nil {
+		t.Fatalf("honest shuffle proof rejected: %v", err)
+	}
+}
+
+func TestShuffleProofCatchesTampering(t *testing.T) {
+	k := GenerateKey()
+	in := makeBatch(k.PK, []bool{true, false, true, false})
+	out, w := Shuffle(k.PK, in)
+	proof := ProveShuffle(k.PK, in, out, w, 16)
+
+	// A cheating mixer replaces one output with an encryption of its own.
+	cheat := make([]Ciphertext, len(out))
+	copy(cheat, out)
+	cheat[2] = EncryptBit(k.PK, true)
+	if err := VerifyShuffle(k.PK, in, cheat, proof); err == nil {
+		t.Fatal("tampered output batch must fail verification")
+	}
+
+	// Length mismatch and empty proof must fail fast.
+	if err := VerifyShuffle(k.PK, in, out[:3], proof); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := VerifyShuffle(k.PK, in, out, ShuffleProof{}); err == nil {
+		t.Fatal("empty proof must fail")
+	}
+}
+
+func TestShuffleProofRejectsNonPermutation(t *testing.T) {
+	k := GenerateKey()
+	in := makeBatch(k.PK, []bool{true, false})
+	out, w := Shuffle(k.PK, in)
+	proof := ProveShuffle(k.PK, in, out, w, 4)
+	proof.Rounds[0].OpenPerm = []int{0, 0} // duplicate index
+	if err := VerifyShuffle(k.PK, in, out, proof); err == nil {
+		t.Fatal("non-permutation opening must fail")
+	}
+}
+
+func TestRandomScalarInRange(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		s := RandomScalar()
+		if s.Sign() <= 0 || s.Cmp(Order()) >= 0 {
+			t.Fatalf("scalar out of range: %v", s)
+		}
+	}
+}
+
+func TestRandomPermIsPermutation(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		if !isPerm(randomPerm(n)) {
+			t.Fatalf("randomPerm(%d) not a permutation", n)
+		}
+	}
+}
+
+func BenchmarkEncryptBit(b *testing.B) {
+	k := GenerateKey()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncryptBit(k.PK, i%2 == 0)
+	}
+}
+
+func BenchmarkExpBlind(b *testing.B) {
+	k := GenerateKey()
+	c := EncryptBit(k.PK, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ExpBlind()
+	}
+}
+
+func BenchmarkShuffle64(b *testing.B) {
+	k := GenerateKey()
+	in := makeBatch(k.PK, make([]bool, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shuffle(k.PK, in)
+	}
+}

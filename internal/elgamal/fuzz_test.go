@@ -1,0 +1,54 @@
+package elgamal
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzParsePoint drives the point decoder with arbitrary bytes: it must
+// never panic and never accept an off-curve point.
+func FuzzParsePoint(f *testing.F) {
+	f.Add(Identity().Bytes())
+	f.Add(Generator().Bytes())
+	f.Add(BaseMul(big.NewInt(99)).Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{4})
+	f.Add(make([]byte, 65))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, n, err := ParsePoint(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if !p.IsValid() {
+			t.Fatal("decoder returned an invalid point")
+		}
+		// Accepted points must round-trip.
+		q, _, err := ParsePoint(p.Bytes())
+		if err != nil || !q.Equal(p) {
+			t.Fatal("round trip failed")
+		}
+	})
+}
+
+// FuzzParseCiphertext exercises the two-point decoder.
+func FuzzParseCiphertext(f *testing.F) {
+	k := GenerateKey()
+	f.Add(EncryptBit(k.PK, true).Bytes())
+	f.Add(EncryptBit(k.PK, false).Bytes())
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, n, err := ParseCiphertext(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if !c.IsValid() {
+			t.Fatal("decoder returned an invalid ciphertext")
+		}
+	})
+}

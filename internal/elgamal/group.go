@@ -1,0 +1,168 @@
+// Package elgamal implements the group cryptography used by the private
+// set-union cardinality protocol (internal/psc): ElGamal over the NIST
+// P-256 curve with additive homomorphism, ciphertext re-randomization,
+// plaintext-exponent blinding, n-of-n distributed decryption with
+// Chaum–Pedersen correctness proofs, and a cut-and-choose verifiable
+// shuffle.
+//
+// PSC (Fenske et al., CCS 2017) needs exactly these operations: data
+// collectors encrypt hash-table bits as group elements, computation
+// parties mix and blind them so that only the *number* of non-zero bins
+// survives, and joint decryption reveals that count plus noise — never
+// any individual item.
+package elgamal
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+var (
+	curve = elliptic.P256()
+	// order is the order of the P-256 base point group.
+	order = curve.Params().N
+)
+
+// Point is an element of the P-256 group in affine coordinates. The
+// identity (point at infinity) is represented by X = Y = 0, the
+// convention crypto/elliptic itself uses.
+type Point struct {
+	X, Y *big.Int
+}
+
+// Identity returns the group identity element.
+func Identity() Point {
+	return Point{X: new(big.Int), Y: new(big.Int)}
+}
+
+// Generator returns the standard base point G.
+func Generator() Point {
+	p := curve.Params()
+	return Point{X: new(big.Int).Set(p.Gx), Y: new(big.Int).Set(p.Gy)}
+}
+
+// IsIdentity reports whether p is the identity element.
+func (p Point) IsIdentity() bool {
+	return p.X != nil && p.Y != nil && p.X.Sign() == 0 && p.Y.Sign() == 0
+}
+
+// IsValid reports whether p is the identity or a point on the curve.
+func (p Point) IsValid() bool {
+	if p.X == nil || p.Y == nil {
+		return false
+	}
+	if p.IsIdentity() {
+		return true
+	}
+	return curve.IsOnCurve(p.X, p.Y)
+}
+
+// Equal reports whether two points are the same group element.
+func (p Point) Equal(q Point) bool {
+	if p.X == nil || q.X == nil {
+		return false
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	x, y := curve.Add(p.X, p.Y, q.X, q.Y)
+	return Point{X: x, Y: y}
+}
+
+// Neg returns -p.
+func (p Point) Neg() Point {
+	if p.IsIdentity() {
+		return Identity()
+	}
+	y := new(big.Int).Sub(curve.Params().P, p.Y)
+	y.Mod(y, curve.Params().P)
+	return Point{X: new(big.Int).Set(p.X), Y: y}
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return p.Add(q.Neg()) }
+
+// Mul returns k·p for a scalar k.
+func (p Point) Mul(k *big.Int) Point {
+	if p.IsIdentity() || k.Sign() == 0 {
+		return Identity()
+	}
+	kk := new(big.Int).Mod(k, order)
+	if kk.Sign() == 0 {
+		return Identity()
+	}
+	x, y := curve.ScalarMult(p.X, p.Y, kk.Bytes())
+	return Point{X: x, Y: y}
+}
+
+// BaseMul returns k·G.
+func BaseMul(k *big.Int) Point {
+	kk := new(big.Int).Mod(k, order)
+	if kk.Sign() == 0 {
+		return Identity()
+	}
+	x, y := curve.ScalarBaseMult(kk.Bytes())
+	return Point{X: x, Y: y}
+}
+
+const pointLen = 1 + 32 + 32
+
+// Bytes encodes the point: a tag byte (0 identity, 4 uncompressed)
+// followed by two 32-byte big-endian coordinates for non-identity points.
+func (p Point) Bytes() []byte {
+	out := make([]byte, 0, pointLen)
+	if p.IsIdentity() {
+		return append(out, 0)
+	}
+	out = append(out, 4)
+	out = append(out, p.X.FillBytes(make([]byte, 32))...)
+	return append(out, p.Y.FillBytes(make([]byte, 32))...)
+}
+
+// ParsePoint decodes a point produced by Bytes and validates curve
+// membership. It returns the number of bytes consumed.
+func ParsePoint(b []byte) (Point, int, error) {
+	if len(b) < 1 {
+		return Point{}, 0, errors.New("elgamal: empty point encoding")
+	}
+	switch b[0] {
+	case 0:
+		return Identity(), 1, nil
+	case 4:
+		if len(b) < pointLen {
+			return Point{}, 0, errors.New("elgamal: short point encoding")
+		}
+		p := Point{
+			X: new(big.Int).SetBytes(b[1:33]),
+			Y: new(big.Int).SetBytes(b[33:65]),
+		}
+		if !p.IsValid() || p.IsIdentity() {
+			return Point{}, 0, errors.New("elgamal: point not on curve")
+		}
+		return p, pointLen, nil
+	default:
+		return Point{}, 0, fmt.Errorf("elgamal: bad point tag %d", b[0])
+	}
+}
+
+// RandomScalar returns a uniform scalar in [1, order-1] using the
+// cryptographic randomness source.
+func RandomScalar() *big.Int {
+	for {
+		k, err := rand.Int(rand.Reader, order)
+		if err != nil {
+			panic("elgamal: crypto/rand failed: " + err.Error())
+		}
+		if k.Sign() != 0 {
+			return k
+		}
+	}
+}
+
+// Order returns a copy of the group order.
+func Order() *big.Int { return new(big.Int).Set(order) }

@@ -1,0 +1,337 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/simtime"
+)
+
+// Binary wire format, little-endian:
+//
+//	[1]  type tag
+//	[8]  virtual time (int64 nanoseconds)
+//	[2]  relay id
+//	[..] type-specific payload (see appendPayload methods)
+//
+// Strings are uvarint-length-prefixed UTF-8. IP addresses are a 1-byte
+// length (0, 4, or 16) followed by the raw address bytes. The format is
+// deliberately simple and allocation-light: events dominate simulator
+// throughput, and a DC may consume hundreds of millions per virtual day.
+
+// Codec errors.
+var (
+	ErrShortBuffer  = errors.New("event: short buffer")
+	ErrUnknownType  = errors.New("event: unknown event type")
+	ErrTrailingData = errors.New("event: trailing bytes after payload")
+)
+
+const headerSize = 1 + 8 + 2
+
+// Marshal appends the encoded event to dst and returns the result.
+func Marshal(dst []byte, e Event) []byte {
+	dst = append(dst, byte(e.EventType()))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Time()))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(e.Observer()))
+	return e.appendPayload(dst)
+}
+
+// Unmarshal decodes a single event from b, which must contain exactly one
+// encoded event.
+func Unmarshal(b []byte) (Event, error) {
+	if len(b) < headerSize {
+		return nil, ErrShortBuffer
+	}
+	e, ok := New(Type(b[0]))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	h := Header{
+		At:    simtime.Time(binary.LittleEndian.Uint64(b[1:9])),
+		Relay: RelayID(binary.LittleEndian.Uint16(b[9:11])),
+	}
+	setHeader(e, h)
+	if err := e.decodePayload(b[headerSize:]); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func setHeader(e Event, h Header) {
+	switch v := e.(type) {
+	case *StreamEnd:
+		v.Header = h
+	case *CircuitEnd:
+		v.Header = h
+	case *ConnectionEnd:
+		v.Header = h
+	case *DescPublished:
+		v.Header = h
+	case *DescFetched:
+		v.Header = h
+	case *RendezvousEnd:
+		v.Header = h
+	}
+}
+
+// --- primitive helpers ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, ErrShortBuffer
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func appendAddr(b []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(b, 0)
+	}
+	raw := a.AsSlice()
+	b = append(b, byte(len(raw)))
+	return append(b, raw...)
+}
+
+func readAddr(b []byte) (netip.Addr, []byte, error) {
+	if len(b) < 1 {
+		return netip.Addr{}, nil, ErrShortBuffer
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n == 0 {
+		return netip.Addr{}, b, nil
+	}
+	if n != 4 && n != 16 || len(b) < n {
+		return netip.Addr{}, nil, ErrShortBuffer
+	}
+	a, ok := netip.AddrFromSlice(b[:n])
+	if !ok {
+		return netip.Addr{}, nil, ErrShortBuffer
+	}
+	return a, b[n:], nil
+}
+
+func appendUint64(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func readUint64(b []byte) (uint64, []byte, error) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, ErrShortBuffer
+	}
+	return v, b[sz:], nil
+}
+
+func readByte(b []byte) (byte, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, ErrShortBuffer
+	}
+	return b[0], b[1:], nil
+}
+
+func finish(b []byte) error {
+	if len(b) != 0 {
+		return ErrTrailingData
+	}
+	return nil
+}
+
+// --- StreamEnd ---
+
+func (e *StreamEnd) appendPayload(b []byte) []byte {
+	b = appendUint64(b, e.CircuitID)
+	flags := byte(0)
+	if e.IsInitial {
+		flags |= 1
+	}
+	b = append(b, flags, byte(e.Target))
+	b = binary.LittleEndian.AppendUint16(b, e.Port)
+	b = appendString(b, e.Hostname)
+	b = appendUint64(b, e.BytesSent)
+	return appendUint64(b, e.BytesRecv)
+}
+
+func (e *StreamEnd) decodePayload(b []byte) error {
+	var err error
+	if e.CircuitID, b, err = readUint64(b); err != nil {
+		return err
+	}
+	var flags, target byte
+	if flags, b, err = readByte(b); err != nil {
+		return err
+	}
+	e.IsInitial = flags&1 != 0
+	if target, b, err = readByte(b); err != nil {
+		return err
+	}
+	e.Target = TargetKind(target)
+	if len(b) < 2 {
+		return ErrShortBuffer
+	}
+	e.Port = binary.LittleEndian.Uint16(b)
+	b = b[2:]
+	if e.Hostname, b, err = readString(b); err != nil {
+		return err
+	}
+	if e.BytesSent, b, err = readUint64(b); err != nil {
+		return err
+	}
+	if e.BytesRecv, b, err = readUint64(b); err != nil {
+		return err
+	}
+	return finish(b)
+}
+
+// --- CircuitEnd ---
+
+func (e *CircuitEnd) appendPayload(b []byte) []byte {
+	b = appendUint64(b, e.CircuitID)
+	b = append(b, byte(e.Kind))
+	b = appendAddr(b, e.ClientIP)
+	b = appendString(b, e.Country)
+	b = binary.LittleEndian.AppendUint32(b, e.ASN)
+	b = binary.LittleEndian.AppendUint32(b, e.NumStreams)
+	b = appendUint64(b, e.BytesSent)
+	return appendUint64(b, e.BytesRecv)
+}
+
+func (e *CircuitEnd) decodePayload(b []byte) error {
+	var err error
+	if e.CircuitID, b, err = readUint64(b); err != nil {
+		return err
+	}
+	var kind byte
+	if kind, b, err = readByte(b); err != nil {
+		return err
+	}
+	e.Kind = CircuitKind(kind)
+	if e.ClientIP, b, err = readAddr(b); err != nil {
+		return err
+	}
+	if e.Country, b, err = readString(b); err != nil {
+		return err
+	}
+	if len(b) < 8 {
+		return ErrShortBuffer
+	}
+	e.ASN = binary.LittleEndian.Uint32(b)
+	e.NumStreams = binary.LittleEndian.Uint32(b[4:])
+	b = b[8:]
+	if e.BytesSent, b, err = readUint64(b); err != nil {
+		return err
+	}
+	if e.BytesRecv, b, err = readUint64(b); err != nil {
+		return err
+	}
+	return finish(b)
+}
+
+// --- ConnectionEnd ---
+
+func (e *ConnectionEnd) appendPayload(b []byte) []byte {
+	b = appendAddr(b, e.ClientIP)
+	b = appendString(b, e.Country)
+	b = binary.LittleEndian.AppendUint32(b, e.ASN)
+	b = binary.LittleEndian.AppendUint32(b, e.NumCircuits)
+	b = appendUint64(b, e.BytesSent)
+	return appendUint64(b, e.BytesRecv)
+}
+
+func (e *ConnectionEnd) decodePayload(b []byte) error {
+	var err error
+	if e.ClientIP, b, err = readAddr(b); err != nil {
+		return err
+	}
+	if e.Country, b, err = readString(b); err != nil {
+		return err
+	}
+	if len(b) < 8 {
+		return ErrShortBuffer
+	}
+	e.ASN = binary.LittleEndian.Uint32(b)
+	e.NumCircuits = binary.LittleEndian.Uint32(b[4:])
+	b = b[8:]
+	if e.BytesSent, b, err = readUint64(b); err != nil {
+		return err
+	}
+	if e.BytesRecv, b, err = readUint64(b); err != nil {
+		return err
+	}
+	return finish(b)
+}
+
+// --- DescPublished ---
+
+func (e *DescPublished) appendPayload(b []byte) []byte {
+	b = appendString(b, e.Address)
+	return append(b, e.Version, e.Replica)
+}
+
+func (e *DescPublished) decodePayload(b []byte) error {
+	var err error
+	if e.Address, b, err = readString(b); err != nil {
+		return err
+	}
+	if len(b) < 2 {
+		return ErrShortBuffer
+	}
+	e.Version, e.Replica = b[0], b[1]
+	return finish(b[2:])
+}
+
+// --- DescFetched ---
+
+func (e *DescFetched) appendPayload(b []byte) []byte {
+	b = appendString(b, e.Address)
+	return append(b, e.Version, byte(e.Outcome))
+}
+
+func (e *DescFetched) decodePayload(b []byte) error {
+	var err error
+	if e.Address, b, err = readString(b); err != nil {
+		return err
+	}
+	if len(b) < 2 {
+		return ErrShortBuffer
+	}
+	e.Version, e.Outcome = b[0], FetchOutcome(b[1])
+	return finish(b[2:])
+}
+
+// --- RendezvousEnd ---
+
+func (e *RendezvousEnd) appendPayload(b []byte) []byte {
+	b = appendUint64(b, e.CircuitID)
+	b = append(b, e.Version, byte(e.Outcome))
+	b = appendUint64(b, e.PayloadCells)
+	return appendUint64(b, e.PayloadBytes)
+}
+
+func (e *RendezvousEnd) decodePayload(b []byte) error {
+	var err error
+	if e.CircuitID, b, err = readUint64(b); err != nil {
+		return err
+	}
+	var v, o byte
+	if v, b, err = readByte(b); err != nil {
+		return err
+	}
+	if o, b, err = readByte(b); err != nil {
+		return err
+	}
+	e.Version, e.Outcome = v, RendOutcome(o)
+	if e.PayloadCells, b, err = readUint64(b); err != nil {
+		return err
+	}
+	if e.PayloadBytes, b, err = readUint64(b); err != nil {
+		return err
+	}
+	return finish(b)
+}

@@ -1,0 +1,284 @@
+// Package event defines the vocabulary of measurement events emitted by
+// instrumented Tor relays, mirroring the PrivCount Tor patch the paper
+// deploys (§3.1): stream-end, circuit-end, and connection-end events plus
+// the new onion-service-directory and rendezvous events the authors added.
+//
+// Events are produced by the simulator (internal/tornet, internal/onion),
+// carried either in-process over a Bus or across a socket using the
+// compact binary codec in codec.go, and consumed by PrivCount and PSC
+// data collectors which turn them into counter increments or set items.
+package event
+
+import (
+	"net/netip"
+
+	"repro/internal/simtime"
+)
+
+// Type identifies the kind of an event on the wire.
+type Type uint8
+
+// Event types. The numbering is part of the wire format; do not reorder.
+const (
+	TypeInvalid Type = iota
+	TypeStreamEnd
+	TypeCircuitEnd
+	TypeConnectionEnd
+	TypeDescPublished
+	TypeDescFetched
+	TypeRendezvousEnd
+)
+
+var typeNames = [...]string{
+	TypeInvalid:       "invalid",
+	TypeStreamEnd:     "stream-end",
+	TypeCircuitEnd:    "circuit-end",
+	TypeConnectionEnd: "connection-end",
+	TypeDescPublished: "desc-published",
+	TypeDescFetched:   "desc-fetched",
+	TypeRendezvousEnd: "rendezvous-end",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "unknown"
+}
+
+// RelayID identifies the observing relay by its index in the consensus.
+type RelayID uint16
+
+// Header carries the fields common to every event: when it was observed
+// and by which relay. Event types embed Header.
+type Header struct {
+	At    simtime.Time
+	Relay RelayID
+}
+
+// Time returns the virtual time at which the event was observed.
+func (h Header) Time() simtime.Time { return h.At }
+
+// Observer returns the relay that observed the event.
+func (h Header) Observer() RelayID { return h.Relay }
+
+// An Event is one observation made by an instrumented relay.
+type Event interface {
+	// EventType returns the wire type tag.
+	EventType() Type
+	// Time returns the virtual observation time.
+	Time() simtime.Time
+	// Observer returns the observing relay.
+	Observer() RelayID
+	// appendPayload encodes the type-specific fields (not the header).
+	appendPayload(b []byte) []byte
+	// decodePayload parses the type-specific fields.
+	decodePayload(b []byte) error
+}
+
+// TargetKind classifies the destination specifier a client put in a
+// stream: a hostname, a literal IPv4 address, or a literal IPv6 address.
+// The paper's Figure 1b breaks initial streams down along this axis.
+type TargetKind uint8
+
+const (
+	TargetHostname TargetKind = iota
+	TargetIPv4
+	TargetIPv6
+)
+
+func (k TargetKind) String() string {
+	switch k {
+	case TargetHostname:
+		return "hostname"
+	case TargetIPv4:
+		return "ipv4"
+	case TargetIPv6:
+		return "ipv6"
+	}
+	return "unknown"
+}
+
+// StreamEnd is emitted by an exit relay when a stream closes. It is the
+// source of the exit measurements in §4: initial-vs-subsequent streams,
+// target kinds, web ports, and the hostname used for domain matching.
+type StreamEnd struct {
+	Header
+	CircuitID uint64
+	// IsInitial marks the first stream on its circuit. Tor Browser opens
+	// a fresh circuit per address-bar domain, so initial streams indicate
+	// user intent (§4.1).
+	IsInitial bool
+	Target    TargetKind
+	Port      uint16
+	// Hostname is the destination hostname when Target==TargetHostname.
+	Hostname  string
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// EventType implements Event.
+func (*StreamEnd) EventType() Type { return TypeStreamEnd }
+
+// IsWebPort reports whether the stream targeted a traditional web port.
+func (e *StreamEnd) IsWebPort() bool { return e.Port == 80 || e.Port == 443 }
+
+// CircuitKind classifies a circuit observed at a guard.
+type CircuitKind uint8
+
+const (
+	// CircuitData is a general-purpose client circuit.
+	CircuitData CircuitKind = iota
+	// CircuitDirectory is a directory-fetch circuit. The paper's UAE
+	// anomaly (§5.2) hinges on clients that build directory circuits but
+	// cannot build data circuits.
+	CircuitDirectory
+)
+
+// CircuitEnd is emitted by a guard relay when a client circuit it carried
+// is torn down. It feeds the per-country circuit counts of Figure 4 and
+// the total circuit count of Table 4.
+type CircuitEnd struct {
+	Header
+	CircuitID uint64
+	Kind      CircuitKind
+	ClientIP  netip.Addr
+	// Country is the ISO 3166-1 alpha-2 code the DC resolved via GeoIP.
+	Country    string
+	ASN        uint32
+	NumStreams uint32
+	BytesSent  uint64
+	BytesRecv  uint64
+}
+
+// EventType implements Event.
+func (*CircuitEnd) EventType() Type { return TypeCircuitEnd }
+
+// ConnectionEnd is emitted by a guard relay when a client TLS connection
+// closes. Client connections are the unit of Table 4's connection count
+// and carry the client IP that PSC turns into unique-client items
+// (Table 5) without ever storing it in the clear.
+type ConnectionEnd struct {
+	Header
+	ClientIP    netip.Addr
+	Country     string
+	ASN         uint32
+	NumCircuits uint32
+	BytesSent   uint64
+	BytesRecv   uint64
+}
+
+// EventType implements Event.
+func (*ConnectionEnd) EventType() Type { return TypeConnectionEnd }
+
+// DescPublished is emitted by an onion-service directory (HSDir) when a
+// v2 descriptor is stored. Version-3 descriptors hide the onion address
+// by key blinding, so as in the paper (§6.1) only v2 events carry one.
+type DescPublished struct {
+	Header
+	Address string // v2 onion address, without the ".onion" suffix
+	Version uint8
+	Replica uint8
+}
+
+// EventType implements Event.
+func (*DescPublished) EventType() Type { return TypeDescPublished }
+
+// FetchOutcome describes how a descriptor fetch ended at an HSDir.
+type FetchOutcome uint8
+
+const (
+	// FetchOK means the descriptor was present and served.
+	FetchOK FetchOutcome = iota
+	// FetchNotFound means the descriptor was not in the HSDir's cache,
+	// typically because the service is inactive (§6.2).
+	FetchNotFound
+	// FetchMalformed means the request itself was invalid.
+	FetchMalformed
+)
+
+func (o FetchOutcome) String() string {
+	switch o {
+	case FetchOK:
+		return "ok"
+	case FetchNotFound:
+		return "not-found"
+	case FetchMalformed:
+		return "malformed"
+	}
+	return "unknown"
+}
+
+// DescFetched is emitted by an HSDir for every descriptor fetch attempt,
+// successful or not. Table 7 is built entirely from these events.
+type DescFetched struct {
+	Header
+	Address string
+	Version uint8
+	Outcome FetchOutcome
+}
+
+// EventType implements Event.
+func (*DescFetched) EventType() Type { return TypeDescFetched }
+
+// RendOutcome describes how a rendezvous circuit ended at the RP.
+type RendOutcome uint8
+
+const (
+	// RendSucceeded means at least one application-payload cell crossed
+	// the circuit.
+	RendSucceeded RendOutcome = iota
+	// RendConnClosed means the RP connection closed before the service
+	// completed the rendezvous protocol.
+	RendConnClosed
+	// RendExpired means the circuit timed out before the service
+	// completed the rendezvous protocol.
+	RendExpired
+)
+
+func (o RendOutcome) String() string {
+	switch o {
+	case RendSucceeded:
+		return "succeeded"
+	case RendConnClosed:
+		return "conn-closed"
+	case RendExpired:
+		return "expired"
+	}
+	return "unknown"
+}
+
+// RendezvousEnd is emitted by a rendezvous point when a rendezvous
+// circuit closes. Application data on such circuits is end-to-end
+// encrypted, so only cell counts are observable (§6.3); Table 8 is built
+// from these events.
+type RendezvousEnd struct {
+	Header
+	CircuitID    uint64
+	Version      uint8
+	Outcome      RendOutcome
+	PayloadCells uint64
+	PayloadBytes uint64
+}
+
+// EventType implements Event.
+func (*RendezvousEnd) EventType() Type { return TypeRendezvousEnd }
+
+// New returns a zero event of the given type, for decoding.
+func New(t Type) (Event, bool) {
+	switch t {
+	case TypeStreamEnd:
+		return &StreamEnd{}, true
+	case TypeCircuitEnd:
+		return &CircuitEnd{}, true
+	case TypeConnectionEnd:
+		return &ConnectionEnd{}, true
+	case TypeDescPublished:
+		return &DescPublished{}, true
+	case TypeDescFetched:
+		return &DescFetched{}, true
+	case TypeRendezvousEnd:
+		return &RendezvousEnd{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func dirCircuit() *event.CircuitEnd {
+	return &event.CircuitEnd{
+		Kind:     event.CircuitDirectory,
+		ClientIP: netip.MustParseAddr("192.0.2.1"),
+	}
+}
+
+func TestEstimatorCountsOnlyDirectoryCircuits(t *testing.T) {
+	e, err := NewEstimator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ConsensusShare = 1
+	e.Observe(dirCircuit())
+	e.Observe(&event.CircuitEnd{Kind: event.CircuitData})
+	e.Observe(&event.ConnectionEnd{})
+	e.Observe(&event.StreamEnd{})
+	if e.Requests() != 1 {
+		t.Fatalf("requests: %v", e.Requests())
+	}
+}
+
+func TestConsensusShareScalesRequests(t *testing.T) {
+	e, _ := NewEstimator(0.5)
+	for i := 0; i < 100; i++ {
+		e.Observe(dirCircuit())
+	}
+	if math.Abs(e.Requests()-100*e.ConsensusShare) > 1e-9 {
+		t.Fatalf("requests %v, want %v", e.Requests(), 100*e.ConsensusShare)
+	}
+}
+
+func TestDailyUsersFormula(t *testing.T) {
+	e, _ := NewEstimator(0.25)
+	e.ConsensusShare = 1
+	for i := 0; i < 1000; i++ {
+		e.Observe(dirCircuit())
+	}
+	// 1000 requests at 25% reporting = 4000 total; /10 per client = 400.
+	users, err := e.DailyUsers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(users-400) > 1e-9 {
+		t.Fatalf("users: %v want 400", users)
+	}
+	twoDay, _ := e.DailyUsers(2)
+	if math.Abs(twoDay-200) > 1e-9 {
+		t.Fatalf("two-day users: %v want 200", twoDay)
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.5} {
+		if _, err := NewEstimator(f); err == nil {
+			t.Errorf("fraction %v must fail", f)
+		}
+	}
+	e, _ := NewEstimator(1)
+	if _, err := e.DailyUsers(0); err == nil {
+		t.Fatal("zero days must fail")
+	}
+	e.RequestsPerClientDay = 0
+	if _, err := e.DailyUsers(1); err == nil {
+		t.Fatal("zero heuristic must fail")
+	}
+}
+
+func TestUndercountFactor(t *testing.T) {
+	if got := UndercountFactor(8.8e6, 2.2e6); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("undercount: %v", got)
+	}
+	if !math.IsInf(UndercountFactor(1, 0), 1) {
+		t.Fatal("zero estimate must be infinite undercount")
+	}
+}

@@ -1,0 +1,131 @@
+// Package onion implements the onion-service mechanics the paper
+// measures in §6: v2 onion addresses, descriptor identifiers, the HSDir
+// distributed hash table with its replica structure (two replicas, each
+// stored on three consecutive ring positions — six HSDirs per
+// descriptor), descriptor publish/fetch behavior, an ahmia-style public
+// index, and rendezvous-circuit outcome modeling.
+package onion
+
+import (
+	"crypto/sha256"
+	"encoding/base32"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/tornet"
+)
+
+// V2 descriptor replication parameters (rend-spec-v2): each descriptor
+// is computed for two replicas, and each replica is stored on the three
+// HSDirs following its descriptor ID on the ring.
+const (
+	Replicas = 2
+	Spread   = 3
+	// StoredOn is the total HSDirs holding one service's descriptor.
+	StoredOn = Replicas * Spread
+)
+
+// base32Lower matches Tor's onion-address alphabet.
+var base32Lower = base32.NewEncoding("abcdefghijklmnopqrstuvwxyz234567").WithPadding(base32.NoPadding)
+
+// Address derives a deterministic synthetic v2 onion address (16
+// base32 characters, as derived from the service key hash in Tor) from
+// a namespace and index.
+func Address(namespace string, index int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("onion/%s/%d", namespace, index)))
+	return base32Lower.EncodeToString(h[:10]) // 10 bytes -> 16 chars
+}
+
+// DescriptorID computes the ring position of a service's descriptor
+// for a replica on a given day. Real Tor derives it from the service
+// permanent ID, the time period, and the replica index; the rotation
+// with the day is what matters for observation dynamics.
+func DescriptorID(addr string, replica int, day int) uint64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "desc-id/%s/%d/%d", addr, replica, day)
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// Ring is the HSDir hash ring built from the consensus.
+type Ring struct {
+	positions []uint64        // sorted ring positions
+	relays    []event.RelayID // relay at positions[i]
+	measuring map[event.RelayID]bool
+}
+
+// NewRing places every HSDir-flagged relay on the ring at a position
+// derived from its identity.
+func NewRing(c *tornet.Consensus) *Ring {
+	r := &Ring{measuring: make(map[event.RelayID]bool)}
+	type entry struct {
+		pos uint64
+		id  event.RelayID
+	}
+	var entries []entry
+	for _, rel := range c.Relays {
+		if !rel.Has(tornet.FlagHSDir) {
+			continue
+		}
+		h := sha256.Sum256([]byte(fmt.Sprintf("hsdir-pos/%d/%s", rel.ID, rel.Nickname)))
+		entries = append(entries, entry{pos: binary.BigEndian.Uint64(h[:8]), id: rel.ID})
+		if rel.Measuring {
+			r.measuring[rel.ID] = true
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pos < entries[j].pos })
+	for _, e := range entries {
+		r.positions = append(r.positions, e.pos)
+		r.relays = append(r.relays, e.id)
+	}
+	return r
+}
+
+// Size returns the number of HSDirs on the ring.
+func (r *Ring) Size() int { return len(r.relays) }
+
+// NumMeasuring returns how many measuring HSDirs are on the ring.
+func (r *Ring) NumMeasuring() int { return len(r.measuring) }
+
+// IsMeasuring reports whether the relay is instrumented.
+func (r *Ring) IsMeasuring(id event.RelayID) bool { return r.measuring[id] }
+
+// Responsible returns the HSDirs responsible for one replica of a
+// descriptor: the Spread relays at or after the descriptor ID,
+// clockwise with wraparound.
+func (r *Ring) Responsible(descID uint64) []event.RelayID {
+	n := len(r.relays)
+	if n == 0 {
+		return nil
+	}
+	start := sort.Search(n, func(i int) bool { return r.positions[i] >= descID }) % n
+	out := make([]event.RelayID, 0, Spread)
+	for i := 0; i < Spread && i < n; i++ {
+		out = append(out, r.relays[(start+i)%n])
+	}
+	return out
+}
+
+// AllResponsible returns the full responsible set for a service on a
+// day: StoredOn relays across both replicas (duplicates possible on a
+// tiny ring; preserved, as Tor stores per slot).
+func (r *Ring) AllResponsible(addr string, day int) []event.RelayID {
+	out := make([]event.RelayID, 0, StoredOn)
+	for rep := 0; rep < Replicas; rep++ {
+		out = append(out, r.Responsible(DescriptorID(addr, rep, day))...)
+	}
+	return out
+}
+
+// MeasuringResponsible filters the responsible set to instrumented
+// relays.
+func (r *Ring) MeasuringResponsible(addr string, day int) []event.RelayID {
+	var out []event.RelayID
+	for _, id := range r.AllResponsible(addr, day) {
+		if r.measuring[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package onion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestV3AddressShape(t *testing.T) {
+	a := V3Address("svc", 1)
+	if len(a) != V3AddressLen {
+		t.Fatalf("v3 address length %d, want %d", len(a), V3AddressLen)
+	}
+	if a != V3Address("svc", 1) {
+		t.Fatal("v3 addresses must be deterministic")
+	}
+	if a == V3Address("svc", 2) {
+		t.Fatal("distinct indices must give distinct addresses")
+	}
+	if IsV2Address(a) {
+		t.Fatal("a v3 address must not pass the v2 filter")
+	}
+}
+
+func TestIsV2Address(t *testing.T) {
+	if !IsV2Address(Address("live", 1)) {
+		t.Fatal("generated v2 addresses must pass the filter")
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("a", 17), "ABCDEFGHIJKLMNOP", "abcdefgh1jklmnop"} {
+		if IsV2Address(bad) {
+			t.Fatalf("%q must fail the v2 filter", bad)
+		}
+	}
+}
+
+// TestBlindingHidesAddress captures the property that makes v3
+// unmeasurable (§6.1): blinded IDs rotate every period and carry no
+// linkable address structure — two services' tokens are
+// indistinguishable in form, and one service's tokens differ across
+// periods.
+func TestBlindingHidesAddress(t *testing.T) {
+	a1 := V3Address("svc", 1)
+	a2 := V3Address("svc", 2)
+
+	if BlindedID(a1, 1) == BlindedID(a1, 2) {
+		t.Fatal("blinded ID must rotate with the period")
+	}
+	if BlindedID(a1, 1) == BlindedID(a2, 1) {
+		t.Fatal("distinct services must blind to distinct IDs")
+	}
+	// The token exposes no part of the address.
+	tok := BlindedToken(a1, 1)
+	if strings.Contains(a1, tok) || strings.Contains(tok, a1[:8]) {
+		t.Fatal("token leaks address material")
+	}
+	// Same service, consecutive periods: tokens unlinkable by equality.
+	if BlindedToken(a1, 1) == BlindedToken(a1, 2) {
+		t.Fatal("tokens must differ across periods")
+	}
+}
+
+// TestV2UniqueCountingExcludesV3: a PSC item extractor using the v2
+// filter never observes a v3 blinded token as an address — the reason
+// Table 6 counts only v2.
+func TestV2UniqueCountingExcludesV3(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		tok := BlindedToken(V3Address("x", i), i%3)
+		if IsV2Address(tok) {
+			// 16-char tokens could collide in shape; ours are 13 chars.
+			t.Fatalf("blinded token %q passes the v2 filter", tok)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package privcount
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/wire"
+)
+
+// DC is a data collector: the process attached to one instrumented Tor
+// relay. Between Setup and Finish the relay (or simulator) feeds it
+// events via Increment; everything it ultimately sends to the tally
+// server is blinded and noised.
+type DC struct {
+	Name string
+
+	conn     *wire.Conn
+	schema   *Schema
+	counters *Counters
+	round    uint64
+	weight   float64
+	noise    *dp.NoiseSource
+	ready    bool
+}
+
+// NewDC creates a data collector speaking on conn. The noise source may
+// be nil to use cryptographic randomness.
+func NewDC(name string, conn *wire.Conn, noise *dp.NoiseSource) *DC {
+	if noise == nil {
+		noise = dp.NewNoiseSource(nil)
+	}
+	return &DC{Name: name, conn: conn, noise: noise}
+}
+
+// Setup registers with the tally server, receives the round
+// configuration, generates and distributes blinding shares, and waits
+// for the begin signal. On return the DC is ready to count.
+func (dc *DC) Setup() error {
+	if err := dc.conn.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
+		return fmt.Errorf("privcount dc %s: register: %w", dc.Name, err)
+	}
+	var cfg ConfigureMsg
+	if err := dc.conn.Expect(kindConfigure, &cfg); err != nil {
+		return fmt.Errorf("privcount dc %s: configure: %w", dc.Name, err)
+	}
+	schema, err := NewSchema(cfg.Stats)
+	if err != nil {
+		return err
+	}
+	dc.schema = schema
+	dc.counters = NewCounters(schema)
+	dc.round = cfg.Round
+	dc.weight = cfg.NoiseWeight
+
+	// One uniformly random share vector per SK; the counters absorb all
+	// of them, and each SK will subtract its copy at aggregation time.
+	boxes := make(map[string][]byte, len(cfg.SKNames))
+	for _, sk := range cfg.SKNames {
+		pub, ok := cfg.SKKeys[sk]
+		if !ok {
+			return fmt.Errorf("privcount dc %s: no seal key for SK %s", dc.Name, sk)
+		}
+		shares := RandomShares(schema.Size())
+		if err := dc.counters.AddBlinding(shares); err != nil {
+			return err
+		}
+		plain, err := wire.EncodePayload(shares)
+		if err != nil {
+			return err
+		}
+		box, err := Seal(pub, plain)
+		if err != nil {
+			return fmt.Errorf("privcount dc %s: seal for %s: %w", dc.Name, sk, err)
+		}
+		boxes[sk] = box
+	}
+	if err := dc.conn.Send(kindShares, SharesMsg{From: dc.Name, Boxes: boxes}); err != nil {
+		return fmt.Errorf("privcount dc %s: shares: %w", dc.Name, err)
+	}
+	var begin BeginMsg
+	if err := dc.conn.Expect(kindBegin, &begin); err != nil {
+		return fmt.Errorf("privcount dc %s: begin: %w", dc.Name, err)
+	}
+	dc.ready = true
+	return nil
+}
+
+// Increment adds delta to a statistic bin; it must only be called
+// between Setup and Finish.
+func (dc *DC) Increment(stat string, bin int, delta float64) error {
+	if !dc.ready {
+		return fmt.Errorf("privcount dc %s: increment before setup", dc.Name)
+	}
+	return dc.counters.Increment(stat, bin, delta)
+}
+
+// Schema returns the round schema (nil before Setup).
+func (dc *DC) Schema() *Schema { return dc.schema }
+
+// Finish adds this DC's share of the Gaussian noise and sends the
+// blinded report to the tally server.
+func (dc *DC) Finish() error {
+	if !dc.ready {
+		return fmt.Errorf("privcount dc %s: finish before setup", dc.Name)
+	}
+	dc.ready = false
+	dc.counters.AddNoise(dc.noise.Gaussian, dc.weight)
+	return dc.conn.Send(kindReport, ReportMsg{
+		From:   dc.Name,
+		Round:  dc.round,
+		Values: dc.counters.Snapshot(),
+	})
+}

@@ -1,0 +1,88 @@
+package privcount
+
+// Wire message kinds exchanged between the PrivCount parties. Every
+// message travels as a wire.Frame whose payload is the gob encoding of
+// one of these structs.
+const (
+	kindRegister  = "privcount/register"
+	kindConfigure = "privcount/configure"
+	kindShares    = "privcount/shares"
+	kindRelay     = "privcount/relay-shares"
+	kindBegin     = "privcount/begin"
+	kindReport    = "privcount/report"
+	kindCollect   = "privcount/collect"
+	kindSums      = "privcount/sums"
+	kindResults   = "privcount/results"
+)
+
+// Party roles.
+const (
+	RoleDC = "dc"
+	RoleSK = "sk"
+)
+
+// RegisterMsg announces a party to the tally server. Share keepers
+// include their sealed-box public key.
+type RegisterMsg struct {
+	Role    string
+	Name    string
+	SealPub []byte
+}
+
+// ConfigureMsg carries the round configuration from the TS to every
+// party. DCs learn the statistics schema, their noise weight, and the
+// SK public keys to seal blinding shares to; SKs learn the schema size
+// and how many DC share vectors to expect.
+type ConfigureMsg struct {
+	Round       uint64
+	Stats       []StatConfig
+	NumDCs      int
+	SKNames     []string
+	SKKeys      map[string][]byte
+	NoiseWeight float64
+}
+
+// SharesMsg carries a DC's sealed blinding shares, one box per SK. The
+// TS relays each box to its SK without being able to open it.
+type SharesMsg struct {
+	From  string
+	Boxes map[string][]byte
+}
+
+// RelayMsg delivers one DC's sealed box to a share keeper.
+type RelayMsg struct {
+	From string
+	Box  []byte
+}
+
+// BeginMsg tells DCs the collection phase has started.
+type BeginMsg struct {
+	Round uint64
+}
+
+// ReportMsg is a DC's end-of-round report: blinded, noised counters.
+type ReportMsg struct {
+	From   string
+	Round  uint64
+	Values []uint64
+}
+
+// CollectMsg asks a share keeper for its blinding sums.
+type CollectMsg struct {
+	Round uint64
+}
+
+// SumsMsg is a share keeper's response: the negated sum of all blinding
+// shares it received, per counter slot.
+type SumsMsg struct {
+	From   string
+	Round  uint64
+	Values []uint64
+}
+
+// ResultsMsg is the TS's final output broadcast, used by the CLI
+// deployment so every operator sees the same result.
+type ResultsMsg struct {
+	Round  uint64
+	Values map[string][]float64
+}

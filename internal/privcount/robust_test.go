@@ -1,0 +1,166 @@
+package privcount
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// Failure-injection tests: the tally server must reject malformed or
+// misbehaving parties with a clear error instead of producing a bogus
+// aggregate.
+
+func tallyWith(t *testing.T, cfg TallyConfig, parties func(conns []*wire.Conn)) error {
+	t.Helper()
+	tally, err := NewTally(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsConns := make([]*wire.Conn, cfg.NumDCs+cfg.NumSKs)
+	partyConns := make([]*wire.Conn, len(tsConns))
+	for i := range tsConns {
+		tsConns[i], partyConns[i] = wire.Pipe()
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := tally.Run(tsConns)
+		done <- err
+	}()
+	parties(partyConns)
+	return <-done
+}
+
+var oneStat = []StatConfig{{Name: "s", Bins: []string{""}, Sigma: 0}}
+
+func TestTallyRejectsUnknownRole(t *testing.T) {
+	err := tallyWith(t, TallyConfig{Round: 1, Stats: oneStat, NumDCs: 1, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			conns[0].Send(kindRegister, RegisterMsg{Role: "mallory", Name: "m"})
+		})
+	if err == nil || !strings.Contains(err.Error(), "unknown role") {
+		t.Fatalf("want unknown-role error, got %v", err)
+	}
+}
+
+func TestTallyRejectsDuplicateDCNames(t *testing.T) {
+	err := tallyWith(t, TallyConfig{Round: 1, Stats: oneStat, NumDCs: 2, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			conns[0].Send(kindRegister, RegisterMsg{Role: RoleDC, Name: "same"})
+			conns[1].Send(kindRegister, RegisterMsg{Role: RoleDC, Name: "same"})
+		})
+	if err == nil || !strings.Contains(err.Error(), "duplicate DC") {
+		t.Fatalf("want duplicate-DC error, got %v", err)
+	}
+}
+
+func TestTallyRejectsSKWithoutKey(t *testing.T) {
+	err := tallyWith(t, TallyConfig{Round: 1, Stats: oneStat, NumDCs: 1, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			conns[0].Send(kindRegister, RegisterMsg{Role: RoleSK, Name: "sk"})
+		})
+	if err == nil || !strings.Contains(err.Error(), "seal key") {
+		t.Fatalf("want missing-seal-key error, got %v", err)
+	}
+}
+
+func TestTallyRejectsWrongRoleCounts(t *testing.T) {
+	// Two SKs registered where one DC + one SK expected.
+	err := tallyWith(t, TallyConfig{Round: 1, Stats: oneStat, NumDCs: 1, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			var wg sync.WaitGroup
+			for i, c := range conns {
+				wg.Add(1)
+				go func(i int, c *wire.Conn) {
+					defer wg.Done()
+					key, _ := NewSealKey()
+					c.Send(kindRegister, RegisterMsg{
+						Role: RoleSK, Name: skNameFor(i), SealPub: key.Public(),
+					})
+				}(i, c)
+			}
+			wg.Wait()
+		})
+	if err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("want count-mismatch error, got %v", err)
+	}
+}
+
+func skNameFor(i int) string { return string(rune('a'+i)) + "-sk" }
+
+func TestTallyRejectsWrongRoundReport(t *testing.T) {
+	err := tallyWith(t, TallyConfig{Round: 5, Stats: oneStat, NumDCs: 1, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			// Run a real SK.
+			sk, _ := NewSK("sk", conns[1])
+			go sk.Serve()
+			// A DC that reports the wrong round.
+			c := conns[0]
+			c.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: "dc"})
+			var cfg ConfigureMsg
+			if c.Expect(kindConfigure, &cfg) != nil {
+				return
+			}
+			// Send minimal valid shares.
+			schema, _ := NewSchema(cfg.Stats)
+			boxes := map[string][]byte{}
+			for _, skName := range cfg.SKNames {
+				plain, _ := wire.EncodePayload(RandomShares(schema.Size()))
+				box, _ := Seal(cfg.SKKeys[skName], plain)
+				boxes[skName] = box
+			}
+			c.Send(kindShares, SharesMsg{From: "dc", Boxes: boxes})
+			var begin BeginMsg
+			c.Expect(kindBegin, &begin)
+			c.Send(kindReport, ReportMsg{From: "dc", Round: 99, Values: make([]uint64, schema.Size())})
+		})
+	if err == nil || !strings.Contains(err.Error(), "round") {
+		t.Fatalf("want round-mismatch error, got %v", err)
+	}
+}
+
+func TestTallyRejectsMissingBox(t *testing.T) {
+	err := tallyWith(t, TallyConfig{Round: 1, Stats: oneStat, NumDCs: 1, NumSKs: 1},
+		func(conns []*wire.Conn) {
+			sk, _ := NewSK("sk", conns[1])
+			go sk.Serve() // will fail when the round aborts; ignore
+			c := conns[0]
+			c.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: "dc"})
+			var cfg ConfigureMsg
+			if c.Expect(kindConfigure, &cfg) != nil {
+				return
+			}
+			// Claim shares but include no boxes.
+			c.Send(kindShares, SharesMsg{From: "dc", Boxes: map[string][]byte{}})
+		})
+	if err == nil || !strings.Contains(err.Error(), "boxes") {
+		t.Fatalf("want missing-boxes error, got %v", err)
+	}
+}
+
+// TestSKRejectsShortShareVector: a DC sending a wrong-length share
+// vector must be caught by the SK.
+func TestSKRejectsShortShareVector(t *testing.T) {
+	tsSide, skSide := wire.Pipe()
+	sk, err := NewSK("sk", skSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sk.Serve() }()
+
+	var reg RegisterMsg
+	if err := tsSide.Expect(kindRegister, &reg); err != nil {
+		t.Fatal(err)
+	}
+	tsSide.Send(kindConfigure, ConfigureMsg{Round: 1, Stats: oneStat, NumDCs: 1})
+	// Box with too few shares (schema size is 1; send 3).
+	plain, _ := wire.EncodePayload([]uint64{1, 2, 3})
+	box, _ := Seal(reg.SealPub, plain)
+	tsSide.Send(kindRelay, RelayMsg{From: "dc", Box: box})
+	err = <-errCh
+	if err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Fatalf("want share-length error, got %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package privcount
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// SK is a share keeper. It accumulates the negation of every blinding
+// share the DCs generate, so that when the tally server sums DC reports
+// and SK sums, the blinding telescopes away. PrivCount's privacy
+// guarantee holds as long as at least one SK is honest (§2.3): no
+// smaller coalition can unblind a DC's counters.
+type SK struct {
+	Name string
+	conn *wire.Conn
+	key  *SealKey
+}
+
+// NewSK creates a share keeper speaking on conn.
+func NewSK(name string, conn *wire.Conn) (*SK, error) {
+	key, err := NewSealKey()
+	if err != nil {
+		return nil, err
+	}
+	return &SK{Name: name, conn: conn, key: key}, nil
+}
+
+// Serve runs the share keeper's side of one round: register, receive
+// the configuration and every DC's sealed share vector, then answer the
+// collect request with negated sums. It returns when the round ends.
+func (sk *SK) Serve() error {
+	if err := sk.conn.Send(kindRegister, RegisterMsg{
+		Role: RoleSK, Name: sk.Name, SealPub: sk.key.Public(),
+	}); err != nil {
+		return fmt.Errorf("privcount sk %s: register: %w", sk.Name, err)
+	}
+	var cfg ConfigureMsg
+	if err := sk.conn.Expect(kindConfigure, &cfg); err != nil {
+		return fmt.Errorf("privcount sk %s: configure: %w", sk.Name, err)
+	}
+	schema, err := NewSchema(cfg.Stats)
+	if err != nil {
+		return err
+	}
+	sums := make([]uint64, schema.Size())
+
+	for i := 0; i < cfg.NumDCs; i++ {
+		var relay RelayMsg
+		if err := sk.conn.Expect(kindRelay, &relay); err != nil {
+			return fmt.Errorf("privcount sk %s: relay %d: %w", sk.Name, i, err)
+		}
+		plain, err := sk.key.Open(relay.Box)
+		if err != nil {
+			return fmt.Errorf("privcount sk %s: open box from %s: %w", sk.Name, relay.From, err)
+		}
+		var shares []uint64
+		if err := wire.DecodePayload(plain, &shares); err != nil {
+			return fmt.Errorf("privcount sk %s: decode shares from %s: %w", sk.Name, relay.From, err)
+		}
+		if len(shares) != len(sums) {
+			return fmt.Errorf("privcount sk %s: share vector from %s has %d slots, want %d",
+				sk.Name, relay.From, len(shares), len(sums))
+		}
+		for j, s := range shares {
+			sums[j] -= s // negate: SK sums cancel DC blinding at the TS
+		}
+	}
+
+	var collect CollectMsg
+	if err := sk.conn.Expect(kindCollect, &collect); err != nil {
+		return fmt.Errorf("privcount sk %s: collect: %w", sk.Name, err)
+	}
+	return sk.conn.Send(kindSums, SumsMsg{From: sk.Name, Round: cfg.Round, Values: sums})
+}

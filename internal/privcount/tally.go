@@ -1,0 +1,211 @@
+package privcount
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// TallyConfig describes one PrivCount round from the tally server's
+// perspective.
+type TallyConfig struct {
+	Round uint64
+	Stats []StatConfig
+	// NumDCs and NumSKs are how many of each party must participate.
+	// The paper deploys 16 DCs and 3 SKs (§3.1).
+	NumDCs, NumSKs int
+	// NoiseWeights optionally assigns each DC (by name) its share of
+	// the noise responsibility; weights are normalized. Nil means equal
+	// shares.
+	NoiseWeights map[string]float64
+}
+
+// Validate checks the configuration.
+func (c TallyConfig) Validate() error {
+	if c.NumDCs <= 0 {
+		return fmt.Errorf("privcount: need at least one DC")
+	}
+	if c.NumSKs <= 0 {
+		return fmt.Errorf("privcount: need at least one SK (the privacy guarantee requires an honest SK)")
+	}
+	_, err := NewSchema(c.Stats)
+	return err
+}
+
+// Tally is the tally server for one round.
+type Tally struct {
+	cfg    TallyConfig
+	schema *Schema
+}
+
+// NewTally validates the configuration and returns a tally server.
+func NewTally(cfg TallyConfig) (*Tally, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	schema, err := NewSchema(cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Tally{cfg: cfg, schema: schema}, nil
+}
+
+// Schema returns the round schema.
+func (t *Tally) Schema() *Schema { return t.schema }
+
+// Run executes the round over the given established connections (one
+// per party, in any order). It blocks until every DC has reported and
+// every SK has answered, then returns the aggregated noisy statistics.
+//
+// The protocol phases are strictly sequenced, matching the PrivCount
+// deployment: registration, configuration, share distribution (sealed
+// boxes relayed through the TS), collection, and aggregation.
+func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
+	if len(conns) != t.cfg.NumDCs+t.cfg.NumSKs {
+		return nil, fmt.Errorf("privcount ts: have %d connections, want %d DCs + %d SKs",
+			len(conns), t.cfg.NumDCs, t.cfg.NumSKs)
+	}
+
+	// Phase 1: registration.
+	dcConns := make(map[string]*wire.Conn)
+	skConns := make(map[string]*wire.Conn)
+	skKeys := make(map[string][]byte)
+	var dcNames, skNames []string
+	for _, c := range conns {
+		var reg RegisterMsg
+		if err := c.Expect(kindRegister, &reg); err != nil {
+			return nil, fmt.Errorf("privcount ts: registration: %w", err)
+		}
+		switch reg.Role {
+		case RoleDC:
+			if _, dup := dcConns[reg.Name]; dup {
+				return nil, fmt.Errorf("privcount ts: duplicate DC %q", reg.Name)
+			}
+			dcConns[reg.Name] = c
+			dcNames = append(dcNames, reg.Name)
+		case RoleSK:
+			if _, dup := skConns[reg.Name]; dup {
+				return nil, fmt.Errorf("privcount ts: duplicate SK %q", reg.Name)
+			}
+			if len(reg.SealPub) == 0 {
+				return nil, fmt.Errorf("privcount ts: SK %q registered without a seal key", reg.Name)
+			}
+			skConns[reg.Name] = c
+			skNames = append(skNames, reg.Name)
+			skKeys[reg.Name] = reg.SealPub
+		default:
+			return nil, fmt.Errorf("privcount ts: unknown role %q", reg.Role)
+		}
+	}
+	if len(dcConns) != t.cfg.NumDCs || len(skConns) != t.cfg.NumSKs {
+		return nil, fmt.Errorf("privcount ts: registered %d DCs and %d SKs, want %d and %d",
+			len(dcConns), len(skConns), t.cfg.NumDCs, t.cfg.NumSKs)
+	}
+
+	// Phase 2: configuration. Noise weights normalize to 1 across DCs.
+	weights := t.normalizedWeights(dcNames)
+	for _, name := range dcNames {
+		cfg := ConfigureMsg{
+			Round:       t.cfg.Round,
+			Stats:       t.cfg.Stats,
+			NumDCs:      t.cfg.NumDCs,
+			SKNames:     skNames,
+			SKKeys:      skKeys,
+			NoiseWeight: weights[name],
+		}
+		if err := dcConns[name].Send(kindConfigure, cfg); err != nil {
+			return nil, fmt.Errorf("privcount ts: configure DC %s: %w", name, err)
+		}
+	}
+	for _, name := range skNames {
+		cfg := ConfigureMsg{Round: t.cfg.Round, Stats: t.cfg.Stats, NumDCs: t.cfg.NumDCs}
+		if err := skConns[name].Send(kindConfigure, cfg); err != nil {
+			return nil, fmt.Errorf("privcount ts: configure SK %s: %w", name, err)
+		}
+	}
+
+	// Phase 3: share distribution. The TS relays sealed boxes; it never
+	// holds a key that opens them.
+	for _, name := range dcNames {
+		var shares SharesMsg
+		if err := dcConns[name].Expect(kindShares, &shares); err != nil {
+			return nil, fmt.Errorf("privcount ts: shares from DC %s: %w", name, err)
+		}
+		if len(shares.Boxes) != len(skNames) {
+			return nil, fmt.Errorf("privcount ts: DC %s sent %d boxes, want %d", name, len(shares.Boxes), len(skNames))
+		}
+		for _, sk := range skNames {
+			box, ok := shares.Boxes[sk]
+			if !ok {
+				return nil, fmt.Errorf("privcount ts: DC %s missing box for SK %s", name, sk)
+			}
+			if err := skConns[sk].Send(kindRelay, RelayMsg{From: name, Box: box}); err != nil {
+				return nil, fmt.Errorf("privcount ts: relay to SK %s: %w", sk, err)
+			}
+		}
+	}
+
+	// Phase 4: begin collection.
+	for _, name := range dcNames {
+		if err := dcConns[name].Send(kindBegin, BeginMsg{Round: t.cfg.Round}); err != nil {
+			return nil, fmt.Errorf("privcount ts: begin DC %s: %w", name, err)
+		}
+	}
+
+	// Phase 5: gather DC reports (sent whenever each DC finishes).
+	vectors := make([][]uint64, 0, len(conns))
+	for _, name := range dcNames {
+		var rep ReportMsg
+		if err := dcConns[name].Expect(kindReport, &rep); err != nil {
+			return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+		}
+		if rep.Round != t.cfg.Round {
+			return nil, fmt.Errorf("privcount ts: DC %s reported round %d, want %d", name, rep.Round, t.cfg.Round)
+		}
+		vectors = append(vectors, rep.Values)
+	}
+
+	// Phase 6: collect SK sums.
+	for _, name := range skNames {
+		if err := skConns[name].Send(kindCollect, CollectMsg{Round: t.cfg.Round}); err != nil {
+			return nil, fmt.Errorf("privcount ts: collect SK %s: %w", name, err)
+		}
+	}
+	for _, name := range skNames {
+		var sums SumsMsg
+		if err := skConns[name].Expect(kindSums, &sums); err != nil {
+			return nil, fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
+		}
+		vectors = append(vectors, sums.Values)
+	}
+
+	// Phase 7: aggregate. Blinding telescopes; what remains is the true
+	// totals plus the DCs' combined Gaussian noise.
+	return Aggregate(t.schema, vectors...)
+}
+
+func (t *Tally) normalizedWeights(dcNames []string) map[string]float64 {
+	out := make(map[string]float64, len(dcNames))
+	if len(t.cfg.NoiseWeights) == 0 {
+		for _, n := range dcNames {
+			out[n] = 1 / float64(len(dcNames))
+		}
+		return out
+	}
+	total := 0.0
+	for _, n := range dcNames {
+		w := t.cfg.NoiseWeights[n]
+		if w < 0 {
+			w = 0
+		}
+		total += w
+	}
+	for _, n := range dcNames {
+		if total > 0 {
+			out[n] = t.cfg.NoiseWeights[n] / total
+		} else {
+			out[n] = 1 / float64(len(dcNames))
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package psc
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/elgamal"
+)
+
+// Vector and proof serialization. Ciphertext batches dominate PSC
+// bandwidth, so vectors are packed into a single byte slice rather than
+// per-element gob structures.
+
+// encodeVector packs ciphertexts back to back.
+func encodeVector(v []elgamal.Ciphertext) []byte {
+	out := make([]byte, 0, len(v)*130)
+	for _, c := range v {
+		out = append(out, c.Bytes()...)
+	}
+	return out
+}
+
+// decodeVector parses exactly n ciphertexts and validates every point.
+func decodeVector(b []byte, n int) ([]elgamal.Ciphertext, error) {
+	out := make([]elgamal.Ciphertext, 0, n)
+	for i := 0; i < n; i++ {
+		c, used, err := elgamal.ParseCiphertext(b)
+		if err != nil {
+			return nil, fmt.Errorf("psc: ciphertext %d: %w", i, err)
+		}
+		b = b[used:]
+		out = append(out, c)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("psc: %d trailing bytes after vector", len(b))
+	}
+	return out, nil
+}
+
+// wireEquality is the gob-friendly form of an elgamal.EqualityProof.
+type wireEquality struct {
+	C1, C2   []byte
+	Response []byte
+}
+
+func packEquality(p elgamal.EqualityProof) wireEquality {
+	return wireEquality{C1: p.Commit1.Bytes(), C2: p.Commit2.Bytes(), Response: p.Response.Bytes()}
+}
+
+func unpackEquality(w wireEquality) (elgamal.EqualityProof, error) {
+	c1, _, err := elgamal.ParsePoint(w.C1)
+	if err != nil {
+		return elgamal.EqualityProof{}, err
+	}
+	c2, _, err := elgamal.ParsePoint(w.C2)
+	if err != nil {
+		return elgamal.EqualityProof{}, err
+	}
+	return elgamal.EqualityProof{
+		Commit1:  c1,
+		Commit2:  c2,
+		Response: new(big.Int).SetBytes(w.Response),
+	}, nil
+}
+
+// wireBitProof is the gob-friendly form of an elgamal.BitProof.
+type wireBitProof struct {
+	C0G, C0P, C1G, C1P []byte
+	Chal0, Chal1       []byte
+	Resp0, Resp1       []byte
+}
+
+func packBitProof(p elgamal.BitProof) wireBitProof {
+	return wireBitProof{
+		C0G: p.Commit0G.Bytes(), C0P: p.Commit0P.Bytes(),
+		C1G: p.Commit1G.Bytes(), C1P: p.Commit1P.Bytes(),
+		Chal0: p.Chal0.Bytes(), Chal1: p.Chal1.Bytes(),
+		Resp0: p.Resp0.Bytes(), Resp1: p.Resp1.Bytes(),
+	}
+}
+
+func unpackBitProof(w wireBitProof) (elgamal.BitProof, error) {
+	var p elgamal.BitProof
+	var err error
+	if p.Commit0G, _, err = elgamal.ParsePoint(w.C0G); err != nil {
+		return p, err
+	}
+	if p.Commit0P, _, err = elgamal.ParsePoint(w.C0P); err != nil {
+		return p, err
+	}
+	if p.Commit1G, _, err = elgamal.ParsePoint(w.C1G); err != nil {
+		return p, err
+	}
+	if p.Commit1P, _, err = elgamal.ParsePoint(w.C1P); err != nil {
+		return p, err
+	}
+	p.Chal0 = new(big.Int).SetBytes(w.Chal0)
+	p.Chal1 = new(big.Int).SetBytes(w.Chal1)
+	p.Resp0 = new(big.Int).SetBytes(w.Resp0)
+	p.Resp1 = new(big.Int).SetBytes(w.Resp1)
+	return p, nil
+}
+
+// wireShuffleProof is the gob-friendly form of a shuffle proof.
+type wireShuffleProof struct {
+	Rounds []wireShuffleRound
+}
+
+type wireShuffleRound struct {
+	Shadow   []byte // packed ciphertext vector
+	N        int
+	OpenPerm []int
+	OpenRand [][]byte
+}
+
+func packShuffleProof(p elgamal.ShuffleProof) wireShuffleProof {
+	out := wireShuffleProof{Rounds: make([]wireShuffleRound, len(p.Rounds))}
+	for i, r := range p.Rounds {
+		wr := wireShuffleRound{
+			Shadow:   encodeVector(r.Shadow),
+			N:        len(r.Shadow),
+			OpenPerm: r.OpenPerm,
+			OpenRand: make([][]byte, len(r.OpenRand)),
+		}
+		for j, s := range r.OpenRand {
+			wr.OpenRand[j] = s.Bytes()
+		}
+		out.Rounds[i] = wr
+	}
+	return out
+}
+
+func unpackShuffleProof(w wireShuffleProof) (elgamal.ShuffleProof, error) {
+	out := elgamal.ShuffleProof{Rounds: make([]elgamal.ShuffleRound, len(w.Rounds))}
+	for i, wr := range w.Rounds {
+		shadow, err := decodeVector(wr.Shadow, wr.N)
+		if err != nil {
+			return elgamal.ShuffleProof{}, err
+		}
+		rands := make([]*big.Int, len(wr.OpenRand))
+		for j, b := range wr.OpenRand {
+			rands[j] = new(big.Int).SetBytes(b)
+		}
+		out.Rounds[i] = elgamal.ShuffleRound{
+			Shadow:   shadow,
+			OpenPerm: wr.OpenPerm,
+			OpenRand: rands,
+		}
+	}
+	return out, nil
+}

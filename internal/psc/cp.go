@@ -1,0 +1,140 @@
+package psc
+
+import (
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/elgamal"
+	"repro/internal/wire"
+)
+
+// CP is a computation party. Its mixing step is what makes the union
+// count private: after every CP has appended noise, shuffled, and
+// blinded, the decrypted batch reveals only how many elements were
+// non-empty — and that count carries binomial noise no single CP knows.
+type CP struct {
+	Name string
+
+	conn  *wire.Conn
+	key   *elgamal.PrivateKey
+	cfg   ConfigureMsg
+	joint elgamal.Point
+	noise *dp.NoiseSource
+}
+
+// NewCP creates a computation party with a fresh ElGamal key share. A
+// nil noise source selects cryptographic randomness.
+func NewCP(name string, conn *wire.Conn, noise *dp.NoiseSource) *CP {
+	if noise == nil {
+		noise = dp.NewNoiseSource(nil)
+	}
+	return &CP{Name: name, conn: conn, key: elgamal.GenerateKey(), noise: noise}
+}
+
+// Serve runs the CP's side of one round: register, mix once when asked,
+// then produce decryption shares. Returns when the round completes.
+func (cp *CP) Serve() error {
+	if err := cp.conn.Send(kindRegister, RegisterMsg{
+		Role: RoleCP, Name: cp.Name, PubKey: cp.key.PK.Bytes(),
+	}); err != nil {
+		return fmt.Errorf("psc cp %s: register: %w", cp.Name, err)
+	}
+	if err := cp.conn.Expect(kindConfig, &cp.cfg); err != nil {
+		return fmt.Errorf("psc cp %s: configure: %w", cp.Name, err)
+	}
+	joint, _, err := elgamal.ParsePoint(cp.cfg.JointKey)
+	if err != nil {
+		return fmt.Errorf("psc cp %s: joint key: %w", cp.Name, err)
+	}
+	cp.joint = joint
+
+	if err := cp.mixPhase(); err != nil {
+		return err
+	}
+	return cp.decryptPhase()
+}
+
+func (cp *CP) mixPhase() error {
+	var mix MixMsg
+	if err := cp.conn.Expect(kindMix, &mix); err != nil {
+		return fmt.Errorf("psc cp %s: mix request: %w", cp.Name, err)
+	}
+	batch, err := decodeVector(mix.Batch, mix.N)
+	if err != nil {
+		return fmt.Errorf("psc cp %s: mix batch: %w", cp.Name, err)
+	}
+	prove := cp.cfg.ShuffleProofRounds > 0
+
+	// Stage 1: append fair-coin noise with bit proofs.
+	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+cp.cfg.NoisePerCP)
+	withNoise = append(withNoise, batch...)
+	var bitProofs []wireBitProof
+	for i := 0; i < cp.cfg.NoisePerCP; i++ {
+		bit := cp.noise.Binomial(1) == 1
+		r := elgamal.RandomScalar()
+		msg := elgamal.Identity()
+		if bit {
+			msg = elgamal.Generator()
+		}
+		c := elgamal.EncryptWith(cp.joint, msg, r)
+		withNoise = append(withNoise, c)
+		if prove {
+			bitProofs = append(bitProofs, packBitProof(elgamal.ProveBit(cp.joint, c, bit, r)))
+		}
+	}
+
+	// Stage 2: verifiable shuffle.
+	shuffled, witness := elgamal.Shuffle(cp.joint, withNoise)
+	var shufProof wireShuffleProof
+	if prove {
+		shufProof = packShuffleProof(elgamal.ProveShuffle(
+			cp.joint, withNoise, shuffled, witness, cp.cfg.ShuffleProofRounds))
+	}
+
+	// Stage 3: per-element exponent blinding with DLEQ proofs.
+	blinded := make([]elgamal.Ciphertext, len(shuffled))
+	var blindProofs []wireEquality
+	for i, c := range shuffled {
+		s := elgamal.RandomScalar()
+		blinded[i] = c.ExpBlindWith(s)
+		if prove {
+			blindProofs = append(blindProofs, packEquality(elgamal.ProveBlind(c, blinded[i], s)))
+		}
+	}
+
+	return cp.conn.Send(kindMixed, MixedMsg{
+		From:         cp.Name,
+		Round:        cp.cfg.Round,
+		WithNoise:    encodeVector(withNoise),
+		NoiseBits:    bitProofs,
+		Shuffled:     encodeVector(shuffled),
+		ShuffleProof: shufProof,
+		Blinded:      encodeVector(blinded),
+		BlindProofs:  blindProofs,
+		N:            len(withNoise),
+	})
+}
+
+func (cp *CP) decryptPhase() error {
+	var dec DecryptMsg
+	if err := cp.conn.Expect(kindDecrypt, &dec); err != nil {
+		return fmt.Errorf("psc cp %s: decrypt request: %w", cp.Name, err)
+	}
+	batch, err := decodeVector(dec.Batch, dec.N)
+	if err != nil {
+		return fmt.Errorf("psc cp %s: decrypt batch: %w", cp.Name, err)
+	}
+	shares := make([]byte, 0, len(batch)*65)
+	proofs := make([]wireEquality, len(batch))
+	for i, c := range batch {
+		sh := cp.key.PartialDecrypt(c)
+		shares = append(shares, sh.Share.Bytes()...)
+		proofs[i] = packEquality(cp.key.ProveShare(c, sh))
+	}
+	return cp.conn.Send(kindShares, SharesMsg{
+		From:   cp.Name,
+		Round:  cp.cfg.Round,
+		Shares: shares,
+		Proofs: proofs,
+	})
+}

@@ -1,0 +1,92 @@
+package psc
+
+import (
+	"fmt"
+
+	"repro/internal/elgamal"
+	"repro/internal/wire"
+)
+
+// DC is a PSC data collector. It keeps only a bit table: Observe hashes
+// the item into a bin and discards it, so even a compromised DC holds
+// no client IPs, domains, or onion addresses (§5.1: "we do not store,
+// even temporarily, IP addresses since PSC uses oblivious counters").
+type DC struct {
+	Name string
+
+	conn     *wire.Conn
+	cfg      ConfigureMsg
+	jointKey elgamal.Point
+	bins     []bool
+	ready    bool
+}
+
+// NewDC creates a data collector speaking on conn.
+func NewDC(name string, conn *wire.Conn) *DC {
+	return &DC{Name: name, conn: conn}
+}
+
+// Setup registers with the tally server and receives the round
+// configuration (hash key, table size, joint encryption key).
+func (dc *DC) Setup() error {
+	if err := dc.conn.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
+		return fmt.Errorf("psc dc %s: register: %w", dc.Name, err)
+	}
+	if err := dc.conn.Expect(kindConfig, &dc.cfg); err != nil {
+		return fmt.Errorf("psc dc %s: configure: %w", dc.Name, err)
+	}
+	if dc.cfg.Bins <= 0 {
+		return fmt.Errorf("psc dc %s: configured with %d bins", dc.Name, dc.cfg.Bins)
+	}
+	if len(dc.cfg.HashKey) == 0 {
+		return fmt.Errorf("psc dc %s: no hash key in configuration", dc.Name)
+	}
+	pk, _, err := elgamal.ParsePoint(dc.cfg.JointKey)
+	if err != nil {
+		return fmt.Errorf("psc dc %s: joint key: %w", dc.Name, err)
+	}
+	dc.jointKey = pk
+	dc.bins = make([]bool, dc.cfg.Bins)
+	dc.ready = true
+	return nil
+}
+
+// Observe records that an item was seen. Only the item's bin survives.
+func (dc *DC) Observe(item string) error {
+	if !dc.ready {
+		return fmt.Errorf("psc dc %s: observe before setup", dc.Name)
+	}
+	dc.bins[binOf(dc.cfg.HashKey, item, dc.cfg.Bins)] = true
+	return nil
+}
+
+// Occupied reports how many bins are set (used by tests; a real DC
+// never reveals this).
+func (dc *DC) Occupied() int {
+	n := 0
+	for _, b := range dc.bins {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Finish encrypts the bit table under the joint key and sends it to the
+// tally server, then clears the table.
+func (dc *DC) Finish() error {
+	if !dc.ready {
+		return fmt.Errorf("psc dc %s: finish before setup", dc.Name)
+	}
+	dc.ready = false
+	vec := make([]elgamal.Ciphertext, len(dc.bins))
+	for i, bit := range dc.bins {
+		vec[i] = elgamal.EncryptBit(dc.jointKey, bit)
+		dc.bins[i] = false
+	}
+	return dc.conn.Send(kindTable, TableMsg{
+		From:   dc.Name,
+		Round:  dc.cfg.Round,
+		Vector: encodeVector(vec),
+	})
+}

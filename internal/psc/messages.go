@@ -1,0 +1,96 @@
+package psc
+
+// Wire message kinds for the PSC round protocol.
+const (
+	kindRegister = "psc/register"
+	kindConfig   = "psc/configure"
+	kindTable    = "psc/table"
+	kindMix      = "psc/mix"
+	kindMixed    = "psc/mixed"
+	kindDecrypt  = "psc/decrypt"
+	kindShares   = "psc/shares"
+)
+
+// Party roles.
+const (
+	RoleDC = "dc"
+	RoleCP = "cp"
+)
+
+// RegisterMsg announces a party. CPs include their ElGamal public key.
+type RegisterMsg struct {
+	Role   string
+	Name   string
+	PubKey []byte // CP only: encoded group point
+}
+
+// ConfigureMsg distributes the round parameters. The hash key goes to
+// DCs only — CPs must not be able to test item membership.
+type ConfigureMsg struct {
+	Round              uint64
+	Bins               int
+	NoisePerCP         int
+	ShuffleProofRounds int
+	JointKey           []byte   // combined CP public key
+	CPKeys             [][]byte // individual CP keys, in pipeline order
+	HashKey            []byte   // DCs only
+}
+
+// TableMsg is a DC's encrypted bit table.
+type TableMsg struct {
+	From   string
+	Round  uint64
+	Vector []byte // packed ciphertexts, length Bins
+}
+
+// MixMsg hands the current batch to a CP for its mixing step.
+type MixMsg struct {
+	Round uint64
+	N     int
+	Batch []byte
+}
+
+// MixedMsg is the CP's output: noise appended (with bit proofs), then
+// shuffled (with a cut-and-choose proof), then exponent-blinded (with
+// per-element DLEQ proofs). Intermediate vectors let the TS verify each
+// stage.
+type MixedMsg struct {
+	From  string
+	Round uint64
+	// WithNoise is the input batch plus this CP's noise ciphertexts.
+	WithNoise []byte
+	NoiseBits []wireBitProof
+	// Shuffled is the batch after permutation and re-randomization.
+	Shuffled     []byte
+	ShuffleProof wireShuffleProof
+	// Blinded is the final output after exponent blinding.
+	Blinded     []byte
+	BlindProofs []wireEquality
+	N           int // elements in WithNoise/Shuffled/Blinded
+}
+
+// DecryptMsg asks a CP for decryption shares over the final batch.
+type DecryptMsg struct {
+	Round uint64
+	N     int
+	Batch []byte
+}
+
+// SharesMsg returns a CP's decryption shares with correctness proofs.
+type SharesMsg struct {
+	From   string
+	Round  uint64
+	Shares []byte // packed points, one per element
+	Proofs []wireEquality
+}
+
+// Result is the TS's round outcome.
+type Result struct {
+	Round uint64
+	// Reported is the protocol output: non-empty bins plus binomial
+	// noise. Feed it to stats.UnionCardinalityCI with Bins and
+	// NoiseTrials to recover the distinct count.
+	Reported    int
+	Bins        int
+	NoiseTrials int
+}

@@ -1,0 +1,87 @@
+// Package psc implements the Private Set-Union Cardinality protocol
+// (Fenske, Mani, Johnson, Sherr — CCS 2017) with the paper's extensions
+// (§3.1): a tally server coordinating the data collectors (DCs) and
+// computation parties (CPs), and ingestion of PrivCount events from
+// instrumented relays.
+//
+// Each DC maintains an oblivious hash table: observed items (client
+// IPs, domains, onion addresses) are hashed into bins and immediately
+// discarded — no item is ever stored. Bins are encrypted bits under the
+// CPs' joint ElGamal key. The protocol computes |⋃ᵢ Iᵢ| + noise:
+//
+//  1. DCs send encrypted bit tables; the TS homomorphically sums them,
+//     turning per-bin sums into an OR in the exponent.
+//  2. Each CP in turn appends fair-coin noise ciphertexts (with
+//     Cramer–Damgård–Schoenmakers proofs they encrypt bits), shuffles
+//     and re-randomizes the batch (cut-and-choose verifiable shuffle),
+//     and exponent-blinds every ciphertext (Chaum–Pedersen proofs), so
+//     only empty-vs-non-empty survives and nobody can link bins.
+//  3. The CPs jointly decrypt (proving every decryption share); the TS
+//     counts non-identity plaintexts.
+//
+// The reported value is occupied-bins + Binomial(k·|CPs|, ½); the
+// estimator in internal/stats removes the noise mean and inverts hash
+// collisions to recover the distinct count with an exact CI (§3.3).
+// Privacy holds if at least one CP is honest; correctness is enforced
+// against all CPs by the attached proofs.
+package psc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Config describes one PSC round.
+type Config struct {
+	Round uint64
+	// Bins is the hash-table size b. It must comfortably exceed the
+	// expected distinct count; the estimator corrects residual
+	// collisions.
+	Bins int
+	// NoisePerCP is how many fair-coin noise ciphertexts each CP
+	// injects. Total noise is Binomial(NoisePerCP·NumCPs, 1/2); the
+	// calibration comes from dp.PSCNoiseTrials.
+	NoisePerCP int
+	// ShuffleProofRounds is the cut-and-choose soundness parameter
+	// (error 2^-rounds). Zero disables shuffle/blind/bit proofs — an
+	// honest-but-curious mode used only by the scale benchmarks; the
+	// deployment default is 8.
+	ShuffleProofRounds int
+	NumDCs, NumCPs     int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Bins <= 0 {
+		return fmt.Errorf("psc: bins must be positive")
+	}
+	if c.NoisePerCP < 0 {
+		return fmt.Errorf("psc: negative noise")
+	}
+	if c.ShuffleProofRounds < 0 {
+		return fmt.Errorf("psc: negative proof rounds")
+	}
+	if c.NumDCs <= 0 {
+		return fmt.Errorf("psc: need at least one DC")
+	}
+	if c.NumCPs <= 0 {
+		return fmt.Errorf("psc: need at least one CP (privacy needs one honest CP)")
+	}
+	return nil
+}
+
+// TotalNoiseTrials returns the total number of coin flips in a round's
+// report, the parameter the estimator needs.
+func (c Config) TotalNoiseTrials() int { return c.NoisePerCP * c.NumCPs }
+
+// binOf maps an item to its bin with a keyed hash, so items are
+// consistent across DCs but unlinkable without the round key.
+func binOf(key []byte, item string, bins int) int {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(item))
+	sum := mac.Sum(nil)
+	v := binary.LittleEndian.Uint64(sum[:8])
+	return int(v % uint64(bins))
+}

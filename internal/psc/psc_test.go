@@ -1,0 +1,319 @@
+package psc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+type seededReader struct{ r interface{ Uint64() uint64 } }
+
+func (s seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.r.Uint64())
+	}
+	return len(p), nil
+}
+
+// runRound drives a complete PSC round over pipes: the feed callback
+// lets the test observe items on each DC between setup and finish.
+func runRound(t *testing.T, cfg Config, feed func(dcs []*DC)) Result {
+	t.Helper()
+	tally, err := NewTally(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tsConns []*wire.Conn
+	var dcs []*DC
+	var cpWG, setupWG sync.WaitGroup
+
+	for i := 0; i < cfg.NumCPs; i++ {
+		tsSide, cpSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		noise := dp.NewNoiseSource(seededReader{simtime.Rand(uint64(i), "psc-test")})
+		cp := NewCP(fmt.Sprintf("cp-%d", i), cpSide, noise)
+		cpWG.Add(1)
+		go func() {
+			defer cpWG.Done()
+			if err := cp.Serve(); err != nil {
+				t.Errorf("cp: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < cfg.NumDCs; i++ {
+		tsSide, dcSide := wire.Pipe()
+		tsConns = append(tsConns, tsSide)
+		dc := NewDC(fmt.Sprintf("dc-%d", i), dcSide)
+		dcs = append(dcs, dc)
+		setupWG.Add(1)
+		go func() {
+			defer setupWG.Done()
+			if err := dc.Setup(); err != nil {
+				t.Errorf("dc setup: %v", err)
+			}
+		}()
+	}
+
+	resCh := make(chan Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tally.Run(tsConns)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	setupWG.Wait()
+	feed(dcs)
+	for _, dc := range dcs {
+		if err := dc.Finish(); err != nil {
+			t.Fatalf("dc finish: %v", err)
+		}
+	}
+	cpWG.Wait()
+	select {
+	case res := <-resCh:
+		return res
+	case err := <-errCh:
+		t.Fatalf("tally: %v", err)
+		return Result{}
+	}
+}
+
+func TestRoundExactWithoutNoise(t *testing.T) {
+	// 2048 bins keep the collision probability for 5 items below 0.5%;
+	// the round hash key is random, so a tight table would flake.
+	cfg := Config{Round: 1, Bins: 2048, NoisePerCP: 0, ShuffleProofRounds: 6, NumDCs: 3, NumCPs: 2}
+	res := runRound(t, cfg, func(dcs []*DC) {
+		// 5 distinct items spread across DCs with overlap.
+		dcs[0].Observe("10.0.0.1")
+		dcs[0].Observe("10.0.0.2")
+		dcs[1].Observe("10.0.0.2") // duplicate across DCs
+		dcs[1].Observe("10.0.0.3")
+		dcs[2].Observe("10.0.0.4")
+		dcs[2].Observe("10.0.0.5")
+		dcs[2].Observe("10.0.0.5") // duplicate within a DC
+	})
+	if res.Reported != 5 {
+		t.Fatalf("reported %d non-empty bins, want 5 (union size)", res.Reported)
+	}
+	if res.Bins != 2048 || res.NoiseTrials != 0 {
+		t.Fatalf("result metadata: %+v", res)
+	}
+}
+
+func TestRoundWithNoiseRecoversCount(t *testing.T) {
+	cfg := Config{Round: 2, Bins: 512, NoisePerCP: 40, ShuffleProofRounds: 4, NumDCs: 2, NumCPs: 3}
+	const distinct = 60
+	res := runRound(t, cfg, func(dcs []*DC) {
+		for i := 0; i < distinct; i++ {
+			dcs[i%2].Observe(fmt.Sprintf("item-%d", i))
+		}
+	})
+	if res.NoiseTrials != 120 {
+		t.Fatalf("noise trials: %d", res.NoiseTrials)
+	}
+	iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
+		Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(distinct) {
+		t.Fatalf("estimator CI %+v must contain true count %d (reported %d)", iv, distinct, res.Reported)
+	}
+}
+
+func TestRoundEmptySets(t *testing.T) {
+	cfg := Config{Round: 3, Bins: 32, NoisePerCP: 0, ShuffleProofRounds: 2, NumDCs: 2, NumCPs: 2}
+	res := runRound(t, cfg, func([]*DC) {})
+	if res.Reported != 0 {
+		t.Fatalf("empty sets reported %d", res.Reported)
+	}
+}
+
+func TestHonestButCuriousModeWithoutProofs(t *testing.T) {
+	cfg := Config{Round: 4, Bins: 64, NoisePerCP: 8, ShuffleProofRounds: 0, NumDCs: 2, NumCPs: 2}
+	res := runRound(t, cfg, func(dcs []*DC) {
+		dcs[0].Observe("a")
+		dcs[1].Observe("b")
+	})
+	// 2 occupied bins + Binomial(16, 1/2) noise: result in [2, 18].
+	if res.Reported < 2 || res.Reported > 18 {
+		t.Fatalf("reported %d outside feasible range", res.Reported)
+	}
+}
+
+func TestSameItemSameBinAcrossDCs(t *testing.T) {
+	key := []byte("k")
+	for _, item := range []string{"x", "10.1.2.3", "example.onion"} {
+		if binOf(key, item, 128) != binOf(key, item, 128) {
+			t.Fatal("hash must be deterministic")
+		}
+	}
+	// Different keys give (almost surely) different placements for some
+	// item set — the per-round key prevents offline dictionary tests.
+	diff := 0
+	for i := 0; i < 32; i++ {
+		item := fmt.Sprintf("item-%d", i)
+		if binOf([]byte("k1"), item, 1<<20) != binOf([]byte("k2"), item, 1<<20) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("key must affect placement")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Bins: 0, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, NoisePerCP: -1, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, ShuffleProofRounds: -1, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, NumDCs: 0, NumCPs: 1},
+		{Bins: 8, NumDCs: 1, NumCPs: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewTally(Config{}); err == nil {
+		t.Fatal("NewTally must validate")
+	}
+}
+
+func TestObserveBeforeSetupFails(t *testing.T) {
+	_, dcSide := wire.Pipe()
+	dc := NewDC("dc", dcSide)
+	if err := dc.Observe("x"); err == nil {
+		t.Fatal("observe before setup must fail")
+	}
+	if err := dc.Finish(); err == nil {
+		t.Fatal("finish before setup must fail")
+	}
+}
+
+func TestTallyRejectsWrongConnCount(t *testing.T) {
+	tally, err := NewTally(Config{Round: 1, Bins: 8, NumDCs: 1, NumCPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tally.Run(nil); err == nil {
+		t.Fatal("no connections must fail")
+	}
+}
+
+// TestMaliciousCPRejected runs a tally against one honest CP and one
+// cheating CP that replaces the batch with its own encryptions of all
+// ones. The shuffle proof cannot cover the forged output, so the TS
+// must reject the round.
+func TestMaliciousCPRejected(t *testing.T) {
+	cfg := Config{Round: 9, Bins: 16, NoisePerCP: 2, ShuffleProofRounds: 8, NumDCs: 1, NumCPs: 2}
+	tally, err := NewTally(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tsConns []*wire.Conn
+
+	// Honest CP.
+	tsSide1, cpSide1 := wire.Pipe()
+	tsConns = append(tsConns, tsSide1)
+	honest := NewCP("cp-a", cpSide1, nil)
+	go honest.Serve() // may error when the round aborts; ignored
+
+	// Malicious CP: runs the normal protocol but lies at the mix step.
+	tsSide2, cpSide2 := wire.Pipe()
+	tsConns = append(tsConns, tsSide2)
+	go func() {
+		conn := cpSide2
+		evil := NewCP("cp-b", conn, nil)
+		conn.Send(kindRegister, RegisterMsg{Role: RoleCP, Name: "cp-b", PubKey: evil.key.PK.Bytes()})
+		var cc ConfigureMsg
+		if conn.Expect(kindConfig, &cc) != nil {
+			return
+		}
+		var mix MixMsg
+		if conn.Expect(kindMix, &mix) != nil {
+			return
+		}
+		// Forge: echo stages that do not correspond to a real shuffle.
+		conn.Send(kindMixed, MixedMsg{
+			From: "cp-b", Round: cc.Round,
+			WithNoise: mix.Batch, NoiseBits: nil,
+			Shuffled: mix.Batch, Blinded: mix.Batch,
+			N: mix.N,
+		})
+	}()
+
+	// DC.
+	tsSide3, dcSide := wire.Pipe()
+	tsConns = append(tsConns, tsSide3)
+	dc := NewDC("dc-0", dcSide)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := dc.Setup(); err != nil {
+			return
+		}
+		dc.Observe("victim")
+		dc.Finish()
+	}()
+
+	_, err = tally.Run(tsConns)
+	if err == nil {
+		t.Fatal("tally must reject the malicious CP")
+	}
+	wg.Wait()
+}
+
+func BenchmarkRound256Bins(b *testing.B) {
+	cfg := Config{Round: 1, Bins: 256, NoisePerCP: 16, ShuffleProofRounds: 2, NumDCs: 2, NumCPs: 2}
+	for i := 0; i < b.N; i++ {
+		tally, _ := NewTally(cfg)
+		var tsConns []*wire.Conn
+		var dcs []*DC
+		var cpWG, setupWG sync.WaitGroup
+		for j := 0; j < cfg.NumCPs; j++ {
+			tsSide, cpSide := wire.Pipe()
+			tsConns = append(tsConns, tsSide)
+			cp := NewCP(fmt.Sprintf("cp-%d", j), cpSide, nil)
+			cpWG.Add(1)
+			go func() { defer cpWG.Done(); cp.Serve() }()
+		}
+		for j := 0; j < cfg.NumDCs; j++ {
+			tsSide, dcSide := wire.Pipe()
+			tsConns = append(tsConns, tsSide)
+			dc := NewDC(fmt.Sprintf("dc-%d", j), dcSide)
+			dcs = append(dcs, dc)
+			setupWG.Add(1)
+			go func() { defer setupWG.Done(); dc.Setup() }()
+		}
+		done := make(chan struct{})
+		go func() {
+			if _, err := tally.Run(tsConns); err != nil {
+				b.Error(err)
+			}
+			close(done)
+		}()
+		setupWG.Wait()
+		for k := 0; k < 50; k++ {
+			dcs[k%2].Observe(fmt.Sprintf("item-%d", k))
+		}
+		for _, dc := range dcs {
+			dc.Finish()
+		}
+		<-done
+		cpWG.Wait()
+	}
+}

@@ -1,0 +1,291 @@
+package psc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sort"
+
+	"repro/internal/elgamal"
+	"repro/internal/wire"
+)
+
+// Tally is the PSC tally server, the coordination role the paper added
+// to the original design (§3.1: "we slightly modify the original PSC
+// design to include a TS to coordinate the actions of the DCs and
+// CPs"). It relays and verifies; it holds no decryption capability and
+// never sees an unencrypted bin.
+type Tally struct {
+	cfg Config
+}
+
+// NewTally validates the configuration and returns a tally server.
+func NewTally(cfg Config) (*Tally, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tally{cfg: cfg}, nil
+}
+
+// Run executes one round over established connections (one per party).
+func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
+	if len(conns) != t.cfg.NumDCs+t.cfg.NumCPs {
+		return Result{}, fmt.Errorf("psc ts: have %d connections, want %d DCs + %d CPs",
+			len(conns), t.cfg.NumDCs, t.cfg.NumCPs)
+	}
+
+	// Registration.
+	dcConns := make(map[string]*wire.Conn)
+	cpConns := make(map[string]*wire.Conn)
+	cpKeys := make(map[string]elgamal.Point)
+	var dcNames, cpNames []string
+	for _, c := range conns {
+		var reg RegisterMsg
+		if err := c.Expect(kindRegister, &reg); err != nil {
+			return Result{}, fmt.Errorf("psc ts: registration: %w", err)
+		}
+		switch reg.Role {
+		case RoleDC:
+			if _, dup := dcConns[reg.Name]; dup {
+				return Result{}, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
+			}
+			dcConns[reg.Name] = c
+			dcNames = append(dcNames, reg.Name)
+		case RoleCP:
+			if _, dup := cpConns[reg.Name]; dup {
+				return Result{}, fmt.Errorf("psc ts: duplicate CP %q", reg.Name)
+			}
+			pk, _, err := elgamal.ParsePoint(reg.PubKey)
+			if err != nil {
+				return Result{}, fmt.Errorf("psc ts: CP %q public key: %w", reg.Name, err)
+			}
+			cpConns[reg.Name] = c
+			cpKeys[reg.Name] = pk
+			cpNames = append(cpNames, reg.Name)
+		default:
+			return Result{}, fmt.Errorf("psc ts: unknown role %q", reg.Role)
+		}
+	}
+	if len(dcNames) != t.cfg.NumDCs || len(cpNames) != t.cfg.NumCPs {
+		return Result{}, fmt.Errorf("psc ts: registered %d DCs and %d CPs, want %d and %d",
+			len(dcNames), len(cpNames), t.cfg.NumDCs, t.cfg.NumCPs)
+	}
+	// Deterministic pipeline order.
+	sort.Strings(cpNames)
+	sort.Strings(dcNames)
+
+	keyList := make([]elgamal.Point, 0, len(cpNames))
+	keyBytes := make([][]byte, 0, len(cpNames))
+	for _, n := range cpNames {
+		keyList = append(keyList, cpKeys[n])
+		keyBytes = append(keyBytes, cpKeys[n].Bytes())
+	}
+	joint, err := elgamal.CombineKeys(keyList...)
+	if err != nil {
+		return Result{}, fmt.Errorf("psc ts: combine keys: %w", err)
+	}
+
+	hashKey := make([]byte, 32)
+	if _, err := rand.Read(hashKey); err != nil {
+		return Result{}, fmt.Errorf("psc ts: hash key: %w", err)
+	}
+
+	// Configuration. Only DCs receive the hash key.
+	base := ConfigureMsg{
+		Round:              t.cfg.Round,
+		Bins:               t.cfg.Bins,
+		NoisePerCP:         t.cfg.NoisePerCP,
+		ShuffleProofRounds: t.cfg.ShuffleProofRounds,
+		JointKey:           joint.Bytes(),
+		CPKeys:             keyBytes,
+	}
+	for _, n := range cpNames {
+		if err := cpConns[n].Send(kindConfig, base); err != nil {
+			return Result{}, fmt.Errorf("psc ts: configure CP %s: %w", n, err)
+		}
+	}
+	dcCfg := base
+	dcCfg.HashKey = hashKey
+	for _, n := range dcNames {
+		if err := dcConns[n].Send(kindConfig, dcCfg); err != nil {
+			return Result{}, fmt.Errorf("psc ts: configure DC %s: %w", n, err)
+		}
+	}
+
+	// Collect encrypted tables and combine homomorphically: per-bin
+	// ciphertext sums turn into OR in the exponent.
+	var combined []elgamal.Ciphertext
+	for _, n := range dcNames {
+		var tbl TableMsg
+		if err := dcConns[n].Expect(kindTable, &tbl); err != nil {
+			return Result{}, fmt.Errorf("psc ts: table from DC %s: %w", n, err)
+		}
+		vec, err := decodeVector(tbl.Vector, t.cfg.Bins)
+		if err != nil {
+			return Result{}, fmt.Errorf("psc ts: table from DC %s: %w", n, err)
+		}
+		if combined == nil {
+			combined = vec
+			continue
+		}
+		for i := range combined {
+			combined[i] = combined[i].Add(vec[i])
+		}
+	}
+
+	// Mixing pipeline.
+	batch := combined
+	for _, n := range cpNames {
+		if err := cpConns[n].Send(kindMix, MixMsg{
+			Round: t.cfg.Round, N: len(batch), Batch: encodeVector(batch),
+		}); err != nil {
+			return Result{}, fmt.Errorf("psc ts: mix to CP %s: %w", n, err)
+		}
+		var mixed MixedMsg
+		if err := cpConns[n].Expect(kindMixed, &mixed); err != nil {
+			return Result{}, fmt.Errorf("psc ts: mixed from CP %s: %w", n, err)
+		}
+		next, err := t.verifyMix(n, joint, batch, mixed)
+		if err != nil {
+			return Result{}, err
+		}
+		batch = next
+	}
+
+	// Joint decryption with verified shares.
+	decReq := DecryptMsg{Round: t.cfg.Round, N: len(batch), Batch: encodeVector(batch)}
+	for _, n := range cpNames {
+		if err := cpConns[n].Send(kindDecrypt, decReq); err != nil {
+			return Result{}, fmt.Errorf("psc ts: decrypt to CP %s: %w", n, err)
+		}
+	}
+	allShares := make([][]elgamal.DecryptionShare, 0, len(cpNames))
+	for _, n := range cpNames {
+		var sh SharesMsg
+		if err := cpConns[n].Expect(kindShares, &sh); err != nil {
+			return Result{}, fmt.Errorf("psc ts: shares from CP %s: %w", n, err)
+		}
+		shares, err := t.verifyShares(n, cpKeys[n], batch, sh)
+		if err != nil {
+			return Result{}, err
+		}
+		allShares = append(allShares, shares)
+	}
+
+	// Recover plaintexts and count non-empty elements.
+	reported := 0
+	rowShares := make([]elgamal.DecryptionShare, len(cpNames))
+	for i, c := range batch {
+		for j := range allShares {
+			rowShares[j] = allShares[j][i]
+		}
+		if !elgamal.Recover(c, rowShares).IsIdentity() {
+			reported++
+		}
+	}
+	return Result{
+		Round:       t.cfg.Round,
+		Reported:    reported,
+		Bins:        t.cfg.Bins,
+		NoiseTrials: t.cfg.TotalNoiseTrials(),
+	}, nil
+}
+
+// verifyMix checks one CP's mixing output against the batch the TS sent
+// it and returns the verified next batch.
+func (t *Tally) verifyMix(name string, joint elgamal.Point, in []elgamal.Ciphertext, mixed MixedMsg) ([]elgamal.Ciphertext, error) {
+	wantN := len(in) + t.cfg.NoisePerCP
+	if mixed.N != wantN {
+		return nil, fmt.Errorf("psc ts: CP %s produced %d elements, want %d", name, mixed.N, wantN)
+	}
+	withNoise, err := decodeVector(mixed.WithNoise, wantN)
+	if err != nil {
+		return nil, fmt.Errorf("psc ts: CP %s noise batch: %w", name, err)
+	}
+	shuffled, err := decodeVector(mixed.Shuffled, wantN)
+	if err != nil {
+		return nil, fmt.Errorf("psc ts: CP %s shuffled batch: %w", name, err)
+	}
+	blinded, err := decodeVector(mixed.Blinded, wantN)
+	if err != nil {
+		return nil, fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err)
+	}
+	// The input prefix must be untouched: a CP may only append noise.
+	for i := range in {
+		if !withNoise[i].Equal(in[i]) {
+			return nil, fmt.Errorf("psc ts: CP %s modified input element %d", name, i)
+		}
+	}
+	if t.cfg.ShuffleProofRounds > 0 {
+		// Every appended noise element must provably encrypt a bit.
+		if len(mixed.NoiseBits) != t.cfg.NoisePerCP {
+			return nil, fmt.Errorf("psc ts: CP %s sent %d bit proofs, want %d",
+				name, len(mixed.NoiseBits), t.cfg.NoisePerCP)
+		}
+		for i := 0; i < t.cfg.NoisePerCP; i++ {
+			proof, err := unpackBitProof(mixed.NoiseBits[i])
+			if err != nil {
+				return nil, fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, i, err)
+			}
+			if !elgamal.VerifyBit(joint, withNoise[len(in)+i], proof) {
+				return nil, fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i)
+			}
+		}
+		// The shuffle must be a permutation + re-randomization.
+		shufProof, err := unpackShuffleProof(mixed.ShuffleProof)
+		if err != nil {
+			return nil, fmt.Errorf("psc ts: CP %s shuffle proof: %w", name, err)
+		}
+		if err := elgamal.VerifyShuffle(joint, withNoise, shuffled, shufProof); err != nil {
+			return nil, fmt.Errorf("psc ts: CP %s: %w", name, err)
+		}
+		// Every blinding must be a scalar power of the shuffled element.
+		if len(mixed.BlindProofs) != wantN {
+			return nil, fmt.Errorf("psc ts: CP %s sent %d blind proofs, want %d",
+				name, len(mixed.BlindProofs), wantN)
+		}
+		for i := range shuffled {
+			proof, err := unpackEquality(mixed.BlindProofs[i])
+			if err != nil {
+				return nil, fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, i, err)
+			}
+			if !elgamal.VerifyBlind(shuffled[i], blinded[i], proof) {
+				return nil, fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i)
+			}
+		}
+	}
+	return blinded, nil
+}
+
+// verifyShares parses and (when proofs are enabled) verifies a CP's
+// decryption shares.
+func (t *Tally) verifyShares(name string, cpKey elgamal.Point, batch []elgamal.Ciphertext, msg SharesMsg) ([]elgamal.DecryptionShare, error) {
+	shares := make([]elgamal.DecryptionShare, len(batch))
+	b := msg.Shares
+	for i := range batch {
+		pt, used, err := elgamal.ParsePoint(b)
+		if err != nil {
+			return nil, fmt.Errorf("psc ts: CP %s share %d: %w", name, i, err)
+		}
+		b = b[used:]
+		shares[i] = elgamal.DecryptionShare{Share: pt}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b))
+	}
+	if t.cfg.ShuffleProofRounds > 0 {
+		if len(msg.Proofs) != len(batch) {
+			return nil, fmt.Errorf("psc ts: CP %s sent %d share proofs, want %d",
+				name, len(msg.Proofs), len(batch))
+		}
+		for i := range batch {
+			proof, err := unpackEquality(msg.Proofs[i])
+			if err != nil {
+				return nil, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, i, err)
+			}
+			if !elgamal.VerifyShare(cpKey, batch[i], shares[i], proof) {
+				return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
+			}
+		}
+	}
+	return shares, nil
+}

@@ -1,0 +1,196 @@
+// Package stats implements the statistical methodology of the paper's
+// §3.3: confidence intervals for noisy PrivCount counts, network-wide
+// inference by dividing out the measuring relays' weight fraction, exact
+// confidence intervals for PSC unique counts (binomial noise plus
+// hash-table collisions, via dynamic programming), power-law Monte-Carlo
+// extrapolation of unique counts, and the guards-per-client model used
+// for Table 3.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Interval is a confidence interval [Lo, Hi] around a point estimate.
+type Interval struct {
+	Value  float64
+	Lo, Hi float64
+}
+
+// String renders the interval in the paper's style.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4g (CI: [%.4g; %.4g])", iv.Value, iv.Lo, iv.Hi)
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Scale multiplies the estimate and both endpoints by f, the operation
+// behind network-wide inference from a weight fraction (§3.3).
+func (iv Interval) Scale(f float64) Interval {
+	return Interval{Value: iv.Value * f, Lo: iv.Lo * f, Hi: iv.Hi * f}
+}
+
+// Intersect returns the overlap of two intervals and whether it is
+// non-empty. Table 3's model fitting keeps the parameter values whose
+// predicted intervals intersect across both measurements.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	if lo > hi {
+		return Interval{}, false
+	}
+	return Interval{Value: (lo + hi) / 2, Lo: lo, Hi: hi}, true
+}
+
+// z95 is the two-sided 95% standard normal quantile.
+const z95 = 1.959963984540054
+
+// NormalCI returns the 95% confidence interval for a value observed with
+// additive Gaussian noise of the given standard deviation. This is the
+// interval construction used for every PrivCount measurement (§3.3).
+func NormalCI(value, sigma float64) Interval {
+	if sigma < 0 {
+		sigma = -sigma
+	}
+	return Interval{Value: value, Lo: value - z95*sigma, Hi: value + z95*sigma}
+}
+
+// InferTotal projects a locally observed noisy count to a network-wide
+// total by dividing by the fraction of observations the measuring relays
+// make, e.g. dividing an exit-stream count by the relays' combined exit
+// weight (§3.3). It errors on a non-positive fraction.
+func InferTotal(local Interval, fraction float64) (Interval, error) {
+	if !(fraction > 0) || fraction > 1 {
+		return Interval{}, fmt.Errorf("stats: observation fraction %v outside (0,1]", fraction)
+	}
+	return local.Scale(1 / fraction), nil
+}
+
+// ClampNonNegative truncates the interval (and estimate) at zero. The
+// paper reports negative noisy counters as "most likely zero" (Figure 1b
+// discussion); counts cannot be negative.
+func (iv Interval) ClampNonNegative() Interval {
+	c := iv
+	if c.Lo < 0 {
+		c.Lo = 0
+	}
+	if c.Hi < 0 {
+		c.Hi = 0
+	}
+	if c.Value < 0 {
+		c.Value = 0
+	}
+	return c
+}
+
+// RangeOnly returns the "no known frequency distribution" network-wide
+// range [x, x/p] from §3.3: the lower end assumes every item was seen by
+// all relays, the upper end assumes items are seen only once.
+func RangeOnly(observed float64, fraction float64) (Interval, error) {
+	if !(fraction > 0) || fraction > 1 {
+		return Interval{}, fmt.Errorf("stats: observation fraction %v outside (0,1]", fraction)
+	}
+	return Interval{Value: observed, Lo: observed, Hi: observed / fraction}, nil
+}
+
+// BinomialCI returns an exact (Clopper–Pearson style, via normal-free
+// search) central 95% interval for the success probability of a
+// Binomial(n, p) given k observed successes. Used for proportions such
+// as the descriptor-fetch failure rate.
+func BinomialCI(k, n int) (Interval, error) {
+	if n <= 0 || k < 0 || k > n {
+		return Interval{}, errors.New("stats: invalid binomial observation")
+	}
+	point := float64(k) / float64(n)
+	lo := searchBinomialBound(k, n, 0.025, true)
+	hi := searchBinomialBound(k, n, 0.025, false)
+	return Interval{Value: point, Lo: lo, Hi: hi}, nil
+}
+
+// searchBinomialBound finds p such that the tail probability of
+// observing k (or more extreme) equals alpha.
+func searchBinomialBound(k, n int, alpha float64, lower bool) float64 {
+	if lower && k == 0 {
+		return 0
+	}
+	if !lower && k == n {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		var tail float64
+		if lower {
+			// P(X >= k | p=mid); want == alpha. Increasing in p.
+			tail = 1 - binomialCDF(k-1, n, mid)
+			if tail < alpha {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		} else {
+			// P(X <= k | p=mid); want == alpha. Decreasing in p.
+			tail = binomialCDF(k, n, mid)
+			if tail > alpha {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// binomialCDF returns P(X <= k) for X ~ Binomial(n, p), computed in log
+// space for stability.
+func binomialCDF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	// For large n use a normal approximation with continuity correction;
+	// exact summation otherwise.
+	if n > 10000 {
+		mean := float64(n) * p
+		sd := math.Sqrt(float64(n) * p * (1 - p))
+		return normalCDF((float64(k) + 0.5 - mean) / sd)
+	}
+	logP, log1P := math.Log(p), math.Log1p(-p)
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		lp := logChoose(n, i) + float64(i)*logP + float64(n-i)*log1P
+		sum += math.Exp(lp)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logChoose(n, k int) float64 {
+	return lgamma(float64(n)+1) - lgamma(float64(k)+1) - lgamma(float64(n-k)+1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// normalCDF is the standard normal CDF.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

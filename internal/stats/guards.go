@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the client/guard models of §5.1 used to produce
+// Table 3. Two PSC measurements of unique client IPs, taken with
+// disjoint data-collector sets of different guard weights, constrain how
+// many guards a typical client contacts (g), how many "promiscuous"
+// clients contact all guards (p), and the network-wide client IP count.
+
+// GuardMeasurement is one unique-client-IP measurement: the measuring
+// relays' combined guard weight fraction and the PSC count interval.
+type GuardMeasurement struct {
+	Weight float64  // e.g. 0.0042 for 0.42% of guard weight
+	Unique Interval // PSC unique-IP estimate with CI
+}
+
+// Validate checks the measurement.
+func (m GuardMeasurement) Validate() error {
+	if !(m.Weight > 0) || m.Weight >= 1 {
+		return errors.New("stats: guard weight fraction outside (0,1)")
+	}
+	if m.Unique.Lo < 0 || m.Unique.Hi < m.Unique.Lo {
+		return errors.New("stats: malformed unique interval")
+	}
+	return nil
+}
+
+// hitProb is the probability that a client choosing g guards
+// weight-proportionally contacts at least one relay in a set holding
+// weight fraction w: 1 − (1−w)^g.
+func hitProb(w float64, g int) float64 {
+	return -math.Expm1(float64(g) * math.Log1p(-w))
+}
+
+// PopulationInterval returns the network-wide client population interval
+// implied by a single measurement under the selective-only model with g
+// guards per client: N = u / (1 − (1−w)^g).
+func (m GuardMeasurement) PopulationInterval(g int) Interval {
+	h := hitProb(m.Weight, g)
+	return Interval{Value: m.Unique.Value / h, Lo: m.Unique.Lo / h, Hi: m.Unique.Hi / h}
+}
+
+// ConsistentGRange finds the range of guards-per-client g (selective
+// model, no promiscuous clients) for which the two measurements imply
+// overlapping population intervals. The paper finds [27, 34], concluding
+// the model is a poor fit (§5.1).
+func ConsistentGRange(m1, m2 GuardMeasurement, gMax int) (gLo, gHi int, err error) {
+	if err := m1.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if err := m2.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if gMax < 1 {
+		return 0, 0, errors.New("stats: gMax must be >= 1")
+	}
+	gLo, gHi = -1, -1
+	for g := 1; g <= gMax; g++ {
+		if _, ok := m1.PopulationInterval(g).Intersect(m2.PopulationInterval(g)); ok {
+			if gLo == -1 {
+				gLo = g
+			}
+			gHi = g
+		}
+	}
+	if gLo == -1 {
+		return 0, 0, errors.New("stats: no g consistent with both measurements")
+	}
+	return gLo, gHi, nil
+}
+
+// PromiscuousFit is a Table 3 row: for a fixed g, the range of
+// promiscuous-client counts p consistent with both measurements and the
+// resulting network-wide client IP interval (selective N plus p), taken
+// as the union over consistent p.
+type PromiscuousFit struct {
+	G           int
+	Promiscuous Interval // consistent p range
+	NetworkIPs  Interval // union of (N∩ + p) over consistent p
+}
+
+// FitPromiscuous fits the refined model of §5.1 in which p promiscuous
+// clients (bridges, tor2web, NATs) contact every guard and the remaining
+// N selective clients contact exactly g guards:
+//
+//	E[u_i] = p + N·(1 − (1−w_i)^g)
+//
+// For the given g it returns the consistent p range and the network-wide
+// client-IP interval, or an error if no p is consistent.
+func FitPromiscuous(m1, m2 GuardMeasurement, g int, pMax float64) (PromiscuousFit, error) {
+	if err := m1.Validate(); err != nil {
+		return PromiscuousFit{}, err
+	}
+	if err := m2.Validate(); err != nil {
+		return PromiscuousFit{}, err
+	}
+	if g < 1 {
+		return PromiscuousFit{}, errors.New("stats: g must be >= 1")
+	}
+	if pMax <= 0 {
+		pMax = math.Max(m1.Unique.Hi, m2.Unique.Hi)
+	}
+	h1, h2 := hitProb(m1.Weight, g), hitProb(m2.Weight, g)
+
+	// Scan p; the consistent set is an interval because the implied N
+	// intervals move monotonically with p.
+	const steps = 4096
+	fit := PromiscuousFit{G: g}
+	foundAny := false
+	var pLo, pHi float64
+	netLo, netHi := math.Inf(1), math.Inf(-1)
+	for i := 0; i <= steps; i++ {
+		p := pMax * float64(i) / steps
+		n1 := Interval{Lo: (m1.Unique.Lo - p) / h1, Hi: (m1.Unique.Hi - p) / h1}
+		n2 := Interval{Lo: (m2.Unique.Lo - p) / h2, Hi: (m2.Unique.Hi - p) / h2}
+		overlap, ok := n1.Intersect(n2)
+		if !ok || overlap.Hi < 0 {
+			continue
+		}
+		if overlap.Lo < 0 {
+			overlap.Lo = 0
+		}
+		if !foundAny {
+			pLo = p
+			foundAny = true
+		}
+		pHi = p
+		netLo = math.Min(netLo, overlap.Lo+p)
+		netHi = math.Max(netHi, overlap.Hi+p)
+	}
+	if !foundAny {
+		return PromiscuousFit{}, errors.New("stats: no promiscuous count consistent with both measurements")
+	}
+	fit.Promiscuous = Interval{Value: (pLo + pHi) / 2, Lo: pLo, Hi: pHi}
+	fit.NetworkIPs = Interval{Value: (netLo + netHi) / 2, Lo: netLo, Hi: netHi}
+	return fit, nil
+}
+
+// ChurnPerDay converts a 1-day and a multi-day unique-IP measurement
+// into a clients-per-day churn interval, as in §5.1: the multi-day count
+// minus the one-day count, spread over the extra days.
+func ChurnPerDay(oneDay, multiDay Interval, days int) (Interval, error) {
+	if days <= 1 {
+		return Interval{}, errors.New("stats: churn needs a multi-day measurement")
+	}
+	extra := float64(days - 1)
+	lo := (multiDay.Lo - oneDay.Hi) / extra
+	hi := (multiDay.Hi - oneDay.Lo) / extra
+	val := (multiDay.Value - oneDay.Value) / extra
+	if lo < 0 {
+		lo = 0
+	}
+	if val < 0 {
+		val = 0
+	}
+	return Interval{Value: val, Lo: lo, Hi: hi}, nil
+}

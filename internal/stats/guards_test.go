@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// synthMeasurement builds the unique-IP interval a measurement with
+// weight w would produce under the promiscuous model with N selective
+// clients choosing g guards and p promiscuous clients, with a relative
+// CI half-width rw.
+func synthMeasurement(w float64, g int, n, p, rw float64) GuardMeasurement {
+	u := p + n*hitProb(w, g)
+	return GuardMeasurement{
+		Weight: w,
+		Unique: Interval{Value: u, Lo: u * (1 - rw), Hi: u * (1 + rw)},
+	}
+}
+
+func TestHitProb(t *testing.T) {
+	if got := hitProb(0.5, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("hitProb(0.5,1)=%v", got)
+	}
+	if got := hitProb(0.5, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("hitProb(0.5,2)=%v", got)
+	}
+	// Monotone in g.
+	if !(hitProb(0.01, 3) < hitProb(0.01, 5)) {
+		t.Fatal("hitProb must grow with g")
+	}
+}
+
+func TestMeasurementValidate(t *testing.T) {
+	good := GuardMeasurement{Weight: 0.01, Unique: Interval{Lo: 1, Hi: 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GuardMeasurement{
+		{Weight: 0, Unique: Interval{Lo: 1, Hi: 2}},
+		{Weight: 1, Unique: Interval{Lo: 1, Hi: 2}},
+		{Weight: 0.1, Unique: Interval{Lo: -1, Hi: 2}},
+		{Weight: 0.1, Unique: Interval{Lo: 3, Hi: 2}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("measurement %+v must be invalid", m)
+		}
+	}
+}
+
+func TestPopulationInterval(t *testing.T) {
+	m := synthMeasurement(0.01, 3, 1e6, 0, 0.05)
+	pop := m.PopulationInterval(3)
+	if !pop.Contains(1e6) {
+		t.Fatalf("population interval %+v must contain the true 1e6", pop)
+	}
+}
+
+// TestConsistentGRangeRecovery: with measurements generated from a pure
+// selective model at g=3, the consistent range must include 3.
+func TestConsistentGRangeRecovery(t *testing.T) {
+	m1 := synthMeasurement(0.0042, 3, 8e6, 0, 0.03)
+	m2 := synthMeasurement(0.0088, 3, 8e6, 0, 0.03)
+	lo, hi, err := ConsistentGRange(m1, m2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 3 || hi < 3 {
+		t.Fatalf("true g=3 outside consistent range [%d, %d]", lo, hi)
+	}
+}
+
+// TestConsistentGRangeExcludesSmallG: with promiscuous clients present
+// (as the paper finds), the selective-only model is pushed to large g —
+// the paper's [27, 34] observation.
+func TestConsistentGRangeExcludesSmallG(t *testing.T) {
+	const trueN, trueP = 8e6, 18000
+	m1 := synthMeasurement(0.0042, 3, trueN, trueP, 0.002)
+	m2 := synthMeasurement(0.0088, 3, trueN, trueP, 0.002)
+	lo, _, err := ConsistentGRange(m1, m2, 200)
+	if err != nil {
+		// Entirely inconsistent is also an acceptable signal of model
+		// failure, but with these tolerances a large-g fit exists.
+		t.Fatalf("expected a large-g fit: %v", err)
+	}
+	if lo <= 5 {
+		t.Fatalf("promiscuous contamination should push g above 5, got lo=%d", lo)
+	}
+}
+
+func TestConsistentGRangeErrors(t *testing.T) {
+	m := synthMeasurement(0.01, 3, 1e6, 0, 0.01)
+	if _, _, err := ConsistentGRange(GuardMeasurement{}, m, 10); err == nil {
+		t.Fatal("invalid measurement must fail")
+	}
+	if _, _, err := ConsistentGRange(m, m, 0); err == nil {
+		t.Fatal("gMax=0 must fail")
+	}
+	// Wildly inconsistent measurements fit no g.
+	m1 := GuardMeasurement{Weight: 0.0042, Unique: Interval{Value: 100, Lo: 99, Hi: 101}}
+	m2 := GuardMeasurement{Weight: 0.0088, Unique: Interval{Value: 1e6, Lo: 1e6 - 1, Hi: 1e6 + 1}}
+	if _, _, err := ConsistentGRange(m1, m2, 50); err == nil {
+		t.Fatal("inconsistent measurements must fail")
+	}
+}
+
+// TestFitPromiscuousRecovery: the refined model must recover the planted
+// promiscuous population and total client count (Table 3).
+func TestFitPromiscuousRecovery(t *testing.T) {
+	const trueN, trueP = 8e6, 18000.0
+	m1 := synthMeasurement(0.0042, 3, trueN, trueP, 0.01)
+	m2 := synthMeasurement(0.0088, 3, trueN, trueP, 0.01)
+	fit, err := FitPromiscuous(m1, m2, 3, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Promiscuous.Contains(trueP) {
+		t.Fatalf("promiscuous range %+v must contain %v", fit.Promiscuous, trueP)
+	}
+	if !fit.NetworkIPs.Contains(trueN + trueP) {
+		t.Fatalf("network IPs %+v must contain %v", fit.NetworkIPs, trueN+trueP)
+	}
+}
+
+// TestFitPromiscuousGTradeoff mirrors Table 3's structure: larger g
+// explains the same observations with fewer network-wide clients.
+func TestFitPromiscuousGTradeoff(t *testing.T) {
+	const trueN, trueP = 8e6, 18000.0
+	m1 := synthMeasurement(0.0042, 4, trueN, trueP, 0.01)
+	m2 := synthMeasurement(0.0088, 4, trueN, trueP, 0.01)
+	var prev float64 = math.Inf(1)
+	for _, g := range []int{3, 4, 5} {
+		fit, err := FitPromiscuous(m1, m2, g, 100000)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		if fit.NetworkIPs.Value >= prev {
+			t.Fatalf("network IPs must fall as g rises: g=%d %+v", g, fit.NetworkIPs)
+		}
+		prev = fit.NetworkIPs.Value
+	}
+}
+
+func TestFitPromiscuousErrors(t *testing.T) {
+	m := synthMeasurement(0.01, 3, 1e6, 0, 0.01)
+	if _, err := FitPromiscuous(GuardMeasurement{}, m, 3, 0); err == nil {
+		t.Fatal("invalid measurement must fail")
+	}
+	if _, err := FitPromiscuous(m, m, 0, 0); err == nil {
+		t.Fatal("g=0 must fail")
+	}
+	m1 := GuardMeasurement{Weight: 0.0042, Unique: Interval{Value: 100, Lo: 99, Hi: 101}}
+	m2 := GuardMeasurement{Weight: 0.0088, Unique: Interval{Value: 1e7, Lo: 1e7 - 1, Hi: 1e7 + 1}}
+	if _, err := FitPromiscuous(m1, m2, 3, 1000); err == nil {
+		t.Fatal("unfittable measurements must fail")
+	}
+}
+
+func TestChurnPerDay(t *testing.T) {
+	oneDay := Interval{Value: 313213, Lo: 313039, Hi: 376343}
+	fourDay := Interval{Value: 672303, Lo: 671781, Hi: 1118147}
+	churn, err := ChurnPerDay(oneDay, fourDay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 119,697/day (§5.1).
+	if math.Abs(churn.Value-119696.67) > 1 {
+		t.Fatalf("churn %v, want ~119697", churn.Value)
+	}
+	if churn.Lo < 0 || churn.Hi < churn.Value {
+		t.Fatalf("churn interval malformed: %+v", churn)
+	}
+	if _, err := ChurnPerDay(oneDay, fourDay, 1); err == nil {
+		t.Fatal("1-day churn must fail")
+	}
+}

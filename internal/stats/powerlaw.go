@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// This file implements the §4.3 extrapolation: domains are visited
+// following a power law with unknown exponent, so the network-wide
+// number of unique domains is inferred by simulating candidate exponents
+// and keeping those consistent with the locally observed unique count
+// ("we use the locally observed unique SLDs count as a self-check").
+
+// ZipfUniqueModel models V total daily visits spread over N sites with
+// Zipf(s) popularity, of which a fraction p of visits are observed by
+// the measuring relays.
+type ZipfUniqueModel struct {
+	// Sites is the support size N of the popularity distribution.
+	Sites int
+	// Fraction is the probability p that any given visit is observed.
+	Fraction float64
+	// Visits is the total number of network-wide visits V in the period.
+	Visits float64
+}
+
+// Validate checks model parameters.
+func (m ZipfUniqueModel) Validate() error {
+	if m.Sites <= 0 {
+		return errors.New("stats: zipf model needs positive site count")
+	}
+	if !(m.Fraction > 0) || m.Fraction > 1 {
+		return errors.New("stats: zipf model fraction outside (0,1]")
+	}
+	if !(m.Visits > 0) {
+		return errors.New("stats: zipf model needs positive visits")
+	}
+	return nil
+}
+
+// bucket aggregates a contiguous rank range to make expectation sums
+// over a million ranks cheap: within [lo, hi) every rank is approximated
+// by the geometric-midpoint rank's probability.
+type bucket struct {
+	count float64
+	rank  float64
+}
+
+func makeBuckets(n int) []bucket {
+	var out []bucket
+	lo := 1
+	for lo <= n {
+		// Geometric growth: ~48 buckets per decade keeps the relative
+		// error of the expectation sums under 0.5%.
+		width := lo / 48
+		if width < 1 {
+			width = 1
+		}
+		hi := lo + width
+		if hi > n+1 {
+			hi = n + 1
+		}
+		mid := math.Sqrt(float64(lo) * float64(hi-1))
+		out = append(out, bucket{count: float64(hi - lo), rank: mid})
+		lo = hi
+	}
+	return out
+}
+
+// ExpectedUnique returns the expected number of unique sites seen
+// locally and network-wide under exponent s, along with the standard
+// deviation of the local count (used as the self-check tolerance).
+func (m ZipfUniqueModel) ExpectedUnique(s float64, buckets []bucket) (local, net, localSD float64) {
+	if buckets == nil {
+		buckets = makeBuckets(m.Sites)
+	}
+	// Normalization constant for q_k ∝ k^{-s}.
+	var norm float64
+	for _, b := range buckets {
+		norm += b.count * math.Pow(b.rank, -s)
+	}
+	var varLocal float64
+	for _, b := range buckets {
+		q := math.Pow(b.rank, -s) / norm
+		// P(site visited at least once network-wide) with V visits:
+		// 1-(1-q)^V, computed stably in log space.
+		hitNet := -math.Expm1(m.Visits * math.Log1p(-q))
+		hitLocal := -math.Expm1(m.Visits * math.Log1p(-q*m.Fraction))
+		net += b.count * hitNet
+		local += b.count * hitLocal
+		varLocal += b.count * hitLocal * (1 - hitLocal)
+	}
+	return local, net, math.Sqrt(varLocal)
+}
+
+// ExtrapolateConfig controls the Monte-Carlo sweep.
+type ExtrapolateConfig struct {
+	// ExponentMin/Max bound the power-law exponent candidates. The
+	// literature the paper cites ([13,33]) puts web popularity exponents
+	// near 1; default sweep is [0.5, 1.5].
+	ExponentMin, ExponentMax float64
+	// Trials is the number of exponent candidates examined (the paper
+	// runs 100 simulations).
+	Trials int
+	// ToleranceSDs is how many local-count standard deviations the model
+	// may miss the observation by and still be accepted.
+	ToleranceSDs float64
+}
+
+// DefaultExtrapolateConfig mirrors the paper's setup.
+func DefaultExtrapolateConfig() ExtrapolateConfig {
+	return ExtrapolateConfig{ExponentMin: 0.5, ExponentMax: 1.5, Trials: 100, ToleranceSDs: 3}
+}
+
+// ExtrapolateResult is the outcome of the unique-count extrapolation.
+type ExtrapolateResult struct {
+	// Network is the inferred network-wide unique count interval.
+	Network Interval
+	// ExponentLo/Hi is the range of accepted exponents.
+	ExponentLo, ExponentHi float64
+	// Accepted is how many candidate exponents were consistent with the
+	// local observation.
+	Accepted int
+}
+
+// Extrapolate infers the network-wide unique count from the locally
+// observed unique count (itself an interval from the PSC estimator),
+// sweeping power-law exponents and keeping those whose predicted local
+// count is consistent with the observation.
+func (m ZipfUniqueModel) Extrapolate(localObserved Interval, cfg ExtrapolateConfig) (ExtrapolateResult, error) {
+	if err := m.Validate(); err != nil {
+		return ExtrapolateResult{}, err
+	}
+	if cfg.Trials <= 1 || cfg.ExponentMax <= cfg.ExponentMin {
+		return ExtrapolateResult{}, errors.New("stats: bad extrapolation config")
+	}
+	buckets := makeBuckets(m.Sites)
+	localAt := func(s float64) (local, tol float64) {
+		l, _, sd := m.ExpectedUnique(s, buckets)
+		return l, cfg.ToleranceSDs * sd
+	}
+
+	// The expected local unique count is strictly decreasing in the
+	// exponent (a steeper law concentrates visits on fewer sites), so
+	// the set of consistent exponents is an interval; find its ends by
+	// bisection against the observed interval's edges.
+	loLocal, loTol := localAt(cfg.ExponentMin)
+	hiLocal, hiTol := localAt(cfg.ExponentMax)
+	if loLocal+loTol < localObserved.Lo || hiLocal-hiTol > localObserved.Hi {
+		return ExtrapolateResult{}, errors.New("stats: no exponent consistent with local observation; distribution poorly fit (paper hits this for all-site SLDs)")
+	}
+	// Smallest consistent exponent: where local(s) first drops to
+	// observed.Hi + tol.
+	sLo := bisectExponent(cfg.ExponentMin, cfg.ExponentMax, func(s float64) bool {
+		l, tol := localAt(s)
+		return l <= localObserved.Hi+tol
+	})
+	// Largest consistent exponent: where local(s) still exceeds
+	// observed.Lo − tol.
+	sHi := bisectExponent(cfg.ExponentMin, cfg.ExponentMax, func(s float64) bool {
+		l, tol := localAt(s)
+		return l < localObserved.Lo-tol
+	})
+	if sHi < sLo {
+		sHi = sLo
+	}
+
+	var nets []float64
+	res := ExtrapolateResult{ExponentLo: sLo, ExponentHi: sHi}
+	for i := 0; i < cfg.Trials; i++ {
+		s := sLo
+		if cfg.Trials > 1 {
+			s += (sHi - sLo) * float64(i) / float64(cfg.Trials-1)
+		}
+		_, net, _ := m.ExpectedUnique(s, buckets)
+		res.Accepted++
+		nets = append(nets, net)
+	}
+	sort.Float64s(nets)
+	res.Network = Interval{
+		Value: nets[len(nets)/2],
+		Lo:    quantile(nets, 0.025),
+		Hi:    quantile(nets, 0.975),
+	}
+	return res, nil
+}
+
+// bisectExponent finds the smallest s in [lo, hi] with pred(s) true,
+// assuming pred is monotone in s (false…true). Returns hi if pred never
+// turns true (callers pre-check consistency at the range ends).
+func bisectExponent(lo, hi float64, pred func(float64) bool) float64 {
+	if pred(lo) {
+		return lo
+	}
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// quantile returns the q-quantile of sorted xs by linear interpolation.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	pos := q * float64(len(xs)-1)
+	i := int(pos)
+	if i >= len(xs)-1 {
+		return xs[len(xs)-1]
+	}
+	frac := pos - float64(i)
+	return xs[i]*(1-frac) + xs[i+1]*frac
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfModelValidate(t *testing.T) {
+	good := ZipfUniqueModel{Sites: 1000, Fraction: 0.01, Visits: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ZipfUniqueModel{
+		{Sites: 0, Fraction: 0.1, Visits: 1},
+		{Sites: 10, Fraction: 0, Visits: 1},
+		{Sites: 10, Fraction: 1.5, Visits: 1},
+		{Sites: 10, Fraction: 0.1, Visits: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v must be invalid", m)
+		}
+	}
+}
+
+func TestExpectedUniqueSanity(t *testing.T) {
+	m := ZipfUniqueModel{Sites: 10000, Fraction: 0.02, Visits: 1e6}
+	local, net, sd := m.ExpectedUnique(1.0, nil)
+	if !(local > 0 && net > 0 && sd > 0) {
+		t.Fatalf("expectations must be positive: %v %v %v", local, net, sd)
+	}
+	if local >= net {
+		t.Fatalf("local unique (%v) must be below network unique (%v)", local, net)
+	}
+	if net > float64(m.Sites) {
+		t.Fatalf("network unique (%v) cannot exceed site count", net)
+	}
+	// A flatter distribution (smaller exponent) yields more uniques.
+	_, netFlat, _ := m.ExpectedUnique(0.6, nil)
+	if netFlat <= net {
+		t.Fatalf("flatter law should reach more sites: s=0.6 %v vs s=1.0 %v", netFlat, net)
+	}
+}
+
+func TestExpectedUniqueBucketsAccuracy(t *testing.T) {
+	// Compare bucketed computation against an exact per-rank sum on a
+	// small support.
+	m := ZipfUniqueModel{Sites: 2000, Fraction: 0.05, Visits: 50000}
+	s := 1.1
+	var norm float64
+	for k := 1; k <= m.Sites; k++ {
+		norm += math.Pow(float64(k), -s)
+	}
+	var exactLocal, exactNet float64
+	for k := 1; k <= m.Sites; k++ {
+		q := math.Pow(float64(k), -s) / norm
+		exactNet += -math.Expm1(m.Visits * math.Log1p(-q))
+		exactLocal += -math.Expm1(m.Visits * math.Log1p(-q*m.Fraction))
+	}
+	local, net, _ := m.ExpectedUnique(s, nil)
+	if math.Abs(local-exactLocal) > exactLocal*0.01 {
+		t.Fatalf("bucketed local %v vs exact %v", local, exactLocal)
+	}
+	if math.Abs(net-exactNet) > exactNet*0.01 {
+		t.Fatalf("bucketed net %v vs exact %v", net, exactNet)
+	}
+}
+
+// TestExtrapolateRecoversTruth generates a "true" scenario from the
+// model itself, then checks the extrapolation brackets the true
+// network-wide unique count — the §4.3 self-check methodology.
+func TestExtrapolateRecoversTruth(t *testing.T) {
+	m := ZipfUniqueModel{Sites: 100000, Fraction: 0.0124, Visits: 5e7}
+	const trueS = 1.05
+	localTrue, netTrue, sd := m.ExpectedUnique(trueS, nil)
+	observed := Interval{Value: localTrue, Lo: localTrue - 2*sd, Hi: localTrue + 2*sd}
+
+	res, err := m.Extrapolate(observed, DefaultExtrapolateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no exponents accepted")
+	}
+	if trueS < res.ExponentLo-0.02 || trueS > res.ExponentHi+0.02 {
+		t.Fatalf("true exponent %v outside accepted [%v, %v]", trueS, res.ExponentLo, res.ExponentHi)
+	}
+	if !res.Network.Contains(netTrue) {
+		t.Fatalf("network CI %+v must contain true %v", res.Network, netTrue)
+	}
+}
+
+func TestExtrapolateRejectsImpossibleObservation(t *testing.T) {
+	m := ZipfUniqueModel{Sites: 1000, Fraction: 0.01, Visits: 1e5}
+	// Observing more unique sites than exist is inconsistent with every
+	// exponent.
+	_, err := m.Extrapolate(Interval{Value: 5000, Lo: 4999, Hi: 5001}, DefaultExtrapolateConfig())
+	if err == nil {
+		t.Fatal("impossible observation must fail to fit")
+	}
+}
+
+func TestExtrapolateConfigErrors(t *testing.T) {
+	m := ZipfUniqueModel{Sites: 1000, Fraction: 0.01, Visits: 1e5}
+	if _, err := m.Extrapolate(Interval{}, ExtrapolateConfig{Trials: 1, ExponentMin: 1, ExponentMax: 2}); err == nil {
+		t.Fatal("single trial must fail")
+	}
+	if _, err := m.Extrapolate(Interval{}, ExtrapolateConfig{Trials: 10, ExponentMin: 2, ExponentMax: 1}); err == nil {
+		t.Fatal("inverted exponent range must fail")
+	}
+	bad := ZipfUniqueModel{}
+	if _, err := bad.Extrapolate(Interval{}, DefaultExtrapolateConfig()); err == nil {
+		t.Fatal("invalid model must fail")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if quantile(xs, 0) != 1 || quantile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if quantile(xs, 0.5) != 3 {
+		t.Fatal("median")
+	}
+	if got := quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25: %v", got)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("empty")
+	}
+	if quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("singleton")
+	}
+}

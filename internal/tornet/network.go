@@ -1,0 +1,165 @@
+package tornet
+
+import (
+	"math/rand/v2"
+	"net/netip"
+
+	"repro/internal/asn"
+	"repro/internal/event"
+	"repro/internal/geo"
+	"repro/internal/simtime"
+)
+
+// Network bundles the simulation state the workload drivers need: the
+// virtual clock, the event bus feeding the data collectors, the
+// consensus, and the IP/country/AS databases.
+type Network struct {
+	Sched     *simtime.Scheduler
+	Bus       *event.Bus
+	Consensus *Consensus
+	Geo       *geo.DB
+	ASN       *asn.DB
+
+	nextCircuitID uint64
+}
+
+// NewNetwork assembles a simulation network.
+func NewNetwork(c *Consensus, g *geo.DB, a *asn.DB) *Network {
+	return &Network{
+		Sched:     simtime.NewScheduler(),
+		Bus:       event.NewBus(),
+		Consensus: c,
+		Geo:       g,
+		ASN:       a,
+	}
+}
+
+// NextCircuitID allocates a network-unique circuit identifier.
+func (n *Network) NextCircuitID() uint64 {
+	n.nextCircuitID++
+	return n.nextCircuitID
+}
+
+// Client is one Tor client IP. Clients keep one primary guard for data
+// circuits and three directory guards (§5.1: "clients currently use one
+// guard for data but two additional guards for directory updates").
+type Client struct {
+	IP      netip.Addr
+	Country string
+	ASN     uint32
+	// DataGuard carries all data circuits; DirGuards the directory
+	// circuits. DirGuards[0] == DataGuard, as in Tor.
+	DataGuard GuardRef
+	DirGuards [3]GuardRef
+	// Promiscuous clients (bridges, tor2web instances, large NATs)
+	// appear at every guard (§5.1's refined model).
+	Promiscuous bool
+	// Blocked clients can build directory circuits but not data
+	// circuits — the paper's hypothesis for the UAE anomaly (§5.2).
+	Blocked bool
+}
+
+// NewClient creates a client originating in the given country, with
+// guards sampled from the consensus.
+func (n *Network) NewClient(r *rand.Rand, country string) *Client {
+	ip := n.Geo.RandomIP(r, country)
+	c := &Client{
+		IP:      ip,
+		Country: country,
+		ASN:     n.ASN.Lookup(ip),
+	}
+	// Three distinct directory guards; the first doubles as the data
+	// guard.
+	seen := map[int]bool{}
+	for i := 0; i < len(c.DirGuards); {
+		g := n.Consensus.PickGuard(r)
+		if seen[g.Key] {
+			continue
+		}
+		seen[g.Key] = true
+		c.DirGuards[i] = g
+		i++
+	}
+	c.DataGuard = c.DirGuards[0]
+	return c
+}
+
+// ObservedGuards returns the measuring relays among the client's guards
+// (all measuring guards for a promiscuous client) along with whether
+// each carries the client's data circuits.
+func (n *Network) ObservedGuards(c *Client) []GuardObservation {
+	var out []GuardObservation
+	if c.Promiscuous {
+		for _, id := range n.Consensus.MeasuringGuards() {
+			out = append(out, GuardObservation{Relay: id, Data: true, Directory: true})
+		}
+		return out
+	}
+	for i, g := range c.DirGuards {
+		if !g.Measuring {
+			continue
+		}
+		out = append(out, GuardObservation{
+			Relay:     g.Relay,
+			Data:      i == 0,
+			Directory: true,
+		})
+	}
+	return out
+}
+
+// GuardObservation says one measuring relay serves this client, and in
+// which capacities.
+type GuardObservation struct {
+	Relay     event.RelayID
+	Data      bool // primary data guard
+	Directory bool // one of the directory guards
+}
+
+// EmitConnection publishes a guard-side connection-end event.
+func (n *Network) EmitConnection(at simtime.Time, relay event.RelayID, c *Client, circuits uint32, sent, recv uint64) {
+	n.Bus.Publish(&event.ConnectionEnd{
+		Header:      event.Header{At: at, Relay: relay},
+		ClientIP:    c.IP,
+		Country:     c.Country,
+		ASN:         c.ASN,
+		NumCircuits: circuits,
+		BytesSent:   sent,
+		BytesRecv:   recv,
+	})
+}
+
+// EmitCircuit publishes a guard-side circuit-end event.
+func (n *Network) EmitCircuit(at simtime.Time, relay event.RelayID, c *Client, kind event.CircuitKind, streams uint32, sent, recv uint64) {
+	n.Bus.Publish(&event.CircuitEnd{
+		Header:     event.Header{At: at, Relay: relay},
+		CircuitID:  n.NextCircuitID(),
+		Kind:       kind,
+		ClientIP:   c.IP,
+		Country:    c.Country,
+		ASN:        c.ASN,
+		NumStreams: streams,
+		BytesSent:  sent,
+		BytesRecv:  recv,
+	})
+}
+
+// EmitStream publishes an exit-side stream-end event and returns the
+// circuit ID used (callers pass 0 to allocate a fresh circuit).
+func (n *Network) EmitStream(at simtime.Time, relay event.RelayID, circuitID uint64,
+	initial bool, target event.TargetKind, port uint16, hostname string, sent, recv uint64) uint64 {
+	if circuitID == 0 {
+		circuitID = n.NextCircuitID()
+	}
+	n.Bus.Publish(&event.StreamEnd{
+		Header:    event.Header{At: at, Relay: relay},
+		CircuitID: circuitID,
+		IsInitial: initial,
+		Target:    target,
+		Port:      port,
+		Hostname:  hostname,
+		BytesSent: sent,
+		BytesRecv: recv,
+	})
+	return circuitID
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// netListener and the tiny indirection functions keep tls.go free of
+// direct net imports tangled with TLS logic.
+type netListener = net.Listener
+
+func netListen(network, addr string) (net.Listener, error) {
+	return net.Listen(network, addr)
+}
+
+func dialerWithTimeout(timeout time.Duration) *net.Dialer {
+	return &net.Dialer{Timeout: timeout}
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Addr returns the bound address (use after Listen on port 0).
+func (ln Listener) Addr() net.Addr { return ln.l.Addr() }
+
+// Close stops accepting.
+func (ln Listener) Close() error { return ln.l.Close() }
+
+// Accept waits for the next connection.
+func (ln Listener) Accept() (*Conn, error) {
+	c, err := ln.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Serve accepts connections until the listener closes, invoking handle
+// in a new goroutine per connection. It returns after the listener is
+// closed and all handlers have finished.
+func (ln Listener) Serve(handle func(*Conn)) {
+	var wg sync.WaitGroup
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			handle(c)
+		}()
+	}
+	wg.Wait()
+}

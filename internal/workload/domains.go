@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/alexa"
+	"repro/internal/simtime"
+)
+
+// DomainMixture models which hostname a primary (initial, hostname,
+// web-port) stream targets. It is a mixture of the specific anomalies
+// the paper measured and two background components:
+//
+//   - onionoo.torproject.org: 40% of primary domains (§4.3) — the
+//     unexplained Onionoo API traffic;
+//   - the amazon family: 9.7% total, with www.amazon.com most of it;
+//   - the google family: 2.4%;
+//   - duckduckgo.com: 0.4% (Tor Browser's default search engine);
+//   - a Zipf draw over the Alexa top-1M list (popular-web browsing);
+//   - a long tail of non-Alexa sites (~20%, matching the finding that
+//     ~80% of primary domains are on the Alexa list).
+type DomainMixture struct {
+	OnionooShare   float64
+	AmazonWWWShare float64
+	AmazonSibShare float64
+	GoogleComShare float64
+	GoogleSibShare float64
+	DuckShare      float64
+	// LongTailShare of accesses go to non-Alexa sites drawn from a
+	// Zipf over LongTailSites synthetic domains.
+	LongTailShare float64
+	LongTailSites int
+	LongTailZipf  float64
+	// DecadeWeights distribute the remaining mass (the organic Alexa
+	// browsing component) across the rank decades (0,10], (10,100], …,
+	// (100k,1m]. The values are calibrated to Figure 2's measured
+	// per-decade shares, which are far flatter at the head than a pure
+	// Zipf: Tor users do not visit google/youtube/facebook at clearnet
+	// rates. Within a decade, ranks draw log-uniformly (∝ 1/rank).
+	DecadeWeights []float64
+	// WWWShare prefixes "www." to sampled hostnames occasionally, so
+	// the PSL reduction path is exercised.
+	WWWShare float64
+}
+
+// DefaultDomainMixture is the Figure 2/3 calibration.
+func DefaultDomainMixture() DomainMixture {
+	return DomainMixture{
+		OnionooShare:   0.40,
+		AmazonWWWShare: 0.040,
+		AmazonSibShare: 0.057,
+		GoogleComShare: 0.008,
+		GoogleSibShare: 0.014,
+		DuckShare:      0.004,
+		LongTailShare:  0.20,
+		LongTailSites:  10_000_000,
+		LongTailZipf:   0.90,
+		// Figure 2's organic per-decade shares: (0,10] carries almost
+		// nothing once amazon is separated out.
+		DecadeWeights: []float64{0.5, 5.1, 5.8, 4.3, 7.7, 7.0},
+		WWWShare:      0.25,
+	}
+}
+
+// Validate checks the mixture sums to at most 1 (the remainder is the
+// Alexa Zipf component).
+func (m DomainMixture) Validate() error {
+	specials := m.OnionooShare + m.AmazonWWWShare + m.AmazonSibShare +
+		m.GoogleComShare + m.GoogleSibShare + m.DuckShare + m.LongTailShare
+	if specials > 1 {
+		return fmt.Errorf("workload: domain mixture shares sum to %v > 1", specials)
+	}
+	if m.LongTailShare > 0 && m.LongTailSites <= 0 {
+		return fmt.Errorf("workload: long tail needs a site population")
+	}
+	return nil
+}
+
+// DomainSampler draws hostnames from the mixture against a concrete
+// Alexa list.
+type DomainSampler struct {
+	mix       DomainMixture
+	list      *alexa.List
+	decades   *simtime.WeightedChoice
+	decadeLo  []int // inclusive rank range per decade bin
+	decadeHi  []int
+	tailZipf  *simtime.Zipf
+	tailTLDs  *simtime.WeightedChoice
+	tldNames  []string
+	amazonSib []string
+	googleSib []string
+}
+
+// longTailTLDWeights approximates the overall web TLD mix for non-Alexa
+// sites (Figure 3's "All Sites" bars).
+var longTailTLDWeights = []struct {
+	tld string
+	w   float64
+}{
+	{"com", 0.44}, {"org", 0.05}, {"net", 0.06}, {"ru", 0.055},
+	{"de", 0.04}, {"uk", 0.025}, {"jp", 0.025}, {"br", 0.02},
+	{"in", 0.018}, {"fr", 0.02}, {"it", 0.015}, {"pl", 0.015},
+	{"cn", 0.015}, {"ir", 0.012}, {"io", 0.03}, {"info", 0.03},
+	{"xyz", 0.04}, {"top", 0.03}, {"online", 0.02}, {"site", 0.02},
+	{"club", 0.015}, {"es", 0.012}, {"nl", 0.012}, {"se", 0.01},
+	{"ca", 0.01}, {"us", 0.01}, {"cz", 0.008}, {"ua", 0.008},
+}
+
+// NewDomainSampler prepares the sampler.
+func NewDomainSampler(mix DomainMixture, list *alexa.List) (*DomainSampler, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(longTailTLDWeights))
+	names := make([]string, len(longTailTLDWeights))
+	for i, tw := range longTailTLDWeights {
+		weights[i] = tw.w
+		names[i] = tw.tld
+	}
+	s := &DomainSampler{
+		mix:      mix,
+		list:     list,
+		tailTLDs: simtime.NewWeightedChoice(weights),
+		tldNames: names,
+	}
+	// Build rank decades over the available list, truncating the last
+	// one at the list size and renormalizing the calibrated weights.
+	dw := mix.DecadeWeights
+	if len(dw) == 0 {
+		dw = []float64{0.5, 5.1, 5.8, 4.3, 7.7, 7.0}
+	}
+	lo := 1
+	var decW []float64
+	for i, hi := range []int{10, 100, 1000, 10000, 100000, 1000000} {
+		if lo > list.N() || i >= len(dw) {
+			break
+		}
+		if hi > list.N() {
+			hi = list.N()
+		}
+		s.decadeLo = append(s.decadeLo, lo)
+		s.decadeHi = append(s.decadeHi, hi)
+		decW = append(decW, dw[i])
+		lo = hi + 1
+	}
+	s.decades = simtime.NewWeightedChoice(decW)
+	if mix.LongTailShare > 0 {
+		s.tailZipf = simtime.NewZipf(min(mix.LongTailSites, 1_000_000), mix.LongTailZipf)
+	}
+	for _, d := range list.Siblings("amazon") {
+		if d != "amazon.com" {
+			s.amazonSib = append(s.amazonSib, d)
+		}
+	}
+	for _, d := range list.Siblings("google") {
+		if d != "google.com" {
+			s.googleSib = append(s.googleSib, d)
+		}
+	}
+	return s, nil
+}
+
+// Hostname draws one primary-stream hostname.
+func (s *DomainSampler) Hostname(r *rand.Rand) string {
+	u := r.Float64()
+	m := s.mix
+	switch {
+	case u < m.OnionooShare:
+		return "onionoo.torproject.org"
+	case u < m.OnionooShare+m.AmazonWWWShare:
+		return "www.amazon.com"
+	case u < m.OnionooShare+m.AmazonWWWShare+m.AmazonSibShare:
+		if len(s.amazonSib) == 0 {
+			return "www.amazon.com"
+		}
+		return s.amazonSib[r.IntN(len(s.amazonSib))]
+	case u < m.OnionooShare+m.AmazonWWWShare+m.AmazonSibShare+m.GoogleComShare:
+		return s.maybeWWW(r, "google.com")
+	case u < m.OnionooShare+m.AmazonWWWShare+m.AmazonSibShare+m.GoogleComShare+m.GoogleSibShare:
+		if len(s.googleSib) == 0 {
+			return "google.com"
+		}
+		return s.googleSib[r.IntN(len(s.googleSib))]
+	case u < m.OnionooShare+m.AmazonWWWShare+m.AmazonSibShare+m.GoogleComShare+m.GoogleSibShare+m.DuckShare:
+		return "duckduckgo.com"
+	case u < m.OnionooShare+m.AmazonWWWShare+m.AmazonSibShare+m.GoogleComShare+m.GoogleSibShare+m.DuckShare+m.LongTailShare:
+		return s.longTail(r)
+	default:
+		return s.maybeWWW(r, s.list.Domain(s.alexaRank(r)))
+	}
+}
+
+// alexaRank draws a rank: a calibrated decade, then log-uniform within
+// it (density ∝ 1/rank).
+func (s *DomainSampler) alexaRank(r *rand.Rand) int {
+	d := s.decades.Pick(r)
+	lo, hi := float64(s.decadeLo[d]), float64(s.decadeHi[d])
+	rank := int(lo * math.Exp(r.Float64()*math.Log(hi/lo)))
+	if rank < s.decadeLo[d] {
+		rank = s.decadeLo[d]
+	}
+	if rank > s.decadeHi[d] {
+		rank = s.decadeHi[d]
+	}
+	return rank
+}
+
+// longTail generates a non-Alexa hostname. The popularity support is
+// truncated to one million ranks to bound the sampler's CDF table; at
+// simulation scale the tail beyond that would essentially never recur
+// anyway.
+func (s *DomainSampler) longTail(r *rand.Rand) string {
+	rank := s.tailZipf.Rank(r)
+	tld := s.tldNames[s.tailTLDs.Pick(r)]
+	return fmt.Sprintf("lt%d.%s", rank, tld)
+}
+
+func (s *DomainSampler) maybeWWW(r *rand.Rand, dom string) string {
+	if dom == "" {
+		return "lost.example.com"
+	}
+	if r.Float64() < s.mix.WWWShare {
+		return "www." + dom
+	}
+	return dom
+}

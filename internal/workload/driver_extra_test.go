@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/simtime"
+)
+
+// TestRendezvousVersionSplit: ~20% of rendezvous circuits are v3 (the
+// unmeasurable-by-address population the paper notes in §6.1).
+func TestRendezvousVersionSplit(t *testing.T) {
+	d := newDriver(t, 1000, 31)
+	var v2, v3 int
+	d.Net.Bus.Subscribe(func(e event.Event) {
+		if r, ok := e.(*event.RendezvousEnd); ok {
+			if r.Version == 3 {
+				v3++
+			} else {
+				v2++
+			}
+		}
+	})
+	d.Run(1)
+	total := v2 + v3
+	if total == 0 {
+		t.Fatal("no rendezvous events")
+	}
+	share := float64(v3) / float64(total)
+	if math.Abs(share-0.2) > 0.06 {
+		t.Fatalf("v3 share %v, want ~0.2", share)
+	}
+}
+
+// TestOnionooDominatesPrimaryStreams: the headline §4.3 anomaly must be
+// visible directly in the event stream.
+func TestOnionooDominatesPrimaryStreams(t *testing.T) {
+	d := newDriver(t, 1000, 32)
+	var primary, onionoo int
+	d.Net.Bus.Subscribe(func(e event.Event) {
+		s, ok := e.(*event.StreamEnd)
+		if !ok || !s.IsInitial || s.Target != event.TargetHostname || !s.IsWebPort() {
+			return
+		}
+		primary++
+		if s.Hostname == "onionoo.torproject.org" {
+			onionoo++
+		}
+	})
+	d.Run(1)
+	if primary == 0 {
+		t.Fatal("no primary streams")
+	}
+	share := float64(onionoo) / float64(primary)
+	if share < 0.34 || share > 0.46 {
+		t.Fatalf("onionoo share %v, want ~0.40", share)
+	}
+}
+
+// TestLongTailProducesFreshSLDs: non-Alexa hostnames must be plentiful
+// and mostly unique — the Table 2 long tail.
+func TestLongTailProducesFreshSLDs(t *testing.T) {
+	s, err := NewDomainSampler(DefaultDomainMixture(), testList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simtime.Rand(9, "tail")
+	tail := map[string]int{}
+	const draws = 50000
+	tailDraws := 0
+	for i := 0; i < draws; i++ {
+		h := s.Hostname(r)
+		if strings.HasPrefix(h, "lt") && strings.ContainsRune(h, '.') {
+			tail[h]++
+			tailDraws++
+		}
+	}
+	if tailDraws < draws/10 {
+		t.Fatalf("long-tail draws %d of %d, want ~20%%", tailDraws, draws)
+	}
+	// Most long-tail domains are seen once.
+	singletons := 0
+	for _, c := range tail {
+		if c == 1 {
+			singletons++
+		}
+	}
+	if float64(singletons)/float64(len(tail)) < 0.5 {
+		t.Fatalf("long tail not heavy enough: %d singletons of %d", singletons, len(tail))
+	}
+}
+
+// TestAlexaDecadeCalibration: the organic rank distribution must be
+// flat-headed — rank (0,10] carries far less than deeper decades,
+// matching Figure 2's measured shape.
+func TestAlexaDecadeCalibration(t *testing.T) {
+	mix := DefaultDomainMixture()
+	// Isolate the organic Alexa component.
+	mix.OnionooShare = 0
+	mix.AmazonWWWShare = 0
+	mix.AmazonSibShare = 0
+	mix.GoogleComShare = 0
+	mix.GoogleSibShare = 0
+	mix.DuckShare = 0
+	mix.LongTailShare = 0
+	mix.WWWShare = 0
+	s, err := NewDomainSampler(mix, testList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simtime.Rand(10, "decades")
+	counts := make([]int, 6)
+	const draws = 100000
+	psl := testList.PSL()
+	for i := 0; i < draws; i++ {
+		h := s.Hostname(r)
+		dom, ok := psl.RegisteredDomain(h)
+		if !ok {
+			dom = h
+		}
+		rank, ok := testList.Rank(dom)
+		if !ok {
+			t.Fatalf("organic draw %q not on the list", h)
+		}
+		switch {
+		case rank <= 10:
+			counts[0]++
+		case rank <= 100:
+			counts[1]++
+		case rank <= 1000:
+			counts[2]++
+		case rank <= 10000:
+			counts[3]++
+		case rank <= 100000:
+			counts[4]++
+		default:
+			counts[5]++
+		}
+	}
+	// (0,10] must be tiny relative to (10k,100k].
+	if counts[0]*5 > counts[4] {
+		t.Fatalf("head too heavy: decades %v", counts)
+	}
+	// Every available decade gets some mass.
+	for i, c := range counts[:5] {
+		if c == 0 {
+			t.Fatalf("decade %d empty: %v", i, counts)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package workload drives the Tor usage models that generate the event
+// streams the paper measures: client arrival and churn, guard-side
+// connection/circuit/byte activity, exit-side streams with a calibrated
+// destination-domain mixture, and onion-service publish/fetch/
+// rendezvous behavior (including the botnet-style failed fetches the
+// paper discovers).
+//
+// All rate parameters are expressed as *network-wide daily totals* at
+// the scale the paper measured (January–May 2018); Scale divides the
+// client population so a full virtual day runs in seconds while every
+// observation fraction stays at its paper value.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/onion"
+)
+
+// MiB in bytes.
+const MiB = 1 << 20
+
+// Params calibrates the workload. Defaults reproduce the paper's
+// network-wide findings; see EXPERIMENTS.md for the calibration map.
+type Params struct {
+	// Scale divides all population sizes. Scale=100 simulates 1% of
+	// Tor; observation fractions are unaffected.
+	Scale float64
+	Seed  uint64
+
+	// --- client population (§5) ---
+
+	// SelectiveClients is the daily population choosing Guards guards
+	// (Table 3: ~8.8M at g=3).
+	SelectiveClients float64
+	// PromiscuousClients contact every guard (Table 3: ~18k).
+	PromiscuousClients float64
+	// PromiscuousActivity multiplies a promiscuous client's daily
+	// activity relative to a normal client: bridges and tor2web
+	// instances aggregate many users, which is also what guarantees
+	// they are observed at every guard every day.
+	PromiscuousActivity float64
+	// Guards is the number of guards per selective client (3: one data
+	// guard plus two extra directory guards).
+	Guards int
+	// ChurnPerDay is the fraction of clients replaced by fresh IPs each
+	// day (§5.1: IPs turn over almost twice in 4 days ⇒ ~0.38).
+	ChurnPerDay float64
+	// BlockedCountry marks clients from this country as able to build
+	// only directory circuits (the UAE anomaly, §5.2).
+	BlockedCountry string
+	// BlockedDirFactor multiplies directory circuits for blocked
+	// clients (repeated directory fetches).
+	BlockedDirFactor float64
+	// BlockedByteFactor multiplies bytes for blocked clients.
+	BlockedByteFactor float64
+
+	// --- guard-side activity (Table 4, Figure 4) ---
+
+	// DataConnsPerClient and DirConnsPerGuard produce the 148M daily
+	// connections (16.8 per client).
+	DataConnsPerClient float64
+	DirConnsPerGuard   float64
+	// DataCircuitsPerClient and DirCircuitsPerGuard produce the 1.286G
+	// daily circuits (146 per client, DDoS-era inflation included).
+	DataCircuitsPerClient float64
+	DirCircuitsPerGuard   float64
+	// EntryMiBMean is the mean daily entry traffic per client in MiB
+	// (517 TiB/day over 8.8M clients ≈ 61.6 MiB); log-normal with
+	// EntryLogSigma.
+	EntryMiBMean  float64
+	EntryLogSigma float64
+
+	// --- exit-side activity (§4) ---
+
+	// InitialStreamsPerClient: 105M initial streams/day over 8.8M
+	// clients (Figure 1a: initial ≈ 5% of 2.1G streams).
+	InitialStreamsPerClient float64
+	// SubsequentPerInitial: embedded-resource streams multiplexed on
+	// the same circuit (~19, giving 2.1G total).
+	SubsequentPerInitial float64
+	// Stream-type shares for Figure 1b/1c. Hostname+web dominates.
+	IPv4Share, IPv6Share float64
+	NonWebShare          float64
+	// StreamKiBMean sizes per-stream transfer (log-normal).
+	StreamKiBMean  float64
+	StreamLogSigma float64
+
+	// --- destination-domain mixture (Figures 2, 3; Table 2) ---
+	Domains DomainMixture
+
+	// --- onion services (§6) ---
+
+	// OnionServices is the live v2 population (Table 6: ~70,826).
+	OnionServices float64
+	// DeadAddresses is the stale-address pool botnets query.
+	DeadAddresses float64
+	// PublicShare is the ahmia-indexed share of fetch volume (56.8%).
+	PublicShare float64
+	// PublishRoundsPerDay is descriptor republish rounds per service.
+	PublishRoundsPerDay int
+	// FetchesPerDay is total descriptor fetch attempts (134M).
+	FetchesPerDay float64
+	// FetchFailShare is the failed share (90.9%), split between
+	// missing descriptors and malformed requests.
+	FetchFailShare     float64
+	MalformedFailShare float64
+	// RendCircuitsPerDay is total rendezvous circuits (366M; every
+	// completed rendezvous counts twice, §6.3).
+	RendCircuitsPerDay float64
+	// Rend is the outcome and payload model (Table 8).
+	Rend onion.RendOutcomeModel
+}
+
+// DefaultParams returns the paper-calibrated workload at the given
+// scale divisor.
+func DefaultParams(scale float64, seed uint64) Params {
+	return Params{
+		Scale: scale,
+		Seed:  seed,
+
+		SelectiveClients:    8.8e6,
+		PromiscuousClients:  18e3,
+		PromiscuousActivity: 50,
+		Guards:              3,
+		ChurnPerDay:         0.383,
+		BlockedCountry:      "AE",
+		BlockedDirFactor:    25,
+		BlockedByteFactor:   0.03,
+
+		// 16.8 connections/client/day: 13 to the data guard plus 1.27 to
+		// each of the three directory guards (the data guard doubles as
+		// a directory guard).
+		DataConnsPerClient: 13.0,
+		DirConnsPerGuard:   1.27,
+		// 146 circuits/client/day: 131.4 data + 3 × 4.87 directory.
+		DataCircuitsPerClient: 131.4,
+		DirCircuitsPerGuard:   4.87,
+		EntryMiBMean:          61.6,
+		EntryLogSigma:         1.5,
+
+		InitialStreamsPerClient: 11.93,
+		SubsequentPerInitial:    19.0,
+		IPv4Share:               0.003,
+		IPv6Share:               0.002,
+		NonWebShare:             0.005,
+		StreamKiBMean:           250,
+		StreamLogSigma:          1.8,
+
+		Domains: DefaultDomainMixture(),
+
+		OnionServices:       70826,
+		DeadAddresses:       400000,
+		PublicShare:         0.568,
+		PublishRoundsPerDay: 24,
+		FetchesPerDay:       134e6,
+		FetchFailShare:      0.909,
+		MalformedFailShare:  0.08,
+		RendCircuitsPerDay:  366e6,
+		Rend:                onion.DefaultRendOutcomeModel(),
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Scale < 1 {
+		return fmt.Errorf("workload: scale must be >= 1")
+	}
+	if p.SelectiveClients <= 0 {
+		return fmt.Errorf("workload: need a positive client population")
+	}
+	if p.Guards < 1 {
+		return fmt.Errorf("workload: clients need at least one guard")
+	}
+	if p.ChurnPerDay < 0 || p.ChurnPerDay > 1 {
+		return fmt.Errorf("workload: churn must be in [0,1]")
+	}
+	if p.FetchFailShare < 0 || p.FetchFailShare > 1 {
+		return fmt.Errorf("workload: fetch-fail share must be in [0,1]")
+	}
+	return p.Domains.Validate()
+}
+
+// scaled returns v divided by the scale factor.
+func (p Params) scaled(v float64) float64 { return v / p.Scale }
