@@ -1,0 +1,28 @@
+# Tier-1 verification plus a perf-regression canary in one command.
+#
+#   make          - build + vet + test (tier-1)
+#   make bench-smoke - one iteration of the crypto and protocol
+#                      benchmarks; catches gross perf regressions fast
+#   make bench    - the full paper-table benchmark harness (slow)
+
+GO ?= go
+
+.PHONY: all build test vet bench-smoke bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench-smoke:
+	$(GO) test ./internal/elgamal/ -run '^$$' -bench 'BenchmarkGroupOps' -benchtime=100x
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/verified/bins-512' -benchtime=1x
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,293 @@
+package elgamal
+
+// Vectorized group and ciphertext operations. These are the entry
+// points the PSC hot loops call: they keep intermediate points in
+// Jacobian coordinates, normalize whole vectors with one shared field
+// inversion, reuse precomputed fixed-base tables, and fan out across
+// the worker pool in internal/parallel.
+
+import (
+	"math/big"
+
+	"repro/internal/parallel"
+)
+
+// parallelMinChunk is the smallest slice of vector work handed to a
+// worker; below this the coordination overhead outweighs the crypto.
+const parallelMinChunk = 16
+
+// reduceScalars returns the scalars reduced mod the group order,
+// reusing the input slice entries that are already reduced.
+func reduceScalars(ks []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(ks))
+	for i, k := range ks {
+		if k.Sign() < 0 || k.Cmp(order) >= 0 {
+			out[i] = new(big.Int).Mod(k, order)
+		} else {
+			out[i] = k
+		}
+	}
+	return out
+}
+
+// BatchBaseMul computes kᵢ·G for every scalar, amortizing affine
+// normalization across the batch.
+func BatchBaseMul(ks []*big.Int) []Point {
+	ks = reduceScalars(ks)
+	t := baseTable()
+	jac := make([]jacPoint, len(ks))
+	parallel.For(len(ks), parallelMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.mul(&jac[i], ks[i])
+		}
+	})
+	return pointsFromJacobian(jac)
+}
+
+// batchMulTableThreshold is the batch size from which building a
+// windowed table for an uncached base is cheaper than per-element
+// stdlib multiplications (a build costs roughly 60 of them).
+const batchMulTableThreshold = 64
+
+// BatchMul computes kᵢ·base for every scalar. All elements share one
+// base, the common PSC shape (the round's joint key), so for large
+// batches the base gets a windowed table — either cached from
+// Precompute or built on the spot — and every element becomes a few
+// dozen mixed additions instead of a full scalar multiplication.
+func BatchMul(base Point, ks []*big.Int) []Point {
+	if base.IsIdentity() {
+		out := make([]Point, len(ks))
+		for i := range out {
+			out[i] = Identity()
+		}
+		return out
+	}
+	if base.isGenerator() {
+		return BatchBaseMul(ks)
+	}
+	ks = reduceScalars(ks)
+	t := sharedBaseTable(base, len(ks))
+	if t == nil {
+		out := make([]Point, len(ks))
+		parallel.For(len(ks), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = base.Mul(ks[i])
+			}
+		})
+		return out
+	}
+	jac := make([]jacPoint, len(ks))
+	parallel.For(len(ks), parallelMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ks[i].Sign() != 0 {
+				t.mul(&jac[i], ks[i])
+			}
+		}
+	})
+	return pointsFromJacobian(jac)
+}
+
+// BatchAdd computes pᵢ + qᵢ elementwise with one shared normalization
+// instead of one field inversion per addition.
+func BatchAdd(ps, qs []Point) []Point {
+	if len(ps) != len(qs) {
+		panic("elgamal: BatchAdd length mismatch")
+	}
+	jac := make([]jacPoint, len(ps))
+	parallel.For(len(ps), parallelMinChunk*4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var aq affinePoint
+			jac[i].fromPoint(ps[i])
+			aq.fromPoint(qs[i])
+			jac[i].addMixed(&jac[i], &aq)
+		}
+	})
+	return pointsFromJacobian(jac)
+}
+
+// mulWithTable multiplies through a table when available, falling back
+// to the stdlib path (loading the affine result back into dst).
+func mulWithTable(dst *jacPoint, t *fixedTable, base Point, k *big.Int) {
+	if k.Sign() == 0 {
+		dst.setInfinity()
+		return
+	}
+	if t != nil {
+		t.mul(dst, k)
+		return
+	}
+	dst.fromPoint(base.Mul(k))
+}
+
+// sharedBaseTable resolves the table to use for a batch against one
+// shared base: nil means "no table is worth it, use stdlib".
+func sharedBaseTable(base Point, n int) *fixedTable {
+	if base.isGenerator() {
+		return baseTable()
+	}
+	t := cachedTable(base)
+	if t == nil && n >= batchMulTableThreshold {
+		Precompute(base)
+		t = cachedTable(base)
+		if t == nil {
+			// Cache full; build a throwaway table for this call.
+			t = buildTable(base, sharedTableWidth)
+		}
+	}
+	return t
+}
+
+// BatchEncrypt encrypts every message under pk with fresh randomizers,
+// returning the ciphertexts and the randomizers (shuffle provers need
+// them; discard otherwise).
+func BatchEncrypt(pk Point, msgs []Point) ([]Ciphertext, []*big.Int) {
+	rs := RandomScalars(len(msgs))
+	gt := baseTable()
+	pt := sharedBaseTable(pk, len(msgs))
+	jac := make([]jacPoint, 2*len(msgs))
+	parallel.For(len(msgs), parallelMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gt.mul(&jac[2*i], rs[i])
+			mulWithTable(&jac[2*i+1], pt, pk, rs[i])
+			var am affinePoint
+			am.fromPoint(msgs[i])
+			jac[2*i+1].addMixed(&jac[2*i+1], &am)
+		}
+	})
+	pts := pointsFromJacobian(jac)
+	out := make([]Ciphertext, len(msgs))
+	for i := range out {
+		out[i] = Ciphertext{C1: pts[2*i], C2: pts[2*i+1]}
+	}
+	return out, rs
+}
+
+// BatchEncryptBits encrypts the PSC bin encoding of each bit (identity
+// for 0, the generator for 1) under pk, returning ciphertexts and
+// randomizers (bit-proof provers need them).
+func BatchEncryptBits(pk Point, bits []bool) ([]Ciphertext, []*big.Int) {
+	msgs := make([]Point, len(bits))
+	gen := Generator()
+	id := Identity()
+	for i, b := range bits {
+		if b {
+			msgs[i] = gen
+		} else {
+			msgs[i] = id
+		}
+	}
+	return BatchEncrypt(pk, msgs)
+}
+
+// BatchRerandomizeWith refreshes every ciphertext with the given
+// randomizers: out[i] = (C1ᵢ + rᵢ·G, C2ᵢ + rᵢ·pk).
+func BatchRerandomizeWith(pk Point, cs []Ciphertext, rs []*big.Int) []Ciphertext {
+	if len(cs) != len(rs) {
+		panic("elgamal: BatchRerandomizeWith length mismatch")
+	}
+	rs = reduceScalars(rs)
+	gt := baseTable()
+	pt := sharedBaseTable(pk, len(cs))
+	jac := make([]jacPoint, 2*len(cs))
+	parallel.For(len(cs), parallelMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var a affinePoint
+			gt.mul(&jac[2*i], rs[i])
+			a.fromPoint(cs[i].C1)
+			jac[2*i].addMixed(&jac[2*i], &a)
+			mulWithTable(&jac[2*i+1], pt, pk, rs[i])
+			a.fromPoint(cs[i].C2)
+			jac[2*i+1].addMixed(&jac[2*i+1], &a)
+		}
+	})
+	pts := pointsFromJacobian(jac)
+	out := make([]Ciphertext, len(cs))
+	for i := range out {
+		out[i] = Ciphertext{C1: pts[2*i], C2: pts[2*i+1]}
+	}
+	return out
+}
+
+// BatchRerandomize refreshes every ciphertext with fresh randomizers,
+// returning them alongside the new ciphertexts.
+func BatchRerandomize(pk Point, cs []Ciphertext) ([]Ciphertext, []*big.Int) {
+	rs := RandomScalars(len(cs))
+	return BatchRerandomizeWith(pk, cs, rs), rs
+}
+
+// BatchAddCiphertexts computes the homomorphic sum aᵢ + bᵢ elementwise
+// — the tally server's table-combining step — with one shared
+// normalization for the whole vector.
+func BatchAddCiphertexts(as, bs []Ciphertext) []Ciphertext {
+	if len(as) != len(bs) {
+		panic("elgamal: BatchAddCiphertexts length mismatch")
+	}
+	jac := make([]jacPoint, 2*len(as))
+	parallel.For(len(as), parallelMinChunk*4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var a affinePoint
+			jac[2*i].fromPoint(as[i].C1)
+			a.fromPoint(bs[i].C1)
+			jac[2*i].addMixed(&jac[2*i], &a)
+			jac[2*i+1].fromPoint(as[i].C2)
+			a.fromPoint(bs[i].C2)
+			jac[2*i+1].addMixed(&jac[2*i+1], &a)
+		}
+	})
+	pts := pointsFromJacobian(jac)
+	out := make([]Ciphertext, len(as))
+	for i := range out {
+		out[i] = Ciphertext{C1: pts[2*i], C2: pts[2*i+1]}
+	}
+	return out
+}
+
+// BatchExpBlind exponent-blinds every ciphertext with a fresh non-zero
+// scalar, returning the blinds for proof generation. The bases here are
+// the per-element ciphertext halves — no sharing to exploit — so each
+// element is two stdlib multiplications, spread across the worker pool.
+func BatchExpBlind(cs []Ciphertext) ([]Ciphertext, []*big.Int) {
+	ss := RandomScalars(len(cs))
+	out := make([]Ciphertext, len(cs))
+	parallel.For(len(cs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = cs[i].ExpBlindWith(ss[i])
+		}
+	})
+	return out, ss
+}
+
+// BatchPartialDecrypt computes this party's decryption share for every
+// ciphertext in the batch.
+func (k *PrivateKey) BatchPartialDecrypt(cs []Ciphertext) []DecryptionShare {
+	out := make([]DecryptionShare, len(cs))
+	parallel.For(len(cs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = k.PartialDecrypt(cs[i])
+		}
+	})
+	return out
+}
+
+// RecoverBatch recovers every plaintext point from a batch and its
+// parties' share vectors (shares[j][i] is party j's share for
+// ciphertext i): Mᵢ = C2ᵢ − Σⱼ sharesⱼᵢ, with one shared normalization.
+func RecoverBatch(cs []Ciphertext, shares [][]DecryptionShare) []Point {
+	for _, sv := range shares {
+		if len(sv) != len(cs) {
+			panic("elgamal: RecoverBatch length mismatch")
+		}
+	}
+	jac := make([]jacPoint, len(cs))
+	parallel.For(len(cs), parallelMinChunk*4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var a affinePoint
+			jac[i].fromPoint(cs[i].C2)
+			for j := range shares {
+				a.fromPoint(shares[j][i].Share)
+				jac[i].subMixed(&jac[i], &a)
+			}
+		}
+	})
+	return pointsFromJacobian(jac)
+}

@@ -1,0 +1,198 @@
+package elgamal
+
+// BenchmarkGroupOps measures the group core per element across three
+// arms wherever they exist:
+//
+//   - affine-ref: textbook affine math/big arithmetic (one inversion
+//     per point addition, double-and-add multiplication) — the
+//     "per-element affine path" the Jacobian rewrite replaces;
+//   - stdlib:     the deprecated crypto/elliptic entry points the old
+//     code actually called (assembly-backed on amd64);
+//   - batch:      the new Jacobian/table/batch pipeline.
+//
+// All arms report ns per element so the sub-benchmarks compare
+// directly. See PERF.md for recorded numbers.
+
+import (
+	"math/big"
+	"testing"
+)
+
+const benchBatch = 512
+
+// perBatch runs fn over batches whose sizes total b.N, so ns/op is per
+// element even for batched implementations.
+func perBatch(b *testing.B, fn func(n int)) {
+	b.ResetTimer()
+	for remaining := b.N; remaining > 0; remaining -= benchBatch {
+		n := benchBatch
+		if remaining < n {
+			n = remaining
+		}
+		fn(n)
+	}
+}
+
+func benchScalars(n int) []*big.Int { return RandomScalars(n) }
+
+func BenchmarkGroupOps(b *testing.B) {
+	ks := benchScalars(benchBatch)
+	base := stdlibBaseMul(RandomScalar())
+	points := BatchBaseMul(benchScalars(benchBatch))
+	points2 := BatchBaseMul(benchScalars(benchBatch))
+
+	b.Run("BaseMul/affine-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refAffineBaseMul(ks[i%benchBatch])
+		}
+	})
+	b.Run("BaseMul/stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stdlibBaseMul(ks[i%benchBatch])
+		}
+	})
+	b.Run("BaseMul/table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BaseMul(ks[i%benchBatch])
+		}
+	})
+	b.Run("BaseMul/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { BatchBaseMul(ks[:n]) })
+	})
+
+	b.Run("Mul/stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stdlibMul(base, ks[i%benchBatch])
+		}
+	})
+	b.Run("Mul/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { BatchMul(base, ks[:n]) })
+	})
+
+	b.Run("Add/affine-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refAffineAdd(points[i%benchBatch], points2[i%benchBatch])
+		}
+	})
+	b.Run("Add/stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stdlibAdd(points[i%benchBatch], points2[i%benchBatch])
+		}
+	})
+	b.Run("Add/single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			points[i%benchBatch].Add(points2[i%benchBatch])
+		}
+	})
+	b.Run("Add/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { BatchAdd(points[:n], points2[:n]) })
+	})
+}
+
+// BenchmarkCiphertextOps measures the protocol-level vector operations
+// per element: encryption, re-randomization, blinding, decryption
+// shares, and the proof verifications that dominate a verified PSC
+// round.
+func BenchmarkCiphertextOps(b *testing.B) {
+	key := GenerateKey()
+	Precompute(key.PK)
+	bits := make([]bool, benchBatch)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	cts, rs := BatchEncryptBits(key.PK, bits)
+	_ = rs
+
+	b.Run("EncryptBit/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EncryptBit(key.PK, i%2 == 0)
+		}
+	})
+	b.Run("EncryptBit/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { BatchEncryptBits(key.PK, bits[:n]) })
+	})
+
+	b.Run("Rerandomize/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cts[i%benchBatch].Rerandomize(key.PK)
+		}
+	})
+	b.Run("Rerandomize/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { BatchRerandomize(key.PK, cts[:n]) })
+	})
+
+	b.Run("PartialDecrypt/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			key.PartialDecrypt(cts[i%benchBatch])
+		}
+	})
+	b.Run("PartialDecrypt/batch", func(b *testing.B) {
+		perBatch(b, func(n int) { key.BatchPartialDecrypt(cts[:n]) })
+	})
+
+	shares := key.BatchPartialDecrypt(cts)
+	shareProofs := key.BatchProveShares(cts, shares)
+	b.Run("VerifyShare/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := i % benchBatch
+			if !VerifyShare(key.PK, cts[j], shares[j], shareProofs[j]) {
+				b.Fatal("share proof rejected")
+			}
+		}
+	})
+	b.Run("VerifyShare/batch", func(b *testing.B) {
+		perBatch(b, func(n int) {
+			if _, ok := VerifySharesBatch(key.PK, cts[:n], shares[:n], shareProofs[:n]); !ok {
+				b.Fatal("share batch rejected")
+			}
+		})
+	})
+
+	blinded, ss := BatchExpBlind(cts)
+	blindProofs := BatchProveBlinds(cts, blinded, ss)
+	b.Run("VerifyBlind/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := i % benchBatch
+			if !VerifyBlind(cts[j], blinded[j], blindProofs[j]) {
+				b.Fatal("blind proof rejected")
+			}
+		}
+	})
+	b.Run("VerifyBlind/batch", func(b *testing.B) {
+		perBatch(b, func(n int) {
+			if _, ok := VerifyBlindsBatch(cts[:n], blinded[:n], blindProofs[:n]); !ok {
+				b.Fatal("blind batch rejected")
+			}
+		})
+	})
+
+	bitProofs := BatchProveBits(key.PK, cts, bits, rs)
+	b.Run("VerifyBit/old", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := i % benchBatch
+			if !VerifyBit(key.PK, cts[j], bitProofs[j]) {
+				b.Fatal("bit proof rejected")
+			}
+		}
+	})
+	b.Run("VerifyBit/batch", func(b *testing.B) {
+		perBatch(b, func(n int) {
+			if _, ok := VerifyBitsBatch(key.PK, cts[:n], bitProofs[:n]); !ok {
+				b.Fatal("bit batch rejected")
+			}
+		})
+	})
+}
+
+// BenchmarkRandomScalar isolates the buffered-entropy win over a
+// syscall per scalar.
+func BenchmarkRandomScalar(b *testing.B) {
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RandomScalar()
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		perBatch(b, func(n int) { RandomScalars(n) })
+	})
+}

@@ -106,7 +106,14 @@ func (c Ciphertext) Equal(d Ciphertext) bool {
 
 // Bytes encodes the ciphertext as the concatenation of its two points.
 func (c Ciphertext) Bytes() []byte {
-	return append(c.C1.Bytes(), c.C2.Bytes()...)
+	return c.AppendTo(make([]byte, 0, 2*pointLen))
+}
+
+// AppendTo appends the ciphertext encoding to dst and returns the
+// extended slice, letting vector encoders amortize one allocation over
+// a whole batch.
+func (c Ciphertext) AppendTo(dst []byte) []byte {
+	return c.C2.AppendBytes(c.C1.AppendBytes(dst))
 }
 
 // ParseCiphertext decodes a ciphertext and returns bytes consumed.

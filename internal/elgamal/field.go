@@ -1,0 +1,344 @@
+package elgamal
+
+// P-256 base-field arithmetic on 4×64-bit limbs in Montgomery form.
+//
+// The deprecated crypto/elliptic entry points this package historically
+// used convert through math/big on every call and normalize every
+// intermediate result to affine coordinates (one field inversion per
+// point addition). The PSC hot loops — encrypting thousands of bins,
+// re-randomizing and blinding whole mix batches, verifying thousands of
+// Chaum–Pedersen proofs — pay that cost per element. This file provides
+// the raw field layer for the Jacobian group core in jacobian.go: a
+// multiplication is ~30ns instead of ~240ns for math/big Mul+Mod, and no
+// operation allocates.
+//
+// Arithmetic here is *variable time*. The reproduction runs simulated
+// parties inside one trusted process, so timing side channels between
+// parties are out of scope; see the package comment in group.go.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// fe is a field element: 4 little-endian 64-bit limbs, Montgomery form
+// (value·2^256 mod p).
+type fe [4]uint64
+
+// p256P is the field prime p = 2^256 − 2^224 + 2^192 + 2^96 − 1.
+var p256P = fe{0xffffffffffffffff, 0x00000000ffffffff, 0x0000000000000000, 0xffffffff00000001}
+
+// Montgomery constants, derived once from big.Int so they cannot drift
+// from the curve parameters.
+var (
+	feOneVal fe // R mod p, the Montgomery form of 1
+	feR2     fe // R² mod p, used to convert into Montgomery form
+	feBVal   fe // curve coefficient b in Montgomery form
+)
+
+func init() {
+	p := curve.Params().P
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	r.Mod(r, p)
+	feOneVal = feFromSaturated(r)
+	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
+	r2.Mod(r2, p)
+	feR2 = feFromSaturated(r2)
+	feBVal = feFromBig(curve.Params().B)
+}
+
+// limbsFromBig loads a non-negative big.Int of at most 64·len(out)
+// bits into little-endian 64-bit limbs, independent of the platform's
+// big.Word size.
+func limbsFromBig(out []uint64, v *big.Int) {
+	for i := range out {
+		out[i] = 0
+	}
+	if bits.UintSize == 64 {
+		for i, w := range v.Bits() {
+			out[i] = uint64(w)
+		}
+		return
+	}
+	for i, w := range v.Bits() {
+		out[i/2] |= uint64(w) << (32 * uint(i%2))
+	}
+}
+
+// feFromSaturated loads a reduced big.Int into limbs without Montgomery
+// conversion (the caller has already accounted for the R factor).
+func feFromSaturated(v *big.Int) fe {
+	var out fe
+	limbsFromBig(out[:], v)
+	return out
+}
+
+// feFromBig converts a big.Int in [0, p) into Montgomery form.
+func feFromBig(v *big.Int) fe {
+	raw := feFromSaturated(v)
+	var out fe
+	feMul(&out, &raw, &feR2)
+	return out
+}
+
+// feToBig converts out of Montgomery form into a fresh big.Int.
+func (x *fe) toBig() *big.Int {
+	var one = fe{1}
+	var raw fe
+	feMul(&raw, x, &one) // divides by R, leaving the true value
+	buf := make([]byte, 32)
+	for i := 0; i < 4; i++ {
+		limb := raw[3-i]
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(limb >> (56 - 8*j))
+		}
+	}
+	return new(big.Int).SetBytes(buf)
+}
+
+// isZero reports whether x is zero (works in Montgomery form: the
+// Montgomery representation of 0 is 0).
+func (x *fe) isZero() bool {
+	return x[0]|x[1]|x[2]|x[3] == 0
+}
+
+// feEqual reports limb equality; both sides must be reduced, which every
+// producer in this file guarantees.
+func feEqual(x, y *fe) bool {
+	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
+}
+
+// feAdd computes z = x + y mod p.
+func feAdd(z, x, y *fe) {
+	var c uint64
+	var t fe
+	t[0], c = bits.Add64(x[0], y[0], 0)
+	t[1], c = bits.Add64(x[1], y[1], c)
+	t[2], c = bits.Add64(x[2], y[2], c)
+	t[3], c = bits.Add64(x[3], y[3], c)
+	// Reduce: subtract p if the sum overflowed or is ≥ p.
+	var b uint64
+	var r fe
+	r[0], b = bits.Sub64(t[0], p256P[0], 0)
+	r[1], b = bits.Sub64(t[1], p256P[1], b)
+	r[2], b = bits.Sub64(t[2], p256P[2], b)
+	r[3], b = bits.Sub64(t[3], p256P[3], b)
+	_, b = bits.Sub64(c, 0, b)
+	if b == 0 {
+		*z = r
+	} else {
+		*z = t
+	}
+}
+
+// feSub computes z = x − y mod p.
+func feSub(z, x, y *fe) {
+	var b uint64
+	var t fe
+	t[0], b = bits.Sub64(x[0], y[0], 0)
+	t[1], b = bits.Sub64(x[1], y[1], b)
+	t[2], b = bits.Sub64(x[2], y[2], b)
+	t[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		t[0], c = bits.Add64(t[0], p256P[0], 0)
+		t[1], c = bits.Add64(t[1], p256P[1], c)
+		t[2], c = bits.Add64(t[2], p256P[2], c)
+		t[3], _ = bits.Add64(t[3], p256P[3], c)
+	}
+	*z = t
+}
+
+// feNeg computes z = −x mod p.
+func feNeg(z, x *fe) {
+	var zero fe
+	feSub(z, &zero, x)
+}
+
+// feMulBy2 computes z = 2x mod p.
+func feMulBy2(z, x *fe) { feAdd(z, x, x) }
+
+// feMulBy3 computes z = 3x mod p.
+func feMulBy3(z, x *fe) {
+	var t fe
+	feAdd(&t, x, x)
+	feAdd(z, &t, x)
+}
+
+// feMulBy4 computes z = 4x mod p.
+func feMulBy4(z, x *fe) {
+	var t fe
+	feAdd(&t, x, x)
+	feAdd(z, &t, &t)
+}
+
+// feMulBy8 computes z = 8x mod p.
+func feMulBy8(z, x *fe) {
+	var t fe
+	feAdd(&t, x, x)
+	feAdd(&t, &t, &t)
+	feAdd(z, &t, &t)
+}
+
+// feMul computes z = x·y·R⁻¹ mod p (Montgomery CIOS). Because
+// p[0] = 2^64 − 1 ≡ −1 (mod 2^64), the Montgomery factor −p⁻¹ mod 2^64
+// is 1, so m is simply the running low limb — and because
+// p = 2^256 + 2^192 + 2^96 − 2^224 − 1, the reduction step
+// t += m·p needs only shifted additions and subtractions of m instead
+// of four 64×64 multiplications:
+//
+//	t += m·2^256 + m·2^192 + m·2^96   (positive part, ≥ the negative)
+//	t −= m·2^224 + m                  (the −m zeroes limb 0 exactly)
+func feMul(z, x, y *fe) {
+	var t0, t1, t2, t3, t4 uint64
+	for i := 0; i < 4; i++ {
+		xi := x[i]
+		var carry, c, b, hi, lo uint64
+		hi, lo = bits.Mul64(xi, y[0])
+		t0, c = bits.Add64(t0, lo, 0)
+		carry = hi + c
+		hi, lo = bits.Mul64(xi, y[1])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t1, c = bits.Add64(t1, lo, 0)
+		carry = hi + c
+		hi, lo = bits.Mul64(xi, y[2])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t2, c = bits.Add64(t2, lo, 0)
+		carry = hi + c
+		hi, lo = bits.Mul64(xi, y[3])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t3, c = bits.Add64(t3, lo, 0)
+		t4 += hi + c
+
+		m := t0
+		ml := m << 32
+		mh := m >> 32
+		var t5 uint64
+		t1, c = bits.Add64(t1, ml, 0)
+		t2, c = bits.Add64(t2, mh, c)
+		t3, c = bits.Add64(t3, m, c)
+		t4, c = bits.Add64(t4, m, c)
+		t5 = c
+		_, b = bits.Sub64(t0, m, 0) // exact zero by construction
+		t1, b = bits.Sub64(t1, 0, b)
+		t2, b = bits.Sub64(t2, 0, b)
+		t3, b = bits.Sub64(t3, ml, b)
+		t4, b = bits.Sub64(t4, mh, b)
+		t5 -= b // cannot underflow: t + m·p ≥ 0 and fits 321 bits
+		t0, t1, t2, t3, t4 = t1, t2, t3, t4, t5
+	}
+	var b uint64
+	var r fe
+	r[0], b = bits.Sub64(t0, p256P[0], 0)
+	r[1], b = bits.Sub64(t1, p256P[1], b)
+	r[2], b = bits.Sub64(t2, p256P[2], b)
+	r[3], b = bits.Sub64(t3, p256P[3], b)
+	_, b = bits.Sub64(t4, 0, b)
+	if b == 0 {
+		*z = r
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}
+
+// feSqr computes z = x²·R⁻¹ mod p. Separate-operand-scanning squaring:
+// the six cross products are computed once and doubled with shifts
+// (10 half-size multiplications instead of 16), then four shift-based
+// Montgomery reduction rounds fold the low half into the high half.
+func feSqr(z, x *fe) {
+	// Cross products Σ_{i<j} xᵢxⱼ·2^{64(i+j)} in limbs r1..r6.
+	h01, l01 := bits.Mul64(x[0], x[1])
+	h02, l02 := bits.Mul64(x[0], x[2])
+	h03, l03 := bits.Mul64(x[0], x[3])
+	h12, l12 := bits.Mul64(x[1], x[2])
+	h13, l13 := bits.Mul64(x[1], x[3])
+	h23, l23 := bits.Mul64(x[2], x[3])
+
+	var c uint64
+	r1 := l01
+	r2, c := bits.Add64(h01, l02, 0)
+	r3, c := bits.Add64(h02, l03, c)
+	r4, c := bits.Add64(h03, l13, c)
+	r5, c := bits.Add64(h13, l23, c)
+	r6 := h23 + c
+	r3, c = bits.Add64(r3, l12, 0)
+	r4, c = bits.Add64(r4, h12, c)
+	r5, c = bits.Add64(r5, 0, c)
+	r6 += c
+
+	// Double the cross sum (top bit cannot overflow: the sum of cross
+	// products is < 2^447).
+	r7 := r6 >> 63
+	r6 = r6<<1 | r5>>63
+	r5 = r5<<1 | r4>>63
+	r4 = r4<<1 | r3>>63
+	r3 = r3<<1 | r2>>63
+	r2 = r2<<1 | r1>>63
+	r1 = r1 << 1
+
+	// Add the squares on the diagonal.
+	h0, l0 := bits.Mul64(x[0], x[0])
+	h1, l1 := bits.Mul64(x[1], x[1])
+	h2, l2 := bits.Mul64(x[2], x[2])
+	h3, l3 := bits.Mul64(x[3], x[3])
+	r0 := l0
+	r1, c = bits.Add64(r1, h0, 0)
+	r2, c = bits.Add64(r2, l1, c)
+	r3, c = bits.Add64(r3, h1, c)
+	r4, c = bits.Add64(r4, l2, c)
+	r5, c = bits.Add64(r5, h2, c)
+	r6, c = bits.Add64(r6, l3, c)
+	r7, _ = bits.Add64(r7, h3, c)
+
+	// Four Montgomery reduction rounds over the 8-limb square, same
+	// shift-based t += m·p as feMul, folding into a running 5-limb
+	// window (t4 tracks the carry limb above the window).
+	t0, t1, t2, t3, t4 := r0, r1, r2, r3, uint64(0)
+	high := [4]uint64{r4, r5, r6, r7}
+	for i := 0; i < 4; i++ {
+		var cc, b, t5 uint64
+		m := t0
+		ml := m << 32
+		mh := m >> 32
+		t1, cc = bits.Add64(t1, ml, 0)
+		t2, cc = bits.Add64(t2, mh, cc)
+		t3, cc = bits.Add64(t3, m, cc)
+		t4, cc = bits.Add64(t4, m, cc)
+		t5 = cc
+		_, b = bits.Sub64(t0, m, 0)
+		t1, b = bits.Sub64(t1, 0, b)
+		t2, b = bits.Sub64(t2, 0, b)
+		t3, b = bits.Sub64(t3, ml, b)
+		t4, b = bits.Sub64(t4, mh, b)
+		t5 -= b
+		// Shift the window down and pull in the next high limb.
+		t0, t1, t2 = t1, t2, t3
+		t3, cc = bits.Add64(t4, high[i], 0)
+		t4 = t5 + cc
+	}
+
+	var b uint64
+	var r fe
+	r[0], b = bits.Sub64(t0, p256P[0], 0)
+	r[1], b = bits.Sub64(t1, p256P[1], b)
+	r[2], b = bits.Sub64(t2, p256P[2], b)
+	r[3], b = bits.Sub64(t3, p256P[3], b)
+	_, b = bits.Sub64(t4, 0, b)
+	if b == 0 {
+		*z = r
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}
+
+// feInv computes z = x⁻¹ mod p, delegating to big.Int's binary extended
+// GCD. Inversions are rare by design — one per *batch* of point
+// normalizations (see batchToAffine) — so the conversion cost is noise.
+func feInv(z, x *fe) {
+	v := x.toBig()
+	v.ModInverse(v, curve.Params().P)
+	*z = feFromBig(v)
+}

@@ -52,3 +52,49 @@ func FuzzParseCiphertext(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScalarMulEquivalence drives the table/Jacobian multiplication
+// paths against the stdlib affine results with arbitrary 32-byte
+// scalars: every path must agree on every input, including values at
+// or above the group order.
+func FuzzScalarMulEquivalence(f *testing.F) {
+	f.Add(make([]byte, 32))
+	f.Add(big.NewInt(1).FillBytes(make([]byte, 32)))
+	f.Add(order.Bytes())
+	f.Add(new(big.Int).Sub(order, big.NewInt(1)).FillBytes(make([]byte, 32)))
+	f.Add(new(big.Int).Add(order, big.NewInt(1)).FillBytes(make([]byte, 32)))
+	f.Fuzz(func(t *testing.T, kb []byte) {
+		if len(kb) > 32 {
+			kb = kb[:32]
+		}
+		k := new(big.Int).SetBytes(kb)
+		if got, want := BaseMul(k), stdlibBaseMul(k); !got.Equal(want) {
+			t.Fatalf("BaseMul(%v) mismatch", k)
+		}
+		p := stdlibBaseMul(big.NewInt(777))
+		if got, want := p.Mul(k), stdlibMul(p, k); !got.Equal(want) {
+			t.Fatalf("Mul(%v) mismatch", k)
+		}
+		if got := BatchBaseMul([]*big.Int{k, k}); !got[0].Equal(got[1]) || !got[0].Equal(stdlibBaseMul(k)) {
+			t.Fatalf("BatchBaseMul(%v) mismatch", k)
+		}
+	})
+}
+
+// FuzzAddEquivalence checks the Jacobian addition against stdlib on
+// arbitrary pairs of multiples of G.
+func FuzzAddEquivalence(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(5), uint64(7))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		p := BaseMul(new(big.Int).SetUint64(a))
+		q := BaseMul(new(big.Int).SetUint64(b))
+		if got, want := p.Add(q), stdlibAdd(p, q); !got.Equal(want) {
+			t.Fatalf("Add mismatch for %d, %d", a, b)
+		}
+		if got, want := p.Sub(q), stdlibAdd(p, q.Neg()); !got.Equal(want) {
+			t.Fatalf("Sub mismatch for %d, %d", a, b)
+		}
+	})
+}

@@ -10,14 +10,45 @@
 // parties mix and blind them so that only the *number* of non-zero bins
 // survives, and joint decryption reveals that count plus noise — never
 // any individual item.
+//
+// # Performance architecture
+//
+// PSC spends essentially all of its runtime here, on vectors of
+// thousands of ciphertexts per round, so the group core is built for
+// batch throughput:
+//
+//   - point arithmetic runs in Jacobian coordinates over a dedicated
+//     4×64-limb Montgomery field (field.go, jacobian.go), with batch
+//     affine normalization so a vector of operations costs one field
+//     inversion instead of one per element;
+//   - fixed-base multiplication uses precomputed windowed tables
+//     (table.go) for the generator and for hot shared bases such as a
+//     round's joint public key (see Precompute);
+//   - vectorized entry points (Batch* in batch.go, elgamal.go) fan out
+//     over a runtime.NumCPU()-sized worker pool and keep intermediate
+//     results projective;
+//   - proof batches are verified with random-linear-combination checks
+//     over a shared-doubling multi-scalar multiplication (verify.go).
+//
+// Single-element variable-base multiplications still delegate to the
+// assembly-backed crypto/elliptic P-256, which remains the fastest
+// primitive available for that one shape.
+//
+// The new core is *variable time*: table indices and NAF digits depend
+// on scalar bits. The reproduction simulates all parties in one trusted
+// process, so cross-party timing side channels are out of scope here —
+// a real deployment must swap in constant-time arithmetic.
 package elgamal
 
 import (
+	"bufio"
 	"crypto/elliptic"
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
+	"sync"
 )
 
 var (
@@ -57,7 +88,13 @@ func (p Point) IsValid() bool {
 	if p.IsIdentity() {
 		return true
 	}
-	return curve.IsOnCurve(p.X, p.Y)
+	pp := curve.Params().P
+	if p.X.Sign() < 0 || p.X.Cmp(pp) >= 0 || p.Y.Sign() < 0 || p.Y.Cmp(pp) >= 0 {
+		return false
+	}
+	var a affinePoint
+	a.fromPoint(p)
+	return a.onCurve()
 }
 
 // Equal reports whether two points are the same group element.
@@ -68,10 +105,20 @@ func (p Point) Equal(q Point) bool {
 	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
 }
 
+// isGenerator reports whether p is the standard base point.
+func (p Point) isGenerator() bool {
+	params := curve.Params()
+	return p.X != nil && p.Y != nil && p.X.Cmp(params.Gx) == 0 && p.Y.Cmp(params.Gy) == 0
+}
+
 // Add returns p + q.
 func (p Point) Add(q Point) Point {
-	x, y := curve.Add(p.X, p.Y, q.X, q.Y)
-	return Point{X: x, Y: y}
+	var jp jacPoint
+	var aq affinePoint
+	jp.fromPoint(p)
+	aq.fromPoint(q)
+	jp.addMixed(&jp, &aq)
+	return jp.toPoint()
 }
 
 // Neg returns -p.
@@ -85,9 +132,20 @@ func (p Point) Neg() Point {
 }
 
 // Sub returns p - q.
-func (p Point) Sub(q Point) Point { return p.Add(q.Neg()) }
+func (p Point) Sub(q Point) Point {
+	var jp jacPoint
+	var aq affinePoint
+	jp.fromPoint(p)
+	aq.fromPoint(q)
+	jp.subMixed(&jp, &aq)
+	return jp.toPoint()
+}
 
-// Mul returns k·p for a scalar k.
+// Mul returns k·p for a scalar k. Multiplications by the generator or
+// by a base with a precomputed table (see Precompute) use the windowed
+// fixed-base path; other bases delegate to the stdlib assembly
+// implementation, which is the fastest single-shot variable-base
+// multiplication available.
 func (p Point) Mul(k *big.Int) Point {
 	if p.IsIdentity() || k.Sign() == 0 {
 		return Identity()
@@ -96,18 +154,27 @@ func (p Point) Mul(k *big.Int) Point {
 	if kk.Sign() == 0 {
 		return Identity()
 	}
+	if p.isGenerator() {
+		return BaseMul(kk)
+	}
+	if t := cachedTable(p); t != nil {
+		var jp jacPoint
+		t.mul(&jp, kk)
+		return jp.toPoint()
+	}
 	x, y := curve.ScalarMult(p.X, p.Y, kk.Bytes())
 	return Point{X: x, Y: y}
 }
 
-// BaseMul returns k·G.
+// BaseMul returns k·G via the static precomputed generator table.
 func BaseMul(k *big.Int) Point {
 	kk := new(big.Int).Mod(k, order)
 	if kk.Sign() == 0 {
 		return Identity()
 	}
-	x, y := curve.ScalarBaseMult(kk.Bytes())
-	return Point{X: x, Y: y}
+	var jp jacPoint
+	baseTable().mul(&jp, kk)
+	return jp.toPoint()
 }
 
 const pointLen = 1 + 32 + 32
@@ -115,13 +182,22 @@ const pointLen = 1 + 32 + 32
 // Bytes encodes the point: a tag byte (0 identity, 4 uncompressed)
 // followed by two 32-byte big-endian coordinates for non-identity points.
 func (p Point) Bytes() []byte {
-	out := make([]byte, 0, pointLen)
+	return p.AppendBytes(make([]byte, 0, pointLen))
+}
+
+// AppendBytes appends the encoding of p to dst and returns the extended
+// slice, letting vector encoders reuse one allocation (see
+// psc's encodeVector).
+func (p Point) AppendBytes(dst []byte) []byte {
 	if p.IsIdentity() {
-		return append(out, 0)
+		return append(dst, 0)
 	}
-	out = append(out, 4)
-	out = append(out, p.X.FillBytes(make([]byte, 32))...)
-	return append(out, p.Y.FillBytes(make([]byte, 32))...)
+	n := len(dst)
+	dst = append(dst, make([]byte, pointLen)...)
+	dst[n] = 4
+	p.X.FillBytes(dst[n+1 : n+33])
+	p.Y.FillBytes(dst[n+33 : n+65])
+	return dst
 }
 
 // ParsePoint decodes a point produced by Bytes and validates curve
@@ -150,18 +226,64 @@ func ParsePoint(b []byte) (Point, int, error) {
 	}
 }
 
+// randReaders pools buffered readers over the crypto randomness source,
+// so scalar generation in the mix/blind loops costs an occasional bulk
+// read instead of one syscall per scalar.
+var randReaders = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(rand.Reader, 4096) },
+}
+
 // RandomScalar returns a uniform scalar in [1, order-1] using the
 // cryptographic randomness source.
 func RandomScalar() *big.Int {
+	r := randReaders.Get().(*bufio.Reader)
+	defer randReaders.Put(r)
+	k := new(big.Int)
+	var buf [32]byte
 	for {
-		k, err := rand.Int(rand.Reader, order)
-		if err != nil {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
 			panic("elgamal: crypto/rand failed: " + err.Error())
 		}
-		if k.Sign() != 0 {
+		k.SetBytes(buf[:])
+		// Rejection-sample for uniformity; the order is within 2^-32 of
+		// 2^256 so retries are vanishingly rare.
+		if k.Sign() != 0 && k.Cmp(order) < 0 {
 			return k
 		}
 	}
+}
+
+// RandomScalars returns n uniform scalars in [1, order-1], drawing the
+// randomness in bulk.
+func RandomScalars(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	r := randReaders.Get().(*bufio.Reader)
+	defer randReaders.Put(r)
+	var buf [32]byte
+	for i := range out {
+		k := new(big.Int)
+		for {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				panic("elgamal: crypto/rand failed: " + err.Error())
+			}
+			k.SetBytes(buf[:])
+			if k.Sign() != 0 && k.Cmp(order) < 0 {
+				break
+			}
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// randomScalarBits returns a uniform scalar of the given bit width,
+// used for the random coefficients of batched proof verification.
+func randomScalarBits(r *bufio.Reader, bits int) *big.Int {
+	buf := make([]byte, bits/8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		panic("elgamal: crypto/rand failed: " + err.Error())
+	}
+	return new(big.Int).SetBytes(buf)
 }
 
 // Order returns a copy of the group order.

@@ -1,9 +1,14 @@
 package elgamal
 
 import (
+	"bufio"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
+	"io"
 	"math/big"
+
+	"repro/internal/parallel"
 )
 
 // This file implements the two zero-knowledge arguments PSC needs from
@@ -212,30 +217,48 @@ type ShuffleWitness struct {
 }
 
 // Shuffle produces out[i] = Rerandomize(in[perm[i]]). The permutation is
-// drawn from crypto/rand.
+// drawn from crypto/rand; the re-randomizations run through the batch
+// fixed-base path (shared tables, one normalization).
 func Shuffle(pk Point, in []Ciphertext) ([]Ciphertext, ShuffleWitness) {
-	n := len(in)
-	perm := randomPerm(n)
-	out := make([]Ciphertext, n)
-	rands := make([]*big.Int, n)
-	for i := 0; i < n; i++ {
-		r := RandomScalar()
-		rands[i] = r
-		out[i] = in[perm[i]].RerandomizeWith(pk, r)
-	}
-	return out, ShuffleWitness{Perm: perm, Rand: rands}
+	perm := randomPerm(len(in))
+	rands := RandomScalars(len(in))
+	return BatchRerandomizeWith(pk, permute(in, perm), rands), ShuffleWitness{Perm: perm, Rand: rands}
 }
 
-// randomPerm draws a uniform permutation of [0,n) using crypto/rand via
-// RandomScalar-backed Fisher–Yates.
+// permute gathers in[perm[i]] into a fresh slice.
+func permute(in []Ciphertext, perm []int) []Ciphertext {
+	out := make([]Ciphertext, len(perm))
+	for i, j := range perm {
+		out[i] = in[j]
+	}
+	return out
+}
+
+// randomPerm draws a uniform permutation of [0,n) by Fisher–Yates over
+// buffered cryptographic randomness.
 func randomPerm(n int) []int {
 	p := make([]int, n)
 	for i := range p {
 		p[i] = i
 	}
+	r := randReaders.Get().(*bufio.Reader)
+	defer randReaders.Put(r)
+	var buf [8]byte
 	for i := n - 1; i > 0; i-- {
-		j := int(new(big.Int).Mod(RandomScalar(), big.NewInt(int64(i+1))).Int64())
-		p[i], p[j] = p[j], p[i]
+		// Rejection-sample a uniform index in [0, i].
+		bound := uint64(i) + 1
+		limit := (^uint64(0) / bound) * bound
+		for {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				panic("elgamal: crypto/rand failed: " + err.Error())
+			}
+			v := binary.LittleEndian.Uint64(buf[:])
+			if v < limit {
+				j := int(v % bound)
+				p[i], p[j] = p[j], p[i]
+				break
+			}
+		}
 	}
 	return p
 }
@@ -268,13 +291,8 @@ func ProveShuffle(pk Point, in, out []Ciphertext, w ShuffleWitness, rounds int) 
 	proof := ShuffleProof{Rounds: make([]ShuffleRound, rounds)}
 	for r := 0; r < rounds; r++ {
 		shadowPerm := randomPerm(n)
-		shadowRand := make([]*big.Int, n)
-		shadow := make([]Ciphertext, n)
-		for i := 0; i < n; i++ {
-			s := RandomScalar()
-			shadowRand[i] = s
-			shadow[i] = in[shadowPerm[i]].RerandomizeWith(pk, s)
-		}
+		shadowRand := RandomScalars(n)
+		shadow := BatchRerandomizeWith(pk, permute(in, shadowPerm), shadowRand)
 		bit := challengeBit(pk, in, out, shadow, r)
 		round := ShuffleRound{Shadow: shadow}
 		if bit == 0 {
@@ -328,13 +346,16 @@ func VerifyShuffle(pk Point, in, out []Ciphertext, proof ShuffleProof) error {
 		} else {
 			src, dst = round.Shadow, out
 		}
-		for i := 0; i < n; i++ {
-			rr := round.OpenRand[i]
+		for _, rr := range round.OpenRand {
 			if rr == nil || rr.Sign() < 0 || rr.Cmp(order) >= 0 {
 				return ErrBadShuffle
 			}
-			want := src[round.OpenPerm[i]].RerandomizeWith(pk, rr)
-			if !want.Equal(dst[i]) {
+		}
+		// Re-derive the opened side in one batch (shared tables, one
+		// normalization) and compare.
+		want := BatchRerandomizeWith(pk, permute(src, round.OpenPerm), round.OpenRand)
+		for i := 0; i < n; i++ {
+			if !want[i].Equal(dst[i]) {
 				return ErrBadShuffle
 			}
 		}
@@ -377,4 +398,47 @@ func isPerm(p []int) bool {
 		seen[v] = true
 	}
 	return true
+}
+
+// BatchProveShares produces the share-correctness proofs for a whole
+// batch across the worker pool.
+func (k *PrivateKey) BatchProveShares(cs []Ciphertext, shares []DecryptionShare) []EqualityProof {
+	out := make([]EqualityProof, len(cs))
+	parallel.For(len(cs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = k.ProveShare(cs[i], shares[i])
+		}
+	})
+	return out
+}
+
+// BatchProveBlinds produces the exponent-blinding proofs for a whole
+// batch across the worker pool.
+func BatchProveBlinds(ins, outs []Ciphertext, ss []*big.Int) []EqualityProof {
+	if len(ins) != len(outs) || len(ins) != len(ss) {
+		panic("elgamal: BatchProveBlinds length mismatch")
+	}
+	out := make([]EqualityProof, len(ins))
+	parallel.For(len(ins), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ProveBlind(ins[i], outs[i], ss[i])
+		}
+	})
+	return out
+}
+
+// BatchProveBits produces the noise-bit OR-proofs for a whole batch
+// across the worker pool. cs and rs must come from BatchEncryptBits
+// (or EncryptWith) for the same bits.
+func BatchProveBits(pk Point, cs []Ciphertext, bits []bool, rs []*big.Int) []BitProof {
+	if len(cs) != len(bits) || len(cs) != len(rs) {
+		panic("elgamal: BatchProveBits length mismatch")
+	}
+	out := make([]BitProof, len(cs))
+	parallel.For(len(cs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ProveBit(pk, cs[i], bits[i], rs[i])
+		}
+	})
+	return out
 }

@@ -1,0 +1,171 @@
+package elgamal
+
+// Precomputed windowed tables for fixed-base scalar multiplication
+// (Yao's method). A scalar is cut into d = ceil(256/w) windows of w
+// bits; table window j holds every odd-and-even multiple m·2^(wj)·B for
+// m = 1..2^w−1 in affine form, so one multiplication is d table lookups
+// and at most d−1 mixed additions — no doublings at all — and the
+// result stays in Jacobian coordinates for the caller to normalize
+// (ideally in a batch).
+//
+// Two kinds of table exist:
+//
+//   - one static table for the generator G (width 12, ~5.8 MB, built
+//     lazily once per process): every encryption, re-randomization,
+//     proof commitment, and verification does at least one BaseMul;
+//   - cached per-base tables (width 8, ~0.5 MB) for hot shared bases.
+//     A PSC round multiplies thousands of scalars against the *same*
+//     joint public key, so the build cost amortizes to noise. Tables
+//     are built explicitly via Precompute, or by the batch APIs when a
+//     batch is large enough to repay an on-the-spot build.
+
+import (
+	"math/big"
+	"sync"
+)
+
+type fixedTable struct {
+	w       uint
+	windows [][]affinePoint // windows[j][m-1] = m·2^(wj)·B
+}
+
+// buildTable precomputes a width-w table for base (must not be the
+// identity). All entries are accumulated in Jacobian coordinates and
+// normalized to affine with a single shared inversion.
+func buildTable(base Point, w uint) *fixedTable {
+	d := (256 + int(w) - 1) / int(w)
+	size := 1<<w - 1
+	entries := make([]jacPoint, d*size)
+	var windowBase jacPoint
+	windowBase.fromPoint(base)
+	for j := 0; j < d; j++ {
+		win := entries[j*size : (j+1)*size]
+		win[0] = windowBase
+		for m := 2; m <= size; m++ {
+			if m%2 == 0 {
+				win[m-1].double(&win[m/2-1])
+			} else {
+				win[m-1].add(&win[m-2], &windowBase)
+			}
+		}
+		if j+1 < d {
+			// Next window base: 2^w·windowBase = double of the 2^(w-1)
+			// entry.
+			windowBase.double(&win[1<<(w-1)-1])
+		}
+	}
+	aff := batchToAffine(entries)
+	t := &fixedTable{w: w, windows: make([][]affinePoint, d)}
+	for j := 0; j < d; j++ {
+		t.windows[j] = aff[j*size : (j+1)*size]
+	}
+	return t
+}
+
+// mul computes k·B into dst. k must be reduced mod the group order.
+func (t *fixedTable) mul(dst *jacPoint, k *big.Int) {
+	limbs := scalarLimbs(k)
+	dst.setInfinity()
+	w := int(t.w)
+	mask := uint64(1)<<t.w - 1
+	for j := range t.windows {
+		bit := j * w
+		limb := bit >> 6
+		off := uint(bit & 63)
+		digit := limbs[limb] >> off
+		if off+t.w > 64 && limb+1 < 4 {
+			digit |= limbs[limb+1] << (64 - off)
+		}
+		digit &= mask
+		if digit != 0 {
+			dst.addMixed(dst, &t.windows[j][digit-1])
+		}
+	}
+}
+
+// --- Static generator table ---
+
+const baseTableWidth = 12
+
+var (
+	baseTableOnce sync.Once
+	baseTableVal  *fixedTable
+)
+
+func baseTable() *fixedTable {
+	baseTableOnce.Do(func() {
+		baseTableVal = buildTable(Generator(), baseTableWidth)
+	})
+	return baseTableVal
+}
+
+// --- Cached tables for hot shared bases ---
+
+const (
+	sharedTableWidth = 8
+	maxCachedTables  = 32
+)
+
+type tableKey [64]byte
+
+func keyOf(p Point) tableKey {
+	var k tableKey
+	p.X.FillBytes(k[:32])
+	p.Y.FillBytes(k[32:])
+	return k
+}
+
+var tableCache = struct {
+	sync.RWMutex
+	tables map[tableKey]*fixedTable
+	order  []tableKey // insertion order, for FIFO eviction
+}{
+	tables: make(map[tableKey]*fixedTable),
+}
+
+// cachedTable returns the table for base if one has been precomputed,
+// taking only a read lock so concurrent workers never serialize on the
+// lookup. Tables are created by Precompute (protocol setup knows which
+// bases are hot) or by the batch APIs when a batch is large enough to
+// repay an on-the-spot build.
+func cachedTable(base Point) *fixedTable {
+	k := keyOf(base)
+	tableCache.RLock()
+	t := tableCache.tables[k]
+	tableCache.RUnlock()
+	return t
+}
+
+// Precompute builds and caches a fixed-base table for p, accelerating
+// every subsequent Mul/BatchMul and proof verification against that
+// base. PSC parties call it on the round's joint key: one build (a few
+// milliseconds) is repaid across the thousands of per-bin operations of
+// the round. It is a no-op for the identity, the generator (which has a
+// larger static table), and already-cached bases. When the cache is
+// full the oldest table is evicted — round keys are ephemeral, so a
+// long-lived party keeps accelerating new rounds instead of pinning
+// tables for dead keys.
+func Precompute(p Point) {
+	if !p.IsValid() || p.IsIdentity() || p.Equal(Generator()) {
+		return
+	}
+	k := keyOf(p)
+	tableCache.RLock()
+	_, ok := tableCache.tables[k]
+	tableCache.RUnlock()
+	if ok {
+		return
+	}
+	t := buildTable(p, sharedTableWidth)
+	tableCache.Lock()
+	if _, ok := tableCache.tables[k]; !ok {
+		for len(tableCache.tables) >= maxCachedTables {
+			oldest := tableCache.order[0]
+			tableCache.order = tableCache.order[1:]
+			delete(tableCache.tables, oldest)
+		}
+		tableCache.tables[k] = t
+		tableCache.order = append(tableCache.order, k)
+	}
+	tableCache.Unlock()
+}

@@ -1,0 +1,90 @@
+// Package parallel provides the process-wide worker pool the batch
+// crypto APIs fan out on. PSC rounds are embarrassingly parallel at the
+// vector-element level (thousands of independent group operations), so
+// batch callers split work into chunks and feed them here rather than
+// spawning goroutines per call.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the pool size: one worker per CPU.
+var Workers = runtime.NumCPU()
+
+var (
+	startOnce sync.Once
+	tasks     chan func()
+)
+
+// start lazily launches the pool so importing the package costs nothing.
+func start() {
+	tasks = make(chan func(), Workers)
+	for i := 0; i < Workers; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// For runs fn over [0, n) split into contiguous chunks of at least
+// minChunk elements, using the worker pool. It blocks until every chunk
+// completes. Nested use cannot deadlock: chunk submission never blocks
+// (a saturated queue makes the submitter run the chunk itself), and
+// while waiting the submitter drains queued tasks — so a pool worker
+// that itself calls For keeps the whole pool making progress instead of
+// parking on its WaitGroup.
+func For(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	chunks := Workers
+	if c := (n + minChunk - 1) / minChunk; c < chunks {
+		chunks = c
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	startOnce.Do(start)
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		lo := lo
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case tasks <- task:
+		default:
+			task()
+		}
+	}
+	// Work-steal while waiting: execute whatever is queued (ours or
+	// another call's) until our own chunks are all done.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case f := <-tasks:
+			f()
+		case <-done:
+			return
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		var sum atomic.Int64
+		var calls atomic.Int64
+		seen := make([]atomic.Bool, n)
+		For(n, 8, func(lo, hi int) {
+			calls.Add(1)
+			for i := lo; i < hi; i++ {
+				if seen[i].Swap(true) {
+					t.Errorf("index %d visited twice", i)
+				}
+				sum.Add(int64(i))
+			}
+		})
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if sum.Load() != want {
+			t.Fatalf("n=%d: sum %d, want %d", n, sum.Load(), want)
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("n=%d: index %d not visited", n, i)
+			}
+		}
+	}
+}
+
+// TestForNested ensures nested For calls cannot deadlock: inner calls
+// run inline when the pool is saturated.
+func TestForNested(t *testing.T) {
+	var count atomic.Int64
+	For(100, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(10, 1, func(ilo, ihi int) {
+				count.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if count.Load() != 1000 {
+		t.Fatalf("nested count %d, want 1000", count.Load())
+	}
+}
+
+func TestForMinChunk(t *testing.T) {
+	// A range smaller than one chunk must run as a single call.
+	calls := 0
+	For(5, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 5 {
+			t.Fatalf("unexpected chunk [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("%d calls, want 1", calls)
+	}
+}

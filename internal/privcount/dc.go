@@ -54,12 +54,15 @@ func (dc *DC) Setup() error {
 
 	// One uniformly random share vector per SK; the counters absorb all
 	// of them, and each SK will subtract its copy at aggregation time.
-	boxes := make(map[string][]byte, len(cfg.SKNames))
-	for _, sk := range cfg.SKNames {
+	// The per-SK boxes are independent, so they seal as one batch.
+	pubs := make([][]byte, len(cfg.SKNames))
+	plains := make([][]byte, len(cfg.SKNames))
+	for i, sk := range cfg.SKNames {
 		pub, ok := cfg.SKKeys[sk]
 		if !ok {
 			return fmt.Errorf("privcount dc %s: no seal key for SK %s", dc.Name, sk)
 		}
+		pubs[i] = pub
 		shares := RandomShares(schema.Size())
 		if err := dc.counters.AddBlinding(shares); err != nil {
 			return err
@@ -68,11 +71,15 @@ func (dc *DC) Setup() error {
 		if err != nil {
 			return err
 		}
-		box, err := Seal(pub, plain)
-		if err != nil {
-			return fmt.Errorf("privcount dc %s: seal for %s: %w", dc.Name, sk, err)
-		}
-		boxes[sk] = box
+		plains[i] = plain
+	}
+	sealed, err := SealBatch(pubs, plains)
+	if err != nil {
+		return fmt.Errorf("privcount dc %s: seal shares: %w", dc.Name, err)
+	}
+	boxes := make(map[string][]byte, len(cfg.SKNames))
+	for i, sk := range cfg.SKNames {
+		boxes[sk] = sealed[i]
 	}
 	if err := dc.conn.Send(kindShares, SharesMsg{From: dc.Name, Boxes: boxes}); err != nil {
 		return fmt.Errorf("privcount dc %s: shares: %w", dc.Name, err)

@@ -8,6 +8,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+
+	"repro/internal/parallel"
 )
 
 // Sealed boxes carry a DC's blinding shares to each share keeper via
@@ -105,4 +107,45 @@ func newAEAD(shared, ephPub, recipPub []byte) (cipher.AEAD, error) {
 		return nil, err
 	}
 	return cipher.NewGCM(block)
+}
+
+// SealBatch seals plaintexts[i] to recipients[i] across the worker
+// pool; each box costs an X25519 key generation and agreement, so a DC
+// distributing shares to many share keepers parallelizes cleanly. On
+// any failure the first error (by index) is returned.
+func SealBatch(recipients, plaintexts [][]byte) ([][]byte, error) {
+	if len(recipients) != len(plaintexts) {
+		return nil, errors.New("privcount: SealBatch length mismatch")
+	}
+	out := make([][]byte, len(recipients))
+	errs := make([]error, len(recipients))
+	parallel.For(len(recipients), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = Seal(recipients[i], plaintexts[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// OpenBatch opens every box with the recipient key across the worker
+// pool, with the same error contract as SealBatch.
+func (k *SealKey) OpenBatch(boxes [][]byte) ([][]byte, error) {
+	out := make([][]byte, len(boxes))
+	errs := make([]error, len(boxes))
+	parallel.For(len(boxes), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], errs[i] = k.Open(boxes[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

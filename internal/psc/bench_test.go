@@ -1,0 +1,103 @@
+package psc
+
+// BenchmarkPSCRound runs one complete PSC round — DC table encryption,
+// homomorphic combination, the full CP mixing pipeline (noise, shuffle,
+// blind, with and without proofs), joint verified decryption — over
+// in-memory pipes. It is the end-to-end canary for the group-core
+// batching: the protocol spends essentially all of its time in
+// internal/elgamal.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func runBenchRound(b *testing.B, bins, noisePerCP, proofRounds, items int) {
+	cfg := Config{
+		Round:              1,
+		Bins:               bins,
+		NoisePerCP:         noisePerCP,
+		ShuffleProofRounds: proofRounds,
+		NumDCs:             2,
+		NumCPs:             2,
+	}
+	tally, err := NewTally(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tsConns []*wire.Conn
+	var dcs []*DC
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumCPs; i++ {
+		ts, side := wire.Pipe()
+		tsConns = append(tsConns, ts)
+		cp := NewCP(fmt.Sprintf("cp%d", i), side, nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cp.Serve(); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	var setup sync.WaitGroup
+	for i := 0; i < cfg.NumDCs; i++ {
+		ts, side := wire.Pipe()
+		tsConns = append(tsConns, ts)
+		dc := NewDC(fmt.Sprintf("dc%d", i), side)
+		dcs = append(dcs, dc)
+		setup.Add(1)
+		go func() {
+			defer setup.Done()
+			if err := dc.Setup(); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	done := make(chan error, 1)
+	var res Result
+	go func() {
+		r, err := tally.Run(tsConns)
+		res = r
+		done <- err
+	}()
+	setup.Wait()
+	for d, dc := range dcs {
+		for k := 0; k < items; k++ {
+			if err := dc.Observe(fmt.Sprintf("item-%d-%d", d, k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := dc.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	if res.Bins != bins {
+		b.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func BenchmarkPSCRound(b *testing.B) {
+	b.Run("verified/bins-512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchRound(b, 512, 64, 1, 200)
+		}
+	})
+	b.Run("honest/bins-512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchRound(b, 512, 64, 0, 200)
+		}
+	})
+	b.Run("verified/bins-2048", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runBenchRound(b, 2048, 128, 1, 800)
+		}
+	})
+}

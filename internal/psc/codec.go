@@ -11,11 +11,11 @@ import (
 // bandwidth, so vectors are packed into a single byte slice rather than
 // per-element gob structures.
 
-// encodeVector packs ciphertexts back to back.
+// encodeVector packs ciphertexts back to back into one allocation.
 func encodeVector(v []elgamal.Ciphertext) []byte {
 	out := make([]byte, 0, len(v)*130)
 	for _, c := range v {
-		out = append(out, c.Bytes()...)
+		out = c.AppendTo(out)
 	}
 	return out
 }

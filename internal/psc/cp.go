@@ -47,6 +47,9 @@ func (cp *CP) Serve() error {
 		return fmt.Errorf("psc cp %s: joint key: %w", cp.Name, err)
 	}
 	cp.joint = joint
+	// Every operation of the round multiplies against the joint key;
+	// one table build here repays itself thousands of times.
+	elgamal.Precompute(cp.joint)
 
 	if err := cp.mixPhase(); err != nil {
 		return err
@@ -65,21 +68,21 @@ func (cp *CP) mixPhase() error {
 	}
 	prove := cp.cfg.ShuffleProofRounds > 0
 
-	// Stage 1: append fair-coin noise with bit proofs.
-	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+cp.cfg.NoisePerCP)
+	// Stage 1: append fair-coin noise with bit proofs, encrypting the
+	// whole noise vector in one batch.
+	bits := make([]bool, cp.cfg.NoisePerCP)
+	for i := range bits {
+		bits[i] = cp.noise.Binomial(1) == 1
+	}
+	noiseCts, noiseRands := elgamal.BatchEncryptBits(cp.joint, bits)
+	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+len(noiseCts))
 	withNoise = append(withNoise, batch...)
+	withNoise = append(withNoise, noiseCts...)
 	var bitProofs []wireBitProof
-	for i := 0; i < cp.cfg.NoisePerCP; i++ {
-		bit := cp.noise.Binomial(1) == 1
-		r := elgamal.RandomScalar()
-		msg := elgamal.Identity()
-		if bit {
-			msg = elgamal.Generator()
-		}
-		c := elgamal.EncryptWith(cp.joint, msg, r)
-		withNoise = append(withNoise, c)
-		if prove {
-			bitProofs = append(bitProofs, packBitProof(elgamal.ProveBit(cp.joint, c, bit, r)))
+	if prove {
+		bitProofs = make([]wireBitProof, len(noiseCts))
+		for i, pr := range elgamal.BatchProveBits(cp.joint, noiseCts, bits, noiseRands) {
+			bitProofs[i] = packBitProof(pr)
 		}
 	}
 
@@ -91,14 +94,13 @@ func (cp *CP) mixPhase() error {
 			cp.joint, withNoise, shuffled, witness, cp.cfg.ShuffleProofRounds))
 	}
 
-	// Stage 3: per-element exponent blinding with DLEQ proofs.
-	blinded := make([]elgamal.Ciphertext, len(shuffled))
+	// Stage 3: exponent blinding with DLEQ proofs, batched.
+	blinded, blindScalars := elgamal.BatchExpBlind(shuffled)
 	var blindProofs []wireEquality
-	for i, c := range shuffled {
-		s := elgamal.RandomScalar()
-		blinded[i] = c.ExpBlindWith(s)
-		if prove {
-			blindProofs = append(blindProofs, packEquality(elgamal.ProveBlind(c, blinded[i], s)))
+	if prove {
+		blindProofs = make([]wireEquality, len(shuffled))
+		for i, pr := range elgamal.BatchProveBlinds(shuffled, blinded, blindScalars) {
+			blindProofs[i] = packEquality(pr)
 		}
 	}
 
@@ -124,12 +126,14 @@ func (cp *CP) decryptPhase() error {
 	if err != nil {
 		return fmt.Errorf("psc cp %s: decrypt batch: %w", cp.Name, err)
 	}
+	decShares := cp.key.BatchPartialDecrypt(batch)
 	shares := make([]byte, 0, len(batch)*65)
+	for _, sh := range decShares {
+		shares = sh.Share.AppendBytes(shares)
+	}
 	proofs := make([]wireEquality, len(batch))
-	for i, c := range batch {
-		sh := cp.key.PartialDecrypt(c)
-		shares = append(shares, sh.Share.Bytes()...)
-		proofs[i] = packEquality(cp.key.ProveShare(c, sh))
+	for i, pr := range cp.key.BatchProveShares(batch, decShares) {
+		proofs[i] = packEquality(pr)
 	}
 	return cp.conn.Send(kindShares, SharesMsg{
 		From:   cp.Name,

@@ -46,6 +46,7 @@ func (dc *DC) Setup() error {
 		return fmt.Errorf("psc dc %s: joint key: %w", dc.Name, err)
 	}
 	dc.jointKey = pk
+	elgamal.Precompute(dc.jointKey)
 	dc.bins = make([]bool, dc.cfg.Bins)
 	dc.ready = true
 	return nil
@@ -79,9 +80,8 @@ func (dc *DC) Finish() error {
 		return fmt.Errorf("psc dc %s: finish before setup", dc.Name)
 	}
 	dc.ready = false
-	vec := make([]elgamal.Ciphertext, len(dc.bins))
-	for i, bit := range dc.bins {
-		vec[i] = elgamal.EncryptBit(dc.jointKey, bit)
+	vec, _ := elgamal.BatchEncryptBits(dc.jointKey, dc.bins)
+	for i := range dc.bins {
 		dc.bins[i] = false
 	}
 	return dc.conn.Send(kindTable, TableMsg{

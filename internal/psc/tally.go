@@ -83,6 +83,9 @@ func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("psc ts: combine keys: %w", err)
 	}
+	// The verification passes below multiply against the joint key for
+	// every element; precompute its fixed-base table once.
+	elgamal.Precompute(joint)
 
 	hashKey := make([]byte, 32)
 	if _, err := rand.Read(hashKey); err != nil {
@@ -127,9 +130,7 @@ func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
 			combined = vec
 			continue
 		}
-		for i := range combined {
-			combined[i] = combined[i].Add(vec[i])
-		}
+		combined = elgamal.BatchAddCiphertexts(combined, vec)
 	}
 
 	// Mixing pipeline.
@@ -171,14 +172,11 @@ func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
 		allShares = append(allShares, shares)
 	}
 
-	// Recover plaintexts and count non-empty elements.
+	// Recover plaintexts and count non-empty elements; the whole batch
+	// normalizes with one inversion.
 	reported := 0
-	rowShares := make([]elgamal.DecryptionShare, len(cpNames))
-	for i, c := range batch {
-		for j := range allShares {
-			rowShares[j] = allShares[j][i]
-		}
-		if !elgamal.Recover(c, rowShares).IsIdentity() {
+	for _, m := range elgamal.RecoverBatch(batch, allShares) {
+		if !m.IsIdentity() {
 			reported++
 		}
 	}
@@ -221,14 +219,16 @@ func (t *Tally) verifyMix(name string, joint elgamal.Point, in []elgamal.Ciphert
 			return nil, fmt.Errorf("psc ts: CP %s sent %d bit proofs, want %d",
 				name, len(mixed.NoiseBits), t.cfg.NoisePerCP)
 		}
+		bitProofs := make([]elgamal.BitProof, t.cfg.NoisePerCP)
 		for i := 0; i < t.cfg.NoisePerCP; i++ {
 			proof, err := unpackBitProof(mixed.NoiseBits[i])
 			if err != nil {
 				return nil, fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, i, err)
 			}
-			if !elgamal.VerifyBit(joint, withNoise[len(in)+i], proof) {
-				return nil, fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i)
-			}
+			bitProofs[i] = proof
+		}
+		if i, ok := elgamal.VerifyBitsBatch(joint, withNoise[len(in):], bitProofs); !ok {
+			return nil, fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i)
 		}
 		// The shuffle must be a permutation + re-randomization.
 		shufProof, err := unpackShuffleProof(mixed.ShuffleProof)
@@ -243,14 +243,16 @@ func (t *Tally) verifyMix(name string, joint elgamal.Point, in []elgamal.Ciphert
 			return nil, fmt.Errorf("psc ts: CP %s sent %d blind proofs, want %d",
 				name, len(mixed.BlindProofs), wantN)
 		}
+		blindProofs := make([]elgamal.EqualityProof, len(shuffled))
 		for i := range shuffled {
 			proof, err := unpackEquality(mixed.BlindProofs[i])
 			if err != nil {
 				return nil, fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, i, err)
 			}
-			if !elgamal.VerifyBlind(shuffled[i], blinded[i], proof) {
-				return nil, fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i)
-			}
+			blindProofs[i] = proof
+		}
+		if i, ok := elgamal.VerifyBlindsBatch(shuffled, blinded, blindProofs); !ok {
+			return nil, fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i)
 		}
 	}
 	return blinded, nil
@@ -277,14 +279,16 @@ func (t *Tally) verifyShares(name string, cpKey elgamal.Point, batch []elgamal.C
 			return nil, fmt.Errorf("psc ts: CP %s sent %d share proofs, want %d",
 				name, len(msg.Proofs), len(batch))
 		}
+		proofs := make([]elgamal.EqualityProof, len(batch))
 		for i := range batch {
 			proof, err := unpackEquality(msg.Proofs[i])
 			if err != nil {
 				return nil, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, i, err)
 			}
-			if !elgamal.VerifyShare(cpKey, batch[i], shares[i], proof) {
-				return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
-			}
+			proofs[i] = proof
+		}
+		if i, ok := elgamal.VerifySharesBatch(cpKey, batch, shares, proofs); !ok {
+			return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
 		}
 	}
 	return shares, nil
