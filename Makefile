@@ -22,7 +22,7 @@ vet:
 
 bench-smoke:
 	$(GO) test ./internal/elgamal/ -run '^$$' -bench 'BenchmarkGroupOps' -benchtime=100x
-	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/verified/bins-512' -benchtime=1x
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/(verified|tcp)/bins-512' -benchtime=1x
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -105,7 +105,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 		if err != nil {
 			return err
 		}
-		var tsConns []*wire.Conn
+		var tsConns []wire.Messenger
 		var cleanup []func()
 		var wg, setup sync.WaitGroup
 		var dcs []*privcount.DC

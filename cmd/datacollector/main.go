@@ -1,16 +1,22 @@
-// Command datacollector runs one data collector for one round: it
-// attaches to a torsim event feed as one measuring relay and
-// participates in a PrivCount or PSC round against a tally server,
-// mirroring the paper's one-DC-per-relay deployment (§3.1).
+// Command datacollector runs one data collector as a long-lived
+// daemon: it attaches to a torsim event feed as one measuring relay,
+// registers a single multiplexed session with the tally server, and
+// serves every measurement round the tally schedules over it —
+// PrivCount and PSC rounds alike, concurrently when they overlap —
+// mirroring the paper's one-DC-per-relay deployment (§3.1) run as a
+// months-long daemon.
 //
-// PrivCount mode counts the Figure 1 stream statistics (the tally must
-// be configured with the matching -stats spec, see below); PSC mode
-// observes unique client IPs from connection events (Table 5).
+// Every event from the feed fans out to all currently active rounds:
+// PrivCount rounds count the Figure 1 stream statistics (the tally
+// must be configured with the matching -stats spec, see below); PSC
+// rounds observe unique client IPs from connection events (Table 5).
+// When the feed ends, all active rounds are finished and reported;
+// rounds scheduled after the feed ends report empty observations.
 //
-//	datacollector -protocol privcount -tally 127.0.0.1:7001 \
-//	              -torsim 127.0.0.1:7000 -relay 3 -name dc-3
+//	datacollector -tally 127.0.0.1:7001 -torsim 127.0.0.1:7000 \
+//	              -relay 3 -name dc-3 -rounds 4 [-pin <hex-spki>]
 //
-// The matching tally spec for privcount mode is:
+// The matching tally spec for privcount rounds is:
 //
 //	exit-streams:initial,subsequent:SIGMA;initial-target:hostname,ipv4,ipv6:SIGMA;hostname-port:web,other:SIGMA
 package main
@@ -24,8 +30,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/privcount"
 	"repro/internal/psc"
@@ -33,11 +41,12 @@ import (
 )
 
 func main() {
-	protocol := flag.String("protocol", "privcount", "privcount or psc")
 	tallyAddr := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	torsim := flag.String("torsim", "127.0.0.1:7000", "torsim event feed address")
 	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all)")
 	name := flag.String("name", "dc-0", "data collector name")
+	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
+	rounds := flag.Int("rounds", 1, "number of rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	flag.Parse()
 
@@ -47,24 +56,148 @@ func main() {
 	}
 	defer feed.Close()
 
-	conn, err := wire.Dial(*tallyAddr, nil, *timeout)
-	if err != nil {
-		log.Fatalf("datacollector %s: tally: %v", *name, err)
-	}
-	defer conn.Close()
-
-	switch *protocol {
-	case "privcount":
-		err = runPrivCount(*name, conn, feed)
-	case "psc":
-		err = runPSC(*name, conn, feed)
-	default:
-		err = fmt.Errorf("unknown protocol %q", *protocol)
-	}
+	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("datacollector %s: %v", *name, err)
 	}
-	fmt.Printf("datacollector %s: round complete\n", *name)
+	conn, err := wire.Dial(*tallyAddr, tlsCfg, *timeout)
+	if err != nil {
+		log.Fatalf("datacollector %s: tally: %v", *name, err)
+	}
+	sess := wire.NewSession(conn, true)
+	defer sess.Close()
+	if err := engine.SendHello(sess, engine.RoleDC, *name); err != nil {
+		log.Fatalf("datacollector %s: hello: %v", *name, err)
+	}
+	fmt.Printf("datacollector %s: connected to %s\n", *name, *tallyAddr)
+
+	c := &collector{
+		name:       *name,
+		feedDone:   make(chan struct{}),
+		pscActive:  make(map[*psc.DC]bool),
+		privActive: make(map[*privcount.DC]bool),
+	}
+
+	// Feed pump: every event reaches every active round.
+	go func() {
+		defer close(c.feedDone)
+		n, err := c.pump(feed)
+		if err != nil {
+			log.Printf("datacollector %s: feed: %v", *name, err)
+		}
+		fmt.Printf("datacollector %s: %d events consumed\n", *name, n)
+	}()
+
+	// Round server: the tally opens one stream per round.
+	type outcome struct {
+		round uint64
+		err   error
+	}
+	completed := make(chan outcome, *rounds)
+	go engine.ServeRounds(sess, func(st *wire.Stream) error {
+		err := c.serveRound(st)
+		completed <- outcome{round: st.Round(), err: err}
+		return err
+	})
+
+	for i := 0; i < *rounds; i++ {
+		out := <-completed
+		if out.err != nil {
+			fmt.Printf("datacollector %s: round %d failed: %v\n", *name, out.round, out.err)
+		} else {
+			fmt.Printf("datacollector %s: round %d complete\n", *name, out.round)
+		}
+	}
+	fmt.Printf("datacollector %s: %d rounds served\n", *name, *rounds)
+}
+
+// collector fans feed events into every active round's DC.
+type collector struct {
+	name     string
+	feedDone chan struct{}
+
+	mu         sync.Mutex
+	pscActive  map[*psc.DC]bool
+	privActive map[*privcount.DC]bool
+}
+
+// serveRound runs one round stream to completion: setup, collect until
+// the feed ends, report.
+func (c *collector) serveRound(st *wire.Stream) error {
+	switch st.Label() {
+	case engine.LabelPSC:
+		dc := psc.NewDC(c.name, st)
+		if err := dc.Setup(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.pscActive[dc] = true
+		c.mu.Unlock()
+		<-c.feedDone
+		c.mu.Lock()
+		delete(c.pscActive, dc)
+		c.mu.Unlock()
+		return dc.Finish()
+	case engine.LabelPrivCount:
+		dc := privcount.NewDC(c.name, st, nil)
+		if err := dc.Setup(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.privActive[dc] = true
+		c.mu.Unlock()
+		<-c.feedDone
+		c.mu.Lock()
+		delete(c.privActive, dc)
+		c.mu.Unlock()
+		return dc.Finish()
+	default:
+		return fmt.Errorf("datacollector %s: unexpected stream %q", c.name, st.Label())
+	}
+}
+
+// pump decodes the feed until EOF, dispatching each event to all
+// active rounds, and returns the event count.
+func (c *collector) pump(feed net.Conn) (int, error) {
+	n := 0
+	err := forEachEvent(feed, func(ev event.Event) {
+		n++
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch e := ev.(type) {
+		case *event.ConnectionEnd:
+			for dc := range c.pscActive {
+				_ = dc.Observe(e.ClientIP.String())
+			}
+		case *event.StreamEnd:
+			for dc := range c.privActive {
+				incrementFig1(dc, e)
+			}
+		}
+	})
+	return n, err
+}
+
+// incrementFig1 applies the Figure 1 stream-statistic mapping.
+func incrementFig1(dc *privcount.DC, s *event.StreamEnd) {
+	if !s.IsInitial {
+		_ = dc.Increment("exit-streams", 1, 1)
+		return
+	}
+	_ = dc.Increment("exit-streams", 0, 1)
+	switch s.Target {
+	case event.TargetHostname:
+		_ = dc.Increment("initial-target", 0, 1)
+		bin := 1
+		if s.IsWebPort() {
+			bin = 0
+		}
+		_ = dc.Increment("hostname-port", bin, 1)
+	case event.TargetIPv4:
+		_ = dc.Increment("initial-target", 1, 1)
+	case event.TargetIPv6:
+		_ = dc.Increment("initial-target", 2, 1)
+	}
 }
 
 // dialFeed attaches to the torsim event stream for one relay.
@@ -113,65 +246,4 @@ func forEachEvent(feed net.Conn, fn func(event.Event)) error {
 		}
 		fn(ev)
 	}
-}
-
-// runPrivCount participates in a round with the Figure 1 schema.
-func runPrivCount(name string, conn *wire.Conn, feed net.Conn) error {
-	dc := privcount.NewDC(name, conn, nil)
-	if err := dc.Setup(); err != nil {
-		return err
-	}
-	count := 0
-	err := forEachEvent(feed, func(ev event.Event) {
-		s, ok := ev.(*event.StreamEnd)
-		if !ok {
-			return
-		}
-		count++
-		if !s.IsInitial {
-			_ = dc.Increment("exit-streams", 1, 1)
-			return
-		}
-		_ = dc.Increment("exit-streams", 0, 1)
-		switch s.Target {
-		case event.TargetHostname:
-			_ = dc.Increment("initial-target", 0, 1)
-			bin := 1
-			if s.IsWebPort() {
-				bin = 0
-			}
-			_ = dc.Increment("hostname-port", bin, 1)
-		case event.TargetIPv4:
-			_ = dc.Increment("initial-target", 1, 1)
-		case event.TargetIPv6:
-			_ = dc.Increment("initial-target", 2, 1)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("datacollector %s: %d stream events consumed\n", name, count)
-	return dc.Finish()
-}
-
-// runPSC observes unique client IPs from connection events.
-func runPSC(name string, conn *wire.Conn, feed net.Conn) error {
-	dc := psc.NewDC(name, conn)
-	if err := dc.Setup(); err != nil {
-		return err
-	}
-	count := 0
-	err := forEachEvent(feed, func(ev event.Event) {
-		c, ok := ev.(*event.ConnectionEnd)
-		if !ok {
-			return
-		}
-		count++
-		_ = dc.Observe(c.ClientIP.String())
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("datacollector %s: %d connection events consumed\n", name, count)
-	return dc.Finish()
 }

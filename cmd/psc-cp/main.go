@@ -1,41 +1,50 @@
-// Command psc-cp runs one PSC computation party for one round: it
-// connects to the tally server, contributes fair-coin noise, performs
-// its verifiable shuffle and exponent blinding, and supplies proven
-// decryption shares. PSC's privacy holds if at least one CP is honest
-// (§2.4); correctness is enforced on every CP by the attached
+// Command psc-cp runs one PSC computation party as a long-lived
+// daemon: it connects to the tally server once, registers its session,
+// and serves every round the tally schedules over that connection —
+// concurrently when rounds overlap — holding one ElGamal key share for
+// the life of the session. PSC's privacy holds if at least one CP is
+// honest (§2.4); correctness is enforced on every CP by the attached
 // zero-knowledge proofs.
 //
 // Usage:
 //
-//	psc-cp -tally 127.0.0.1:7001 -name cp-alpha
+//	psc-cp -tally 127.0.0.1:7001 -name cp-alpha [-pin <hex-spki>]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/psc"
+	"repro/internal/engine"
 	"repro/internal/wire"
 )
 
 func main() {
 	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	name := flag.String("name", "cp-0", "computation party name")
+	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	flag.Parse()
 
-	conn, err := wire.Dial(*tally, nil, *timeout)
+	tlsCfg, err := wire.ClientTLSPin(*pin)
+	if err != nil {
+		log.Fatalf("psc-cp %s: %v", *name, err)
+	}
+	conn, err := wire.Dial(*tally, tlsCfg, *timeout)
 	if err != nil {
 		log.Fatalf("psc-cp %s: dial: %v", *name, err)
 	}
-	defer conn.Close()
-
-	cp := psc.NewCP(*name, conn, nil)
+	sess := wire.NewSession(conn, true)
+	defer sess.Close()
 	fmt.Printf("psc-cp %s: connected to %s\n", *name, *tally)
-	if err := cp.Serve(); err != nil {
-		log.Fatalf("psc-cp %s: %v", *name, err)
+
+	err = engine.ServeCP(sess, *name, nil)
+	if errors.Is(err, wire.ErrClosed) {
+		fmt.Printf("psc-cp %s: session closed by tally\n", *name)
+		return
 	}
-	fmt.Printf("psc-cp %s: round complete\n", *name)
+	log.Fatalf("psc-cp %s: %v", *name, err)
 }

@@ -1,44 +1,50 @@
-// Command sharekeeper runs one PrivCount share keeper for one round: it
-// connects to the tally server, receives sealed blinding shares relayed
-// from every data collector, and answers the end-of-round collection
-// with negated sums. PrivCount's privacy guarantee requires at least
+// Command sharekeeper runs one PrivCount share keeper as a long-lived
+// daemon: it connects to the tally server once, registers its session,
+// and serves every round the tally schedules over that connection —
+// concurrently when rounds overlap — holding one seal keypair for the
+// life of the session. PrivCount's privacy guarantee requires at least
 // one honest share keeper (§2.3); operators run this binary on
 // infrastructure independent of the tally server.
 //
 // Usage:
 //
-//	sharekeeper -tally 127.0.0.1:7001 -name sk-alpha
+//	sharekeeper -tally 127.0.0.1:7001 -name sk-alpha [-pin <hex-spki>]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/privcount"
+	"repro/internal/engine"
 	"repro/internal/wire"
 )
 
 func main() {
 	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	name := flag.String("name", "sk-0", "share keeper name")
+	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	flag.Parse()
 
-	conn, err := wire.Dial(*tally, nil, *timeout)
+	tlsCfg, err := wire.ClientTLSPin(*pin)
+	if err != nil {
+		log.Fatalf("sharekeeper %s: %v", *name, err)
+	}
+	conn, err := wire.Dial(*tally, tlsCfg, *timeout)
 	if err != nil {
 		log.Fatalf("sharekeeper %s: dial: %v", *name, err)
 	}
-	defer conn.Close()
-
-	sk, err := privcount.NewSK(*name, conn)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sess := wire.NewSession(conn, true)
+	defer sess.Close()
 	fmt.Printf("sharekeeper %s: connected to %s\n", *name, *tally)
-	if err := sk.Serve(); err != nil {
-		log.Fatalf("sharekeeper %s: %v", *name, err)
+
+	err = engine.ServeSK(sess, *name)
+	if errors.Is(err, wire.ErrClosed) {
+		fmt.Printf("sharekeeper %s: session closed by tally\n", *name)
+		return
 	}
-	fmt.Printf("sharekeeper %s: round complete\n", *name)
+	log.Fatalf("sharekeeper %s: %v", *name, err)
 }

@@ -1,34 +1,57 @@
-// Command tally runs a tally server for one measurement round of
-// either protocol, accepting party connections over TCP (optionally
-// TLS) and printing the aggregated result. It is the TS role of §3.1.
+// Command tally runs a long-lived tally server: parties connect once
+// over multiplexed (optionally TLS-pinned) sessions, and the server
+// schedules any number of measurement rounds — sequentially or
+// concurrently — over those persistent connections, printing each
+// round's aggregate. It is the TS role of §3.1 grown into the daemon
+// the deployment ran for months.
 //
-// PrivCount round with 16 DCs and 3 SKs counting two statistics:
+// PrivCount rounds with 16 DCs and 3 SKs counting two statistics:
 //
 //	tally -protocol privcount -listen 127.0.0.1:7001 -dcs 16 -sks 3 \
+//	      -rounds 4 -concurrency 2 \
 //	      -stats "exit-streams:initial,subsequent:3100;bytes::1e6"
 //
-// PSC round with 10 DCs and 3 CPs:
+// PSC rounds with 10 DCs and 3 CPs:
 //
 //	tally -protocol psc -listen 127.0.0.1:7001 -dcs 10 -cps 3 \
 //	      -bins 4096 -noise 64
+//
+// With -tls the server generates an ephemeral identity and prints its
+// SPKI fingerprint; parties pin it via their -pin flag. -abort-round N
+// cancels the Nth scheduled round mid-flight (an operator cancel /
+// timeout drill): the round fails, every other round and session is
+// unaffected.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
+var printMu sync.Mutex
+
+func printf(format string, args ...any) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	fmt.Printf(format, args...)
+}
+
 func main() {
 	protocol := flag.String("protocol", "privcount", "privcount or psc")
 	listen := flag.String("listen", "127.0.0.1:7001", "address to accept parties on")
+	useTLS := flag.Bool("tls", false, "serve TLS with an ephemeral pinned identity")
 	dcs := flag.Int("dcs", 1, "number of data collectors")
 	sks := flag.Int("sks", 1, "number of share keepers (privcount)")
 	cps := flag.Int("cps", 1, "number of computation parties (psc)")
@@ -36,54 +59,148 @@ func main() {
 	bins := flag.Int("bins", 4096, "psc hash-table size")
 	noise := flag.Int("noise", 64, "psc noise coins per CP")
 	proofRounds := flag.Int("proof-rounds", 8, "psc shuffle-proof rounds")
-	round := flag.Uint64("round", 1, "round number")
+	rounds := flag.Int("rounds", 1, "number of rounds to run over the sessions")
+	concurrency := flag.Int("concurrency", 1, "rounds in flight at once")
+	abortRound := flag.Int("abort-round", 0, "abort the Nth scheduled round mid-flight (0: none)")
 	flag.Parse()
 
-	ln, err := wire.Listen(*listen, nil)
+	var tlsCfg *wire.Identity
+	var ln wire.Listener
+	var err error
+	if *useTLS {
+		tlsCfg, err = wire.GenerateIdentity("tally", 24*time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err = wire.Listen(*listen, tlsCfg.ServerTLS())
+	} else {
+		ln, err = wire.Listen(*listen, nil)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	fmt.Printf("tally: %s round %d listening on %s\n", *protocol, *round, ln.Addr())
-
-	switch *protocol {
-	case "privcount":
-		runPrivCount(ln, *round, *dcs, *sks, *statsSpec)
-	case "psc":
-		runPSC(ln, *round, *dcs, *cps, *bins, *noise, *proofRounds)
-	default:
-		log.Fatalf("unknown protocol %q", *protocol)
+	printf("tally: %s listening on %s\n", *protocol, ln.Addr())
+	if tlsCfg != nil {
+		printf("tally: fingerprint %s\n", tlsCfg.Fingerprint())
 	}
-}
 
-func acceptN(ln wire.Listener, n int) []*wire.Conn {
-	conns := make([]*wire.Conn, 0, n)
-	for len(conns) < n {
+	// Phase 1: parties register their sessions once.
+	numParties := *dcs + *sks
+	if *protocol == "psc" {
+		numParties = *dcs + *cps
+	}
+	eng := engine.New()
+	defer eng.Close()
+	for i := 0; i < numParties; i++ {
 		c, err := ln.Accept()
 		if err != nil {
 			log.Fatal(err)
 		}
-		conns = append(conns, c)
-		fmt.Printf("tally: party %d/%d connected from %s\n", len(conns), n, c.RemoteAddr())
+		sess := wire.NewSession(c, false)
+		h, err := eng.AcceptSession(sess)
+		if err != nil {
+			log.Fatalf("tally: session %d: %v", i+1, err)
+		}
+		printf("tally: party %d/%d connected: %s %q\n", i+1, numParties, h.Role, h.Name)
 	}
-	return conns
+	nCPs, nSKs, nDCs := eng.Counts()
+	switch *protocol {
+	case "privcount":
+		if nDCs != *dcs || nSKs != *sks {
+			log.Fatalf("tally: registered %d DCs and %d SKs, want %d and %d", nDCs, nSKs, *dcs, *sks)
+		}
+	case "psc":
+		if nDCs != *dcs || nCPs != *cps {
+			log.Fatalf("tally: registered %d DCs and %d CPs, want %d and %d", nDCs, nCPs, *dcs, *cps)
+		}
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
+	}
+
+	// Phase 2: schedule rounds over the persistent sessions, at most
+	// -concurrency in flight.
+	cfgStats, err := parseStats(*statsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *concurrency < 1 {
+		*concurrency = 1
+	}
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	failures := make(chan int, *rounds)
+	for seq := 1; seq <= *rounds; seq++ {
+		sem <- struct{}{}
+		var round *engine.Round
+		if *protocol == "psc" {
+			round, err = eng.StartPSC(psc.Config{
+				Bins: *bins, NoisePerCP: *noise, ShuffleProofRounds: *proofRounds,
+				NumDCs: *dcs, NumCPs: *cps,
+			}, nil)
+		} else {
+			round, err = eng.StartPrivCount(privcount.TallyConfig{
+				Stats: cfgStats, NumDCs: *dcs, NumSKs: *sks,
+			}, nil)
+		}
+		if err != nil {
+			log.Fatalf("tally: schedule round %d: %v", seq, err)
+		}
+		printf("tally: round %d scheduled (seq %d/%d)\n", round.ID, seq, *rounds)
+		aborted := seq == *abortRound
+		if aborted {
+			// Cancel while the round's streams are live and its protocol
+			// is (at most) registering: the round must fail, every other
+			// round and session must not notice.
+			round.Abort("operator abort drill")
+		}
+		wg.Add(1)
+		go func(seq int, r *engine.Round, aborted bool) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if *protocol == "psc" {
+				res, err := r.WaitPSC()
+				if err != nil {
+					printf("tally: round %d failed: %v\n", r.ID, err)
+					if !aborted {
+						failures <- seq
+					}
+					return
+				}
+				printPSC(r.ID, res)
+			} else {
+				res, err := r.WaitPrivCount()
+				if err != nil {
+					printf("tally: round %d failed: %v\n", r.ID, err)
+					if !aborted {
+						failures <- seq
+					}
+					return
+				}
+				printPrivCount(r.ID, cfgStats, res)
+			}
+		}(seq, round, aborted)
+	}
+	wg.Wait()
+	close(failures)
+	failed := 0
+	for range failures {
+		failed++
+	}
+	drilled := 0
+	if *abortRound >= 1 && *abortRound <= *rounds {
+		drilled = 1
+	}
+	printf("tally: %d/%d rounds complete\n", *rounds-failed-drilled, *rounds)
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
-func runPrivCount(ln wire.Listener, round uint64, dcs, sks int, spec string) {
-	cfgStats, err := parseStats(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tally, err := privcount.NewTally(privcount.TallyConfig{
-		Round: round, Stats: cfgStats, NumDCs: dcs, NumSKs: sks,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := tally.Run(acceptN(ln, dcs+sks))
-	if err != nil {
-		log.Fatal(err)
-	}
+func printPrivCount(round uint64, cfgStats []privcount.StatConfig, res map[string][]float64) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	fmt.Printf("tally: round %d results:\n", round)
 	for _, st := range cfgStats {
 		vals := res[st.Name]
 		for i, bin := range st.Bins {
@@ -92,31 +209,24 @@ func runPrivCount(ln wire.Listener, round uint64, dcs, sks int, spec string) {
 				label = "(value)"
 			}
 			iv := stats.NormalCI(vals[i], st.Sigma)
-			fmt.Printf("  %s/%s = %s\n", st.Name, label, iv)
+			fmt.Printf("  round %d %s/%s = %s\n", round, st.Name, label, iv)
 		}
 	}
 }
 
-func runPSC(ln wire.Listener, round uint64, dcs, cps, bins, noise, proofRounds int) {
-	tally, err := psc.NewTally(psc.Config{
-		Round: round, Bins: bins, NoisePerCP: noise,
-		ShuffleProofRounds: proofRounds, NumDCs: dcs, NumCPs: cps,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := tally.Run(acceptN(ln, dcs+cps))
-	if err != nil {
-		log.Fatal(err)
-	}
+func printPSC(round uint64, res psc.Result) {
 	iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
 		Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
 	})
+	printMu.Lock()
+	defer printMu.Unlock()
 	if err != nil {
-		log.Fatal(err)
+		fmt.Printf("tally: round %d estimator: %v\n", round, err)
+		return
 	}
-	fmt.Printf("  reported=%d bins=%d noise-trials=%d\n", res.Reported, res.Bins, res.NoiseTrials)
-	fmt.Printf("  distinct count = %s\n", iv)
+	fmt.Printf("tally: round %d results:\n", round)
+	fmt.Printf("  round %d reported=%d bins=%d noise-trials=%d\n", round, res.Reported, res.Bins, res.NoiseTrials)
+	fmt.Printf("  round %d distinct count = %s\n", round, iv)
 }
 
 // parseStats parses "name:bin1,bin2:sigma;name2::sigma2".

@@ -13,16 +13,18 @@ import (
 	"time"
 )
 
-// TestCmdDeployment builds the real binaries and runs the full
-// distributed deployment as separate processes over TCP loopback:
-// torsim feeding three datacollectors, which run a PrivCount round
-// against a tally server with two sharekeepers — the README's
-// multi-terminal walkthrough, automated.
+// TestCmdDeployment builds the real binaries and runs the full daemon
+// deployment as separate processes over TLS-pinned TCP loopback: torsim
+// feeding three datacollector daemons which, with two sharekeepers,
+// serve four PrivCount rounds over their single sessions — two
+// concurrent, then two sequential — with round 2 aborted mid-stream by
+// the tally. The abort must cost exactly that round: the sessions
+// survive and the remaining rounds complete.
 func TestCmdDeployment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process deployment test skipped in -short mode")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
 
 	bindir := t.TempDir()
@@ -39,21 +41,26 @@ func TestCmdDeployment(t *testing.T) {
 		"-listen", "127.0.0.1:0", "-wait", "3", "-scale", "20000", "-days", "1", "-alexa", "2000")
 	torsimAddr := torsim.waitForAddr(t, "torsim: listening on ")
 
-	// tally: the Figure 1 statistic schema with small sigmas.
+	// tally: the Figure 1 statistic schema with small sigmas; four
+	// rounds, two in flight at a time, the second cancelled mid-stream.
 	spec := "exit-streams:initial,subsequent:10;initial-target:hostname,ipv4,ipv6:10;hostname-port:web,other:10"
+	const rounds = 4
 	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
-		"-protocol", "privcount", "-listen", "127.0.0.1:0",
-		"-dcs", "3", "-sks", "2", "-stats", spec)
+		"-protocol", "privcount", "-listen", "127.0.0.1:0", "-tls",
+		"-dcs", "3", "-sks", "2", "-stats", spec,
+		"-rounds", fmt.Sprintf("%d", rounds), "-concurrency", "2", "-abort-round", "2")
 	tallyAddr := tally.waitForAddr(t, "listening on ")
+	pin := tally.waitForAddr(t, "tally: fingerprint ")
 
 	var procs []*proc
 	for i := 0; i < 2; i++ {
 		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "sharekeeper"),
-			"-tally", tallyAddr, "-name", fmt.Sprintf("sk-%d", i)))
+			"-tally", tallyAddr, "-pin", pin, "-name", fmt.Sprintf("sk-%d", i)))
 	}
 	for i := 0; i < 3; i++ {
 		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"),
-			"-protocol", "privcount", "-tally", tallyAddr, "-torsim", torsimAddr,
+			"-tally", tallyAddr, "-pin", pin, "-torsim", torsimAddr,
+			"-rounds", fmt.Sprintf("%d", rounds),
 			"-relay", fmt.Sprintf("%d", i), "-name", fmt.Sprintf("dc-%d", i)))
 	}
 
@@ -63,22 +70,34 @@ func TestCmdDeployment(t *testing.T) {
 	tally.mustSucceed(t)
 
 	out := tally.output()
+	// Three successful rounds, each with the full statistic set.
+	if got := strings.Count(out, "results:"); got != rounds-1 {
+		t.Fatalf("want %d successful rounds, got %d:\n%s", rounds-1, got, out)
+	}
 	for _, want := range []string{"exit-streams/initial =", "hostname-port/web ="} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("tally output missing %q:\n%s", want, out)
 		}
 	}
+	// The aborted round failed with the drill reason, nothing else did.
+	if got := strings.Count(out, "failed:"); got != 1 {
+		t.Fatalf("want exactly 1 failed round, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "operator abort drill") {
+		t.Fatalf("tally output missing the abort reason:\n%s", out)
+	}
 	t.Logf("tally output:\n%s", out)
 }
 
-// TestCmdDeploymentPSC runs the PSC variant of the deployment: torsim
-// feeding two datacollectors at guard relays, a PSC tally, and two
-// computation parties, counting unique client IPs.
+// TestCmdDeploymentPSC runs the PSC daemons: torsim feeding two
+// datacollectors at guard relays, a tally, and two computation
+// parties, counting unique client IPs across two concurrent rounds
+// over single sessions.
 func TestCmdDeploymentPSC(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process deployment test skipped in -short mode")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
 
 	bindir := t.TempDir()
@@ -95,7 +114,8 @@ func TestCmdDeploymentPSC(t *testing.T) {
 
 	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
 		"-protocol", "psc", "-listen", "127.0.0.1:0",
-		"-dcs", "2", "-cps", "2", "-bins", "1024", "-noise", "16", "-proof-rounds", "1")
+		"-dcs", "2", "-cps", "2", "-bins", "1024", "-noise", "16", "-proof-rounds", "1",
+		"-rounds", "2", "-concurrency", "2")
 	tallyAddr := tally.waitForAddr(t, "listening on ")
 
 	var procs []*proc
@@ -106,7 +126,7 @@ func TestCmdDeploymentPSC(t *testing.T) {
 	// Guards are relays 6 and 7 in the default consensus.
 	for i := 0; i < 2; i++ {
 		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"),
-			"-protocol", "psc", "-tally", tallyAddr, "-torsim", torsimAddr,
+			"-tally", tallyAddr, "-torsim", torsimAddr, "-rounds", "2",
 			"-relay", fmt.Sprintf("%d", 6+i), "-name", fmt.Sprintf("dc-%d", i)))
 	}
 	for _, p := range append(procs, torsim) {
@@ -114,8 +134,8 @@ func TestCmdDeploymentPSC(t *testing.T) {
 	}
 	tally.mustSucceed(t)
 	out := tally.output()
-	if !strings.Contains(out, "distinct count =") {
-		t.Fatalf("psc tally output missing result:\n%s", out)
+	if got := strings.Count(out, "distinct count ="); got != 2 {
+		t.Fatalf("want 2 psc round results, got %d:\n%s", got, out)
 	}
 	t.Logf("psc tally output:\n%s", out)
 }
@@ -170,9 +190,11 @@ func (p *proc) pump(r io.Reader) {
 
 // waitForAddr scans output lines for a prefix and returns the rest of
 // the line (the bound address).
+// waitForAddr deadline: generous because `go test ./...` runs this
+// package concurrently with the heavy core suite on 1-vCPU CI runners.
 func (p *proc) waitForAddr(t *testing.T, prefix string) string {
 	t.Helper()
-	deadline := time.After(60 * time.Second)
+	deadline := time.After(120 * time.Second)
 	for {
 		select {
 		case line, ok := <-p.lines:

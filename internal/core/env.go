@@ -39,6 +39,12 @@ type Env struct {
 	geoOnce   sync.Once
 	geoDB     *geo.DB
 	asnDB     *asn.DB
+
+	// rt is the Env's persistent protocol fleet (harness.go): parties
+	// register once and serve every experiment's rounds over
+	// multiplexed sessions.
+	rtMu sync.Mutex
+	rt   *partyRuntime
 }
 
 // DefaultEnv is the benchmark configuration: 1% of Tor, full list.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dp"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/privcount"
 	"repro/internal/psc"
@@ -14,10 +15,14 @@ import (
 	"repro/internal/wire"
 )
 
-// This file is the deployment harness: it spins up the PrivCount or PSC
-// parties as concurrent goroutines connected by the wire transport,
-// attaches one data collector per measuring relay to the simulator's
-// event bus, runs the virtual measurement period, and gathers results.
+// This file is the deployment harness. The protocol parties — 3
+// computation parties, 3 share keepers, one data-collector host per
+// measuring relay — are built once per Env and register persistent
+// multiplexed sessions with a round engine; every experiment then
+// schedules its rounds over those sessions, attaches the per-round DCs
+// to the simulator's event bus, runs the virtual measurement period,
+// and gathers results. Concurrent experiments share the same party
+// fleet, and a failed round is isolated to its own streams.
 //
 // Noise scaling: the dp package computes the calibrated noise for the
 // real network; the harness divides sigma by the scale divisor (and
@@ -38,6 +43,191 @@ type CounterSpec struct {
 	// Expected magnitude at paper scale, for optimal allocation; zero
 	// selects equal allocation weighting for this statistic.
 	Expected float64
+}
+
+// Fleet sizes matching the paper's deployment (§3.1).
+const (
+	harnessCPs = 3
+	harnessSKs = 3
+)
+
+// dcDelivery hands one round's DC role from its host session to the
+// experiment driving the round. The driver closes done once the DC has
+// finished (or the round is abandoned), releasing the host's handler.
+type dcDelivery struct {
+	host int
+	psc  *psc.DC
+	priv *privcount.DC
+	done chan struct{}
+}
+
+// partyRuntime is an Env's persistent protocol fleet.
+type partyRuntime struct {
+	eng *engine.Engine
+
+	mu         sync.Mutex
+	numDCs     int
+	deliveries map[uint64]chan dcDelivery
+}
+
+// runtime builds the Env's fleet on first use: CPs and SKs register
+// immediately, DC hosts are added as experiments need them.
+func (e *Env) runtime() (*partyRuntime, error) {
+	e.rtMu.Lock()
+	defer e.rtMu.Unlock()
+	if e.rt != nil {
+		return e.rt, nil
+	}
+	rt := &partyRuntime{eng: engine.New(), deliveries: make(map[uint64]chan dcDelivery)}
+	for i := 0; i < harnessCPs; i++ {
+		sess, err := rt.attach(engine.RoleCP, fmt.Sprintf("cp-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		go engine.ServeCP(sess, fmt.Sprintf("cp-%d", i), nil)
+	}
+	for i := 0; i < harnessSKs; i++ {
+		sess, err := rt.attach(engine.RoleSK, fmt.Sprintf("sk-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		go engine.ServeSK(sess, fmt.Sprintf("sk-%d", i))
+	}
+	e.rt = rt
+	return rt, nil
+}
+
+// attach wires one party to the engine over an in-memory pipe and
+// returns the party-side session. The engine side is registered under
+// the given role directly (the hello handshake is exercised by the
+// daemon deployment; in process it would only add latency).
+func (rt *partyRuntime) attach(role, name string) (*wire.Session, error) {
+	tsConn, partyConn := wire.Pipe()
+	tsSess := wire.NewSession(tsConn, false)
+	partySess := wire.NewSession(partyConn, true)
+	switch role {
+	case engine.RoleCP:
+		rt.eng.AddCP(name, tsSess)
+	case engine.RoleSK:
+		rt.eng.AddSK(name, tsSess)
+	case engine.RoleDC:
+		rt.eng.AddDC(name, tsSess)
+	default:
+		return nil, fmt.Errorf("core: unknown role %q", role)
+	}
+	return partySess, nil
+}
+
+// ensureDCs grows the DC host pool to at least n sessions.
+func (rt *partyRuntime) ensureDCs(n int) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.numDCs < n {
+		host := rt.numDCs
+		name := fmt.Sprintf("dc-%d", host)
+		sess, err := rt.attach(engine.RoleDC, name)
+		if err != nil {
+			return err
+		}
+		go engine.ServeRounds(sess, func(st *wire.Stream) error {
+			return rt.serveDCRound(host, name, st)
+		})
+		rt.numDCs++
+	}
+	return nil
+}
+
+// serveDCRound handles one round stream on a DC host: it creates the
+// per-round DC, completes setup, hands the DC to the experiment, and
+// holds the stream open until the experiment releases it.
+func (rt *partyRuntime) serveDCRound(host int, name string, st *wire.Stream) error {
+	d := dcDelivery{host: host, done: make(chan struct{})}
+	switch st.Label() {
+	case engine.LabelPSC:
+		dc := psc.NewDC(name, st)
+		if err := dc.Setup(); err != nil {
+			return err
+		}
+		d.psc = dc
+	case engine.LabelPrivCount:
+		dc := privcount.NewDC(name, st, nil)
+		if err := dc.Setup(); err != nil {
+			return err
+		}
+		d.priv = dc
+	default:
+		return fmt.Errorf("core: unexpected round stream %q", st.Label())
+	}
+	rt.delivery(st.Round()) <- d
+	// The experiment closes done after Finish; a round that dies first
+	// (abort, sibling failure) resets this stream, and Failed unblocks
+	// the handler even if the experiment never drained the delivery.
+	select {
+	case <-d.done:
+	case <-st.Failed():
+	}
+	return nil
+}
+
+// delivery returns (creating if needed) the round's DC hand-off
+// channel. Host handlers and the scheduling experiment race to touch a
+// round first, so creation is first-come.
+func (rt *partyRuntime) delivery(round uint64) chan dcDelivery {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ch, ok := rt.deliveries[round]
+	if !ok {
+		ch = make(chan dcDelivery, 64)
+		rt.deliveries[round] = ch
+	}
+	return ch
+}
+
+// releaseRound forgets a completed round's hand-off channel.
+func (rt *partyRuntime) releaseRound(round uint64) {
+	rt.mu.Lock()
+	delete(rt.deliveries, round)
+	rt.mu.Unlock()
+}
+
+// collectDCs waits for n DC roles of a round, watching for early round
+// failure (e.g. a setup error aborting the round).
+func (rt *partyRuntime) collectDCs(r *engine.Round, n int) ([]dcDelivery, error) {
+	ch := rt.delivery(r.ID)
+	out := make([]dcDelivery, 0, n)
+	for len(out) < n {
+		select {
+		case d := <-ch:
+			out = append(out, d)
+		case <-r.Done():
+			// Drain any deliveries that raced with the failure so their
+			// handlers unwind.
+			for {
+				select {
+				case d := <-ch:
+					close(d.done)
+				default:
+					err := r.Err()
+					if err == nil {
+						err = fmt.Errorf("core: round %d ended before all DCs attached", r.ID)
+					}
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Close releases the Env's party fleet. Safe to call multiple times;
+// experiments started afterwards rebuild it.
+func (e *Env) Close() {
+	e.rtMu.Lock()
+	defer e.rtMu.Unlock()
+	if e.rt != nil {
+		e.rt.eng.Close()
+		e.rt = nil
+	}
 }
 
 // PrivCountRun describes one PrivCount measurement round.
@@ -67,7 +257,7 @@ func (r *PrivCountResult) Interval(stat string, bin int) stats.Interval {
 
 // RunPrivCount executes a full PrivCount round over the simulation: 3
 // share keepers, one DC per measuring relay, one tally server, all
-// speaking the real protocol over in-memory transport.
+// speaking the real protocol over the Env's persistent sessions.
 func (e *Env) RunPrivCount(run PrivCountRun) (*PrivCountResult, error) {
 	return e.RunPrivCountWithSim(run, nil)
 }
@@ -109,65 +299,28 @@ func (e *Env) RunPrivCountWithSim(run PrivCountRun, onSim func(*Sim)) (*PrivCoun
 	}
 
 	relays := sim.Net.Consensus.MeasuringRelays()
-	const numSKs = 3
-	tally, err := privcount.NewTally(privcount.TallyConfig{
-		Round: 1, Stats: cfgStats, NumDCs: len(relays), NumSKs: numSKs,
-	})
+	rt, err := e.runtime()
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.ensureDCs(len(relays)); err != nil {
+		return nil, err
+	}
+	round, err := rt.eng.StartPrivCount(privcount.TallyConfig{
+		Stats: cfgStats, NumDCs: len(relays), NumSKs: harnessSKs,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.releaseRound(round.ID)
+	dcs, err := rt.collectDCs(round, len(relays))
 	if err != nil {
 		return nil, err
 	}
 
-	var tsConns []*wire.Conn
-	var skWG, setupWG sync.WaitGroup
-	errs := make(chan error, len(relays)+numSKs+1)
-
-	for i := 0; i < numSKs; i++ {
-		tsSide, skSide := wire.Pipe()
-		tsConns = append(tsConns, tsSide)
-		sk, err := privcount.NewSK(fmt.Sprintf("sk-%d", i), skSide)
-		if err != nil {
-			return nil, err
-		}
-		skWG.Add(1)
-		go func() {
-			defer skWG.Done()
-			if err := sk.Serve(); err != nil {
-				errs <- err
-			}
-		}()
-	}
-	dcs := make([]*privcount.DC, len(relays))
-	for i, relay := range relays {
-		tsSide, dcSide := wire.Pipe()
-		tsConns = append(tsConns, tsSide)
-		dcs[i] = privcount.NewDC(fmt.Sprintf("dc-%d", relay), dcSide, nil)
-		setupWG.Add(1)
-		go func(dc *privcount.DC) {
-			defer setupWG.Done()
-			if err := dc.Setup(); err != nil {
-				errs <- err
-			}
-		}(dcs[i])
-	}
-	resCh := make(chan map[string][]float64, 1)
-	go func() {
-		res, err := tally.Run(tsConns)
-		if err != nil {
-			errs <- err
-			return
-		}
-		resCh <- res
-	}()
-	setupWG.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-
-	// Attach each relay's DC to the event bus.
-	for i, relay := range relays {
-		dc := dcs[i]
+	// Attach each round DC to its relay's event feed.
+	for _, d := range dcs {
+		dc := d.priv
 		inc := func(stat string, bin int, delta float64) {
 			// Unknown statistics are a programming error in the
 			// experiment; surface loudly.
@@ -175,7 +328,7 @@ func (e *Env) RunPrivCountWithSim(run PrivCountRun, onSim func(*Sim)) (*PrivCoun
 				panic(err)
 			}
 		}
-		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relay}, nil, func(ev event.Event) {
+		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relays[d.host]}, nil, func(ev event.Event) {
 			run.Handle(ev, inc)
 		})
 	}
@@ -183,26 +336,30 @@ func (e *Env) RunPrivCountWithSim(run PrivCountRun, onSim func(*Sim)) (*PrivCoun
 	sim.Driver.Run(run.Days)
 
 	// Finish concurrently: the tally server collects reports in its own
-	// order, and the pipe transport is synchronous, so sequential
-	// finishing could deadlock against the TS's collection order.
-	var finWG sync.WaitGroup
-	for _, dc := range dcs {
-		finWG.Add(1)
-		go func(dc *privcount.DC) {
-			defer finWG.Done()
-			if err := dc.Finish(); err != nil {
-				errs <- err
-			}
-		}(dc)
+	// order, and large reports can exceed a stream's flow-control
+	// window, so sequential finishing could stall against the TS's
+	// collection order.
+	finishErrs := make(chan error, len(dcs))
+	for _, d := range dcs {
+		go func(d dcDelivery) {
+			finishErrs <- d.priv.Finish()
+			close(d.done)
+		}(d)
 	}
-	finWG.Wait()
-	skWG.Wait()
-	select {
-	case res := <-resCh:
-		return &PrivCountResult{Values: res, Sigmas: sigmas, Sim: sim}, nil
-	case err := <-errs:
+	var finishErr error
+	for range dcs {
+		if err := <-finishErrs; err != nil && finishErr == nil {
+			finishErr = err
+		}
+	}
+	res, err := round.WaitPrivCount()
+	if err != nil {
 		return nil, err
 	}
+	if finishErr != nil {
+		return nil, finishErr
+	}
+	return &PrivCountResult{Values: res, Sigmas: sigmas, Sim: sim}, nil
 }
 
 // PSCRun describes one PSC unique-count round.
@@ -255,10 +412,9 @@ func (e *Env) RunPSCWithSim(run PSCRun, onSim func(*Sim)) (*PSCResult, error) {
 		relays = sim.Net.Consensus.MeasuringRelays()
 	}
 
-	const numCPs = 3
 	// Full-deployment coin trials, then scaled by Scale² so relative
 	// noise matches; floor keeps the noise model non-degenerate.
-	fullTrials, err := dp.PSCNoiseTrials(dp.StudyParams(), run.Sensitivity*float64(run.Days), numCPs)
+	fullTrials, err := dp.PSCNoiseTrials(dp.StudyParams(), run.Sensitivity*float64(run.Days), harnessCPs)
 	if err != nil {
 		return nil, err
 	}
@@ -275,66 +431,32 @@ func (e *Env) RunPSCWithSim(run PSCRun, onSim func(*Sim)) (*PSCResult, error) {
 		bins = 1 << 16
 	}
 
-	cfg := psc.Config{
-		Round:              1,
+	rt, err := e.runtime()
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.ensureDCs(len(relays)); err != nil {
+		return nil, err
+	}
+	round, err := rt.eng.StartPSC(psc.Config{
 		Bins:               bins,
 		NoisePerCP:         perCP,
 		ShuffleProofRounds: e.ProofRounds,
 		NumDCs:             len(relays),
-		NumCPs:             numCPs,
+		NumCPs:             harnessCPs,
+	}, nil)
+	if err != nil {
+		return nil, err
 	}
-	tally, err := psc.NewTally(cfg)
+	defer rt.releaseRound(round.ID)
+	dcs, err := rt.collectDCs(round, len(relays))
 	if err != nil {
 		return nil, err
 	}
 
-	var tsConns []*wire.Conn
-	var cpWG, setupWG sync.WaitGroup
-	errs := make(chan error, len(relays)+numCPs+1)
-	for i := 0; i < numCPs; i++ {
-		tsSide, cpSide := wire.Pipe()
-		tsConns = append(tsConns, tsSide)
-		cp := psc.NewCP(fmt.Sprintf("cp-%d", i), cpSide, nil)
-		cpWG.Add(1)
-		go func() {
-			defer cpWG.Done()
-			if err := cp.Serve(); err != nil {
-				errs <- err
-			}
-		}()
-	}
-	dcs := make([]*psc.DC, len(relays))
-	for i, relay := range relays {
-		tsSide, dcSide := wire.Pipe()
-		tsConns = append(tsConns, tsSide)
-		dcs[i] = psc.NewDC(fmt.Sprintf("dc-%d", relay), dcSide)
-		setupWG.Add(1)
-		go func(dc *psc.DC) {
-			defer setupWG.Done()
-			if err := dc.Setup(); err != nil {
-				errs <- err
-			}
-		}(dcs[i])
-	}
-	resCh := make(chan psc.Result, 1)
-	go func() {
-		res, err := tally.Run(tsConns)
-		if err != nil {
-			errs <- err
-			return
-		}
-		resCh <- res
-	}()
-	setupWG.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-
-	for i, relay := range relays {
-		dc := dcs[i]
-		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relay}, nil, func(ev event.Event) {
+	for _, d := range dcs {
+		dc := d.psc
+		sim.Net.Bus.SubscribeFiltered([]event.RelayID{relays[d.host]}, nil, func(ev event.Event) {
 			if item, ok := run.Item(ev); ok {
 				if err := dc.Observe(item); err != nil {
 					panic(err)
@@ -345,32 +467,35 @@ func (e *Env) RunPSCWithSim(run PSCRun, onSim func(*Sim)) (*PSCResult, error) {
 
 	sim.Driver.Run(run.Days)
 
-	// Finish concurrently: the PSC tally collects tables in sorted-name
-	// order, which need not match relay order, and pipe writes block.
-	var finWG sync.WaitGroup
-	for _, dc := range dcs {
-		finWG.Add(1)
-		go func(dc *psc.DC) {
-			defer finWG.Done()
-			if err := dc.Finish(); err != nil {
-				errs <- err
-			}
-		}(dc)
+	// Finish concurrently: a large table exceeds a stream's window, so
+	// sequential finishing could stall against the TS's per-DC readers.
+	finishErrs := make(chan error, len(dcs))
+	for _, d := range dcs {
+		go func(d dcDelivery) {
+			finishErrs <- d.psc.Finish()
+			close(d.done)
+		}(d)
 	}
-	finWG.Wait()
-	cpWG.Wait()
-	select {
-	case res := <-resCh:
-		iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
-			Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
-		})
-		if err != nil {
-			return nil, err
+	var finishErr error
+	for range dcs {
+		if err := <-finishErrs; err != nil && finishErr == nil {
+			finishErr = err
 		}
-		return &PSCResult{Raw: res, Interval: iv, Sim: sim}, nil
-	case err := <-errs:
+	}
+	res, err := round.WaitPSC()
+	if err != nil {
 		return nil, err
 	}
+	if finishErr != nil {
+		return nil, finishErr
+	}
+	iv, err := stats.UnionCardinalityCI(stats.PSCObservation{
+		Reported: res.Reported, Bins: res.Bins, NoiseTrials: res.NoiseTrials,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PSCResult{Raw: res, Interval: iv, Sim: sim}, nil
 }
 
 // paperScale converts a simulation-scale interval to paper scale.

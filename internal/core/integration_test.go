@@ -98,7 +98,7 @@ func TestPrivCountOverTCPWithTLS(t *testing.T) {
 		}()
 	}
 
-	tsConns := make([]*wire.Conn, 0, numDCs+numSKs)
+	tsConns := make([]wire.Messenger, 0, numDCs+numSKs)
 	resCh := make(chan map[string][]float64, 1)
 	go func() {
 		for i := 0; i < numDCs+numSKs; i++ {
@@ -216,7 +216,7 @@ func TestPSCOverTCP(t *testing.T) {
 			}
 		}(dcs[i])
 	}
-	tsConns := make([]*wire.Conn, 0, numDCs+numCPs)
+	tsConns := make([]wire.Messenger, 0, numDCs+numCPs)
 	for i := 0; i < numDCs+numCPs; i++ {
 		tsConns = append(tsConns, <-acceptedCh)
 	}

@@ -1,0 +1,341 @@
+// Package engine is the multi-round scheduler shared by the in-process
+// experiment harness and the deployed daemons. Parties register their
+// multiplexed sessions once; the tally-side Engine then schedules any
+// number of PSC and PrivCount rounds, sequentially or concurrently,
+// each round riding its own streams of the persistent per-party
+// connections. A failed or aborted round resets only its own streams —
+// the sessions, party keys, and every other in-flight round survive.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/wire"
+)
+
+// Stream labels. The label tells the accepting party which protocol
+// role the stream wants from it; the hello stream is the one
+// session-level exchange.
+const (
+	LabelHello     = "engine/hello"
+	LabelPSC       = "psc/round"
+	LabelPrivCount = "privcount/round"
+)
+
+// Session-level party roles.
+const (
+	RoleCP = "psc-cp"
+	RoleSK = "sharekeeper"
+	RoleDC = "datacollector"
+)
+
+// Hello announces a party when its session is established.
+type Hello struct {
+	Role string
+	Name string
+}
+
+// SendHello announces this party on a fresh session (party side).
+func SendHello(sess *wire.Session, role, name string) error {
+	st, err := sess.Open(0, LabelHello)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return st.Send(LabelHello, Hello{Role: role, Name: name})
+}
+
+// AcceptHello reads the party announcement from a fresh session (tally
+// side).
+func AcceptHello(sess *wire.Session) (Hello, error) {
+	st, err := sess.Accept()
+	if err != nil {
+		return Hello{}, err
+	}
+	defer st.Close()
+	if st.Label() != LabelHello {
+		return Hello{}, fmt.Errorf("engine: expected hello stream, got %q", st.Label())
+	}
+	var h Hello
+	if err := st.Expect(LabelHello, &h); err != nil {
+		return Hello{}, err
+	}
+	if h.Name == "" {
+		return Hello{}, fmt.Errorf("engine: hello without a name")
+	}
+	return h, nil
+}
+
+// Party is one registered session.
+type Party struct {
+	Name string
+	Sess *wire.Session
+}
+
+// Engine is the tally-side round scheduler.
+type Engine struct {
+	mu        sync.Mutex
+	nextRound uint64
+	cps       []Party
+	sks       []Party
+	dcs       []Party
+}
+
+// New returns an empty engine; parties attach via the Add methods or
+// AcceptSession.
+func New() *Engine { return &Engine{} }
+
+// AddCP registers a computation-party session.
+func (e *Engine) AddCP(name string, sess *wire.Session) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cps = append(e.cps, Party{Name: name, Sess: sess})
+}
+
+// AddSK registers a share-keeper session.
+func (e *Engine) AddSK(name string, sess *wire.Session) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sks = append(e.sks, Party{Name: name, Sess: sess})
+}
+
+// AddDC registers a data-collector session.
+func (e *Engine) AddDC(name string, sess *wire.Session) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dcs = append(e.dcs, Party{Name: name, Sess: sess})
+}
+
+// AcceptSession reads a session's hello and registers it by role.
+func (e *Engine) AcceptSession(sess *wire.Session) (Hello, error) {
+	h, err := AcceptHello(sess)
+	if err != nil {
+		return Hello{}, err
+	}
+	switch h.Role {
+	case RoleCP:
+		e.AddCP(h.Name, sess)
+	case RoleSK:
+		e.AddSK(h.Name, sess)
+	case RoleDC:
+		e.AddDC(h.Name, sess)
+	default:
+		return Hello{}, fmt.Errorf("engine: unknown role %q", h.Role)
+	}
+	return h, nil
+}
+
+// Counts reports how many parties of each role are registered.
+func (e *Engine) Counts() (cps, sks, dcs int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cps), len(e.sks), len(e.dcs)
+}
+
+// Close tears down every registered session.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	parties := make([]Party, 0, len(e.cps)+len(e.sks)+len(e.dcs))
+	parties = append(parties, e.cps...)
+	parties = append(parties, e.sks...)
+	parties = append(parties, e.dcs...)
+	e.mu.Unlock()
+	for _, p := range parties {
+		p.Sess.Close()
+	}
+}
+
+// reserveRound allocates a fresh round ID.
+func (e *Engine) reserveRound() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextRound++
+	return e.nextRound
+}
+
+// pick selects parties for a round: explicit indices, or the first n.
+func pick(pool []Party, sel []int, n int, role string) ([]Party, error) {
+	if sel == nil {
+		if len(pool) < n {
+			return nil, fmt.Errorf("engine: need %d %s sessions, have %d", n, role, len(pool))
+		}
+		return pool[:n], nil
+	}
+	if len(sel) != n {
+		return nil, fmt.Errorf("engine: %d %s indices for %d slots", len(sel), role, n)
+	}
+	out := make([]Party, n)
+	for i, idx := range sel {
+		if idx < 0 || idx >= len(pool) {
+			return nil, fmt.Errorf("engine: %s index %d out of range", role, idx)
+		}
+		out[i] = pool[idx]
+	}
+	return out, nil
+}
+
+// Round is one scheduled measurement round. Wait blocks for the
+// outcome; Abort resets the round's streams without touching the
+// sessions, so every other round keeps running.
+type Round struct {
+	ID      uint64
+	Label   string
+	streams []*wire.Stream
+	done    chan struct{}
+
+	mu        sync.Mutex
+	err       error
+	pscRes    psc.Result
+	privRes   map[string][]float64
+	abortOnce sync.Once
+}
+
+// Done closes when the round has an outcome.
+func (r *Round) Done() <-chan struct{} { return r.done }
+
+// Err returns the round error (nil before Done and on success).
+func (r *Round) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Abort resets every stream of the round; parties and the tally see the
+// reason as a stream error and unwind. The round completes with an
+// error; the sessions stay healthy.
+func (r *Round) Abort(reason string) {
+	r.abortOnce.Do(func() {
+		for _, st := range r.streams {
+			st.Reset(reason)
+		}
+	})
+}
+
+// finish records the outcome and releases the streams: closed on
+// success so peers drain cleanly, reset on failure so every blocked
+// party unwinds immediately.
+func (r *Round) finish(err error) {
+	r.mu.Lock()
+	r.err = err
+	r.mu.Unlock()
+	if err != nil {
+		r.Abort(err.Error())
+	} else {
+		for _, st := range r.streams {
+			st.Close()
+		}
+	}
+	close(r.done)
+}
+
+// open opens one labeled stream per selected party.
+func (r *Round) open(parties []Party) ([]wire.Messenger, error) {
+	ms := make([]wire.Messenger, 0, len(parties))
+	for _, p := range parties {
+		st, err := p.Sess.Open(r.ID, r.Label)
+		if err != nil {
+			r.Abort("round setup failed")
+			return nil, fmt.Errorf("engine: open %s stream to %s: %w", r.Label, p.Name, err)
+		}
+		r.streams = append(r.streams, st)
+		ms = append(ms, st)
+	}
+	return ms, nil
+}
+
+// WaitPSC blocks until the round completes and returns its result.
+func (r *Round) WaitPSC() (psc.Result, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pscRes, r.err
+}
+
+// WaitPrivCount blocks until the round completes and returns its
+// aggregated statistics.
+func (r *Round) WaitPrivCount() (map[string][]float64, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.privRes, r.err
+}
+
+// StartPSC schedules a PSC round over cfg.NumCPs computation parties
+// and cfg.NumDCs collector sessions (dcSel indices, or the first
+// NumDCs). cfg.Round is assigned by the engine. The round runs in the
+// background; collect the outcome with WaitPSC.
+func (e *Engine) StartPSC(cfg psc.Config, dcSel []int) (*Round, error) {
+	e.mu.Lock()
+	var parties []Party
+	cps, err := pick(e.cps, nil, cfg.NumCPs, "CP")
+	if err == nil {
+		var dcs []Party
+		dcs, err = pick(e.dcs, dcSel, cfg.NumDCs, "DC")
+		parties = append(append(parties, cps...), dcs...)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	r := &Round{ID: e.reserveRound(), Label: LabelPSC, done: make(chan struct{})}
+	cfg.Round = r.ID
+	tally, err := psc.NewTally(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.open(parties)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		res, err := tally.Run(ms)
+		if err == nil {
+			r.mu.Lock()
+			r.pscRes = res
+			r.mu.Unlock()
+		}
+		r.finish(err)
+	}()
+	return r, nil
+}
+
+// StartPrivCount schedules a PrivCount round over cfg.NumSKs share
+// keepers and cfg.NumDCs collector sessions (dcSel indices, or the
+// first NumDCs). cfg.Round is assigned by the engine.
+func (e *Engine) StartPrivCount(cfg privcount.TallyConfig, dcSel []int) (*Round, error) {
+	e.mu.Lock()
+	var parties []Party
+	sks, err := pick(e.sks, nil, cfg.NumSKs, "SK")
+	if err == nil {
+		var dcs []Party
+		dcs, err = pick(e.dcs, dcSel, cfg.NumDCs, "DC")
+		parties = append(append(parties, sks...), dcs...)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	r := &Round{ID: e.reserveRound(), Label: LabelPrivCount, done: make(chan struct{})}
+	cfg.Round = r.ID
+	tally, err := privcount.NewTally(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.open(parties)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		res, err := tally.Run(ms)
+		if err == nil {
+			r.mu.Lock()
+			r.privRes = res
+			r.mu.Unlock()
+		}
+		r.finish(err)
+	}()
+	return r, nil
+}

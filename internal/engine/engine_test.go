@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/wire"
+)
+
+// dcRound is one data-collector role delivered to the test "harness":
+// the per-round DC object plus the channel the harness closes once it
+// has finished (or abandoned) the round.
+type dcRound struct {
+	host int
+	psc  *psc.DC
+	priv *privcount.DC
+	done chan struct{}
+}
+
+// testFleet wires an engine to in-process parties over piped sessions:
+// every party registers once and serves all subsequent rounds over its
+// single multiplexed connection.
+func testFleet(t *testing.T, numCPs, numSKs, numDCs int) (*Engine, chan dcRound) {
+	t.Helper()
+	e := New()
+	rounds := make(chan dcRound, 64)
+
+	attach := func() (*wire.Session, *wire.Session) {
+		tsConn, partyConn := wire.Pipe()
+		return wire.NewSession(tsConn, false), wire.NewSession(partyConn, true)
+	}
+	accept := func(ts *wire.Session) {
+		t.Helper()
+		if _, err := e.AcceptSession(ts); err != nil {
+			t.Fatalf("accept session: %v", err)
+		}
+	}
+
+	for i := 0; i < numCPs; i++ {
+		ts, party := attach()
+		go ServeCP(party, fmt.Sprintf("cp-%d", i), nil)
+		accept(ts)
+	}
+	for i := 0; i < numSKs; i++ {
+		ts, party := attach()
+		go ServeSK(party, fmt.Sprintf("sk-%d", i))
+		accept(ts)
+	}
+	for i := 0; i < numDCs; i++ {
+		ts, party := attach()
+		i := i
+		name := fmt.Sprintf("dc-%d", i)
+		go func() {
+			if err := SendHello(party, RoleDC, name); err != nil {
+				return
+			}
+			ServeRounds(party, func(st *wire.Stream) error {
+				switch st.Label() {
+				case LabelPSC:
+					dc := psc.NewDC(name, st)
+					if err := dc.Setup(); err != nil {
+						return err
+					}
+					r := dcRound{host: i, psc: dc, done: make(chan struct{})}
+					rounds <- r
+					<-r.done
+					return nil
+				case LabelPrivCount:
+					dc := privcount.NewDC(name, st, nil)
+					if err := dc.Setup(); err != nil {
+						return err
+					}
+					r := dcRound{host: i, priv: dc, done: make(chan struct{})}
+					rounds <- r
+					<-r.done
+					return nil
+				default:
+					return fmt.Errorf("unexpected stream %q", st.Label())
+				}
+			})
+		}()
+		accept(ts)
+	}
+	t.Cleanup(e.Close)
+	return e, rounds
+}
+
+// collect waits for n DC deliveries, failing the test on timeout or if
+// a round in the set errors out first.
+func collect(t *testing.T, rounds chan dcRound, n int, watch ...*Round) []dcRound {
+	t.Helper()
+	out := make([]dcRound, 0, n)
+	timeout := time.After(2 * time.Minute)
+	for len(out) < n {
+		select {
+		case r := <-rounds:
+			out = append(out, r)
+		case <-timeout:
+			t.Fatalf("collected %d of %d DC roles", len(out), n)
+		}
+		for _, w := range watch {
+			select {
+			case <-w.Done():
+				if w.Err() != nil {
+					t.Fatalf("round %d failed during setup: %v", w.ID, w.Err())
+				}
+			default:
+			}
+		}
+	}
+	return out
+}
+
+// TestConcurrentPSCAndPrivCountRounds runs the acceptance scenario: a
+// 2048-bin PSC round and a PrivCount round at the same time, with each
+// data-collector host carrying both rounds over its one multiplexed
+// connection, and verifies both produce correct results.
+func TestConcurrentPSCAndPrivCountRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full concurrent rounds skipped in -short mode")
+	}
+	e, rounds := testFleet(t, 2, 2, 2)
+
+	pscRound, err := e.StartPSC(psc.Config{
+		Bins: 2048, NoisePerCP: 0, ShuffleProofRounds: 1, NumDCs: 2, NumCPs: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privRound, err := e.StartPrivCount(privcount.TallyConfig{
+		Stats:  []privcount.StatConfig{{Name: "streams", Bins: []string{"a", "b"}, Sigma: 0}},
+		NumDCs: 2, NumSKs: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pscRound.ID == privRound.ID {
+		t.Fatalf("rounds share an ID: %d", pscRound.ID)
+	}
+
+	// Both rounds' DC roles arrive interleaved over the same sessions.
+	var pscDCs []*psc.DC
+	var privDCs []*privcount.DC
+	var all []dcRound
+	for _, r := range collect(t, rounds, 4, pscRound, privRound) {
+		all = append(all, r)
+		if r.psc != nil {
+			pscDCs = append(pscDCs, r.psc)
+		} else {
+			privDCs = append(privDCs, r.priv)
+		}
+	}
+	if len(pscDCs) != 2 || len(privDCs) != 2 {
+		t.Fatalf("got %d PSC and %d PrivCount DC roles", len(pscDCs), len(privDCs))
+	}
+
+	// Feed both measurements, then finish everything.
+	for i, dc := range pscDCs {
+		for k := 0; k < 40; k++ {
+			dc.Observe(fmt.Sprintf("client-%d", k+i*20)) // 20 overlap across DCs
+		}
+	}
+	for _, dc := range privDCs {
+		dc.Increment("streams", 0, 10)
+		dc.Increment("streams", 1, 2)
+	}
+	for _, dc := range pscDCs {
+		if err := dc.Finish(); err != nil {
+			t.Fatalf("psc finish: %v", err)
+		}
+	}
+	for _, dc := range privDCs {
+		if err := dc.Finish(); err != nil {
+			t.Fatalf("privcount finish: %v", err)
+		}
+	}
+	for _, r := range all {
+		close(r.done)
+	}
+
+	pscRes, err := pscRound.WaitPSC()
+	if err != nil {
+		t.Fatalf("psc round: %v", err)
+	}
+	// 60 distinct items in 2048 bins, no noise: collisions are rare but
+	// possible, so allow a small deficit.
+	if pscRes.Reported < 55 || pscRes.Reported > 60 {
+		t.Fatalf("psc reported %d, want ~60", pscRes.Reported)
+	}
+	privRes, err := privRound.WaitPrivCount()
+	if err != nil {
+		t.Fatalf("privcount round: %v", err)
+	}
+	if got := privRes["streams"][0]; got != 20 {
+		t.Fatalf("streams/a = %v, want 20", got)
+	}
+	if got := privRes["streams"][1]; got != 4 {
+		t.Fatalf("streams/b = %v, want 4", got)
+	}
+}
+
+// TestRoundFailureIsolation aborts one round mid-flight while a sibling
+// round shares the same party sessions, then schedules another round:
+// the abort must neither kill the sessions nor the sibling.
+func TestRoundFailureIsolation(t *testing.T) {
+	e, rounds := testFleet(t, 2, 1, 2)
+
+	small := psc.Config{Bins: 64, NoisePerCP: 2, ShuffleProofRounds: 1, NumDCs: 2, NumCPs: 2}
+	doomed, err := e.StartPSC(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := e.StartPSC(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doomedDCs, survivorDCs []dcRound
+	for _, r := range collect(t, rounds, 4, doomed, survivor) {
+		if r.psc.Round() == doomed.ID {
+			doomedDCs = append(doomedDCs, r)
+		} else {
+			survivorDCs = append(survivorDCs, r)
+		}
+	}
+	if len(doomedDCs) != 2 || len(survivorDCs) != 2 {
+		t.Fatalf("round assignment: %d doomed, %d survivor", len(doomedDCs), len(survivorDCs))
+	}
+
+	doomed.Abort("operator cancelled")
+	if _, err := doomed.WaitPSC(); err == nil || !strings.Contains(err.Error(), "operator cancelled") {
+		t.Fatalf("doomed round error = %v, want the abort reason", err)
+	}
+	for _, r := range doomedDCs {
+		close(r.done) // release the host's handler; Finish was never called
+	}
+
+	// The sibling completes on the same sessions.
+	for i, r := range survivorDCs {
+		r.psc.Observe(fmt.Sprintf("item-%d", i))
+		if err := r.psc.Finish(); err != nil {
+			t.Fatalf("survivor finish: %v", err)
+		}
+		close(r.done)
+	}
+	if _, err := survivor.WaitPSC(); err != nil {
+		t.Fatalf("survivor round: %v", err)
+	}
+
+	// And the engine schedules fresh rounds afterwards.
+	again, err := e.StartPSC(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range collect(t, rounds, 2, again) {
+		if err := r.psc.Finish(); err != nil {
+			t.Fatalf("post-abort finish: %v", err)
+		}
+		close(r.done)
+	}
+	if _, err := again.WaitPSC(); err != nil {
+		t.Fatalf("post-abort round: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"repro/internal/dp"
+	"repro/internal/privcount"
+	"repro/internal/psc"
+	"repro/internal/wire"
+)
+
+// Party-side serve loops: each accepts round streams off a persistent
+// session and serves them concurrently. Long-term key material (a CP's
+// ElGamal share, an SK's seal keypair) lives in the party value and
+// spans every round of the session, the way the deployed daemons hold
+// one key across a whole measurement study.
+
+// ServeCP announces a computation party on sess and serves PSC rounds
+// until the session closes. It returns the session's terminal error.
+func ServeCP(sess *wire.Session, name string, noise *dp.NoiseSource) error {
+	if err := SendHello(sess, RoleCP, name); err != nil {
+		return err
+	}
+	cp := psc.NewCP(name, nil, noise)
+	return serveRounds(sess, func(st *wire.Stream) error {
+		if st.Label() != LabelPSC {
+			st.Reset("psc-cp: unexpected stream " + st.Label())
+			return nil
+		}
+		return cp.ServeRound(st)
+	})
+}
+
+// ServeSK announces a share keeper on sess and serves PrivCount rounds
+// until the session closes.
+func ServeSK(sess *wire.Session, name string) error {
+	if err := SendHello(sess, RoleSK, name); err != nil {
+		return err
+	}
+	sk, err := privcount.NewSK(name, nil)
+	if err != nil {
+		return err
+	}
+	return serveRounds(sess, func(st *wire.Stream) error {
+		if st.Label() != LabelPrivCount {
+			st.Reset("sharekeeper: unexpected stream " + st.Label())
+			return nil
+		}
+		return sk.ServeRound(st)
+	})
+}
+
+// ServeRounds accepts round streams and dispatches each to handle in
+// its own goroutine; a handler error resets only that round's stream.
+// It returns when the session dies. Data-collector hosts use this
+// directly with handlers that create per-round DCs.
+func ServeRounds(sess *wire.Session, handle func(st *wire.Stream) error) error {
+	return serveRounds(sess, handle)
+}
+
+func serveRounds(sess *wire.Session, handle func(st *wire.Stream) error) error {
+	for {
+		st, err := sess.Accept()
+		if err != nil {
+			return err
+		}
+		go func(st *wire.Stream) {
+			if err := handle(st); err != nil {
+				// The tally sees the reason; sibling rounds are untouched.
+				st.Reset(err.Error())
+				return
+			}
+			st.Close()
+		}(st)
+	}
+}

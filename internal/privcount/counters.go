@@ -134,13 +134,22 @@ func (c *Counters) Increment(stat string, bin int, delta float64) error {
 	return nil
 }
 
-// AddBlinding adds a share vector (mod 2⁶⁴) into the counters.
+// AddBlinding adds a whole share vector (mod 2⁶⁴) into the counters.
 func (c *Counters) AddBlinding(shares []uint64) error {
 	if len(shares) != len(c.vals) {
 		return fmt.Errorf("privcount: share vector length %d, want %d", len(shares), len(c.vals))
 	}
+	return c.AddBlindingAt(0, shares)
+}
+
+// AddBlindingAt adds a share slice (mod 2⁶⁴) into the counter slots
+// starting at off — the chunked share-distribution path.
+func (c *Counters) AddBlindingAt(off int, shares []uint64) error {
+	if off < 0 || off+len(shares) > len(c.vals) {
+		return fmt.Errorf("privcount: share slice [%d,%d) outside %d slots", off, off+len(shares), len(c.vals))
+	}
 	for i, s := range shares {
-		c.vals[i] += s
+		c.vals[off+i] += s
 	}
 	return nil
 }

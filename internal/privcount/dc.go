@@ -14,7 +14,7 @@ import (
 type DC struct {
 	Name string
 
-	conn     *wire.Conn
+	m        wire.Messenger
 	schema   *Schema
 	counters *Counters
 	round    uint64
@@ -23,24 +23,26 @@ type DC struct {
 	ready    bool
 }
 
-// NewDC creates a data collector speaking on conn. The noise source may
-// be nil to use cryptographic randomness.
-func NewDC(name string, conn *wire.Conn, noise *dp.NoiseSource) *DC {
+// NewDC creates a data collector speaking on m — a dedicated connection
+// or one round's stream of a multiplexed session. The noise source may
+// be nil to use cryptographic randomness. A DC serves exactly one
+// round; daemons create one per round stream.
+func NewDC(name string, m wire.Messenger, noise *dp.NoiseSource) *DC {
 	if noise == nil {
 		noise = dp.NewNoiseSource(nil)
 	}
-	return &DC{Name: name, conn: conn, noise: noise}
+	return &DC{Name: name, m: m, noise: noise}
 }
 
 // Setup registers with the tally server, receives the round
 // configuration, generates and distributes blinding shares, and waits
 // for the begin signal. On return the DC is ready to count.
 func (dc *DC) Setup() error {
-	if err := dc.conn.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
+	if err := dc.m.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
 		return fmt.Errorf("privcount dc %s: register: %w", dc.Name, err)
 	}
 	var cfg ConfigureMsg
-	if err := dc.conn.Expect(kindConfigure, &cfg); err != nil {
+	if err := dc.m.Expect(kindConfigure, &cfg); err != nil {
 		return fmt.Errorf("privcount dc %s: configure: %w", dc.Name, err)
 	}
 	schema, err := NewSchema(cfg.Stats)
@@ -52,40 +54,55 @@ func (dc *DC) Setup() error {
 	dc.round = cfg.Round
 	dc.weight = cfg.NoiseWeight
 
-	// One uniformly random share vector per SK; the counters absorb all
-	// of them, and each SK will subtract its copy at aggregation time.
-	// The per-SK boxes are independent, so they seal as one batch.
+	// One uniformly random share slice per SK per slot chunk; the
+	// counters absorb all of them, and each SK will subtract its copies
+	// at aggregation time. Chunked sealing keeps every frame and every
+	// box O(chunk) however many counters the round collects; the per-SK
+	// boxes of one chunk are independent, so they seal as one batch.
 	pubs := make([][]byte, len(cfg.SKNames))
-	plains := make([][]byte, len(cfg.SKNames))
 	for i, sk := range cfg.SKNames {
 		pub, ok := cfg.SKKeys[sk]
 		if !ok {
 			return fmt.Errorf("privcount dc %s: no seal key for SK %s", dc.Name, sk)
 		}
 		pubs[i] = pub
-		shares := RandomShares(schema.Size())
-		if err := dc.counters.AddBlinding(shares); err != nil {
-			return err
+	}
+	size := schema.Size()
+	if err := dc.m.Send(kindShares, SharesMsg{From: dc.Name, N: size}); err != nil {
+		return fmt.Errorf("privcount dc %s: shares header: %w", dc.Name, err)
+	}
+	err = forEachChunk(size, func(off, end int) error {
+		plains := make([][]byte, len(cfg.SKNames))
+		for i := range cfg.SKNames {
+			shares := RandomShares(end - off)
+			if err := dc.counters.AddBlindingAt(off, shares); err != nil {
+				return err
+			}
+			plain, err := wire.EncodePayload(shares)
+			if err != nil {
+				return err
+			}
+			plains[i] = plain
 		}
-		plain, err := wire.EncodePayload(shares)
+		sealed, err := SealBatch(pubs, plains)
 		if err != nil {
-			return err
+			return fmt.Errorf("privcount dc %s: seal shares: %w", dc.Name, err)
 		}
-		plains[i] = plain
-	}
-	sealed, err := SealBatch(pubs, plains)
+		boxes := make(map[string][]byte, len(cfg.SKNames))
+		for i, sk := range cfg.SKNames {
+			boxes[sk] = sealed[i]
+		}
+		err = dc.m.Send(kindShareChunk, ShareChunkMsg{Off: off, Count: end - off, Boxes: boxes})
+		if err != nil {
+			return fmt.Errorf("privcount dc %s: shares: %w", dc.Name, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("privcount dc %s: seal shares: %w", dc.Name, err)
-	}
-	boxes := make(map[string][]byte, len(cfg.SKNames))
-	for i, sk := range cfg.SKNames {
-		boxes[sk] = sealed[i]
-	}
-	if err := dc.conn.Send(kindShares, SharesMsg{From: dc.Name, Boxes: boxes}); err != nil {
-		return fmt.Errorf("privcount dc %s: shares: %w", dc.Name, err)
+		return err
 	}
 	var begin BeginMsg
-	if err := dc.conn.Expect(kindBegin, &begin); err != nil {
+	if err := dc.m.Expect(kindBegin, &begin); err != nil {
 		return fmt.Errorf("privcount dc %s: begin: %w", dc.Name, err)
 	}
 	dc.ready = true
@@ -104,17 +121,20 @@ func (dc *DC) Increment(stat string, bin int, delta float64) error {
 // Schema returns the round schema (nil before Setup).
 func (dc *DC) Schema() *Schema { return dc.schema }
 
-// Finish adds this DC's share of the Gaussian noise and sends the
-// blinded report to the tally server.
+// Round reports the round this DC is configured for (zero before Setup).
+func (dc *DC) Round() uint64 { return dc.round }
+
+// Finish adds this DC's share of the Gaussian noise and streams the
+// blinded report to the tally server in bounded chunks.
 func (dc *DC) Finish() error {
 	if !dc.ready {
 		return fmt.Errorf("privcount dc %s: finish before setup", dc.Name)
 	}
 	dc.ready = false
 	dc.counters.AddNoise(dc.noise.Gaussian, dc.weight)
-	return dc.conn.Send(kindReport, ReportMsg{
-		From:   dc.Name,
-		Round:  dc.round,
-		Values: dc.counters.Snapshot(),
-	})
+	vals := dc.counters.Snapshot()
+	if err := dc.m.Send(kindReport, ReportMsg{From: dc.Name, Round: dc.round, N: len(vals)}); err != nil {
+		return err
+	}
+	return sendValues(dc.m, vals)
 }

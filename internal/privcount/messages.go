@@ -1,19 +1,72 @@
 package privcount
 
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
 // Wire message kinds exchanged between the PrivCount parties. Every
 // message travels as a wire.Frame whose payload is the gob encoding of
-// one of these structs.
+// one of these structs. Counter vectors and blinding shares travel as
+// bounded chunk frames after a header, never as one frame.
 const (
-	kindRegister  = "privcount/register"
-	kindConfigure = "privcount/configure"
-	kindShares    = "privcount/shares"
-	kindRelay     = "privcount/relay-shares"
-	kindBegin     = "privcount/begin"
-	kindReport    = "privcount/report"
-	kindCollect   = "privcount/collect"
-	kindSums      = "privcount/sums"
-	kindResults   = "privcount/results"
+	kindRegister   = "privcount/register"
+	kindConfigure  = "privcount/configure"
+	kindShares     = "privcount/shares"
+	kindShareChunk = "privcount/share-chunk"
+	kindRelay      = "privcount/relay-shares"
+	kindBegin      = "privcount/begin"
+	kindReport     = "privcount/report"
+	kindCollect    = "privcount/collect"
+	kindSums       = "privcount/sums"
+	kindChunk      = "privcount/chunk"
+	kindResults    = "privcount/results"
 )
+
+// ChunkSlots is how many uint64 counter slots travel per chunk frame
+// (and per sealed box): 32 KiB of payload, far below any frame cap.
+const ChunkSlots = 4096
+
+// forEachChunk invokes fn(off, end) over [0, n) in ChunkSlots-sized
+// ranges.
+func forEachChunk(n int, fn func(off, end int) error) error {
+	for off := 0; off < n; off += ChunkSlots {
+		end := off + ChunkSlots
+		if end > n {
+			end = n
+		}
+		if err := fn(off, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendValues streams a counter vector as bounded chunks after its
+// header has announced len(v) slots.
+func sendValues(m wire.Messenger, v []uint64) error {
+	return forEachChunk(len(v), func(off, end int) error {
+		return m.Send(kindChunk, ValueChunkMsg{Off: off, Values: v[off:end]})
+	})
+}
+
+// recvValues collects a chunked vector of n slots.
+func recvValues(m wire.Messenger, n int) ([]uint64, error) {
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		var c ValueChunkMsg
+		if err := m.Expect(kindChunk, &c); err != nil {
+			return nil, err
+		}
+		if c.Off != len(out) || len(c.Values) == 0 || c.Off+len(c.Values) > n {
+			return nil, fmt.Errorf("privcount: chunk [%d,%d) does not continue vector at %d/%d",
+				c.Off, c.Off+len(c.Values), len(out), n)
+		}
+		out = append(out, c.Values...)
+	}
+	return out, nil
+}
 
 // Party roles.
 const (
@@ -42,17 +95,30 @@ type ConfigureMsg struct {
 	NoiseWeight float64
 }
 
-// SharesMsg carries a DC's sealed blinding shares, one box per SK. The
-// TS relays each box to its SK without being able to open it.
+// SharesMsg opens a DC's blinding-share distribution: the share vector
+// follows as ShareChunkMsg frames, each sealing one slot range to every
+// SK. The TS relays each box to its SK without being able to open it.
 type SharesMsg struct {
-	From  string
-	Boxes map[string][]byte
+	From string
+	// N is the schema slot count the chunks must tile.
+	N int
 }
 
-// RelayMsg delivers one DC's sealed box to a share keeper.
+// ShareChunkMsg carries one slot range of a DC's blinding shares, one
+// independently sealed box per SK. Chunked sealing bounds every frame
+// (and every SK's working set) by the chunk size, not the schema size.
+type ShareChunkMsg struct {
+	Off, Count int
+	Boxes      map[string][]byte
+}
+
+// RelayMsg delivers one chunk of one DC's sealed shares to a share
+// keeper.
 type RelayMsg struct {
-	From string
-	Box  []byte
+	From       string
+	Off, Count int
+	N          int // total slots in the DC's vector
+	Box        []byte
 }
 
 // BeginMsg tells DCs the collection phase has started.
@@ -60,11 +126,12 @@ type BeginMsg struct {
 	Round uint64
 }
 
-// ReportMsg is a DC's end-of-round report: blinded, noised counters.
+// ReportMsg opens a DC's end-of-round report: blinded, noised counters,
+// chunked as ValueChunkMsg frames.
 type ReportMsg struct {
-	From   string
-	Round  uint64
-	Values []uint64
+	From  string
+	Round uint64
+	N     int
 }
 
 // CollectMsg asks a share keeper for its blinding sums.
@@ -72,11 +139,17 @@ type CollectMsg struct {
 	Round uint64
 }
 
-// SumsMsg is a share keeper's response: the negated sum of all blinding
-// shares it received, per counter slot.
+// SumsMsg opens a share keeper's response — the negated sum of all
+// blinding shares it received — chunked as ValueChunkMsg frames.
 type SumsMsg struct {
-	From   string
-	Round  uint64
+	From  string
+	Round uint64
+	N     int
+}
+
+// ValueChunkMsg carries one slot range of a counter vector.
+type ValueChunkMsg struct {
+	Off    int
 	Values []uint64
 }
 

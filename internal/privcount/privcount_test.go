@@ -1,6 +1,7 @@
 package privcount
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -118,7 +119,7 @@ func runRound(t *testing.T, stats []StatConfig, numDCs, numSKs int,
 		t.Fatal(err)
 	}
 
-	var tsConns []*wire.Conn
+	var tsConns []wire.Messenger
 	var dcs []*DC
 	var setupWG, skWG sync.WaitGroup
 
@@ -193,6 +194,39 @@ func (s seededReader) Read(p []byte) (int, error) {
 func dcName(i int) string { return string(rune('a'+i)) + "-dc" }
 func skName(i int) string { return string(rune('a'+i)) + "-sk" }
 
+// TestRoundLargeSchemaCrossesChunks runs a schema wider than one chunk
+// so the share distribution, report, and sums paths all exercise
+// multi-chunk transfer end to end.
+func TestRoundLargeSchemaCrossesChunks(t *testing.T) {
+	bins := make([]string, ChunkSlots+37)
+	for i := range bins {
+		bins[i] = fmt.Sprintf("b%d", i)
+	}
+	stats := []StatConfig{{Name: "wide", Bins: bins, Sigma: 0}}
+	last := len(bins) - 1
+	res := runRound(t, stats, 2, 2, func(dcs []*DC) {
+		for _, dc := range dcs {
+			if err := dc.Increment("wide", 0, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := dc.Increment("wide", last, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if got := res["wide"][0]; math.Abs(got-6) > 1e-9 {
+		t.Fatalf("first bin: %v", got)
+	}
+	if got := res["wide"][last]; math.Abs(got-10) > 1e-9 {
+		t.Fatalf("last bin: %v", got)
+	}
+	for _, mid := range []int{1, ChunkSlots - 1, ChunkSlots} {
+		if got := res["wide"][mid]; math.Abs(got) > 1e-9 {
+			t.Fatalf("bin %d should be zero: %v", mid, got)
+		}
+	}
+}
+
 func TestFullRoundExactWithoutNoise(t *testing.T) {
 	stats := []StatConfig{
 		{Name: "streams", Bins: []string{""}, Sigma: 0},
@@ -262,6 +296,13 @@ func TestDCReportIsBlinded(t *testing.T) {
 		})
 		var shares SharesMsg
 		tsSide.Expect(kindShares, &shares)
+		for got := 0; got < shares.N; {
+			var chunk ShareChunkMsg
+			if tsSide.Expect(kindShareChunk, &chunk) != nil {
+				return
+			}
+			got += chunk.Count
+		}
 		tsSide.Send(kindBegin, BeginMsg{Round: 1})
 	}()
 	if err := dc.Setup(); err != nil {
@@ -270,17 +311,18 @@ func TestDCReportIsBlinded(t *testing.T) {
 	if err := dc.Increment("s", 0, 42); err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan ReportMsg, 1)
+	done := make(chan []uint64, 1)
 	go func() {
 		var rep ReportMsg
 		tsSide.Expect(kindReport, &rep)
-		done <- rep
+		vals, _ := recvValues(tsSide, rep.N)
+		done <- vals
 	}()
 	if err := dc.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	rep := <-done
-	if got := fromFixed(rep.Values[0]); math.Abs(got-42) < 1e6 {
+	vals := <-done
+	if got := fromFixed(vals[0]); math.Abs(got-42) < 1e6 {
 		t.Fatalf("report leaked a value near the true count: %v", got)
 	}
 }
@@ -403,7 +445,7 @@ func BenchmarkFullRound8DCs(b *testing.B) {
 	stats := []StatConfig{{Name: "s", Bins: []string{"a", "b", "c", "d"}, Sigma: 100}}
 	for i := 0; i < b.N; i++ {
 		tally, _ := NewTally(TallyConfig{Round: 1, Stats: stats, NumDCs: 8, NumSKs: 3})
-		var tsConns []*wire.Conn
+		var tsConns []wire.Messenger
 		var dcs []*DC
 		var wg sync.WaitGroup
 		for j := 0; j < 3; j++ {

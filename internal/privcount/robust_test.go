@@ -18,7 +18,7 @@ func tallyWith(t *testing.T, cfg TallyConfig, parties func(conns []*wire.Conn)) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	tsConns := make([]*wire.Conn, cfg.NumDCs+cfg.NumSKs)
+	tsConns := make([]wire.Messenger, cfg.NumDCs+cfg.NumSKs)
 	partyConns := make([]*wire.Conn, len(tsConns))
 	for i := range tsConns {
 		tsConns[i], partyConns[i] = wire.Pipe()
@@ -110,10 +110,11 @@ func TestTallyRejectsWrongRoundReport(t *testing.T) {
 				box, _ := Seal(cfg.SKKeys[skName], plain)
 				boxes[skName] = box
 			}
-			c.Send(kindShares, SharesMsg{From: "dc", Boxes: boxes})
+			c.Send(kindShares, SharesMsg{From: "dc", N: schema.Size()})
+			c.Send(kindShareChunk, ShareChunkMsg{Off: 0, Count: schema.Size(), Boxes: boxes})
 			var begin BeginMsg
 			c.Expect(kindBegin, &begin)
-			c.Send(kindReport, ReportMsg{From: "dc", Round: 99, Values: make([]uint64, schema.Size())})
+			c.Send(kindReport, ReportMsg{From: "dc", Round: 99, N: schema.Size()})
 		})
 	if err == nil || !strings.Contains(err.Error(), "round") {
 		t.Fatalf("want round-mismatch error, got %v", err)
@@ -132,7 +133,9 @@ func TestTallyRejectsMissingBox(t *testing.T) {
 				return
 			}
 			// Claim shares but include no boxes.
-			c.Send(kindShares, SharesMsg{From: "dc", Boxes: map[string][]byte{}})
+			schema, _ := NewSchema(cfg.Stats)
+			c.Send(kindShares, SharesMsg{From: "dc", N: schema.Size()})
+			c.Send(kindShareChunk, ShareChunkMsg{Off: 0, Count: schema.Size(), Boxes: map[string][]byte{}})
 		})
 	if err == nil || !strings.Contains(err.Error(), "boxes") {
 		t.Fatalf("want missing-boxes error, got %v", err)
@@ -155,10 +158,10 @@ func TestSKRejectsShortShareVector(t *testing.T) {
 		t.Fatal(err)
 	}
 	tsSide.Send(kindConfigure, ConfigureMsg{Round: 1, Stats: oneStat, NumDCs: 1})
-	// Box with too few shares (schema size is 1; send 3).
+	// Box with too few shares (chunk claims 1 slot; box holds 3).
 	plain, _ := wire.EncodePayload([]uint64{1, 2, 3})
 	box, _ := Seal(reg.SealPub, plain)
-	tsSide.Send(kindRelay, RelayMsg{From: "dc", Box: box})
+	tsSide.Send(kindRelay, RelayMsg{From: "dc", Off: 0, Count: 1, N: 1, Box: box})
 	err = <-errCh
 	if err == nil || !strings.Contains(err.Error(), "slots") {
 		t.Fatalf("want share-length error, got %v", err)

@@ -11,32 +11,41 @@ import (
 // and SK sums, the blinding telescopes away. PrivCount's privacy
 // guarantee holds as long as at least one SK is honest (§2.3): no
 // smaller coalition can unblind a DC's counters.
+//
+// An SK's seal keypair is long-term: one SK value serves many rounds
+// (ServeRound per round stream), concurrently if asked, like the
+// deployed share-keeper daemons.
 type SK struct {
 	Name string
-	conn *wire.Conn
+	m    wire.Messenger
 	key  *SealKey
 }
 
-// NewSK creates a share keeper speaking on conn.
-func NewSK(name string, conn *wire.Conn) (*SK, error) {
+// NewSK creates a share keeper. The messenger may be nil when the SK
+// serves rounds on explicit streams via ServeRound.
+func NewSK(name string, m wire.Messenger) (*SK, error) {
 	key, err := NewSealKey()
 	if err != nil {
 		return nil, err
 	}
-	return &SK{Name: name, conn: conn, key: key}, nil
+	return &SK{Name: name, m: m, key: key}, nil
 }
 
-// Serve runs the share keeper's side of one round: register, receive
-// the configuration and every DC's sealed share vector, then answer the
-// collect request with negated sums. It returns when the round ends.
-func (sk *SK) Serve() error {
-	if err := sk.conn.Send(kindRegister, RegisterMsg{
+// Serve runs one round on the SK's bound messenger.
+func (sk *SK) Serve() error { return sk.ServeRound(sk.m) }
+
+// ServeRound runs the share keeper's side of one round over m:
+// register, receive the configuration and every DC's sealed share
+// chunks, then answer the collect request with negated sums. All round
+// state is local, so one SK serves many rounds concurrently.
+func (sk *SK) ServeRound(m wire.Messenger) error {
+	if err := m.Send(kindRegister, RegisterMsg{
 		Role: RoleSK, Name: sk.Name, SealPub: sk.key.Public(),
 	}); err != nil {
 		return fmt.Errorf("privcount sk %s: register: %w", sk.Name, err)
 	}
 	var cfg ConfigureMsg
-	if err := sk.conn.Expect(kindConfigure, &cfg); err != nil {
+	if err := m.Expect(kindConfigure, &cfg); err != nil {
 		return fmt.Errorf("privcount sk %s: configure: %w", sk.Name, err)
 	}
 	schema, err := NewSchema(cfg.Stats)
@@ -45,31 +54,47 @@ func (sk *SK) Serve() error {
 	}
 	sums := make([]uint64, schema.Size())
 
+	// Each DC's vector arrives as sealed chunks; only one chunk is ever
+	// open at a time.
 	for i := 0; i < cfg.NumDCs; i++ {
-		var relay RelayMsg
-		if err := sk.conn.Expect(kindRelay, &relay); err != nil {
-			return fmt.Errorf("privcount sk %s: relay %d: %w", sk.Name, i, err)
-		}
-		plain, err := sk.key.Open(relay.Box)
-		if err != nil {
-			return fmt.Errorf("privcount sk %s: open box from %s: %w", sk.Name, relay.From, err)
-		}
-		var shares []uint64
-		if err := wire.DecodePayload(plain, &shares); err != nil {
-			return fmt.Errorf("privcount sk %s: decode shares from %s: %w", sk.Name, relay.From, err)
-		}
-		if len(shares) != len(sums) {
-			return fmt.Errorf("privcount sk %s: share vector from %s has %d slots, want %d",
-				sk.Name, relay.From, len(shares), len(sums))
-		}
-		for j, s := range shares {
-			sums[j] -= s // negate: SK sums cancel DC blinding at the TS
+		for got := 0; got < len(sums); {
+			var relay RelayMsg
+			if err := m.Expect(kindRelay, &relay); err != nil {
+				return fmt.Errorf("privcount sk %s: relay %d: %w", sk.Name, i, err)
+			}
+			if relay.N != len(sums) {
+				return fmt.Errorf("privcount sk %s: DC %s vector has %d slots, want %d",
+					sk.Name, relay.From, relay.N, len(sums))
+			}
+			if relay.Off != got || relay.Count <= 0 || relay.Off+relay.Count > len(sums) {
+				return fmt.Errorf("privcount sk %s: DC %s chunk [%d,%d) does not continue at %d",
+					sk.Name, relay.From, relay.Off, relay.Off+relay.Count, got)
+			}
+			plain, err := sk.key.Open(relay.Box)
+			if err != nil {
+				return fmt.Errorf("privcount sk %s: open box from %s: %w", sk.Name, relay.From, err)
+			}
+			var shares []uint64
+			if err := wire.DecodePayload(plain, &shares); err != nil {
+				return fmt.Errorf("privcount sk %s: decode shares from %s: %w", sk.Name, relay.From, err)
+			}
+			if len(shares) != relay.Count {
+				return fmt.Errorf("privcount sk %s: share chunk from %s has %d slots, want %d",
+					sk.Name, relay.From, len(shares), relay.Count)
+			}
+			for j, s := range shares {
+				sums[relay.Off+j] -= s // negate: SK sums cancel DC blinding at the TS
+			}
+			got += relay.Count
 		}
 	}
 
 	var collect CollectMsg
-	if err := sk.conn.Expect(kindCollect, &collect); err != nil {
+	if err := m.Expect(kindCollect, &collect); err != nil {
 		return fmt.Errorf("privcount sk %s: collect: %w", sk.Name, err)
 	}
-	return sk.conn.Send(kindSums, SumsMsg{From: sk.Name, Round: cfg.Round, Values: sums})
+	if err := m.Send(kindSums, SumsMsg{From: sk.Name, Round: cfg.Round, N: len(sums)}); err != nil {
+		return err
+	}
+	return sendValues(m, sums)
 }

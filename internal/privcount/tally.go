@@ -53,22 +53,24 @@ func NewTally(cfg TallyConfig) (*Tally, error) {
 // Schema returns the round schema.
 func (t *Tally) Schema() *Schema { return t.schema }
 
-// Run executes the round over the given established connections (one
-// per party, in any order). It blocks until every DC has reported and
-// every SK has answered, then returns the aggregated noisy statistics.
+// Run executes the round over the given established messengers (one
+// per party — dedicated connections or per-round streams of
+// multiplexed sessions, in any order). It blocks until every DC has
+// reported and every SK has answered, then returns the aggregated
+// noisy statistics.
 //
 // The protocol phases are strictly sequenced, matching the PrivCount
 // deployment: registration, configuration, share distribution (sealed
-// boxes relayed through the TS), collection, and aggregation.
-func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
+// chunks relayed through the TS), collection, and aggregation.
+func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 	if len(conns) != t.cfg.NumDCs+t.cfg.NumSKs {
 		return nil, fmt.Errorf("privcount ts: have %d connections, want %d DCs + %d SKs",
 			len(conns), t.cfg.NumDCs, t.cfg.NumSKs)
 	}
 
 	// Phase 1: registration.
-	dcConns := make(map[string]*wire.Conn)
-	skConns := make(map[string]*wire.Conn)
+	dcConns := make(map[string]wire.Messenger)
+	skConns := make(map[string]wire.Messenger)
 	skKeys := make(map[string][]byte)
 	var dcNames, skNames []string
 	for _, c := range conns {
@@ -124,24 +126,40 @@ func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
 		}
 	}
 
-	// Phase 3: share distribution. The TS relays sealed boxes; it never
-	// holds a key that opens them.
+	// Phase 3: share distribution. The TS relays sealed chunks as they
+	// arrive; it never holds a key that opens them, and never more than
+	// one chunk of boxes per DC.
 	for _, name := range dcNames {
 		var shares SharesMsg
 		if err := dcConns[name].Expect(kindShares, &shares); err != nil {
 			return nil, fmt.Errorf("privcount ts: shares from DC %s: %w", name, err)
 		}
-		if len(shares.Boxes) != len(skNames) {
-			return nil, fmt.Errorf("privcount ts: DC %s sent %d boxes, want %d", name, len(shares.Boxes), len(skNames))
+		if shares.N != t.schema.Size() {
+			return nil, fmt.Errorf("privcount ts: DC %s sharing %d slots, want %d", name, shares.N, t.schema.Size())
 		}
-		for _, sk := range skNames {
-			box, ok := shares.Boxes[sk]
-			if !ok {
-				return nil, fmt.Errorf("privcount ts: DC %s missing box for SK %s", name, sk)
+		for got := 0; got < shares.N; {
+			var chunk ShareChunkMsg
+			if err := dcConns[name].Expect(kindShareChunk, &chunk); err != nil {
+				return nil, fmt.Errorf("privcount ts: share chunk from DC %s: %w", name, err)
 			}
-			if err := skConns[sk].Send(kindRelay, RelayMsg{From: name, Box: box}); err != nil {
-				return nil, fmt.Errorf("privcount ts: relay to SK %s: %w", sk, err)
+			if chunk.Off != got || chunk.Count <= 0 || chunk.Off+chunk.Count > shares.N {
+				return nil, fmt.Errorf("privcount ts: DC %s share chunk [%d,%d) does not continue at %d",
+					name, chunk.Off, chunk.Off+chunk.Count, got)
 			}
+			if len(chunk.Boxes) != len(skNames) {
+				return nil, fmt.Errorf("privcount ts: DC %s sent %d boxes, want %d", name, len(chunk.Boxes), len(skNames))
+			}
+			for _, sk := range skNames {
+				box, ok := chunk.Boxes[sk]
+				if !ok {
+					return nil, fmt.Errorf("privcount ts: DC %s missing box for SK %s", name, sk)
+				}
+				relay := RelayMsg{From: name, Off: chunk.Off, Count: chunk.Count, N: shares.N, Box: box}
+				if err := skConns[sk].Send(kindRelay, relay); err != nil {
+					return nil, fmt.Errorf("privcount ts: relay to SK %s: %w", sk, err)
+				}
+			}
+			got += chunk.Count
 		}
 	}
 
@@ -152,7 +170,8 @@ func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
 		}
 	}
 
-	// Phase 5: gather DC reports (sent whenever each DC finishes).
+	// Phase 5: gather DC reports (sent whenever each DC finishes),
+	// chunked.
 	vectors := make([][]uint64, 0, len(conns))
 	for _, name := range dcNames {
 		var rep ReportMsg
@@ -162,10 +181,14 @@ func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
 		if rep.Round != t.cfg.Round {
 			return nil, fmt.Errorf("privcount ts: DC %s reported round %d, want %d", name, rep.Round, t.cfg.Round)
 		}
-		vectors = append(vectors, rep.Values)
+		vals, err := recvValues(dcConns[name], rep.N)
+		if err != nil {
+			return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+		}
+		vectors = append(vectors, vals)
 	}
 
-	// Phase 6: collect SK sums.
+	// Phase 6: collect SK sums, chunked.
 	for _, name := range skNames {
 		if err := skConns[name].Send(kindCollect, CollectMsg{Round: t.cfg.Round}); err != nil {
 			return nil, fmt.Errorf("privcount ts: collect SK %s: %w", name, err)
@@ -176,7 +199,11 @@ func (t *Tally) Run(conns []*wire.Conn) (map[string][]float64, error) {
 		if err := skConns[name].Expect(kindSums, &sums); err != nil {
 			return nil, fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
 		}
-		vectors = append(vectors, sums.Values)
+		vals, err := recvValues(skConns[name], sums.N)
+		if err != nil {
+			return nil, fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
+		}
+		vectors = append(vectors, vals)
 	}
 
 	// Phase 7: aggregate. Blinding telescopes; what remains is the true

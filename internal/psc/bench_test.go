@@ -3,36 +3,66 @@ package psc
 // BenchmarkPSCRound runs one complete PSC round — DC table encryption,
 // homomorphic combination, the full CP mixing pipeline (noise, shuffle,
 // blind, with and without proofs), joint verified decryption — over
-// in-memory pipes. It is the end-to-end canary for the group-core
-// batching: the protocol spends essentially all of its time in
-// internal/elgamal.
+// in-memory pipes and over TCP loopback. The pipe variants are the
+// end-to-end canary for the group-core batching; the tcp variants add
+// real sockets so transport-layer regressions (framing, chunking, flow
+// control) show up in `make bench-smoke` too.
 
 import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/wire"
 )
 
-func runBenchRound(b *testing.B, bins, noisePerCP, proofRounds, items int) {
-	cfg := Config{
-		Round:              1,
-		Bins:               bins,
-		NoisePerCP:         noisePerCP,
-		ShuffleProofRounds: proofRounds,
-		NumDCs:             2,
-		NumCPs:             2,
+// connPair hands out connected (tally-side, party-side) messengers.
+type connPair func() (wire.Messenger, wire.Messenger)
+
+// pipePair builds in-memory pairs.
+func pipePair(b *testing.B) (connPair, func()) {
+	return func() (wire.Messenger, wire.Messenger) {
+		ts, party := wire.Pipe()
+		return ts, party
+	}, func() {}
+}
+
+// tcpPair builds loopback TCP pairs through one listener.
+func tcpPair(b *testing.B) (connPair, func()) {
+	ln, err := wire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
 	}
+	accepted := make(chan *wire.Conn, 16)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	return func() (wire.Messenger, wire.Messenger) {
+		party, err := wire.Dial(ln.Addr().String(), nil, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return <-accepted, party
+	}, func() { ln.Close() }
+}
+
+func runBenchRound(b *testing.B, cfg Config, items int, mk connPair) {
 	tally, err := NewTally(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var tsConns []*wire.Conn
+	var tsConns []wire.Messenger
 	var dcs []*DC
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.NumCPs; i++ {
-		ts, side := wire.Pipe()
+		ts, side := mk()
 		tsConns = append(tsConns, ts)
 		cp := NewCP(fmt.Sprintf("cp%d", i), side, nil)
 		wg.Add(1)
@@ -45,7 +75,7 @@ func runBenchRound(b *testing.B, bins, noisePerCP, proofRounds, items int) {
 	}
 	var setup sync.WaitGroup
 	for i := 0; i < cfg.NumDCs; i++ {
-		ts, side := wire.Pipe()
+		ts, side := mk()
 		tsConns = append(tsConns, ts)
 		dc := NewDC(fmt.Sprintf("dc%d", i), side)
 		dcs = append(dcs, dc)
@@ -79,25 +109,46 @@ func runBenchRound(b *testing.B, bins, noisePerCP, proofRounds, items int) {
 		b.Fatal(err)
 	}
 	wg.Wait()
-	if res.Bins != bins {
+	for _, m := range tsConns {
+		m.Close()
+	}
+	if res.Bins != cfg.Bins {
 		b.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func benchRound(b *testing.B, bins, noisePerCP, proofRounds, items int,
+	transport func(*testing.B) (connPair, func())) {
+	cfg := Config{
+		Round:              1,
+		Bins:               bins,
+		NoisePerCP:         noisePerCP,
+		ShuffleProofRounds: proofRounds,
+		NumDCs:             2,
+		NumCPs:             2,
+	}
+	mk, cleanup := transport(b)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBenchRound(b, cfg, items, mk)
 	}
 }
 
 func BenchmarkPSCRound(b *testing.B) {
 	b.Run("verified/bins-512", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			runBenchRound(b, 512, 64, 1, 200)
-		}
+		benchRound(b, 512, 64, 1, 200, pipePair)
 	})
 	b.Run("honest/bins-512", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			runBenchRound(b, 512, 64, 0, 200)
-		}
+		benchRound(b, 512, 64, 0, 200, pipePair)
 	})
 	b.Run("verified/bins-2048", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			runBenchRound(b, 2048, 128, 1, 800)
-		}
+		benchRound(b, 2048, 128, 1, 800, pipePair)
+	})
+	b.Run("tcp/bins-512", func(b *testing.B) {
+		benchRound(b, 512, 64, 1, 200, tcpPair)
+	})
+	b.Run("tcp/bins-2048", func(b *testing.B) {
+		benchRound(b, 2048, 128, 1, 800, tcpPair)
 	})
 }

@@ -1,0 +1,25 @@
+package psc
+
+import "testing"
+
+// BenchmarkPSCRoundChunkSize sweeps the chunk size of a 2048-bin
+// verified round. Chunking must be ~free: transfer-chunk granularity
+// bounds frames and per-party memory, while the RLC batch proof
+// verifications still amortize over whole vectors at the TS. A gap
+// between chunk-2048 (two chunks for the 2304-element mixed vector)
+// and the small chunks means per-chunk work crept into a hot path.
+func BenchmarkPSCRoundChunkSize(b *testing.B) {
+	run := func(b *testing.B, chunkElems int) {
+		cfg := Config{Round: 1, Bins: 2048, NoisePerCP: 128, ShuffleProofRounds: 1,
+			NumDCs: 2, NumCPs: 2, ChunkElems: chunkElems}
+		mk, cleanup := pipePair(b)
+		defer cleanup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runBenchRound(b, cfg, 800, mk)
+		}
+	}
+	b.Run("chunk-256", func(b *testing.B) { run(b, 256) })
+	b.Run("chunk-1024", func(b *testing.B) { run(b, 1024) })
+	b.Run("chunk-2048", func(b *testing.B) { run(b, 2048) })
+}

@@ -5,11 +5,41 @@ import (
 	"math/big"
 
 	"repro/internal/elgamal"
+	"repro/internal/wire"
 )
 
 // Vector and proof serialization. Ciphertext batches dominate PSC
-// bandwidth, so vectors are packed into a single byte slice rather than
-// per-element gob structures.
+// bandwidth, so vectors are packed into byte slices rather than
+// per-element gob structures, and travel as bounded chunks.
+
+// DefaultChunk is how many ciphertexts ride in one chunk frame when the
+// round configuration doesn't say otherwise: ~130 bytes per ciphertext
+// keeps a chunk near 128 KiB, far below any connection's frame cap.
+const DefaultChunk = 1024
+
+// chunkOf normalizes a configured chunk size.
+func chunkOf(n int) int {
+	if n <= 0 {
+		return DefaultChunk
+	}
+	return n
+}
+
+// forEachChunk invokes fn(off, end) over [0, n) in chunk-sized ranges —
+// the one place the clamp-and-slice arithmetic lives.
+func forEachChunk(n, chunk int, fn func(off, end int) error) error {
+	chunk = chunkOf(chunk)
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		if err := fn(off, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // encodeVector packs ciphertexts back to back into one allocation.
 func encodeVector(v []elgamal.Ciphertext) []byte {
@@ -18,6 +48,52 @@ func encodeVector(v []elgamal.Ciphertext) []byte {
 		out = c.AppendTo(out)
 	}
 	return out
+}
+
+// sendVector streams v as kindChunk frames of at most chunk elements.
+// The receiver learns the total from the phase's preceding header.
+func sendVector(m wire.Messenger, v []elgamal.Ciphertext, chunk int) error {
+	return forEachChunk(len(v), chunk, func(off, end int) error {
+		return m.Send(kindChunk, ChunkMsg{Off: off, Count: end - off, Data: encodeVector(v[off:end])})
+	})
+}
+
+// recvVectorFunc consumes kindChunk frames until n elements have
+// arrived, invoking fn for each decoded chunk as it lands. Chunks must
+// tile [0, n) in order — the sender is sequential, so out-of-order
+// offsets mean a confused or malicious peer.
+func recvVectorFunc(m wire.Messenger, n int, fn func(off int, cts []elgamal.Ciphertext) error) error {
+	for off := 0; off < n; {
+		var c ChunkMsg
+		if err := m.Expect(kindChunk, &c); err != nil {
+			return err
+		}
+		if c.Off != off || c.Count <= 0 || off+c.Count > n {
+			return fmt.Errorf("psc: chunk [%d,%d) does not continue vector at %d/%d", c.Off, c.Off+c.Count, off, n)
+		}
+		cts, err := decodeVector(c.Data, c.Count)
+		if err != nil {
+			return err
+		}
+		if err := fn(off, cts); err != nil {
+			return err
+		}
+		off += c.Count
+	}
+	return nil
+}
+
+// recvVector collects a whole chunked vector of n elements.
+func recvVector(m wire.Messenger, n int) ([]elgamal.Ciphertext, error) {
+	out := make([]elgamal.Ciphertext, 0, n)
+	err := recvVectorFunc(m, n, func(_ int, cts []elgamal.Ciphertext) error {
+		out = append(out, cts...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // decodeVector parses exactly n ciphertexts and validates every point.
@@ -101,51 +177,44 @@ func unpackBitProof(w wireBitProof) (elgamal.BitProof, error) {
 	return p, nil
 }
 
-// wireShuffleProof is the gob-friendly form of a shuffle proof.
-type wireShuffleProof struct {
-	Rounds []wireShuffleRound
-}
-
-type wireShuffleRound struct {
-	Shadow   []byte // packed ciphertext vector
-	N        int
-	OpenPerm []int
-	OpenRand [][]byte
-}
-
-func packShuffleProof(p elgamal.ShuffleProof) wireShuffleProof {
-	out := wireShuffleProof{Rounds: make([]wireShuffleRound, len(p.Rounds))}
-	for i, r := range p.Rounds {
-		wr := wireShuffleRound{
-			Shadow:   encodeVector(r.Shadow),
-			N:        len(r.Shadow),
-			OpenPerm: r.OpenPerm,
-			OpenRand: make([][]byte, len(r.OpenRand)),
+// sendShuffleProof streams a cut-and-choose proof: for each proof
+// round, the shadow vector's chunks followed by the challenge opening.
+// Shadow vectors are as long as the mixed batch, so they are the one
+// proof component that must be chunked.
+func sendShuffleProof(m wire.Messenger, p elgamal.ShuffleProof, chunk int) error {
+	for _, r := range p.Rounds {
+		if err := sendVector(m, r.Shadow, chunk); err != nil {
+			return err
 		}
+		open := ShuffleOpenMsg{OpenPerm: r.OpenPerm, OpenRand: make([][]byte, len(r.OpenRand))}
 		for j, s := range r.OpenRand {
-			wr.OpenRand[j] = s.Bytes()
+			open.OpenRand[j] = s.Bytes()
 		}
-		out.Rounds[i] = wr
+		if err := m.Send(kindShufOpen, open); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
 
-func unpackShuffleProof(w wireShuffleProof) (elgamal.ShuffleProof, error) {
-	out := elgamal.ShuffleProof{Rounds: make([]elgamal.ShuffleRound, len(w.Rounds))}
-	for i, wr := range w.Rounds {
-		shadow, err := decodeVector(wr.Shadow, wr.N)
+// recvShuffleProof receives rounds proof rounds, each an n-element
+// shadow vector plus its opening.
+func recvShuffleProof(m wire.Messenger, rounds, n int) (elgamal.ShuffleProof, error) {
+	out := elgamal.ShuffleProof{Rounds: make([]elgamal.ShuffleRound, rounds)}
+	for i := range out.Rounds {
+		shadow, err := recvVector(m, n)
 		if err != nil {
+			return elgamal.ShuffleProof{}, fmt.Errorf("psc: shuffle shadow %d: %w", i, err)
+		}
+		var open ShuffleOpenMsg
+		if err := m.Expect(kindShufOpen, &open); err != nil {
 			return elgamal.ShuffleProof{}, err
 		}
-		rands := make([]*big.Int, len(wr.OpenRand))
-		for j, b := range wr.OpenRand {
+		rands := make([]*big.Int, len(open.OpenRand))
+		for j, b := range open.OpenRand {
 			rands[j] = new(big.Int).SetBytes(b)
 		}
-		out.Rounds[i] = elgamal.ShuffleRound{
-			Shadow:   shadow,
-			OpenPerm: wr.OpenPerm,
-			OpenRand: rands,
-		}
+		out.Rounds[i] = elgamal.ShuffleRound{Shadow: shadow, OpenPerm: open.OpenPerm, OpenRand: rands}
 	}
 	return out, nil
 }

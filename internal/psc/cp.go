@@ -12,133 +12,167 @@ import (
 // count private: after every CP has appended noise, shuffled, and
 // blinded, the decrypted batch reveals only how many elements were
 // non-empty — and that count carries binomial noise no single CP knows.
+//
+// A CP's ElGamal key share is long-term: one CP value serves many
+// rounds (ServeRound per round stream), concurrently if asked, the way
+// the deployed daemons hold one key across a whole measurement study.
 type CP struct {
 	Name string
 
-	conn  *wire.Conn
+	m     wire.Messenger
 	key   *elgamal.PrivateKey
-	cfg   ConfigureMsg
-	joint elgamal.Point
 	noise *dp.NoiseSource
 }
 
 // NewCP creates a computation party with a fresh ElGamal key share. A
-// nil noise source selects cryptographic randomness.
-func NewCP(name string, conn *wire.Conn, noise *dp.NoiseSource) *CP {
+// nil noise source selects cryptographic randomness. The messenger may
+// be nil when the CP serves rounds on explicit streams via ServeRound.
+func NewCP(name string, m wire.Messenger, noise *dp.NoiseSource) *CP {
 	if noise == nil {
 		noise = dp.NewNoiseSource(nil)
 	}
-	return &CP{Name: name, conn: conn, key: elgamal.GenerateKey(), noise: noise}
+	return &CP{Name: name, m: m, key: elgamal.GenerateKey(), noise: noise}
 }
 
-// Serve runs the CP's side of one round: register, mix once when asked,
-// then produce decryption shares. Returns when the round completes.
-func (cp *CP) Serve() error {
-	if err := cp.conn.Send(kindRegister, RegisterMsg{
+// Serve runs one round on the CP's bound messenger.
+func (cp *CP) Serve() error { return cp.ServeRound(cp.m) }
+
+// roundNoise is the precomputed noise contribution for one round.
+type roundNoise struct {
+	cts    []elgamal.Ciphertext
+	proofs []elgamal.BitProof
+}
+
+// ServeRound runs the CP's side of one round over m: register, mix once
+// when asked, then produce decryption shares chunk by chunk. All round
+// state is local, so one CP serves many rounds concurrently.
+func (cp *CP) ServeRound(m wire.Messenger) error {
+	if err := m.Send(kindRegister, RegisterMsg{
 		Role: RoleCP, Name: cp.Name, PubKey: cp.key.PK.Bytes(),
 	}); err != nil {
 		return fmt.Errorf("psc cp %s: register: %w", cp.Name, err)
 	}
-	if err := cp.conn.Expect(kindConfig, &cp.cfg); err != nil {
+	var cfg ConfigureMsg
+	if err := m.Expect(kindConfig, &cfg); err != nil {
 		return fmt.Errorf("psc cp %s: configure: %w", cp.Name, err)
 	}
-	joint, _, err := elgamal.ParsePoint(cp.cfg.JointKey)
+	joint, _, err := elgamal.ParsePoint(cfg.JointKey)
 	if err != nil {
 		return fmt.Errorf("psc cp %s: joint key: %w", cp.Name, err)
 	}
-	cp.joint = joint
-	// Every operation of the round multiplies against the joint key;
-	// one table build here repays itself thousands of times.
-	elgamal.Precompute(cp.joint)
+	// Every operation of the round multiplies against the joint key; one
+	// table build here repays itself thousands of times, and is shared
+	// across all concurrent rounds under the same CP set.
+	elgamal.Precompute(joint)
 
-	if err := cp.mixPhase(); err != nil {
+	if err := cp.mixPhase(m, cfg, joint); err != nil {
 		return err
 	}
-	return cp.decryptPhase()
+	return cp.decryptPhase(m, cfg)
 }
 
-func (cp *CP) mixPhase() error {
-	var mix MixMsg
-	if err := cp.conn.Expect(kindMix, &mix); err != nil {
+func (cp *CP) mixPhase(m wire.Messenger, cfg ConfigureMsg, joint elgamal.Point) error {
+	var hdr VectorHeader
+	if err := m.Expect(kindMix, &hdr); err != nil {
 		return fmt.Errorf("psc cp %s: mix request: %w", cp.Name, err)
 	}
-	batch, err := decodeVector(mix.Batch, mix.N)
+	prove := cfg.ShuffleProofRounds > 0
+	chunk := chunkOf(cfg.ChunkElems)
+
+	// The noise contribution is independent of the input, so encrypt
+	// (and prove) it while input chunks are still arriving.
+	noiseCh := make(chan roundNoise, 1)
+	go func() {
+		bits := make([]bool, cfg.NoisePerCP)
+		for i := range bits {
+			bits[i] = cp.noise.Binomial(1) == 1
+		}
+		cts, rands := elgamal.BatchEncryptBits(joint, bits)
+		var proofs []elgamal.BitProof
+		if prove {
+			proofs = elgamal.BatchProveBits(joint, cts, bits, rands)
+		}
+		noiseCh <- roundNoise{cts: cts, proofs: proofs}
+	}()
+
+	batch, err := recvVector(m, hdr.N)
 	if err != nil {
 		return fmt.Errorf("psc cp %s: mix batch: %w", cp.Name, err)
 	}
-	prove := cp.cfg.ShuffleProofRounds > 0
+	noise := <-noiseCh
 
-	// Stage 1: append fair-coin noise with bit proofs, encrypting the
-	// whole noise vector in one batch.
-	bits := make([]bool, cp.cfg.NoisePerCP)
-	for i := range bits {
-		bits[i] = cp.noise.Binomial(1) == 1
-	}
-	noiseCts, noiseRands := elgamal.BatchEncryptBits(cp.joint, bits)
-	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+len(noiseCts))
+	// Stage 1: append the fair-coin noise. The TS reconstructs the
+	// combined vector itself, so only the appended elements travel.
+	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+len(noise.cts))
 	withNoise = append(withNoise, batch...)
-	withNoise = append(withNoise, noiseCts...)
-	var bitProofs []wireBitProof
+	withNoise = append(withNoise, noise.cts...)
+	if err := m.Send(kindMixed, VectorHeader{From: cp.Name, Round: cfg.Round, N: len(withNoise)}); err != nil {
+		return err
+	}
+	err = forEachChunk(len(noise.cts), chunk, func(off, end int) error {
+		nc := NoiseChunkMsg{Off: off, Count: end - off, Data: encodeVector(noise.cts[off:end])}
+		if prove {
+			nc.Proofs = make([]wireBitProof, end-off)
+			for i, pr := range noise.proofs[off:end] {
+				nc.Proofs[i] = packBitProof(pr)
+			}
+		}
+		return m.Send(kindNoise, nc)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage 2: verifiable shuffle. This is the round's privacy barrier:
+	// the permutation covers the whole vector, so the full batch must be
+	// resident here and nowhere else.
+	shuffled, witness := elgamal.Shuffle(joint, withNoise)
+	if err := sendVector(m, shuffled, chunk); err != nil {
+		return err
+	}
 	if prove {
-		bitProofs = make([]wireBitProof, len(noiseCts))
-		for i, pr := range elgamal.BatchProveBits(cp.joint, noiseCts, bits, noiseRands) {
-			bitProofs[i] = packBitProof(pr)
+		proof := elgamal.ProveShuffle(joint, withNoise, shuffled, witness, cfg.ShuffleProofRounds)
+		if err := sendShuffleProof(m, proof, chunk); err != nil {
+			return err
 		}
 	}
 
-	// Stage 2: verifiable shuffle.
-	shuffled, witness := elgamal.Shuffle(cp.joint, withNoise)
-	var shufProof wireShuffleProof
-	if prove {
-		shufProof = packShuffleProof(elgamal.ProveShuffle(
-			cp.joint, withNoise, shuffled, witness, cp.cfg.ShuffleProofRounds))
-	}
-
-	// Stage 3: exponent blinding with DLEQ proofs, batched.
+	// Stage 3: exponent blinding, proved and shipped per chunk so the
+	// TS verifies (and forwards downstream) chunk k while this CP is
+	// still proving chunk k+1.
 	blinded, blindScalars := elgamal.BatchExpBlind(shuffled)
-	var blindProofs []wireEquality
-	if prove {
-		blindProofs = make([]wireEquality, len(shuffled))
-		for i, pr := range elgamal.BatchProveBlinds(shuffled, blinded, blindScalars) {
-			blindProofs[i] = packEquality(pr)
+	return forEachChunk(len(blinded), chunk, func(off, end int) error {
+		bc := BlindChunkMsg{Off: off, Count: end - off, Data: encodeVector(blinded[off:end])}
+		if prove {
+			bc.Proofs = make([]wireEquality, end-off)
+			for i, pr := range elgamal.BatchProveBlinds(shuffled[off:end], blinded[off:end], blindScalars[off:end]) {
+				bc.Proofs[i] = packEquality(pr)
+			}
 		}
-	}
-
-	return cp.conn.Send(kindMixed, MixedMsg{
-		From:         cp.Name,
-		Round:        cp.cfg.Round,
-		WithNoise:    encodeVector(withNoise),
-		NoiseBits:    bitProofs,
-		Shuffled:     encodeVector(shuffled),
-		ShuffleProof: shufProof,
-		Blinded:      encodeVector(blinded),
-		BlindProofs:  blindProofs,
-		N:            len(withNoise),
+		return m.Send(kindBlind, bc)
 	})
 }
 
-func (cp *CP) decryptPhase() error {
-	var dec DecryptMsg
-	if err := cp.conn.Expect(kindDecrypt, &dec); err != nil {
+// decryptPhase answers the final batch chunk by chunk: only one chunk
+// of ciphertexts, shares, and proofs is ever resident.
+func (cp *CP) decryptPhase(m wire.Messenger, cfg ConfigureMsg) error {
+	var hdr VectorHeader
+	if err := m.Expect(kindDecrypt, &hdr); err != nil {
 		return fmt.Errorf("psc cp %s: decrypt request: %w", cp.Name, err)
 	}
-	batch, err := decodeVector(dec.Batch, dec.N)
-	if err != nil {
-		return fmt.Errorf("psc cp %s: decrypt batch: %w", cp.Name, err)
+	if err := m.Send(kindShares, VectorHeader{From: cp.Name, Round: cfg.Round, N: hdr.N}); err != nil {
+		return err
 	}
-	decShares := cp.key.BatchPartialDecrypt(batch)
-	shares := make([]byte, 0, len(batch)*65)
-	for _, sh := range decShares {
-		shares = sh.Share.AppendBytes(shares)
-	}
-	proofs := make([]wireEquality, len(batch))
-	for i, pr := range cp.key.BatchProveShares(batch, decShares) {
-		proofs[i] = packEquality(pr)
-	}
-	return cp.conn.Send(kindShares, SharesMsg{
-		From:   cp.Name,
-		Round:  cp.cfg.Round,
-		Shares: shares,
-		Proofs: proofs,
+	return recvVectorFunc(m, hdr.N, func(off int, cts []elgamal.Ciphertext) error {
+		decShares := cp.key.BatchPartialDecrypt(cts)
+		shares := make([]byte, 0, len(cts)*65)
+		for _, sh := range decShares {
+			shares = sh.Share.AppendBytes(shares)
+		}
+		proofs := make([]wireEquality, len(cts))
+		for i, pr := range cp.key.BatchProveShares(cts, decShares) {
+			proofs[i] = packEquality(pr)
+		}
+		return m.Send(kindShare, ShareChunkMsg{Off: off, Count: len(cts), Shares: shares, Proofs: proofs})
 	})
 }

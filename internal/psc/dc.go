@@ -14,25 +14,27 @@ import (
 type DC struct {
 	Name string
 
-	conn     *wire.Conn
+	m        wire.Messenger
 	cfg      ConfigureMsg
 	jointKey elgamal.Point
 	bins     []bool
 	ready    bool
 }
 
-// NewDC creates a data collector speaking on conn.
-func NewDC(name string, conn *wire.Conn) *DC {
-	return &DC{Name: name, conn: conn}
+// NewDC creates a data collector speaking on m — a dedicated connection
+// or one round's stream of a multiplexed session. A DC serves exactly
+// one round; daemons create one per round stream.
+func NewDC(name string, m wire.Messenger) *DC {
+	return &DC{Name: name, m: m}
 }
 
 // Setup registers with the tally server and receives the round
 // configuration (hash key, table size, joint encryption key).
 func (dc *DC) Setup() error {
-	if err := dc.conn.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
+	if err := dc.m.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: dc.Name}); err != nil {
 		return fmt.Errorf("psc dc %s: register: %w", dc.Name, err)
 	}
-	if err := dc.conn.Expect(kindConfig, &dc.cfg); err != nil {
+	if err := dc.m.Expect(kindConfig, &dc.cfg); err != nil {
 		return fmt.Errorf("psc dc %s: configure: %w", dc.Name, err)
 	}
 	if dc.cfg.Bins <= 0 {
@@ -51,6 +53,9 @@ func (dc *DC) Setup() error {
 	dc.ready = true
 	return nil
 }
+
+// Round reports the round this DC is configured for (zero before Setup).
+func (dc *DC) Round() uint64 { return dc.cfg.Round }
 
 // Observe records that an item was seen. Only the item's bin survives.
 func (dc *DC) Observe(item string) error {
@@ -73,20 +78,28 @@ func (dc *DC) Occupied() int {
 	return n
 }
 
-// Finish encrypts the bit table under the joint key and sends it to the
-// tally server, then clears the table.
+// Finish encrypts the bit table under the joint key and streams it to
+// the tally server chunk by chunk, then clears the table. Only one
+// chunk of ciphertexts is ever resident, so a DC's memory is bounded by
+// the chunk size however large the table: the upload pipeline encrypts
+// chunk k+1 while chunk k is on the wire.
 func (dc *DC) Finish() error {
 	if !dc.ready {
 		return fmt.Errorf("psc dc %s: finish before setup", dc.Name)
 	}
 	dc.ready = false
-	vec, _ := elgamal.BatchEncryptBits(dc.jointKey, dc.bins)
+	if err := dc.m.Send(kindTable, VectorHeader{From: dc.Name, Round: dc.cfg.Round, N: dc.cfg.Bins}); err != nil {
+		return err
+	}
+	err := forEachChunk(len(dc.bins), dc.cfg.ChunkElems, func(off, end int) error {
+		cts, _ := elgamal.BatchEncryptBits(dc.jointKey, dc.bins[off:end])
+		return dc.m.Send(kindChunk, ChunkMsg{Off: off, Count: end - off, Data: encodeVector(cts)})
+	})
+	if err != nil {
+		return err
+	}
 	for i := range dc.bins {
 		dc.bins[i] = false
 	}
-	return dc.conn.Send(kindTable, TableMsg{
-		From:   dc.Name,
-		Round:  dc.cfg.Round,
-		Vector: encodeVector(vec),
-	})
+	return nil
 }

@@ -1,14 +1,24 @@
 package psc
 
-// Wire message kinds for the PSC round protocol.
+// Wire message kinds for the PSC round protocol. Ciphertext vectors
+// never travel as one frame: every vector-valued phase is a header
+// frame followed by bounded chunk frames, so a round's peak frame size
+// is O(chunk) regardless of the table size, and a receiver can process
+// (combine, verify, forward) each chunk while later chunks are still in
+// flight.
 const (
 	kindRegister = "psc/register"
 	kindConfig   = "psc/configure"
-	kindTable    = "psc/table"
-	kindMix      = "psc/mix"
-	kindMixed    = "psc/mixed"
-	kindDecrypt  = "psc/decrypt"
-	kindShares   = "psc/shares"
+	kindTable    = "psc/table"        // DC upload header, then chunks
+	kindChunk    = "psc/chunk"        // one ciphertext-vector chunk
+	kindMix      = "psc/mix"          // TS->CP input header, then chunks
+	kindMixed    = "psc/mixed"        // CP->TS output header
+	kindNoise    = "psc/noise"        // CP noise chunk with bit proofs
+	kindShufOpen = "psc/shuffle-open" // one per shuffle-proof round
+	kindBlind    = "psc/blind"        // blinded chunk with DLEQ proofs
+	kindDecrypt  = "psc/decrypt"      // TS->CP final batch header, then chunks
+	kindShares   = "psc/shares"       // CP->TS share stream header
+	kindShare    = "psc/share-chunk"  // decryption-share chunk with proofs
 )
 
 // Party roles.
@@ -31,57 +41,58 @@ type ConfigureMsg struct {
 	Bins               int
 	NoisePerCP         int
 	ShuffleProofRounds int
+	ChunkElems         int      // elements per vector chunk (0: DefaultChunk)
 	JointKey           []byte   // combined CP public key
 	CPKeys             [][]byte // individual CP keys, in pipeline order
 	HashKey            []byte   // DCs only
 }
 
-// TableMsg is a DC's encrypted bit table.
-type TableMsg struct {
-	From   string
-	Round  uint64
-	Vector []byte // packed ciphertexts, length Bins
-}
-
-// MixMsg hands the current batch to a CP for its mixing step.
-type MixMsg struct {
-	Round uint64
-	N     int
-	Batch []byte
-}
-
-// MixedMsg is the CP's output: noise appended (with bit proofs), then
-// shuffled (with a cut-and-choose proof), then exponent-blinded (with
-// per-element DLEQ proofs). Intermediate vectors let the TS verify each
-// stage.
-type MixedMsg struct {
+// VectorHeader opens a chunked vector transfer (table upload, mix
+// input, mixed output, decrypt input, share stream).
+type VectorHeader struct {
 	From  string
 	Round uint64
-	// WithNoise is the input batch plus this CP's noise ciphertexts.
-	WithNoise []byte
-	NoiseBits []wireBitProof
-	// Shuffled is the batch after permutation and re-randomization.
-	Shuffled     []byte
-	ShuffleProof wireShuffleProof
-	// Blinded is the final output after exponent blinding.
-	Blinded     []byte
-	BlindProofs []wireEquality
-	N           int // elements in WithNoise/Shuffled/Blinded
+	// N is the total element count the chunks must tile.
+	N int
 }
 
-// DecryptMsg asks a CP for decryption shares over the final batch.
-type DecryptMsg struct {
-	Round uint64
-	N     int
-	Batch []byte
+// ChunkMsg carries Count packed ciphertexts at element offset Off of
+// the vector announced by the preceding header.
+type ChunkMsg struct {
+	Off, Count int
+	Data       []byte
 }
 
-// SharesMsg returns a CP's decryption shares with correctness proofs.
-type SharesMsg struct {
-	From   string
-	Round  uint64
-	Shares []byte // packed points, one per element
-	Proofs []wireEquality
+// NoiseChunkMsg carries a CP's appended noise ciphertexts (offsets are
+// relative to the noise section) with their bit proofs.
+type NoiseChunkMsg struct {
+	Off, Count int
+	Data       []byte
+	Proofs     []wireBitProof
+}
+
+// ShuffleOpenMsg reveals one cut-and-choose round's challenge opening
+// after its shadow vector's chunks.
+type ShuffleOpenMsg struct {
+	OpenPerm []int
+	OpenRand [][]byte
+}
+
+// BlindChunkMsg carries exponent-blinded ciphertexts with their DLEQ
+// proofs; the TS verifies and forwards each chunk downstream before the
+// next arrives.
+type BlindChunkMsg struct {
+	Off, Count int
+	Data       []byte
+	Proofs     []wireEquality
+}
+
+// ShareChunkMsg carries a CP's decryption shares for one chunk of the
+// final batch, with correctness proofs.
+type ShareChunkMsg struct {
+	Off, Count int
+	Shares     []byte // packed points
+	Proofs     []wireEquality
 }
 
 // Result is the TS's round outcome.

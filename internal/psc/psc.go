@@ -50,6 +50,10 @@ type Config struct {
 	// deployment default is 8.
 	ShuffleProofRounds int
 	NumDCs, NumCPs     int
+	// ChunkElems is how many ciphertexts travel per chunk frame; zero
+	// selects DefaultChunk. Smaller chunks tighten the per-party memory
+	// bound of the element-wise phases at the cost of more frames.
+	ChunkElems int
 }
 
 // Validate checks the configuration.
@@ -62,6 +66,15 @@ func (c Config) Validate() error {
 	}
 	if c.ShuffleProofRounds < 0 {
 		return fmt.Errorf("psc: negative proof rounds")
+	}
+	if c.ChunkElems < 0 {
+		return fmt.Errorf("psc: negative chunk size")
+	}
+	// A blind chunk carries ~330 bytes per element (ciphertext plus
+	// DLEQ proof); past 2048 elements a chunk frame would approach the
+	// wire frame cap and flow-control window.
+	if c.ChunkElems > 2048 {
+		return fmt.Errorf("psc: chunk size %d exceeds the frame budget (max 2048)", c.ChunkElems)
 	}
 	if c.NumDCs <= 0 {
 		return fmt.Errorf("psc: need at least one DC")

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dp"
+	"repro/internal/elgamal"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -29,7 +30,7 @@ func runRound(t *testing.T, cfg Config, feed func(dcs []*DC)) Result {
 		t.Fatal(err)
 	}
 
-	var tsConns []*wire.Conn
+	var tsConns []wire.Messenger
 	var dcs []*DC
 	var cpWG, setupWG sync.WaitGroup
 
@@ -213,9 +214,10 @@ func TestTallyRejectsWrongConnCount(t *testing.T) {
 }
 
 // TestMaliciousCPRejected runs a tally against one honest CP and one
-// cheating CP that replaces the batch with its own encryptions of all
-// ones. The shuffle proof cannot cover the forged output, so the TS
-// must reject the round.
+// cheating CP that skips the real shuffle: it echoes its input (plus
+// valid noise) as the "shuffled" vector with a proof for a different
+// permutation, and echoes it again as the "blinded" vector. The proofs
+// cannot cover the forged stages, so the TS must reject the round.
 func TestMaliciousCPRejected(t *testing.T) {
 	cfg := Config{Round: 9, Bins: 16, NoisePerCP: 2, ShuffleProofRounds: 8, NumDCs: 1, NumCPs: 2}
 	tally, err := NewTally(cfg)
@@ -223,7 +225,7 @@ func TestMaliciousCPRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var tsConns []*wire.Conn
+	var tsConns []wire.Messenger
 
 	// Honest CP.
 	tsSide1, cpSide1 := wire.Pipe()
@@ -242,17 +244,37 @@ func TestMaliciousCPRejected(t *testing.T) {
 		if conn.Expect(kindConfig, &cc) != nil {
 			return
 		}
-		var mix MixMsg
-		if conn.Expect(kindMix, &mix) != nil {
+		joint, _, err := elgamal.ParsePoint(cc.JointKey)
+		if err != nil {
 			return
 		}
-		// Forge: echo stages that do not correspond to a real shuffle.
-		conn.Send(kindMixed, MixedMsg{
-			From: "cp-b", Round: cc.Round,
-			WithNoise: mix.Batch, NoiseBits: nil,
-			Shuffled: mix.Batch, Blinded: mix.Batch,
-			N: mix.N,
-		})
+		var hdr VectorHeader
+		if conn.Expect(kindMix, &hdr) != nil {
+			return
+		}
+		batch, err := recvVector(conn, hdr.N)
+		if err != nil {
+			return
+		}
+		// Honest noise with valid bit proofs, so the forgery reaches the
+		// shuffle verification.
+		bits := make([]bool, cc.NoisePerCP)
+		noiseCts, rands := elgamal.BatchEncryptBits(joint, bits)
+		proofs := elgamal.BatchProveBits(joint, noiseCts, bits, rands)
+		withNoise := append(append([]elgamal.Ciphertext{}, batch...), noiseCts...)
+		conn.Send(kindMixed, VectorHeader{From: "cp-b", Round: cc.Round, N: len(withNoise)})
+		nc := NoiseChunkMsg{Off: 0, Count: len(noiseCts), Data: encodeVector(noiseCts)}
+		nc.Proofs = make([]wireBitProof, len(proofs))
+		for i, pr := range proofs {
+			nc.Proofs[i] = packBitProof(pr)
+		}
+		conn.Send(kindNoise, nc)
+		// Forge: "shuffle" that is the identity, with a proof generated
+		// for a real shuffle of a different vector.
+		realShuffled, witness := elgamal.Shuffle(joint, withNoise)
+		sendVector(conn, withNoise, 0)
+		sendShuffleProof(conn, elgamal.ProveShuffle(joint, withNoise, realShuffled, witness, cc.ShuffleProofRounds), 0)
+		conn.Send(kindBlind, BlindChunkMsg{Off: 0, Count: len(withNoise), Data: encodeVector(withNoise)})
 	}()
 
 	// DC.
@@ -281,7 +303,7 @@ func BenchmarkRound256Bins(b *testing.B) {
 	cfg := Config{Round: 1, Bins: 256, NoisePerCP: 16, ShuffleProofRounds: 2, NumDCs: 2, NumCPs: 2}
 	for i := 0; i < b.N; i++ {
 		tally, _ := NewTally(cfg)
-		var tsConns []*wire.Conn
+		var tsConns []wire.Messenger
 		var dcs []*DC
 		var cpWG, setupWG sync.WaitGroup
 		for j := 0; j < cfg.NumCPs; j++ {

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/elgamal"
 	"repro/internal/wire"
@@ -14,6 +15,13 @@ import (
 // design to include a TS to coordinate the actions of the DCs and
 // CPs"). It relays and verifies; it holds no decryption capability and
 // never sees an unencrypted bin.
+//
+// Every vector phase is chunked and pipelined: DC tables are combined
+// as their chunks arrive, each CP's verified blinded chunks are
+// forwarded to the next CP while the upstream CP is still mixing, and
+// decryption shares are verified per chunk from all CPs concurrently.
+// The CP-chain barrier is the verifiable shuffle, which privacy
+// requires to cover the whole vector at once.
 type Tally struct {
 	cfg Config
 }
@@ -26,39 +34,73 @@ func NewTally(cfg Config) (*Tally, error) {
 	return &Tally{cfg: cfg}, nil
 }
 
-// Run executes one round over established connections (one per party).
-func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
-	if len(conns) != t.cfg.NumDCs+t.cfg.NumCPs {
+// vchunk is one in-flight slice of a vector moving through the CP
+// pipeline.
+type vchunk struct {
+	off int
+	cts []elgamal.Ciphertext
+}
+
+// failer latches the first error of a round and wakes every phase.
+type failer struct {
+	once sync.Once
+	err  error
+	ch   chan struct{}
+}
+
+func newFailer() *failer { return &failer{ch: make(chan struct{})} }
+
+func (f *failer) fail(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.ch)
+	})
+}
+
+// latched returns the failure if one has been recorded.
+func (f *failer) latched() error {
+	select {
+	case <-f.ch:
+		return f.err
+	default:
+		return nil
+	}
+}
+
+// Run executes one round over established messengers (one per party —
+// dedicated connections or per-round streams of multiplexed sessions).
+func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
+	if len(parties) != t.cfg.NumDCs+t.cfg.NumCPs {
 		return Result{}, fmt.Errorf("psc ts: have %d connections, want %d DCs + %d CPs",
-			len(conns), t.cfg.NumDCs, t.cfg.NumCPs)
+			len(parties), t.cfg.NumDCs, t.cfg.NumCPs)
 	}
 
 	// Registration.
-	dcConns := make(map[string]*wire.Conn)
-	cpConns := make(map[string]*wire.Conn)
+	dcM := make(map[string]wire.Messenger)
+	cpM := make(map[string]wire.Messenger)
 	cpKeys := make(map[string]elgamal.Point)
 	var dcNames, cpNames []string
-	for _, c := range conns {
+	for _, m := range parties {
 		var reg RegisterMsg
-		if err := c.Expect(kindRegister, &reg); err != nil {
+		if err := m.Expect(kindRegister, &reg); err != nil {
 			return Result{}, fmt.Errorf("psc ts: registration: %w", err)
 		}
 		switch reg.Role {
 		case RoleDC:
-			if _, dup := dcConns[reg.Name]; dup {
+			if _, dup := dcM[reg.Name]; dup {
 				return Result{}, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
 			}
-			dcConns[reg.Name] = c
+			dcM[reg.Name] = m
 			dcNames = append(dcNames, reg.Name)
 		case RoleCP:
-			if _, dup := cpConns[reg.Name]; dup {
+			if _, dup := cpM[reg.Name]; dup {
 				return Result{}, fmt.Errorf("psc ts: duplicate CP %q", reg.Name)
 			}
 			pk, _, err := elgamal.ParsePoint(reg.PubKey)
 			if err != nil {
 				return Result{}, fmt.Errorf("psc ts: CP %q public key: %w", reg.Name, err)
 			}
-			cpConns[reg.Name] = c
+			cpM[reg.Name] = m
 			cpKeys[reg.Name] = pk
 			cpNames = append(cpNames, reg.Name)
 		default:
@@ -98,78 +140,123 @@ func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
 		Bins:               t.cfg.Bins,
 		NoisePerCP:         t.cfg.NoisePerCP,
 		ShuffleProofRounds: t.cfg.ShuffleProofRounds,
+		ChunkElems:         t.cfg.ChunkElems,
 		JointKey:           joint.Bytes(),
 		CPKeys:             keyBytes,
 	}
 	for _, n := range cpNames {
-		if err := cpConns[n].Send(kindConfig, base); err != nil {
+		if err := cpM[n].Send(kindConfig, base); err != nil {
 			return Result{}, fmt.Errorf("psc ts: configure CP %s: %w", n, err)
 		}
 	}
 	dcCfg := base
 	dcCfg.HashKey = hashKey
 	for _, n := range dcNames {
-		if err := dcConns[n].Send(kindConfig, dcCfg); err != nil {
+		if err := dcM[n].Send(kindConfig, dcCfg); err != nil {
 			return Result{}, fmt.Errorf("psc ts: configure DC %s: %w", n, err)
 		}
 	}
 
-	// Collect encrypted tables and combine homomorphically: per-bin
-	// ciphertext sums turn into OR in the exponent.
-	var combined []elgamal.Ciphertext
+	f := newFailer()
+	chunk := chunkOf(t.cfg.ChunkElems)
+
+	// Collect encrypted tables from all DCs concurrently, combining
+	// chunks homomorphically as they land: per-bin ciphertext sums turn
+	// into OR in the exponent. Only the running combination is held.
+	combined := make([]elgamal.Ciphertext, t.cfg.Bins)
+	seen := make([]bool, t.cfg.Bins)
+	var combineMu sync.Mutex
+	tableErrs := make(chan error, len(dcNames))
 	for _, n := range dcNames {
-		var tbl TableMsg
-		if err := dcConns[n].Expect(kindTable, &tbl); err != nil {
-			return Result{}, fmt.Errorf("psc ts: table from DC %s: %w", n, err)
-		}
-		vec, err := decodeVector(tbl.Vector, t.cfg.Bins)
-		if err != nil {
-			return Result{}, fmt.Errorf("psc ts: table from DC %s: %w", n, err)
-		}
-		if combined == nil {
-			combined = vec
-			continue
-		}
-		combined = elgamal.BatchAddCiphertexts(combined, vec)
+		go func(name string, m wire.Messenger) {
+			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu)
+		}(n, dcM[n])
 	}
-
-	// Mixing pipeline.
-	batch := combined
-	for _, n := range cpNames {
-		if err := cpConns[n].Send(kindMix, MixMsg{
-			Round: t.cfg.Round, N: len(batch), Batch: encodeVector(batch),
-		}); err != nil {
-			return Result{}, fmt.Errorf("psc ts: mix to CP %s: %w", n, err)
-		}
-		var mixed MixedMsg
-		if err := cpConns[n].Expect(kindMixed, &mixed); err != nil {
-			return Result{}, fmt.Errorf("psc ts: mixed from CP %s: %w", n, err)
-		}
-		next, err := t.verifyMix(n, joint, batch, mixed)
-		if err != nil {
+	for range dcNames {
+		if err := <-tableErrs; err != nil {
+			f.fail(err)
 			return Result{}, err
 		}
-		batch = next
 	}
 
-	// Joint decryption with verified shares.
-	decReq := DecryptMsg{Round: t.cfg.Round, N: len(batch), Batch: encodeVector(batch)}
-	for _, n := range cpNames {
-		if err := cpConns[n].Send(kindDecrypt, decReq); err != nil {
-			return Result{}, fmt.Errorf("psc ts: decrypt to CP %s: %w", n, err)
-		}
+	// Mixing pipeline: feeder -> CP 1 -> ... -> CP k -> collector, all
+	// running at once, chunked end to end.
+	feed := make(chan vchunk, 2)
+	go func() {
+		defer close(feed)
+		_ = forEachChunk(len(combined), chunk, func(off, end int) error {
+			select {
+			case feed <- vchunk{off: off, cts: combined[off:end]}:
+				return nil
+			case <-f.ch:
+				return f.err
+			}
+		})
+	}()
+	in := feed
+	var mixWG sync.WaitGroup
+	for i, n := range cpNames {
+		out := make(chan vchunk, 2)
+		nIn := t.cfg.Bins + i*t.cfg.NoisePerCP
+		mixWG.Add(1)
+		go func(name string, m wire.Messenger, nIn int, in <-chan vchunk, out chan<- vchunk) {
+			defer mixWG.Done()
+			t.mixCP(name, m, joint, nIn, in, out, f, chunk)
+		}(n, cpM[n], nIn, in, out)
+		in = out
 	}
-	allShares := make([][]elgamal.DecryptionShare, 0, len(cpNames))
-	for _, n := range cpNames {
-		var sh SharesMsg
-		if err := cpConns[n].Expect(kindShares, &sh); err != nil {
-			return Result{}, fmt.Errorf("psc ts: shares from CP %s: %w", n, err)
-		}
-		shares, err := t.verifyShares(n, cpKeys[n], batch, sh)
-		if err != nil {
-			return Result{}, err
-		}
-		allShares = append(allShares, shares)
+	finalN := t.cfg.Bins + t.cfg.NumCPs*t.cfg.NoisePerCP
+	batch := make([]elgamal.Ciphertext, 0, finalN)
+	for c := range in {
+		batch = append(batch, c.cts...)
+	}
+	// Decryption must not start until every CP's verification has
+	// finished: the last blinded chunks are forwarded before their
+	// whole-vector proof check completes, and decrypting a batch whose
+	// blinding later fails to verify would hand out shares the protocol
+	// never authorized.
+	mixDone := make(chan struct{})
+	go func() { mixWG.Wait(); close(mixDone) }()
+	select {
+	case <-f.ch:
+		return Result{}, f.err
+	case <-mixDone:
+	}
+	if err := f.latched(); err != nil {
+		// Both mixDone and f.ch may be ready at once; never let a
+		// latched failure lose the select race.
+		return Result{}, err
+	}
+	if len(batch) != finalN {
+		return Result{}, fmt.Errorf("psc ts: mix pipeline produced %d elements, want %d", len(batch), finalN)
+	}
+
+	// Joint decryption with chunk-verified shares, all CPs in parallel.
+	allShares := make([][]elgamal.DecryptionShare, len(cpNames))
+	var decWG sync.WaitGroup
+	for i, n := range cpNames {
+		decWG.Add(1)
+		go func(idx int, name string, m wire.Messenger) {
+			defer decWG.Done()
+			shares, err := t.decryptCP(name, m, cpKeys[name], batch, chunk, f)
+			if err != nil {
+				f.fail(err)
+				return
+			}
+			allShares[idx] = shares
+		}(i, n, cpM[n])
+	}
+	decDone := make(chan struct{})
+	go func() { decWG.Wait(); close(decDone) }()
+	select {
+	case <-f.ch:
+		return Result{}, f.err
+	case <-decDone:
+	}
+	if err := f.latched(); err != nil {
+		// A decrypt goroutine that failed still counts down decWG, so
+		// both channels can be ready; re-check before trusting shares.
+		return Result{}, err
 	}
 
 	// Recover plaintexts and count non-empty elements; the whole batch
@@ -188,105 +275,273 @@ func (t *Tally) Run(conns []*wire.Conn) (Result, error) {
 	}, nil
 }
 
-// verifyMix checks one CP's mixing output against the batch the TS sent
-// it and returns the verified next batch.
-func (t *Tally) verifyMix(name string, joint elgamal.Point, in []elgamal.Ciphertext, mixed MixedMsg) ([]elgamal.Ciphertext, error) {
-	wantN := len(in) + t.cfg.NoisePerCP
-	if mixed.N != wantN {
-		return nil, fmt.Errorf("psc ts: CP %s produced %d elements, want %d", name, mixed.N, wantN)
+// collectTable streams one DC's table into the shared combination.
+func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
+	var hdr VectorHeader
+	if err := m.Expect(kindTable, &hdr); err != nil {
+		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
 	}
-	withNoise, err := decodeVector(mixed.WithNoise, wantN)
-	if err != nil {
-		return nil, fmt.Errorf("psc ts: CP %s noise batch: %w", name, err)
+	if hdr.N != t.cfg.Bins {
+		return fmt.Errorf("psc ts: DC %s sent %d bins, want %d", name, hdr.N, t.cfg.Bins)
 	}
-	shuffled, err := decodeVector(mixed.Shuffled, wantN)
-	if err != nil {
-		return nil, fmt.Errorf("psc ts: CP %s shuffled batch: %w", name, err)
-	}
-	blinded, err := decodeVector(mixed.Blinded, wantN)
-	if err != nil {
-		return nil, fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err)
-	}
-	// The input prefix must be untouched: a CP may only append noise.
-	for i := range in {
-		if !withNoise[i].Equal(in[i]) {
-			return nil, fmt.Errorf("psc ts: CP %s modified input element %d", name, i)
-		}
-	}
-	if t.cfg.ShuffleProofRounds > 0 {
-		// Every appended noise element must provably encrypt a bit.
-		if len(mixed.NoiseBits) != t.cfg.NoisePerCP {
-			return nil, fmt.Errorf("psc ts: CP %s sent %d bit proofs, want %d",
-				name, len(mixed.NoiseBits), t.cfg.NoisePerCP)
-		}
-		bitProofs := make([]elgamal.BitProof, t.cfg.NoisePerCP)
-		for i := 0; i < t.cfg.NoisePerCP; i++ {
-			proof, err := unpackBitProof(mixed.NoiseBits[i])
-			if err != nil {
-				return nil, fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, i, err)
+	err := recvVectorFunc(m, t.cfg.Bins, func(off int, cts []elgamal.Ciphertext) error {
+		mu.Lock()
+		defer mu.Unlock()
+		fresh := true
+		have := true
+		for i := range cts {
+			if seen[off+i] {
+				fresh = false
+			} else {
+				have = false
 			}
-			bitProofs[i] = proof
 		}
-		if i, ok := elgamal.VerifyBitsBatch(joint, withNoise[len(in):], bitProofs); !ok {
-			return nil, fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i)
-		}
-		// The shuffle must be a permutation + re-randomization.
-		shufProof, err := unpackShuffleProof(mixed.ShuffleProof)
-		if err != nil {
-			return nil, fmt.Errorf("psc ts: CP %s shuffle proof: %w", name, err)
-		}
-		if err := elgamal.VerifyShuffle(joint, withNoise, shuffled, shufProof); err != nil {
-			return nil, fmt.Errorf("psc ts: CP %s: %w", name, err)
-		}
-		// Every blinding must be a scalar power of the shuffled element.
-		if len(mixed.BlindProofs) != wantN {
-			return nil, fmt.Errorf("psc ts: CP %s sent %d blind proofs, want %d",
-				name, len(mixed.BlindProofs), wantN)
-		}
-		blindProofs := make([]elgamal.EqualityProof, len(shuffled))
-		for i := range shuffled {
-			proof, err := unpackEquality(mixed.BlindProofs[i])
-			if err != nil {
-				return nil, fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, i, err)
+		switch {
+		case fresh && have: // impossible (empty chunk is rejected upstream)
+		case fresh:
+			copy(combined[off:], cts)
+		case have:
+			// All positions populated: one batch add normalizes the whole
+			// chunk with a single inversion.
+			copy(combined[off:], elgamal.BatchAddCiphertexts(combined[off:off+len(cts)], cts))
+		default:
+			for i, ct := range cts {
+				if seen[off+i] {
+					combined[off+i] = combined[off+i].Add(ct)
+				} else {
+					combined[off+i] = ct
+				}
 			}
-			blindProofs[i] = proof
 		}
-		if i, ok := elgamal.VerifyBlindsBatch(shuffled, blinded, blindProofs); !ok {
-			return nil, fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i)
+		for i := range cts {
+			seen[off+i] = true
 		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
 	}
-	return blinded, nil
+	return nil
 }
 
-// verifyShares parses and (when proofs are enabled) verifies a CP's
-// decryption shares.
-func (t *Tally) verifyShares(name string, cpKey elgamal.Point, batch []elgamal.Ciphertext, msg SharesMsg) ([]elgamal.DecryptionShare, error) {
-	shares := make([]elgamal.DecryptionShare, len(batch))
-	b := msg.Shares
-	for i := range batch {
-		pt, used, err := elgamal.ParsePoint(b)
+// mixCP drives one CP's mixing step: it forwards input chunks from
+// upstream while accumulating them for verification, then verifies the
+// CP's noise, shuffle, and blinding, emitting verified blinded chunks
+// downstream as they arrive. On any failure it latches the round error;
+// out always closes so downstream stages unwind.
+func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn int, in <-chan vchunk, out chan<- vchunk, f *failer, chunk int) {
+	defer close(out)
+	prove := t.cfg.ShuffleProofRounds > 0
+
+	if err := m.Send(kindMix, VectorHeader{Round: t.cfg.Round, N: nIn}); err != nil {
+		f.fail(fmt.Errorf("psc ts: mix to CP %s: %w", name, err))
+		return
+	}
+	inVec := make([]elgamal.Ciphertext, 0, nIn)
+	for c := range in {
+		inVec = append(inVec, c.cts...)
+		if err := m.Send(kindChunk, ChunkMsg{Off: c.off, Count: len(c.cts), Data: encodeVector(c.cts)}); err != nil {
+			f.fail(fmt.Errorf("psc ts: mix chunk to CP %s: %w", name, err))
+			return
+		}
+	}
+	if len(inVec) != nIn {
+		return // upstream failed and already latched the error
+	}
+
+	wantN := nIn + t.cfg.NoisePerCP
+	var hdr VectorHeader
+	if err := m.Expect(kindMixed, &hdr); err != nil {
+		f.fail(fmt.Errorf("psc ts: mixed from CP %s: %w", name, err))
+		return
+	}
+	if hdr.N != wantN {
+		f.fail(fmt.Errorf("psc ts: CP %s produced %d elements, want %d", name, hdr.N, wantN))
+		return
+	}
+
+	// Noise: the CP sends only its appended elements; the input prefix
+	// is ours by construction, so a CP cannot tamper with it.
+	noiseCts := make([]elgamal.Ciphertext, 0, t.cfg.NoisePerCP)
+	var bitProofs []elgamal.BitProof
+	for len(noiseCts) < t.cfg.NoisePerCP {
+		var nc NoiseChunkMsg
+		if err := m.Expect(kindNoise, &nc); err != nil {
+			f.fail(fmt.Errorf("psc ts: noise from CP %s: %w", name, err))
+			return
+		}
+		if nc.Off != len(noiseCts) || nc.Count <= 0 || nc.Off+nc.Count > t.cfg.NoisePerCP {
+			f.fail(fmt.Errorf("psc ts: CP %s noise chunk [%d,%d) out of order", name, nc.Off, nc.Off+nc.Count))
+			return
+		}
+		cts, err := decodeVector(nc.Data, nc.Count)
 		if err != nil {
-			return nil, fmt.Errorf("psc ts: CP %s share %d: %w", name, i, err)
+			f.fail(fmt.Errorf("psc ts: CP %s noise batch: %w", name, err))
+			return
 		}
-		b = b[used:]
-		shares[i] = elgamal.DecryptionShare{Share: pt}
-	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b))
-	}
-	if t.cfg.ShuffleProofRounds > 0 {
-		if len(msg.Proofs) != len(batch) {
-			return nil, fmt.Errorf("psc ts: CP %s sent %d share proofs, want %d",
-				name, len(msg.Proofs), len(batch))
-		}
-		proofs := make([]elgamal.EqualityProof, len(batch))
-		for i := range batch {
-			proof, err := unpackEquality(msg.Proofs[i])
-			if err != nil {
-				return nil, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, i, err)
+		noiseCts = append(noiseCts, cts...)
+		if prove {
+			if len(nc.Proofs) != nc.Count {
+				f.fail(fmt.Errorf("psc ts: CP %s sent %d bit proofs for %d noise elements", name, len(nc.Proofs), nc.Count))
+				return
 			}
-			proofs[i] = proof
+			for i, w := range nc.Proofs {
+				proof, err := unpackBitProof(w)
+				if err != nil {
+					f.fail(fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, nc.Off+i, err))
+					return
+				}
+				bitProofs = append(bitProofs, proof)
+			}
 		}
+	}
+	if prove {
+		// Every appended noise element must provably encrypt a bit.
+		if i, ok := elgamal.VerifyBitsBatch(joint, noiseCts, bitProofs); !ok {
+			f.fail(fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i))
+			return
+		}
+	}
+	withNoise := make([]elgamal.Ciphertext, 0, wantN)
+	withNoise = append(withNoise, inVec...)
+	withNoise = append(withNoise, noiseCts...)
+
+	// The shuffle is the privacy barrier: its proof covers the whole
+	// permuted vector, so this is the one phase that waits for a full
+	// vector before verifying.
+	shuffled, err := recvVector(m, wantN)
+	if err != nil {
+		f.fail(fmt.Errorf("psc ts: CP %s shuffled batch: %w", name, err))
+		return
+	}
+	if prove {
+		proof, err := recvShuffleProof(m, t.cfg.ShuffleProofRounds, wantN)
+		if err != nil {
+			f.fail(fmt.Errorf("psc ts: CP %s shuffle proof: %w", name, err))
+			return
+		}
+		if err := elgamal.VerifyShuffle(joint, withNoise, shuffled, proof); err != nil {
+			f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
+			return
+		}
+	}
+
+	// Blinded chunks forward downstream the moment they parse — the
+	// next CP overlaps its work with this CP's remaining chunks — while
+	// the DLEQ proofs accumulate for one whole-vector batch
+	// verification: the random-linear-combination check amortizes over
+	// the full batch (chunked RLCs cost ~5% of a round), and since the
+	// forwarded elements are semantically secure ciphertexts, a CP that
+	// fails verification only aborts the round before any decryption.
+	blinded := make([]elgamal.Ciphertext, 0, wantN)
+	var blindProofs []elgamal.EqualityProof
+	for off := 0; off < wantN; {
+		var bc BlindChunkMsg
+		if err := m.Expect(kindBlind, &bc); err != nil {
+			f.fail(fmt.Errorf("psc ts: blinded from CP %s: %w", name, err))
+			return
+		}
+		if bc.Off != off || bc.Count <= 0 || off+bc.Count > wantN {
+			f.fail(fmt.Errorf("psc ts: CP %s blind chunk [%d,%d) out of order", name, bc.Off, bc.Off+bc.Count))
+			return
+		}
+		cts, err := decodeVector(bc.Data, bc.Count)
+		if err != nil {
+			f.fail(fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err))
+			return
+		}
+		if prove {
+			if len(bc.Proofs) != bc.Count {
+				f.fail(fmt.Errorf("psc ts: CP %s sent %d blind proofs for %d elements", name, len(bc.Proofs), bc.Count))
+				return
+			}
+			for i, w := range bc.Proofs {
+				proof, err := unpackEquality(w)
+				if err != nil {
+					f.fail(fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, off+i, err))
+					return
+				}
+				blindProofs = append(blindProofs, proof)
+			}
+		}
+		blinded = append(blinded, cts...)
+		select {
+		case out <- vchunk{off: off, cts: cts}:
+		case <-f.ch:
+			return
+		}
+		off += bc.Count
+	}
+	if prove {
+		if i, ok := elgamal.VerifyBlindsBatch(shuffled, blinded, blindProofs); !ok {
+			f.fail(fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i))
+			return
+		}
+	}
+}
+
+// decryptCP streams the final batch to one CP and verifies its share
+// chunks as they return. Sending and receiving overlap: the CP answers
+// chunk k while chunk k+1 is in flight.
+func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, batch []elgamal.Ciphertext, chunk int, f *failer) ([]elgamal.DecryptionShare, error) {
+	go func() {
+		if err := m.Send(kindDecrypt, VectorHeader{Round: t.cfg.Round, N: len(batch)}); err != nil {
+			f.fail(fmt.Errorf("psc ts: decrypt to CP %s: %w", name, err))
+			return
+		}
+		if err := sendVector(m, batch, chunk); err != nil {
+			f.fail(fmt.Errorf("psc ts: decrypt chunk to CP %s: %w", name, err))
+		}
+	}()
+
+	var hdr VectorHeader
+	if err := m.Expect(kindShares, &hdr); err != nil {
+		return nil, fmt.Errorf("psc ts: shares from CP %s: %w", name, err)
+	}
+	if hdr.N != len(batch) {
+		return nil, fmt.Errorf("psc ts: CP %s answering %d elements, want %d", name, hdr.N, len(batch))
+	}
+	// Share chunks parse on arrival (overlapping the CP's computation
+	// of later chunks); the Chaum–Pedersen proofs verify once over the
+	// whole vector so the RLC amortizes across the full batch.
+	prove := t.cfg.ShuffleProofRounds > 0
+	shares := make([]elgamal.DecryptionShare, 0, len(batch))
+	var proofs []elgamal.EqualityProof
+	for off := 0; off < len(batch); {
+		var sc ShareChunkMsg
+		if err := m.Expect(kindShare, &sc); err != nil {
+			return nil, fmt.Errorf("psc ts: shares from CP %s: %w", name, err)
+		}
+		if sc.Off != off || sc.Count <= 0 || off+sc.Count > len(batch) {
+			return nil, fmt.Errorf("psc ts: CP %s share chunk [%d,%d) out of order", name, sc.Off, sc.Off+sc.Count)
+		}
+		b := sc.Shares
+		for i := 0; i < sc.Count; i++ {
+			pt, used, err := elgamal.ParsePoint(b)
+			if err != nil {
+				return nil, fmt.Errorf("psc ts: CP %s share %d: %w", name, off+i, err)
+			}
+			b = b[used:]
+			shares = append(shares, elgamal.DecryptionShare{Share: pt})
+		}
+		if len(b) != 0 {
+			return nil, fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b))
+		}
+		if prove {
+			if len(sc.Proofs) != sc.Count {
+				return nil, fmt.Errorf("psc ts: CP %s sent %d share proofs for %d elements", name, len(sc.Proofs), sc.Count)
+			}
+			for i, w := range sc.Proofs {
+				proof, err := unpackEquality(w)
+				if err != nil {
+					return nil, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, off+i, err)
+				}
+				proofs = append(proofs, proof)
+			}
+		}
+		off += sc.Count
+	}
+	if prove {
 		if i, ok := elgamal.VerifySharesBatch(cpKey, batch, shares, proofs); !ok {
 			return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
 		}

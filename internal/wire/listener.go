@@ -18,9 +18,10 @@ func dialerWithTimeout(timeout time.Duration) *net.Dialer {
 	return &net.Dialer{Timeout: timeout}
 }
 
-// Listener accepts framed connections.
+// Listener accepts framed connections, applying its options to each.
 type Listener struct {
-	l net.Listener
+	l    net.Listener
+	opts []Option
 }
 
 // Addr returns the bound address (use after Listen on port 0).
@@ -35,7 +36,7 @@ func (ln Listener) Accept() (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(c), nil
+	return NewConn(c, ln.opts...), nil
 }
 
 // Serve accepts connections until the listener closes, invoking handle

@@ -1,0 +1,462 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stream multiplexing: a Session carries many logical Streams — one per
+// (round, party-role) — over a single framed connection, so a party
+// keeps one persistent TLS connection to the tally server across every
+// round it ever participates in. Each stream has credit-based flow
+// control: a sender may have at most one window of bytes in flight, so
+// a burst on one round's stream can neither exhaust the receiver's
+// memory nor starve the connection for other rounds.
+//
+// The design mirrors HTTP/2 in miniature: the session reader goroutine
+// only demultiplexes (it never writes, so two sessions can never
+// deadlock writing window updates at each other); credit is returned
+// from the application's Recv calls; stream IDs carry an initiator bit
+// so both ends can open streams without coordination.
+
+// Mux control frame kinds. Application kinds must not collide with
+// these; all protocol kinds in this repository are namespaced
+// ("psc/...", "privcount/...") so the "mux/" prefix is reserved.
+const (
+	kindMuxOpen   = "mux/open"
+	kindMuxWindow = "mux/window"
+	kindMuxClose  = "mux/close"
+	kindMuxReset  = "mux/reset"
+)
+
+// DefaultWindow is the per-stream flow-control window: the maximum
+// bytes (payload plus per-frame overhead) a sender may have buffered at
+// the receiver. It bounds per-stream memory on both ends.
+const DefaultWindow = 1 << 20
+
+// frameOverhead is the accounting cost added to each frame's payload
+// length, covering kind string and framing.
+const frameOverhead = 64
+
+func frameCost(f Frame) int64 { return int64(len(f.Payload)) + frameOverhead }
+
+// openMsg announces a new stream.
+type openMsg struct {
+	Round  uint64
+	Label  string
+	Window int64
+}
+
+// Session multiplexes streams over one Conn. One side is the initiator
+// (the party that dialed); stream IDs are unique per session because
+// the initiator allocates odd IDs and the acceptor even ones.
+type Session struct {
+	conn      *Conn
+	initiator bool
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	nextID  uint64
+	err     error
+	closed  bool
+
+	acceptCh chan *Stream
+	done     chan struct{}
+}
+
+// NewSession starts a multiplexed session over conn and spawns its
+// reader goroutine. Exactly one end must pass initiator=true (by
+// convention the dialing party; the tally server accepts).
+func NewSession(conn *Conn, initiator bool) *Session {
+	s := &Session{
+		conn:      conn,
+		initiator: initiator,
+		streams:   make(map[uint64]*Stream),
+		acceptCh:  make(chan *Stream, 1024),
+		done:      make(chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+// Open creates a new stream for the given round. The peer sees it on
+// Accept. Opening never blocks on the peer.
+func (s *Session) Open(round uint64, label string) (*Stream, error) {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	id := s.nextID*2 + 2 // even for acceptor
+	if s.initiator {
+		id = s.nextID*2 + 1 // odd for initiator
+	}
+	s.nextID++
+	st := newStream(s, id, round, label)
+	s.streams[id] = st
+	s.mu.Unlock()
+
+	payload, err := EncodePayload(openMsg{Round: round, Label: label, Window: DefaultWindow})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.conn.SendFrame(Frame{Kind: kindMuxOpen, SID: id, Payload: payload}); err != nil {
+		s.drop(id)
+		return nil, err
+	}
+	return st, nil
+}
+
+// Accept returns the next peer-initiated stream. It blocks until one
+// arrives or the session dies.
+func (s *Session) Accept() (*Stream, error) {
+	select {
+	case st := <-s.acceptCh:
+		return st, nil
+	case <-s.done:
+		return nil, s.Err()
+	}
+}
+
+// Err reports why the session died (nil while healthy).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close tears down the connection; every stream errors out.
+func (s *Session) Close() error {
+	s.fail(ErrClosed)
+	return s.conn.Close()
+}
+
+// fail marks the session dead and wakes everything.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	streams := make([]*Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.streams = map[uint64]*Stream{}
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.abort(err)
+	}
+	if !alreadyClosed {
+		close(s.done)
+	}
+}
+
+func (s *Session) drop(id uint64) {
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
+}
+
+func (s *Session) lookup(id uint64) *Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[id]
+}
+
+// readLoop is the demultiplexer. It never writes to the connection:
+// window updates are sent from application Recv calls, so two sessions
+// can never wedge each other by both blocking on a control write.
+func (s *Session) readLoop() {
+	for {
+		f, err := s.conn.Recv()
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		switch f.Kind {
+		case kindMuxOpen:
+			var om openMsg
+			if err := DecodePayload(f.Payload, &om); err != nil {
+				s.fail(fmt.Errorf("wire: bad mux open: %w", err))
+				return
+			}
+			st := newStream(s, f.SID, om.Round, om.Label)
+			st.sendCredit = om.Window
+			s.mu.Lock()
+			if s.err != nil {
+				s.mu.Unlock()
+				return
+			}
+			if _, dup := s.streams[f.SID]; dup {
+				s.mu.Unlock()
+				s.fail(fmt.Errorf("wire: duplicate stream id %d", f.SID))
+				return
+			}
+			s.streams[f.SID] = st
+			s.mu.Unlock()
+			select {
+			case s.acceptCh <- st:
+			default:
+				s.fail(fmt.Errorf("wire: accept backlog overflow"))
+				return
+			}
+		case kindMuxWindow:
+			var credit int64
+			if err := DecodePayload(f.Payload, &credit); err != nil {
+				s.fail(fmt.Errorf("wire: bad window update: %w", err))
+				return
+			}
+			if st := s.lookup(f.SID); st != nil {
+				st.addCredit(credit)
+			}
+		case kindMuxClose:
+			if st := s.lookup(f.SID); st != nil {
+				st.remoteClose()
+			}
+		case kindMuxReset:
+			var msg string
+			_ = DecodePayload(f.Payload, &msg)
+			if st := s.lookup(f.SID); st != nil {
+				s.drop(f.SID)
+				st.abort(fmt.Errorf("wire: stream reset by peer: %s", msg))
+			}
+		default:
+			st := s.lookup(f.SID)
+			if st == nil {
+				continue // late frame on a reset stream
+			}
+			if !st.enqueue(f) {
+				s.fail(fmt.Errorf("wire: stream %d overran its flow-control window", f.SID))
+				return
+			}
+		}
+	}
+}
+
+// Stream is one logical message channel of a Session. It implements
+// Messenger, so every protocol role runs unchanged over a dedicated
+// connection or over one stream of a shared session.
+type Stream struct {
+	sess  *Session
+	id    uint64
+	round uint64
+	label string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	rq   []Frame
+	// rqCost is the flow-control debt of queued frames; pendingCredit
+	// is consumed cost not yet returned to the peer.
+	rqCost        int64
+	pendingCredit int64
+	sendCredit    int64
+	err           error
+	failedCh      chan struct{}
+	remoteClosed  bool
+	localClosed   bool
+}
+
+func newStream(s *Session, id, round uint64, label string) *Stream {
+	st := &Stream{
+		sess: s, id: id, round: round, label: label,
+		sendCredit: DefaultWindow, failedCh: make(chan struct{}),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// Round reports the round ID the opener attached to this stream.
+func (st *Stream) Round() uint64 { return st.round }
+
+// Label reports the opener's stream label (the role being served).
+func (st *Stream) Label() string { return st.label }
+
+// Send encodes v as the payload of a frame with the given kind.
+func (st *Stream) Send(kind string, v any) error {
+	payload, err := EncodePayload(v)
+	if err != nil {
+		return fmt.Errorf("wire: encode %q: %w", kind, err)
+	}
+	return st.SendFrame(Frame{Kind: kind, Payload: payload})
+}
+
+// SendFrame writes a frame on the stream, blocking until flow-control
+// credit covers it. A frame costing more than a full window can never
+// be covered and is rejected outright rather than blocking forever.
+func (st *Stream) SendFrame(f Frame) error {
+	f.SID = st.id
+	cost := frameCost(f)
+	if cost > DefaultWindow {
+		return ErrFrameTooLarge
+	}
+	st.mu.Lock()
+	for st.err == nil && !st.localClosed && st.sendCredit < cost {
+		st.cond.Wait()
+	}
+	if st.err != nil {
+		err := st.err
+		st.mu.Unlock()
+		return err
+	}
+	if st.localClosed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	st.sendCredit -= cost
+	st.mu.Unlock()
+	if err := st.sess.conn.SendFrame(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Recv returns the next frame, returning flow-control credit to the
+// peer once half the window has been consumed.
+func (st *Stream) Recv() (Frame, error) {
+	st.mu.Lock()
+	for len(st.rq) == 0 && st.err == nil && !st.remoteClosed {
+		st.cond.Wait()
+	}
+	if len(st.rq) == 0 {
+		err := st.err
+		if err == nil {
+			err = ErrClosed // remote half-closed and drained
+		}
+		st.mu.Unlock()
+		return Frame{}, err
+	}
+	// Frames already delivered drain even if the stream has since
+	// failed: a peer may legitimately send its last frame and close the
+	// connection in the same instant.
+	f := st.rq[0]
+	st.rq = st.rq[1:]
+	cost := frameCost(f)
+	st.rqCost -= cost
+	st.pendingCredit += cost
+	var refund int64
+	if st.pendingCredit >= DefaultWindow/2 && st.err == nil {
+		refund = st.pendingCredit
+		st.pendingCredit = 0
+	}
+	st.mu.Unlock()
+	if refund > 0 {
+		payload, err := EncodePayload(refund)
+		if err == nil {
+			// A failed window update surfaces on the next Send/Recv via
+			// the session error; ignore it here.
+			_ = st.sess.conn.SendFrame(Frame{Kind: kindMuxWindow, SID: st.id, Payload: payload})
+		}
+	}
+	return f, nil
+}
+
+// Expect receives the next frame, requires its kind to match, and
+// decodes the payload into out.
+func (st *Stream) Expect(kind string, out any) error {
+	f, err := st.Recv()
+	if err != nil {
+		return err
+	}
+	if f.Kind != kind {
+		return fmt.Errorf("wire: expected %q frame, got %q", kind, f.Kind)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := DecodePayload(f.Payload, out); err != nil {
+		return fmt.Errorf("wire: decode %q: %w", kind, err)
+	}
+	return nil
+}
+
+// Close half-closes the sending direction; the peer's Recv drains the
+// queue then reports ErrClosed. The stream is forgotten once both sides
+// have closed.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.localClosed || st.err != nil {
+		st.mu.Unlock()
+		return nil
+	}
+	st.localClosed = true
+	remote := st.remoteClosed
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	if remote {
+		st.sess.drop(st.id)
+	}
+	return st.sess.conn.SendFrame(Frame{Kind: kindMuxClose, SID: st.id})
+}
+
+// Reset aborts the stream on both ends: local operations fail
+// immediately and the peer sees the message as an error. Other streams
+// of the session are unaffected — this is the round-failure isolation
+// primitive.
+func (st *Stream) Reset(msg string) {
+	st.sess.drop(st.id)
+	st.abort(fmt.Errorf("wire: stream reset: %s", msg))
+	payload, err := EncodePayload(msg)
+	if err != nil {
+		return
+	}
+	_ = st.sess.conn.SendFrame(Frame{Kind: kindMuxReset, SID: st.id, Payload: payload})
+}
+
+// enqueue adds an inbound frame, reporting false on window overrun.
+func (st *Stream) enqueue(f Frame) bool {
+	st.mu.Lock()
+	if st.err != nil {
+		st.mu.Unlock()
+		return true // stream already dead; drop silently
+	}
+	st.rqCost += frameCost(f)
+	// Allow one window of queued frames plus one max frame of slack for
+	// accounting skew; beyond that the peer is ignoring flow control.
+	if st.rqCost > DefaultWindow+int64(st.sess.conn.maxFrame)+frameOverhead {
+		st.mu.Unlock()
+		return false
+	}
+	st.rq = append(st.rq, f)
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	return true
+}
+
+func (st *Stream) addCredit(n int64) {
+	st.mu.Lock()
+	st.sendCredit += n
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+func (st *Stream) remoteClose() {
+	st.mu.Lock()
+	st.remoteClosed = true
+	local := st.localClosed
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	if local {
+		st.sess.drop(st.id)
+	}
+}
+
+// Failed closes when the stream dies (reset by either side, or session
+// death). It lets a goroutine holding a stream open on behalf of a
+// round — but blocked on something other than the stream — learn the
+// round is gone. It does not fire on a clean Close.
+func (st *Stream) Failed() <-chan struct{} { return st.failedCh }
+
+// abort marks the stream failed and wakes all waiters. Frames already
+// queued remain readable; only blocking and future operations fail.
+func (st *Stream) abort(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+		close(st.failedCh)
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}

@@ -1,0 +1,379 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeSessions builds a connected initiator/acceptor session pair over
+// an in-memory pipe.
+func pipeSessions(opts ...Option) (*Session, *Session) {
+	a, b := Pipe(opts...)
+	return NewSession(a, true), NewSession(b, false)
+}
+
+func TestMuxSingleStreamRoundTrip(t *testing.T) {
+	client, server := pipeSessions()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		st, err := client.Open(7, "psc/round")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st.Send("hello", testMsg{Round: 7, Name: "cp-0"})
+		var reply testMsg
+		if err := st.Expect("ack", &reply); err != nil {
+			t.Error(err)
+		}
+		st.Close()
+	}()
+
+	st, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round() != 7 || st.Label() != "psc/round" {
+		t.Fatalf("stream metadata: round=%d label=%q", st.Round(), st.Label())
+	}
+	var m testMsg
+	if err := st.Expect("hello", &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "cp-0" {
+		t.Fatalf("got %+v", m)
+	}
+	if err := st.Send("ack", m); err != nil {
+		t.Fatal(err)
+	}
+	// Peer half-closed; after drain we must see ErrClosed.
+	if _, err := st.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after peer close, got %v", err)
+	}
+}
+
+// TestMuxConcurrentStreams interleaves many streams, each carrying its
+// own ordered sequence, in both directions at once.
+func TestMuxConcurrentStreams(t *testing.T) {
+	client, server := pipeSessions()
+	defer client.Close()
+	defer server.Close()
+
+	const streams = 8
+	const msgs = 20
+
+	// Server: echo every frame back on the same stream.
+	go func() {
+		for {
+			st, err := server.Accept()
+			if err != nil {
+				return
+			}
+			go func(st *Stream) {
+				for {
+					f, err := st.Recv()
+					if err != nil {
+						return
+					}
+					if err := st.SendFrame(f); err != nil {
+						return
+					}
+				}
+			}(st)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.Open(uint64(i), fmt.Sprintf("s%d", i))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer st.Close()
+			for k := 0; k < msgs; k++ {
+				want := testMsg{Round: i*1000 + k}
+				if err := st.Send("m", want); err != nil {
+					errCh <- err
+					return
+				}
+				var got testMsg
+				if err := st.Expect("m", &got); err != nil {
+					errCh <- err
+					return
+				}
+				if got.Round != want.Round {
+					errCh <- fmt.Errorf("stream %d: got %d want %d", i, got.Round, want.Round)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestMuxFlowControlBounds pushes more than a full window through one
+// stream while a second stream stays responsive: the sender must block
+// on credit, not break the session, and the receiver's queue must stay
+// bounded.
+func TestMuxFlowControlBounds(t *testing.T) {
+	client, server := pipeSessions()
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open(1, "bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 24 // 24 * 128 KiB = 3 windows worth
+	payload := make([]byte, 128<<10)
+	sendDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := st.SendFrame(Frame{Kind: "bulk", Payload: payload}); err != nil {
+				sendDone <- err
+				return
+			}
+		}
+		sendDone <- st.Close()
+	}()
+
+	srvSt, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain slowly, checking the queue never exceeds the window.
+	got := 0
+	for {
+		srvSt.mu.Lock()
+		if srvSt.rqCost > DefaultWindow+int64(server.conn.maxFrame)+frameOverhead {
+			srvSt.mu.Unlock()
+			t.Fatalf("receive queue overran the window: %d", srvSt.rqCost)
+		}
+		srvSt.mu.Unlock()
+		_, err := srvSt.Recv()
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+	}
+	if got != frames {
+		t.Fatalf("received %d of %d frames", got, frames)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxResetIsolatesStreams kills one stream mid-flight and verifies
+// a sibling stream on the same session is unaffected — the per-round
+// failure isolation the round engine depends on.
+func TestMuxResetIsolatesStreams(t *testing.T) {
+	client, server := pipeSessions()
+	defer client.Close()
+	defer server.Close()
+
+	doomed, err := client.Open(1, "doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := client.Open(2, "healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvDoomed, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvHealthy, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doomed.Reset("round aborted")
+	if _, err := srvDoomed.Recv(); err == nil || !strings.Contains(err.Error(), "round aborted") {
+		t.Fatalf("doomed stream must surface the reset reason, got %v", err)
+	}
+	if err := doomed.Send("x", testMsg{}); err == nil {
+		t.Fatal("send on reset stream must fail")
+	}
+
+	// The sibling still works in both directions.
+	go srvHealthy.Send("pong", testMsg{Round: 2})
+	if err := healthy.Send("ping", testMsg{Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var m testMsg
+	if err := healthy.Expect("pong", &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvHealthy.Expect("ping", &m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxOversizedFrameRejected: a frame that could never be covered by
+// a full flow-control window must error immediately instead of blocking
+// forever on credit.
+func TestMuxOversizedFrameRejected(t *testing.T) {
+	client, server := pipeSessions(WithMaxFrame(4 << 20))
+	defer client.Close()
+	defer server.Close()
+	st, err := client.Open(1, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.SendFrame(Frame{Kind: "big", Payload: make([]byte, DefaultWindow)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized stream frame: %v", err)
+	}
+}
+
+// TestMuxFailedChannel: Failed fires on reset (either side) and session
+// death, but not on clean close.
+func TestMuxFailedChannel(t *testing.T) {
+	client, server := pipeSessions()
+	defer client.Close()
+	defer server.Close()
+
+	st, err := client.Open(1, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSt, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srvSt.Failed():
+		t.Fatal("Failed fired on a healthy stream")
+	default:
+	}
+	st.Close()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-srvSt.Failed():
+		t.Fatal("Failed fired on clean close")
+	default:
+	}
+	srvSt.Reset("done with it")
+	select {
+	case <-srvSt.Failed():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Failed did not fire on local reset")
+	}
+	select {
+	case <-st.Failed():
+	case <-time.After(2 * time.Second):
+		t.Fatal("Failed did not fire on peer reset")
+	}
+}
+
+// TestMuxSessionDeathWakesStreams closes the underlying conn and checks
+// every blocked stream operation returns.
+func TestMuxSessionDeathWakesStreams(t *testing.T) {
+	client, server := pipeSessions()
+	defer server.Close()
+
+	st, err := client.Open(1, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := st.Recv()
+		recvErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("recv must fail after session close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv still blocked after session close")
+	}
+	if _, err := client.Open(2, "s"); err == nil {
+		t.Fatal("open on dead session must fail")
+	}
+}
+
+// TestMuxOverTCPWithTLS runs a session pair over a real pinned-TLS
+// loopback connection.
+func TestMuxOverTCPWithTLS(t *testing.T) {
+	id, err := GenerateIdentity("tally", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Listen("127.0.0.1:0", id.ServerTLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		sess := NewSession(c, false)
+		defer sess.Close()
+		st, err := sess.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		var m testMsg
+		if err := st.Expect("hello", &m); err != nil {
+			srvDone <- err
+			return
+		}
+		srvDone <- st.Send("ack", m)
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientTLS(id.SPKI()), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c, true)
+	defer sess.Close()
+	st, err := sess.Open(1, "round")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send("hello", testMsg{Name: "dc-1"}); err != nil {
+		t.Fatal(err)
+	}
+	var m testMsg
+	if err := st.Expect("ack", &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "dc-1" {
+		t.Fatalf("ack: %+v", m)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatal(err)
+	}
+}

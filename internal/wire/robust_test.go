@@ -40,8 +40,8 @@ func TestRecvGarbageDoesNotPanic(t *testing.T) {
 	_ = quick.Check(f, &quick.Config{MaxCount: 200})
 }
 
-// TestRecvHugeLengthPrefixRejected: a length prefix beyond MaxFrameSize
-// must be rejected before any allocation.
+// TestRecvHugeLengthPrefixRejected: a length prefix beyond the
+// connection's frame cap must be rejected before any allocation.
 func TestRecvHugeLengthPrefixRejected(t *testing.T) {
 	server, client := net.Pipe()
 	defer server.Close()
@@ -49,7 +49,7 @@ func TestRecvHugeLengthPrefixRejected(t *testing.T) {
 	defer conn.Close()
 	go func() {
 		var lenb [4]byte
-		binary.BigEndian.PutUint32(lenb[:], MaxFrameSize+1)
+		binary.BigEndian.PutUint32(lenb[:], DefaultMaxFrame+1)
 		server.Write(lenb[:])
 	}()
 	conn.SetDeadline(time.Now().Add(2 * time.Second))

@@ -106,17 +106,33 @@ func ClientTLS(pin [32]byte) *tls.Config {
 	}
 }
 
+// ClientTLSPin builds a pinned client TLS config from a hex SPKI
+// fingerprint (the format Fingerprint prints and operators exchange).
+// An empty string selects plain TCP (nil config).
+func ClientTLSPin(fingerprint string) (*tls.Config, error) {
+	if fingerprint == "" {
+		return nil, nil
+	}
+	raw, err := hex.DecodeString(fingerprint)
+	if err != nil || len(raw) != 32 {
+		return nil, fmt.Errorf("wire: bad SPKI fingerprint %q", fingerprint)
+	}
+	var pin [32]byte
+	copy(pin[:], raw)
+	return ClientTLS(pin), nil
+}
+
 // Listen opens a TCP listener, TLS-wrapped when tlsCfg is non-nil.
 // Use addr "127.0.0.1:0" in tests to get an ephemeral port.
-func Listen(addr string, tlsCfg *tls.Config) (Listener, error) {
+func Listen(addr string, tlsCfg *tls.Config, opts ...Option) (Listener, error) {
 	l, err := newTCPListener(addr)
 	if err != nil {
 		return Listener{}, err
 	}
 	if tlsCfg != nil {
-		return Listener{l: tls.NewListener(l, tlsCfg)}, nil
+		return Listener{l: tls.NewListener(l, tlsCfg), opts: opts}, nil
 	}
-	return Listener{l: l}, nil
+	return Listener{l: l, opts: opts}, nil
 }
 
 func newTCPListener(addr string) (netListener, error) {
@@ -125,18 +141,18 @@ func newTCPListener(addr string) (netListener, error) {
 
 // Dial connects to addr, TLS-wrapped when tlsCfg is non-nil, with the
 // given timeout.
-func Dial(addr string, tlsCfg *tls.Config, timeout time.Duration) (*Conn, error) {
+func Dial(addr string, tlsCfg *tls.Config, timeout time.Duration, opts ...Option) (*Conn, error) {
 	d := dialerWithTimeout(timeout)
 	if tlsCfg != nil {
 		c, err := tls.DialWithDialer(d, "tcp", addr, tlsCfg)
 		if err != nil {
 			return nil, err
 		}
-		return NewConn(c), nil
+		return NewConn(c, opts...), nil
 	}
 	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(c), nil
+	return NewConn(c, opts...), nil
 }

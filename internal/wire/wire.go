@@ -19,16 +19,21 @@ import (
 	"time"
 )
 
-// MaxFrameSize bounds a single message; PSC ciphertext batches are the
-// largest payloads and stay well under this.
-const MaxFrameSize = 64 << 20
+// DefaultMaxFrame bounds a single message unless a connection overrides
+// it with WithMaxFrame. Since vectors travel as bounded chunks, no
+// honest frame comes close to this; a peer demanding more is asking the
+// receiver for an allocation it has no business requesting.
+const DefaultMaxFrame = 1 << 20
 
 // Frame is the unit of exchange: a message kind tag and a gob-encoded
 // payload. Kind routing keeps the protocols self-describing on the wire
-// without a shared registration of every payload type.
+// without a shared registration of every payload type. SID routes the
+// frame to a logical stream when the connection carries a multiplexed
+// Session; it is zero on plain single-stream connections.
 type Frame struct {
 	Kind    string
 	Payload []byte
+	SID     uint64
 }
 
 // Transport errors.
@@ -37,17 +42,54 @@ var (
 	ErrClosed        = errors.New("wire: connection closed")
 )
 
+// Messenger is the message-passing surface the protocols run over: a
+// whole connection (one party, one round) or one logical Stream of a
+// multiplexed Session (one party, many concurrent rounds). Send and
+// Recv are each safe for one concurrent caller, so a reader goroutine
+// can overlap a writer goroutine — the shape every chunked phase uses.
+type Messenger interface {
+	Send(kind string, v any) error
+	SendFrame(f Frame) error
+	Recv() (Frame, error)
+	Expect(kind string, out any) error
+	Close() error
+}
+
+// Option configures a Conn.
+type Option func(*Conn)
+
+// WithMaxFrame overrides the per-connection frame cap. Both ends of a
+// connection must agree, or the larger sender will be dropped by the
+// smaller receiver.
+func WithMaxFrame(n int) Option {
+	return func(c *Conn) {
+		if n > 0 {
+			c.maxFrame = n
+		}
+	}
+}
+
 // Conn is a framed message connection. Send and Recv are each safe for
 // one concurrent caller (a reader goroutine plus a writer goroutine).
 type Conn struct {
-	c       net.Conn
-	readMu  sync.Mutex
-	writeMu sync.Mutex
-	lenBuf  [4]byte
+	c        net.Conn
+	maxFrame int
+	readMu   sync.Mutex
+	writeMu  sync.Mutex
+	lenBuf   [4]byte
 }
 
 // NewConn wraps a stream connection.
-func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+func NewConn(c net.Conn, opts ...Option) *Conn {
+	conn := &Conn{c: c, maxFrame: DefaultMaxFrame}
+	for _, o := range opts {
+		o(conn)
+	}
+	return conn
+}
+
+// MaxFrame reports the connection's frame cap.
+func (c *Conn) MaxFrame() int { return c.maxFrame }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
@@ -73,7 +115,7 @@ func (c *Conn) SendFrame(f Frame) error {
 	if err != nil {
 		return err
 	}
-	if len(body) > MaxFrameSize {
+	if len(body) > c.maxFrame {
 		return ErrFrameTooLarge
 	}
 	c.writeMu.Lock()
@@ -98,7 +140,7 @@ func (c *Conn) Recv() (Frame, error) {
 		return Frame{}, err
 	}
 	n := binary.BigEndian.Uint32(c.lenBuf[:])
-	if n > MaxFrameSize {
+	if n > uint32(c.maxFrame) {
 		return Frame{}, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
@@ -169,7 +211,7 @@ func (r readerBuf) Read(p []byte) (int, error) {
 
 // Pipe returns two connected in-memory Conns for tests and single
 // process deployments.
-func Pipe() (*Conn, *Conn) {
+func Pipe(opts ...Option) (*Conn, *Conn) {
 	a, b := net.Pipe()
-	return NewConn(a), NewConn(b)
+	return NewConn(a, opts...), NewConn(b, opts...)
 }

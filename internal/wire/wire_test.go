@@ -188,9 +188,17 @@ func TestFrameSizeLimit(t *testing.T) {
 	a, b := Pipe()
 	defer a.Close()
 	defer b.Close()
-	huge := Frame{Kind: "x", Payload: make([]byte, MaxFrameSize+1)}
+	huge := Frame{Kind: "x", Payload: make([]byte, DefaultMaxFrame+1)}
 	if err := a.SendFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversize frame: %v", err)
+	}
+	// A connection may raise its cap explicitly.
+	big, small := Pipe(WithMaxFrame(4 << 20))
+	defer big.Close()
+	defer small.Close()
+	go big.SendFrame(Frame{Kind: "x", Payload: make([]byte, DefaultMaxFrame+1)})
+	if _, err := small.Recv(); err != nil {
+		t.Fatalf("raised cap: %v", err)
 	}
 }
 
