@@ -1,20 +1,31 @@
 // Command datacollector runs one data collector as a long-lived
-// daemon: it attaches to a torsim event feed as one measuring relay,
+// daemon: it attaches to an event source as one measuring relay,
 // registers a single multiplexed session with the tally server, and
 // serves every measurement round the tally schedules over it —
 // PrivCount and PSC rounds alike, concurrently when they overlap —
 // mirroring the paper's one-DC-per-relay deployment (§3.1) run as a
 // months-long daemon.
 //
-// Every event from the feed fans out to all currently active rounds:
+// Two event sources are supported:
+//
+//   - -torsim: the simulator's binary socket feed (the default), and
+//   - -tor-control: a live Tor control port speaking PRIVCOUNT_*
+//     events — a PrivCount-patched Tor or the cmd/mockrelay stand-in.
+//     The connection authenticates via -tor-cookie (COOKIE/SAFECOOKIE)
+//     or -tor-password, and survives relay churn by reconnecting with
+//     backoff; the round fan-out never notices a dropped connection.
+//
+// Every event from the source fans out to all currently active rounds:
 // PrivCount rounds count the Figure 1 stream statistics (the tally
 // must be configured with the matching -stats spec, see below); PSC
 // rounds observe unique client IPs from connection events (Table 5).
-// When the feed ends, all active rounds are finished and reported;
-// rounds scheduled after the feed ends report empty observations.
+// When the source ends, all active rounds are finished and reported;
+// rounds scheduled after that report empty observations.
 //
 //	datacollector -tally 127.0.0.1:7001 -torsim 127.0.0.1:7000 \
 //	              -relay 3 -name dc-3 -rounds 4 [-pin <hex-spki>]
+//	datacollector -tally 127.0.0.1:7001 -tor-control 127.0.0.1:9051 \
+//	              -tor-cookie /var/lib/tor/control_auth_cookie -relay 3
 //
 // The matching tally spec for privcount rounds is:
 //
@@ -23,8 +34,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/binary"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,24 +46,47 @@ import (
 	"repro/internal/event"
 	"repro/internal/privcount"
 	"repro/internal/psc"
+	"repro/internal/torctl"
 	"repro/internal/wire"
 )
 
 func main() {
 	tallyAddr := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	torsim := flag.String("torsim", "127.0.0.1:7000", "torsim event feed address")
-	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all)")
+	torControl := flag.String("tor-control", "", "Tor control-port address; replaces -torsim as the event source")
+	torCookie := flag.String("tor-cookie", "", "control-auth cookie file (empty: path advertised by the relay)")
+	torPassword := flag.String("tor-password", "", "control-port password")
+	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all; also the observer id for control-port events)")
 	name := flag.String("name", "dc-0", "data collector name")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	rounds := flag.Int("rounds", 1, "number of rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	flag.Parse()
 
-	feed, err := dialFeed(*torsim, *relay, *timeout)
-	if err != nil {
-		log.Fatalf("datacollector %s: torsim: %v", *name, err)
+	// Event source: live control port, or the simulator socket feed.
+	var feed net.Conn
+	var src *torctl.Source
+	var err error
+	if *torControl != "" {
+		src, err = torctl.DialSource(torctl.Config{
+			Addr:        *torControl,
+			CookiePath:  *torCookie,
+			Password:    *torPassword,
+			DialTimeout: *timeout,
+			Logf:        log.Printf,
+		}, torctl.LineParser{DefaultRelay: event.RelayID(*relay)})
+		if err != nil {
+			log.Fatalf("datacollector %s: tor control: %v", *name, err)
+		}
+		defer src.Close()
+		fmt.Printf("datacollector %s: control connection to %s established\n", *name, *torControl)
+	} else {
+		feed, err = dialFeed(*torsim, *relay, *timeout)
+		if err != nil {
+			log.Fatalf("datacollector %s: torsim: %v", *name, err)
+		}
+		defer feed.Close()
 	}
-	defer feed.Close()
 
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
@@ -81,11 +113,22 @@ func main() {
 	// Feed pump: every event reaches every active round.
 	go func() {
 		defer close(c.feedDone)
-		n, err := c.pump(feed)
+		var n int
+		var err error
+		if src != nil {
+			n, err = c.pumpSource(src)
+		} else {
+			n, err = c.pump(feed)
+		}
 		if err != nil {
 			log.Printf("datacollector %s: feed: %v", *name, err)
 		}
 		fmt.Printf("datacollector %s: %d events consumed\n", *name, n)
+		if src != nil {
+			parsed, skipped := src.Stats()
+			fmt.Printf("datacollector %s: torctl reconnects=%d parsed=%d skipped=%d\n",
+				*name, src.Reconnects(), parsed, skipped)
+		}
 	}()
 
 	// Round server: the tally opens one stream per round.
@@ -156,26 +199,43 @@ func (c *collector) serveRound(st *wire.Stream) error {
 	}
 }
 
-// pump decodes the feed until EOF, dispatching each event to all
-// active rounds, and returns the event count.
+// dispatch routes one event to every active round.
+func (c *collector) dispatch(ev event.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e := ev.(type) {
+	case *event.ConnectionEnd:
+		for dc := range c.pscActive {
+			_ = dc.Observe(e.ClientIP.String())
+		}
+	case *event.StreamEnd:
+		for dc := range c.privActive {
+			incrementFig1(dc, e)
+		}
+	}
+}
+
+// pump decodes the torsim feed until EOF, dispatching each event to
+// all active rounds, and returns the event count.
 func (c *collector) pump(feed net.Conn) (int, error) {
 	n := 0
-	err := forEachEvent(feed, func(ev event.Event) {
+	err := event.ReadFrames(bufio.NewReaderSize(feed, 1<<16), func(ev event.Event) error {
 		n++
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		switch e := ev.(type) {
-		case *event.ConnectionEnd:
-			for dc := range c.pscActive {
-				_ = dc.Observe(e.ClientIP.String())
-			}
-		case *event.StreamEnd:
-			for dc := range c.privActive {
-				incrementFig1(dc, e)
-			}
-		}
+		c.dispatch(ev)
+		return nil
 	})
 	return n, err
+}
+
+// pumpSource consumes the control-port source until the trace ends or
+// the client dies.
+func (c *collector) pumpSource(src *torctl.Source) (int, error) {
+	n := 0
+	for ev := range src.Events() {
+		n++
+		c.dispatch(ev)
+	}
+	return n, src.Err()
 }
 
 // incrementFig1 applies the Figure 1 stream-statistic mapping.
@@ -215,35 +275,4 @@ func dialFeed(addr string, relay int, timeout time.Duration) (net.Conn, error) {
 		return nil, err
 	}
 	return c, nil
-}
-
-// forEachEvent decodes the torsim frame stream until EOF.
-func forEachEvent(feed net.Conn, fn func(event.Event)) error {
-	r := bufio.NewReaderSize(feed, 1<<16)
-	var lenb [4]byte
-	buf := make([]byte, 0, 512)
-	for {
-		if _, err := io.ReadFull(r, lenb[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
-		}
-		n := binary.BigEndian.Uint32(lenb[:])
-		if n > 1<<20 {
-			return fmt.Errorf("oversized event frame %d", n)
-		}
-		if cap(buf) < int(n) {
-			buf = make([]byte, n)
-		}
-		buf = buf[:n]
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return err
-		}
-		ev, err := event.Unmarshal(buf)
-		if err != nil {
-			return err
-		}
-		fn(ev)
-	}
 }

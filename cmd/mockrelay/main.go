@@ -1,0 +1,119 @@
+// Command mockrelay runs a mock instrumented Tor relay: a control-port
+// server that authenticates controllers (COOKIE/SAFECOOKIE via a
+// generated cookie file, or a password) and replays a torsim event
+// feed — live, or from a recorded trace file — as asynchronous
+// PRIVCOUNT_* event lines, the way a PrivCount-patched Tor would emit
+// them (§3.1). It is the deployment-rehearsal stand-in for a real
+// relay: point datacollector's -tor-control at it and the full live
+// ingestion path (PROTOCOLINFO, auth, SETEVENTS, 650 parsing,
+// reconnect) is exercised end to end.
+//
+//	mockrelay -listen 127.0.0.1:9051 -torsim 127.0.0.1:7000 -relay all \
+//	          -cookie-file /tmp/mock.cookie [-drop-after 500]
+//
+// With -drop-after N the relay abruptly closes the controller
+// connection after N event lines — once — to drill the collector's
+// reconnect path; the replay cursor survives, so the reconnected
+// controller resumes the feed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/torctl"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9051", "control-port address to serve")
+	torsim := flag.String("torsim", "", "attach to a live torsim event feed at this address")
+	trace := flag.String("trace", "", "replay a recorded trace file (length-framed binary events)")
+	relay := flag.String("relay", "all", "torsim relay selector: a relay id, or \"all\"")
+	cookieFile := flag.String("cookie-file", "", "write a fresh auth cookie here and require COOKIE/SAFECOOKIE auth")
+	password := flag.String("password", "", "require HASHEDPASSWORD auth with this password")
+	dropAfter := flag.Int("drop-after", 0, "abruptly drop the controller once after N event lines (reconnect drill)")
+	epoch := flag.Int64("epoch", 0, "unix seconds of simtime 0 on emitted lines (0: 2018-01-01)")
+	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	flag.Parse()
+
+	if (*torsim == "") == (*trace == "") {
+		log.Fatal("mockrelay: exactly one of -torsim or -trace is required")
+	}
+
+	cfg := torctl.MockConfig{
+		Password:      *password,
+		CookiePath:    *cookieFile,
+		DropAfter:     *dropAfter,
+		EpochUnixNano: *epoch * 1e9,
+		Logf:          log.Printf,
+	}
+	if *cookieFile != "" {
+		cookie, err := torctl.GenerateCookie()
+		if err != nil {
+			log.Fatalf("mockrelay: %v", err)
+		}
+		if err := os.WriteFile(*cookieFile, cookie, 0o600); err != nil {
+			log.Fatalf("mockrelay: write cookie: %v", err)
+		}
+		cfg.Cookie = cookie
+	}
+	m, err := torctl.NewMockRelay(cfg)
+	if err != nil {
+		log.Fatalf("mockrelay: %v", err)
+	}
+	addr, err := m.Listen(*listen)
+	if err != nil {
+		log.Fatalf("mockrelay: %v", err)
+	}
+	fmt.Printf("mockrelay: listening on %s\n", addr)
+
+	src, err := openFeed(*torsim, *trace, *relay, *timeout)
+	if err != nil {
+		log.Fatalf("mockrelay: %v", err)
+	}
+	n := 0
+	err = event.ReadFrames(bufio.NewReaderSize(src, 1<<16), func(ev event.Event) error {
+		m.Feed(ev)
+		n++
+		return nil
+	})
+	src.Close()
+	if err != nil {
+		log.Fatalf("mockrelay: feed: %v", err)
+	}
+	m.End()
+	fmt.Printf("mockrelay: trace loaded, %d events\n", n)
+
+	// Serve until a controller has drained the full replay and hung up.
+	m.WaitIdle()
+	m.Close()
+	fmt.Printf("mockrelay: done; %d event lines delivered\n", m.Delivered())
+}
+
+// openFeed attaches to a live torsim feed or opens a trace file.
+func openFeed(torsim, trace, relay string, timeout time.Duration) (io.ReadCloser, error) {
+	if trace != "" {
+		return os.Open(trace)
+	}
+	c, err := net.DialTimeout("tcp", torsim, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(c, "relay %s\n", relay); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func init() {
+	log.SetOutput(os.Stderr)
+	log.SetFlags(log.Ltime)
+}

@@ -16,6 +16,18 @@
 //	tally -protocol psc -listen 127.0.0.1:7001 -dcs 10 -cps 3 \
 //	      -bins 4096 -noise 64
 //
+// With -protocol both, each scheduling step starts a PSC round and a
+// PrivCount round concurrently over the same DC sessions (-rounds
+// counts pairs) — the deployment shape where one relay fleet serves
+// unique-client counting and stream statistics at once.
+//
+// Operational guards: -round-deadline aborts any round that overruns
+// it (a stalled party costs its round, not the fleet); -budget N
+// refuses rounds beyond N times the study's per-round (ε,δ) spend, so
+// the privacy guarantee survives operator enthusiasm. Each completed
+// round prints its wall-clock and stream-byte metrics, and the daemon
+// dumps the fleet-wide counters before exiting.
+//
 // With -tls the server generates an ephemeral identity and prints its
 // SPKI fingerprint; parties pin it via their -pin flag. -abort-round N
 // cancels the Nth scheduled round mid-flight (an operator cancel /
@@ -24,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dp"
 	"repro/internal/engine"
 	"repro/internal/privcount"
 	"repro/internal/psc"
@@ -49,7 +63,7 @@ func printf(format string, args ...any) {
 }
 
 func main() {
-	protocol := flag.String("protocol", "privcount", "privcount or psc")
+	protocol := flag.String("protocol", "privcount", "privcount, psc, or both")
 	listen := flag.String("listen", "127.0.0.1:7001", "address to accept parties on")
 	useTLS := flag.Bool("tls", false, "serve TLS with an ephemeral pinned identity")
 	dcs := flag.Int("dcs", 1, "number of data collectors")
@@ -59,9 +73,11 @@ func main() {
 	bins := flag.Int("bins", 4096, "psc hash-table size")
 	noise := flag.Int("noise", 64, "psc noise coins per CP")
 	proofRounds := flag.Int("proof-rounds", 8, "psc shuffle-proof rounds")
-	rounds := flag.Int("rounds", 1, "number of rounds to run over the sessions")
-	concurrency := flag.Int("concurrency", 1, "rounds in flight at once")
+	rounds := flag.Int("rounds", 1, "number of rounds (or round pairs with -protocol both)")
+	concurrency := flag.Int("concurrency", 1, "rounds (or pairs) in flight at once")
 	abortRound := flag.Int("abort-round", 0, "abort the Nth scheduled round mid-flight (0: none)")
+	roundDeadline := flag.Duration("round-deadline", 0, "abort any round not finished within this duration (0: none)")
+	budget := flag.Int("budget", 0, "refuse rounds beyond N times the per-round study (ε,δ) budget (0: unlimited)")
 	flag.Parse()
 
 	var tlsCfg *wire.Identity
@@ -86,12 +102,34 @@ func main() {
 	}
 
 	// Phase 1: parties register their sessions once.
-	numParties := *dcs + *sks
-	if *protocol == "psc" {
+	var numParties int
+	switch *protocol {
+	case "privcount":
+		numParties = *dcs + *sks
+	case "psc":
 		numParties = *dcs + *cps
+	case "both":
+		numParties = *dcs + *sks + *cps
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
 	}
 	eng := engine.New()
 	defer eng.Close()
+	if *roundDeadline > 0 {
+		eng.SetRoundDeadline(*roundDeadline)
+	}
+	if *budget > 0 {
+		// The paper's per-round spend, capped at N rounds' worth by
+		// sequential composition; the engine refuses the (N+1)th round.
+		acct := dp.StudyAccountant()
+		per := dp.StudyParams()
+		total := dp.Params{Epsilon: per.Epsilon * float64(*budget), Delta: per.Delta * float64(*budget)}
+		if err := acct.SetBudget(total); err != nil {
+			log.Fatal(err)
+		}
+		eng.SetAccountant(acct)
+		printf("tally: privacy budget capped at %d rounds (ε=%.4g, δ=%.3g)\n", *budget, total.Epsilon, total.Delta)
+	}
 	for i := 0; i < numParties; i++ {
 		c, err := ln.Accept()
 		if err != nil {
@@ -105,96 +143,148 @@ func main() {
 		printf("tally: party %d/%d connected: %s %q\n", i+1, numParties, h.Role, h.Name)
 	}
 	nCPs, nSKs, nDCs := eng.Counts()
-	switch *protocol {
-	case "privcount":
-		if nDCs != *dcs || nSKs != *sks {
-			log.Fatalf("tally: registered %d DCs and %d SKs, want %d and %d", nDCs, nSKs, *dcs, *sks)
-		}
-	case "psc":
-		if nDCs != *dcs || nCPs != *cps {
-			log.Fatalf("tally: registered %d DCs and %d CPs, want %d and %d", nDCs, nCPs, *dcs, *cps)
-		}
-	default:
-		log.Fatalf("unknown protocol %q", *protocol)
+	wantSKs, wantCPs := *sks, *cps
+	if *protocol == "psc" {
+		wantSKs = 0
+	}
+	if *protocol == "privcount" {
+		wantCPs = 0
+	}
+	if nDCs != *dcs || nSKs != wantSKs || nCPs != wantCPs {
+		log.Fatalf("tally: registered %d DCs, %d SKs, %d CPs; want %d, %d, %d",
+			nDCs, nSKs, nCPs, *dcs, wantSKs, wantCPs)
 	}
 
 	// Phase 2: schedule rounds over the persistent sessions, at most
-	// -concurrency in flight.
+	// -concurrency scheduling steps in flight.
 	cfgStats, err := parseStats(*statsSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	startPSC := func() (*engine.Round, error) {
+		return eng.StartPSC(psc.Config{
+			Bins: *bins, NoisePerCP: *noise, ShuffleProofRounds: *proofRounds,
+			NumDCs: *dcs, NumCPs: *cps,
+		}, nil)
+	}
+	startPriv := func() (*engine.Round, error) {
+		return eng.StartPrivCount(privcount.TallyConfig{
+			Stats: cfgStats, NumDCs: *dcs, NumSKs: *sks,
+		}, nil)
+	}
+
 	if *concurrency < 1 {
 		*concurrency = 1
 	}
 	sem := make(chan struct{}, *concurrency)
 	var wg sync.WaitGroup
-	failures := make(chan int, *rounds)
+	var failed, refused, drilled int
+	var countMu sync.Mutex
 	for seq := 1; seq <= *rounds; seq++ {
 		sem <- struct{}{}
-		var round *engine.Round
-		if *protocol == "psc" {
-			round, err = eng.StartPSC(psc.Config{
-				Bins: *bins, NoisePerCP: *noise, ShuffleProofRounds: *proofRounds,
-				NumDCs: *dcs, NumCPs: *cps,
-			}, nil)
-		} else {
-			round, err = eng.StartPrivCount(privcount.TallyConfig{
-				Stats: cfgStats, NumDCs: *dcs, NumSKs: *sks,
-			}, nil)
+		var starts []func() (*engine.Round, error)
+		switch *protocol {
+		case "psc":
+			starts = []func() (*engine.Round, error){startPSC}
+		case "privcount":
+			starts = []func() (*engine.Round, error){startPriv}
+		case "both":
+			starts = []func() (*engine.Round, error){startPSC, startPriv}
 		}
-		if err != nil {
-			log.Fatalf("tally: schedule round %d: %v", seq, err)
+		var stepRounds []*engine.Round
+		for _, start := range starts {
+			round, err := start()
+			if errors.Is(err, dp.ErrBudgetExhausted) {
+				printf("tally: round refused (seq %d/%d): %v\n", seq, *rounds, err)
+				refused++
+				continue
+			}
+			if err != nil {
+				log.Fatalf("tally: schedule round (seq %d): %v", seq, err)
+			}
+			printf("tally: round %d scheduled: %s (seq %d/%d)\n", round.ID, round.Label, seq, *rounds)
+			stepRounds = append(stepRounds, round)
 		}
-		printf("tally: round %d scheduled (seq %d/%d)\n", round.ID, seq, *rounds)
-		aborted := seq == *abortRound
+		aborted := seq == *abortRound && len(stepRounds) > 0
 		if aborted {
-			// Cancel while the round's streams are live and its protocol
-			// is (at most) registering: the round must fail, every other
-			// round and session must not notice.
-			round.Abort("operator abort drill")
+			// Cancel while the streams are live and the protocol is (at
+			// most) registering: the aborted rounds must fail, every
+			// other round and session must not notice.
+			for _, r := range stepRounds {
+				r.Abort("operator abort drill")
+			}
+			countMu.Lock()
+			drilled += len(stepRounds)
+			countMu.Unlock()
 		}
 		wg.Add(1)
-		go func(seq int, r *engine.Round, aborted bool) {
+		go func(seq int, rs []*engine.Round, aborted bool) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if *protocol == "psc" {
-				res, err := r.WaitPSC()
-				if err != nil {
-					printf("tally: round %d failed: %v\n", r.ID, err)
-					if !aborted {
-						failures <- seq
+			var stepWG sync.WaitGroup
+			for _, r := range rs {
+				stepWG.Add(1)
+				go func(r *engine.Round) {
+					defer stepWG.Done()
+					err := waitAndPrint(r, cfgStats)
+					if err != nil && !aborted {
+						countMu.Lock()
+						failed++
+						countMu.Unlock()
 					}
-					return
-				}
-				printPSC(r.ID, res)
-			} else {
-				res, err := r.WaitPrivCount()
-				if err != nil {
-					printf("tally: round %d failed: %v\n", r.ID, err)
-					if !aborted {
-						failures <- seq
-					}
-					return
-				}
-				printPrivCount(r.ID, cfgStats, res)
+				}(r)
 			}
-		}(seq, round, aborted)
+			stepWG.Wait()
+		}(seq, stepRounds, aborted)
 	}
 	wg.Wait()
-	close(failures)
-	failed := 0
-	for range failures {
-		failed++
+	total := *rounds * len(protocolLabels(*protocol))
+	printf("tally: %d/%d rounds complete\n", total-failed-refused-drilled, total)
+	var dump strings.Builder
+	if err := eng.Metrics().Dump(&dump); err == nil && dump.Len() > 0 {
+		printMu.Lock()
+		fmt.Println("tally: fleet metrics:")
+		for _, line := range strings.Split(strings.TrimRight(dump.String(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+		printMu.Unlock()
 	}
-	drilled := 0
-	if *abortRound >= 1 && *abortRound <= *rounds {
-		drilled = 1
-	}
-	printf("tally: %d/%d rounds complete\n", *rounds-failed-drilled, *rounds)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func protocolLabels(protocol string) []string {
+	if protocol == "both" {
+		return []string{engine.LabelPSC, engine.LabelPrivCount}
+	}
+	return []string{protocol}
+}
+
+// waitAndPrint blocks on one round, prints its result or failure, and
+// its resource metrics either way.
+func waitAndPrint(r *engine.Round, cfgStats []privcount.StatConfig) error {
+	var err error
+	if r.Label == engine.LabelPSC {
+		var res psc.Result
+		res, err = r.WaitPSC()
+		if err == nil {
+			printPSC(r.ID, res)
+		}
+	} else {
+		var res map[string][]float64
+		res, err = r.WaitPrivCount()
+		if err == nil {
+			printPrivCount(r.ID, cfgStats, res)
+		}
+	}
+	if err != nil {
+		printf("tally: round %d failed: %v\n", r.ID, err)
+	}
+	st := r.Stats()
+	printf("tally: round %d metrics: wall=%.3fs sent=%dB recv=%dB\n",
+		r.ID, st.Seconds, st.BytesSent, st.BytesRecv)
+	return err
 }
 
 func printPrivCount(round uint64, cfgStats []privcount.StatConfig, res map[string][]float64) {

@@ -17,7 +17,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
@@ -41,9 +40,10 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	wait := flag.Int("wait", 1, "number of collector connections to wait for")
 	alexaN := flag.Int("alexa", 100000, "synthetic Alexa list size")
+	record := flag.String("record", "", "also record every event to this trace file (mockrelay -trace replays it)")
 	flag.Parse()
 
-	if err := run(*listen, *days, *scale, *seed, *wait, *alexaN); err != nil {
+	if err := run(*listen, *days, *scale, *seed, *wait, *alexaN, *record); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -55,7 +55,7 @@ type subscriber struct {
 	all   bool
 }
 
-func run(listen string, days int, scale float64, seed uint64, wait, alexaN int) error {
+func run(listen string, days int, scale float64, seed uint64, wait, alexaN int, record string) error {
 	log.Printf("torsim: building network (scale=%g seed=%d)", scale, seed)
 	g := geo.Build(seed)
 	a := asn.Build(g, seed)
@@ -96,23 +96,33 @@ func run(listen string, days int, scale float64, seed uint64, wait, alexaN int) 
 			len(subs), wait, sub.relay, sub.all)
 	}
 
+	var rec *bufio.Writer
+	var recFile *os.File
+	if record != "" {
+		recFile, err = os.Create(record)
+		if err != nil {
+			return err
+		}
+		rec = bufio.NewWriterSize(recFile, 1<<16)
+	}
+
 	var buf []byte
-	sent := 0
+	sent, recorded := 0, 0
 	net0.Bus.Subscribe(func(e event.Event) {
-		buf = event.Marshal(buf[:0], e)
+		buf = event.AppendFrame(buf[:0], e)
 		for _, s := range subs {
 			if !s.all && s.relay != e.Observer() {
-				continue
-			}
-			var lenb [4]byte
-			binary.BigEndian.PutUint32(lenb[:], uint32(len(buf)))
-			if _, err := s.w.Write(lenb[:]); err != nil {
 				continue
 			}
 			if _, err := s.w.Write(buf); err != nil {
 				continue
 			}
 			sent++
+		}
+		if rec != nil {
+			if _, err := rec.Write(buf); err == nil {
+				recorded++
+			}
 		}
 	})
 
@@ -122,6 +132,15 @@ func run(listen string, days int, scale float64, seed uint64, wait, alexaN int) 
 	for _, s := range subs {
 		s.w.Flush()
 		s.conn.Close()
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return err
+		}
+		if err := recFile.Close(); err != nil {
+			return err
+		}
+		log.Printf("torsim: recorded %d events to %s", recorded, record)
 	}
 	fmt.Printf("torsim: done; %d events delivered\n", sent)
 	return nil

@@ -1,8 +1,10 @@
 package dp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -12,11 +14,22 @@ import (
 // measurements of distinct statistics (the paper's own calendar runs
 // back-to-back 24-hour rounds), and the cumulative privacy budget
 // across the study is tracked by sequential composition.
+//
+// An optional total budget (SetBudget) turns the accountant into a
+// gatekeeper: once the cumulative spend would exceed the study's (ε,δ)
+// allowance, further rounds are refused. The round engine consults it
+// through Spend, so an operator cannot schedule rounds whose combined
+// noise weight breaks the guarantee.
+//
+// Accountant is safe for concurrent use; the engine authorizes rounds
+// from multiple scheduling goroutines.
 type Accountant struct {
-	perRound   Params
-	minGap     time.Duration
-	rounds     []roundRecord
-	cumulative Params
+	mu        sync.Mutex
+	perRound  Params
+	minGap    time.Duration
+	rounds    []roundRecord
+	budget    Params
+	hasBudget bool
 }
 
 type roundRecord struct {
@@ -47,13 +60,91 @@ func StudyAccountant() *Accountant {
 	return a
 }
 
+// SetBudget caps the cumulative study budget. Authorize and Spend
+// refuse rounds that would push the spend past either ε or δ.
+func (a *Accountant) SetBudget(total Params) error {
+	if err := total.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.budget, a.hasBudget = total, true
+	return nil
+}
+
+// ErrBudgetExhausted is wrapped by refusals from a budget-capped
+// accountant, so schedulers can tell "out of budget" from other errors.
+var ErrBudgetExhausted = errors.New("privacy budget exhausted")
+
+// spent computes (holding a.mu) the cumulative spend of n rounds. It
+// multiplies rather than accumulating additions, so a budget set as
+// N×perRound compares exactly against N spends — repeated float
+// addition drifts by ULPs and would refuse the Nth legitimate round.
+func (a *Accountant) spent(n int) Params {
+	return Params{Epsilon: a.perRound.Epsilon * float64(n), Delta: a.perRound.Delta * float64(n)}
+}
+
+// budgetSlack absorbs rounding in operator-supplied budgets that are
+// not an exact float multiple of the per-round parameters.
+const budgetSlack = 1e-9
+
+// overBudget reports (holding a.mu) whether spending one more round
+// would exceed the configured budget.
+func (a *Accountant) overBudget() error {
+	if !a.hasBudget {
+		return nil
+	}
+	cum, next := a.spent(len(a.rounds)), a.spent(len(a.rounds)+1)
+	if next.Epsilon > a.budget.Epsilon*(1+budgetSlack) || next.Delta > a.budget.Delta*(1+budgetSlack) {
+		return fmt.Errorf("dp: %w: %d rounds spent (ε=%.4g, δ=%.3g); one more round needs (ε=%.4g, δ=%.3g) against a budget of (ε=%.4g, δ=%.3g)",
+			ErrBudgetExhausted, len(a.rounds), cum.Epsilon, cum.Delta,
+			next.Epsilon, next.Delta, a.budget.Epsilon, a.budget.Delta)
+	}
+	return nil
+}
+
+// Spend authorizes one round by budget alone, without the calendar
+// rules: the round engine runs concurrent rounds over scaled
+// simulations and live feeds, where the paper's no-parallel and
+// 24-hour-gap discipline is the operator's job, but the cumulative
+// (ε,δ) spend is still hard-enforced. Returns the per-round budget, or
+// a refusal when the budget would be exceeded.
+func (a *Accountant) Spend(name string) (Params, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.overBudget(); err != nil {
+		return Params{}, fmt.Errorf("round %q refused: %w", name, err)
+	}
+	a.rounds = append(a.rounds, roundRecord{name: name})
+	return a.perRound, nil
+}
+
+// Refund returns one Spend after a scheduling failure: the refunded
+// round never opened a stream or released data, so its budget unit is
+// restored. Only the most recent spend of the given name is refundable.
+func (a *Accountant) Refund(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.rounds) - 1; i >= 0; i-- {
+		if a.rounds[i].name == name {
+			a.rounds = append(a.rounds[:i], a.rounds[i+1:]...)
+			return
+		}
+	}
+}
+
 // Authorize records a measurement round named name over [start, end) and
-// returns its budget. It fails if the round overlaps any prior round, or
-// if it measures different statistics than the previous round without
-// the required separation.
+// returns its budget. It fails if the round overlaps any prior round, if
+// it measures different statistics than the previous round without the
+// required separation, or if it would exceed the configured budget.
 func (a *Accountant) Authorize(name string, start, end time.Time) (Params, error) {
 	if !end.After(start) {
 		return Params{}, fmt.Errorf("dp: round %q has non-positive duration", name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.overBudget(); err != nil {
+		return Params{}, err
 	}
 	for _, r := range a.rounds {
 		if start.Before(r.end) && r.start.Before(end) {
@@ -68,16 +159,23 @@ func (a *Accountant) Authorize(name string, start, end time.Time) (Params, error
 	}
 	a.rounds = append(a.rounds, roundRecord{name: name, start: start, end: end})
 	sort.Slice(a.rounds, func(i, j int) bool { return a.rounds[i].start.Before(a.rounds[j].start) })
-	a.cumulative = a.cumulative.Compose(a.perRound)
 	return a.perRound, nil
 }
 
 // Cumulative returns the total budget consumed so far under basic
 // sequential composition.
-func (a *Accountant) Cumulative() Params { return a.cumulative }
+func (a *Accountant) Cumulative() Params {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent(len(a.rounds))
+}
 
 // Rounds reports the number of authorized rounds.
-func (a *Accountant) Rounds() int { return len(a.rounds) }
+func (a *Accountant) Rounds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.rounds)
+}
 
 func absDur(d time.Duration) time.Duration {
 	if d < 0 {

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -420,5 +421,117 @@ func TestAccountantRejectsBadRounds(t *testing.T) {
 	}
 	if _, err := NewAccountant(StudyParams(), -time.Hour); err == nil {
 		t.Fatal("negative gap must fail")
+	}
+}
+
+func TestAccountantBudgetCap(t *testing.T) {
+	a, err := NewAccountant(StudyParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := StudyParams()
+	if err := a.SetBudget(Params{Epsilon: 3 * per.Epsilon, Delta: 3 * per.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := a.Spend("exit-streams")
+		if err != nil {
+			t.Fatalf("spend %d within budget: %v", i+1, err)
+		}
+		if got != per {
+			t.Fatalf("spend returned %+v, want the per-round budget", got)
+		}
+	}
+	_, err = a.Spend("exit-streams")
+	if err == nil {
+		t.Fatal("4th round must be refused against a 3-round budget")
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("refusal error = %v, want ErrBudgetExhausted", err)
+	}
+	if got := a.Rounds(); got != 3 {
+		t.Fatalf("rounds after refusal = %d, want 3 (refusals spend nothing)", got)
+	}
+	cum := a.Cumulative()
+	if math.Abs(cum.Epsilon-3*per.Epsilon) > 1e-12 {
+		t.Fatalf("cumulative epsilon = %v, want %v", cum.Epsilon, 3*per.Epsilon)
+	}
+	// Authorize honors the cap too.
+	start := time.Unix(1514764800, 0)
+	if _, err := a.Authorize("exit-streams", start, start.Add(24*time.Hour)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Authorize past budget = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestAccountantBudgetValidation(t *testing.T) {
+	a, err := NewAccountant(StudyParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBudget(Params{Epsilon: -1, Delta: 0.5}); err == nil {
+		t.Fatal("invalid budget accepted")
+	}
+	// Without a budget, Spend never refuses.
+	for i := 0; i < 100; i++ {
+		if _, err := a.Spend("anything"); err != nil {
+			t.Fatalf("uncapped spend %d: %v", i, err)
+		}
+	}
+}
+
+func TestAccountantRefund(t *testing.T) {
+	a, err := NewAccountant(StudyParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := StudyParams()
+	if err := a.SetBudget(per); err != nil { // exactly one round
+		t.Fatal(err)
+	}
+	if _, err := a.Spend("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Spend("r"); err == nil {
+		t.Fatal("second spend must be refused")
+	}
+	a.Refund("r")
+	if got := a.Rounds(); got != 0 {
+		t.Fatalf("rounds after refund = %d, want 0", got)
+	}
+	if cum := a.Cumulative(); cum.Epsilon != 0 || cum.Delta != 0 {
+		t.Fatalf("cumulative after refund = %+v, want zero", cum)
+	}
+	if _, err := a.Spend("r"); err != nil {
+		t.Fatalf("spend after refund: %v", err)
+	}
+	// Refunding a name that never spent is a no-op.
+	before := a.Cumulative()
+	a.Refund("never-spent")
+	if a.Cumulative() != before || a.Rounds() != 1 {
+		t.Fatal("refund of unknown name mutated the ledger")
+	}
+}
+
+func TestAccountantBudgetExactMultiple(t *testing.T) {
+	// A budget of exactly N per-round units must admit exactly N rounds
+	// for every N — repeated float addition used to refuse the Nth
+	// round by one ULP (e.g. 6×0.3).
+	per := StudyParams()
+	for n := 1; n <= 64; n++ {
+		a, err := NewAccountant(per, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetBudget(Params{Epsilon: per.Epsilon * float64(n), Delta: per.Delta * float64(n)}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := a.Spend("r"); err != nil {
+				t.Fatalf("budget of %d rounds refused round %d: %v", n, i+1, err)
+			}
+		}
+		if _, err := a.Spend("r"); !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("budget of %d rounds admitted round %d: %v", n, n+1, err)
+		}
 	}
 }

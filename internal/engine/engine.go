@@ -10,7 +10,10 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/dp"
+	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/wire"
@@ -82,11 +85,76 @@ type Engine struct {
 	cps       []Party
 	sks       []Party
 	dcs       []Party
+
+	acct     *dp.Accountant
+	deadline time.Duration
+	reg      *metrics.Registry
 }
 
 // New returns an empty engine; parties attach via the Add methods or
 // AcceptSession.
-func New() *Engine { return &Engine{} }
+func New() *Engine { return &Engine{reg: metrics.Default()} }
+
+// SetAccountant makes the engine consult a privacy accountant before
+// scheduling: a round whose noise weight would push the cumulative
+// (ε,δ) spend past the accountant's budget is refused with a clear
+// error instead of silently eroding the guarantee.
+func (e *Engine) SetAccountant(a *dp.Accountant) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.acct = a
+}
+
+// SetRoundDeadline bounds every subsequently scheduled round: a round
+// that has not completed within d is aborted automatically, so a
+// stalled party costs its round, not an operator page. Zero disables.
+func (e *Engine) SetRoundDeadline(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deadline = d
+}
+
+// SetMetrics redirects the engine's counters to reg (default: the
+// process-wide metrics.Default registry).
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reg = reg
+}
+
+// Metrics returns the registry the engine records into.
+func (e *Engine) Metrics() *metrics.Registry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reg
+}
+
+// authorize consults the accountant, if any. It runs after every other
+// fallible scheduling step except stream-open, so a round that cannot
+// even be configured never consumes budget; open failures refund.
+func (e *Engine) authorize(label string) error {
+	e.mu.Lock()
+	acct := e.acct
+	e.mu.Unlock()
+	if acct == nil {
+		return nil
+	}
+	_, err := acct.Spend(label)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+// unauthorize refunds a spend for a round that failed before running.
+func (e *Engine) unauthorize(label string) {
+	e.mu.Lock()
+	acct := e.acct
+	e.mu.Unlock()
+	if acct != nil {
+		acct.Refund(label)
+	}
+}
 
 // AddCP registers a computation-party session.
 func (e *Engine) AddCP(name string, sess *wire.Session) {
@@ -156,6 +224,41 @@ func (e *Engine) reserveRound() uint64 {
 	return e.nextRound
 }
 
+// newRound builds a round shell with the engine's observability wired.
+func (e *Engine) newRound(label string) *Round {
+	e.mu.Lock()
+	reg := e.reg
+	e.mu.Unlock()
+	return &Round{
+		ID: e.reserveRound(), Label: label, done: make(chan struct{}),
+		started: time.Now(), reg: reg,
+	}
+}
+
+// armDeadline starts the round's watchdog once its streams are open.
+func (e *Engine) armDeadline(r *Round) {
+	e.mu.Lock()
+	d := e.deadline
+	e.mu.Unlock()
+	if d <= 0 {
+		return
+	}
+	r.deadline = d
+	r.timer = time.AfterFunc(d, func() {
+		r.mu.Lock()
+		if r.finishing {
+			r.mu.Unlock()
+			return // finish() claimed the outcome; don't abort or count
+		}
+		r.deadlineFired = true // claim: finish() will report the deadline
+		r.mu.Unlock()
+		if r.reg != nil {
+			r.reg.Inc("engine/" + r.Label + "/rounds-deadline-exceeded")
+		}
+		r.Abort(fmt.Sprintf("round deadline %v exceeded", d))
+	})
+}
+
 // pick selects parties for a round: explicit indices, or the first n.
 func pick(pool []Party, sel []int, n int, role string) ([]Party, error) {
 	if sel == nil {
@@ -186,11 +289,38 @@ type Round struct {
 	streams []*wire.Stream
 	done    chan struct{}
 
-	mu        sync.Mutex
-	err       error
-	pscRes    psc.Result
-	privRes   map[string][]float64
-	abortOnce sync.Once
+	started  time.Time
+	reg      *metrics.Registry
+	timer    *time.Timer   // deadline watchdog, nil when no deadline
+	deadline time.Duration // the armed deadline, for error text
+
+	mu sync.Mutex
+	// finishing and deadlineFired are the two sides of an atomic claim
+	// on the round's outcome: whichever of finish() and the watchdog
+	// takes r.mu first decides, so a timer firing as a round completes
+	// can never reset the streams of a round reported as successful.
+	finishing     bool
+	deadlineFired bool
+	err           error
+	stats         RoundStats
+	pscRes        psc.Result
+	privRes       map[string][]float64
+	abortOnce     sync.Once
+}
+
+// RoundStats describes one completed round for the operator: how long
+// it ran and how much it moved over its streams.
+type RoundStats struct {
+	Seconds   float64
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Stats returns the round's resource footprint; valid once Done.
+func (r *Round) Stats() RoundStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }
 
 // Done closes when the round has an outcome.
@@ -214,13 +344,43 @@ func (r *Round) Abort(reason string) {
 	})
 }
 
-// finish records the outcome and releases the streams: closed on
-// success so peers drain cleanly, reset on failure so every blocked
-// party unwinds immediately.
+// finish records the outcome, stops the deadline watchdog, records
+// metrics, and releases the streams: closed on success so peers drain
+// cleanly, reset on failure so every blocked party unwinds immediately.
 func (r *Round) finish(err error) {
+	// Claim the outcome before anything else. If the watchdog claimed
+	// first, it has already reset the streams: the round's outcome IS
+	// the deadline failure, whatever the tally goroutine computed.
+	r.mu.Lock()
+	r.finishing = true
+	fired := r.deadlineFired
+	r.mu.Unlock()
+	if fired && err == nil {
+		err = fmt.Errorf("round deadline %v exceeded", r.deadline)
+	}
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	stats := RoundStats{Seconds: time.Since(r.started).Seconds()}
+	for _, st := range r.streams {
+		sent, recv := st.Stats()
+		stats.BytesSent += sent
+		stats.BytesRecv += recv
+	}
 	r.mu.Lock()
 	r.err = err
+	r.stats = stats
 	r.mu.Unlock()
+	if r.reg != nil {
+		outcome := "completed"
+		if err != nil {
+			outcome = "failed"
+		}
+		r.reg.Inc("engine/" + r.Label + "/rounds-" + outcome)
+		r.reg.Add("engine/"+r.Label+"/round-seconds", stats.Seconds)
+		r.reg.Add("engine/"+r.Label+"/stream-bytes-sent", float64(stats.BytesSent))
+		r.reg.Add("engine/"+r.Label+"/stream-bytes-recv", float64(stats.BytesRecv))
+	}
 	if err != nil {
 		r.Abort(err.Error())
 	} else {
@@ -280,16 +440,21 @@ func (e *Engine) StartPSC(cfg psc.Config, dcSel []int) (*Round, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Round{ID: e.reserveRound(), Label: LabelPSC, done: make(chan struct{})}
+	r := e.newRound(LabelPSC)
 	cfg.Round = r.ID
 	tally, err := psc.NewTally(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := r.open(parties)
-	if err != nil {
+	if err := e.authorize(LabelPSC); err != nil {
 		return nil, err
 	}
+	ms, err := r.open(parties)
+	if err != nil {
+		e.unauthorize(LabelPSC)
+		return nil, err
+	}
+	e.armDeadline(r)
 	go func() {
 		res, err := tally.Run(ms)
 		if err == nil {
@@ -318,16 +483,21 @@ func (e *Engine) StartPrivCount(cfg privcount.TallyConfig, dcSel []int) (*Round,
 	if err != nil {
 		return nil, err
 	}
-	r := &Round{ID: e.reserveRound(), Label: LabelPrivCount, done: make(chan struct{})}
+	r := e.newRound(LabelPrivCount)
 	cfg.Round = r.ID
 	tally, err := privcount.NewTally(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := r.open(parties)
-	if err != nil {
+	if err := e.authorize(LabelPrivCount); err != nil {
 		return nil, err
 	}
+	ms, err := r.open(parties)
+	if err != nil {
+		e.unauthorize(LabelPrivCount)
+		return nil, err
+	}
+	e.armDeadline(r)
 	go func() {
 		res, err := tally.Run(ms)
 		if err == nil {

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/dp"
+	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/wire"
@@ -203,6 +206,111 @@ func TestConcurrentPSCAndPrivCountRounds(t *testing.T) {
 	}
 }
 
+// TestAccountantRefusesOverBudgetRounds wires a budget-capped
+// accountant into the engine: rounds within budget schedule, the round
+// that would exceed (ε,δ) is refused with a clear error, and no
+// streams are opened for it.
+func TestAccountantRefusesOverBudgetRounds(t *testing.T) {
+	e, rounds := testFleet(t, 2, 1, 2)
+	acct := dp.StudyAccountant()
+	per := dp.StudyParams()
+	if err := acct.SetBudget(dp.Params{Epsilon: 2 * per.Epsilon, Delta: 2 * per.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	e.SetAccountant(acct)
+
+	small := psc.Config{Bins: 64, NoisePerCP: 2, ShuffleProofRounds: 1, NumDCs: 2, NumCPs: 2}
+	var done []*Round
+	for i := 0; i < 2; i++ {
+		r, err := e.StartPSC(small, nil)
+		if err != nil {
+			t.Fatalf("round %d within budget refused: %v", i+1, err)
+		}
+		done = append(done, r)
+	}
+	// The third round would spend 3×(ε,δ) against a 2× budget.
+	if _, err := e.StartPSC(small, nil); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Fatalf("over-budget round error = %v, want ErrBudgetExhausted", err)
+	}
+	if got := acct.Rounds(); got != 2 {
+		t.Fatalf("accountant recorded %d rounds, want 2", got)
+	}
+	// The admitted rounds still run to completion.
+	for _, r := range collect(t, rounds, 4, done...) {
+		r.psc.Observe("item")
+		if err := r.psc.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		close(r.done)
+	}
+	for _, r := range done {
+		if _, err := r.WaitPSC(); err != nil {
+			t.Fatalf("in-budget round failed: %v", err)
+		}
+	}
+}
+
+// TestRoundDeadlineAbortsStalledRound starts a round whose DCs never
+// finish; the engine's deadline watchdog must abort it automatically,
+// leaving the sessions healthy for the next round.
+func TestRoundDeadlineAbortsStalledRound(t *testing.T) {
+	e, rounds := testFleet(t, 2, 1, 2)
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+	// Long enough for the DCs to attach even on a loaded 1-vCPU CI
+	// runner, short enough to keep the test quick.
+	e.SetRoundDeadline(2 * time.Second)
+
+	small := psc.Config{Bins: 64, NoisePerCP: 2, ShuffleProofRounds: 1, NumDCs: 2, NumCPs: 2}
+	stalled, err := e.StartPSC(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DCs attach but never Observe/Finish: the round stalls.
+	stalledDCs := collect(t, rounds, 2, stalled)
+	_, err = stalled.WaitPSC()
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("stalled round error = %v, want a deadline abort", err)
+	}
+	for _, r := range stalledDCs {
+		close(r.done)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-deadline-exceeded"); got != 1 {
+		t.Errorf("deadline-exceeded counter = %g, want 1", got)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-failed"); got != 1 {
+		t.Errorf("rounds-failed counter = %g, want 1", got)
+	}
+
+	// A prompt round on the same sessions completes well within a fresh
+	// deadline.
+	e.SetRoundDeadline(2 * time.Minute)
+	quick, err := e.StartPSC(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range collect(t, rounds, 2, quick) {
+		r.psc.Observe("item")
+		if err := r.psc.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		close(r.done)
+	}
+	if _, err := quick.WaitPSC(); err != nil {
+		t.Fatalf("post-deadline round failed: %v", err)
+	}
+	st := quick.Stats()
+	if st.Seconds <= 0 || st.BytesSent <= 0 || st.BytesRecv <= 0 {
+		t.Errorf("round stats not recorded: %+v", st)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-completed"); got != 1 {
+		t.Errorf("rounds-completed counter = %g, want 1", got)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/stream-bytes-sent"); got <= 0 {
+		t.Errorf("stream-bytes-sent = %g, want > 0", got)
+	}
+}
+
 // TestRoundFailureIsolation aborts one round mid-flight while a sibling
 // round shares the same party sessions, then schedules another round:
 // the abort must neither kill the sessions nor the sibling.
@@ -264,5 +372,38 @@ func TestRoundFailureIsolation(t *testing.T) {
 	}
 	if _, err := again.WaitPSC(); err != nil {
 		t.Fatalf("post-abort round: %v", err)
+	}
+}
+
+// TestBudgetRefundedWhenOpenFails: a round that passes admission but
+// cannot open its streams (dead session) must not consume budget.
+func TestBudgetRefundedWhenOpenFails(t *testing.T) {
+	e := New()
+	acct := dp.StudyAccountant()
+	if err := acct.SetBudget(dp.StudyParams()); err != nil { // one round only
+		t.Fatal(err)
+	}
+	e.SetAccountant(acct)
+
+	tsConn, partyConn := wire.Pipe()
+	ts := wire.NewSession(tsConn, false)
+	e.AddCP("cp-dead", ts)
+	tsConn2, partyConn2 := wire.Pipe()
+	ts2 := wire.NewSession(tsConn2, false)
+	e.AddDC("dc-dead", ts2)
+	// Kill both sessions before scheduling: stream-open must fail.
+	partyConn.Close()
+	partyConn2.Close()
+	ts.Close()
+	ts2.Close()
+
+	small := psc.Config{Bins: 64, NoisePerCP: 2, ShuffleProofRounds: 1, NumDCs: 1, NumCPs: 1}
+	if _, err := e.StartPSC(small, nil); err == nil {
+		t.Fatal("StartPSC over dead sessions succeeded")
+	} else if errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Fatalf("open failure surfaced as a budget refusal: %v", err)
+	}
+	if got := acct.Rounds(); got != 0 {
+		t.Fatalf("failed round consumed budget: %d rounds recorded", got)
 	}
 }

@@ -1,0 +1,61 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Socket feed framing: the torsim event feed (and recorded trace
+// files) carry each encoded event as a 4-byte big-endian length prefix
+// followed by the codec bytes. This file is the one implementation of
+// that framing, shared by the simulator, the collectors, and the mock
+// relay's trace replay.
+
+// MaxFrame bounds a single event frame; no legitimate event comes
+// close (the largest carries one hostname).
+const MaxFrame = 1 << 20
+
+// AppendFrame appends the length-prefixed encoding of e to dst.
+func AppendFrame(dst []byte, e Event) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	dst = Marshal(dst, e)
+	binary.BigEndian.PutUint32(dst[start-4:], uint32(len(dst)-start))
+	return dst
+}
+
+// ReadFrames decodes length-prefixed events from r until EOF, passing
+// each to fn; an fn error stops the scan and is returned. A clean EOF
+// at a frame boundary returns nil.
+func ReadFrames(r io.Reader, fn func(Event) error) error {
+	var lenb [4]byte
+	buf := make([]byte, 0, 512)
+	for {
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		n := binary.BigEndian.Uint32(lenb[:])
+		if n > MaxFrame {
+			return fmt.Errorf("event: oversized frame %d", n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		ev, err := Unmarshal(buf)
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}

@@ -3,6 +3,8 @@ package metrics
 import (
 	"math"
 	"net/netip"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/event"
@@ -82,5 +84,56 @@ func TestUndercountFactor(t *testing.T) {
 	}
 	if !math.IsInf(UndercountFactor(1, 0), 1) {
 		t.Fatal("zero estimate must be infinite undercount")
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a/b")
+	r.Add("a/b", 2.5)
+	r.Add("z", 1)
+	if got := r.Get("a/b"); got != 3.5 {
+		t.Fatalf("a/b = %g, want 3.5", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %g, want 0", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap["z"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a/b 3.5\nz 1\n" {
+		t.Fatalf("dump = %q", b.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("hits"); got != 8000 {
+		t.Fatalf("hits = %g, want 8000", got)
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	name := "test/default-registry-probe"
+	before := Default().Get(name)
+	Default().Inc(name)
+	if got := Default().Get(name); got != before+1 {
+		t.Fatalf("default registry did not accumulate: %g -> %g", before, got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/elgamal"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -398,6 +399,7 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 	if prove {
 		// Every appended noise element must provably encrypt a bit.
 		if i, ok := elgamal.VerifyBitsBatch(joint, noiseCts, bitProofs); !ok {
+			verifyFailure("bit-proof")
 			f.fail(fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i))
 			return
 		}
@@ -421,6 +423,7 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 			return
 		}
 		if err := elgamal.VerifyShuffle(joint, withNoise, shuffled, proof); err != nil {
+			verifyFailure("shuffle")
 			f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
 			return
 		}
@@ -474,10 +477,20 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 	}
 	if prove {
 		if i, ok := elgamal.VerifyBlindsBatch(shuffled, blinded, blindProofs); !ok {
+			verifyFailure("blind-proof")
 			f.fail(fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i))
 			return
 		}
 	}
+}
+
+// verifyFailure counts a failed cryptographic verification in the
+// process-wide registry: a non-zero count on a deployed tally means a
+// party is misbehaving (or corrupting data), which operators must see
+// even though the round itself aborts with a precise error.
+func verifyFailure(kind string) {
+	metrics.Default().Inc("psc/verify-failures")
+	metrics.Default().Inc("psc/verify-failures/" + kind)
 }
 
 // decryptCP streams the final batch to one CP and verifies its share
@@ -543,6 +556,7 @@ func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, ba
 	}
 	if prove {
 		if i, ok := elgamal.VerifySharesBatch(cpKey, batch, shares, proofs); !ok {
+			verifyFailure("share-proof")
 			return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
 		}
 	}

@@ -1,0 +1,393 @@
+package torctl
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes a control-port connection to one instrumented relay.
+type Config struct {
+	// Addr is the control-port address (host:port).
+	Addr string
+	// CookiePath is the auth cookie file. Empty means use the path the
+	// relay advertises in PROTOCOLINFO (the usual Tor deployment: the
+	// relay owns the cookie file and tells controllers where it is).
+	CookiePath string
+	// Password authenticates via HASHEDPASSWORD when the relay offers
+	// it; it takes precedence over cookies when both are configured.
+	Password string
+	// Events is the SETEVENTS subscription; nil means AllEvents.
+	Events []string
+	// ReconnectMin/Max bound the exponential backoff between reconnect
+	// attempts. Zero values select 250ms and 15s.
+	ReconnectMin, ReconnectMax time.Duration
+	// MaxDialFailures ends the client after this many consecutive
+	// failed connection attempts; 0 means retry forever (a relay in a
+	// months-long epoch may be down for days).
+	MaxDialFailures int
+	// DialTimeout bounds each dial attempt; zero selects 10s.
+	DialTimeout time.Duration
+	// Dialer overrides the TCP dialer (tests).
+	Dialer func() (net.Conn, error)
+	// Logf, when set, receives connection-lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// Client is a control-port connection that survives relay and network
+// churn: any read or connect error short of an authentication failure
+// triggers reconnection with exponential backoff, and the SETEVENTS
+// subscription is re-established on every new connection.
+type Client struct {
+	cfg   Config
+	lines chan string
+	stop  chan struct{}
+
+	mu         sync.Mutex
+	err        error
+	conn       net.Conn
+	reconnects int
+	closeOnce  sync.Once
+}
+
+// Dial connects, authenticates, and subscribes; it returns only after
+// the first session is fully established, so configuration errors (bad
+// address, bad credentials) surface immediately. The returned client
+// then delivers event lines on Lines until Close or a terminal error.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Events == nil {
+		cfg.Events = AllEvents
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 250 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 15 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	c := &Client{
+		cfg:   cfg,
+		lines: make(chan string, 256),
+		stop:  make(chan struct{}),
+	}
+	conn, br, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	go c.run(conn, br)
+	return c, nil
+}
+
+// Lines delivers the payload of each asynchronous 650 event line (the
+// text after "650 "). The channel closes when the client ends; Err
+// tells why (nil after a clean Close or trace end).
+func (c *Client) Lines() <-chan string { return c.lines }
+
+// Err reports the terminal error, nil while running or after Close.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Reconnects reports how many times the client re-established its
+// session after losing one.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Close ends the client: the current connection drops and Lines closes.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	})
+}
+
+func (c *Client) closed() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish latches the terminal error and closes Lines.
+func (c *Client) finish(err error) {
+	c.mu.Lock()
+	if c.err == nil && !c.closed() {
+		c.err = err
+	}
+	c.mu.Unlock()
+	close(c.lines)
+}
+
+// run pumps event lines, reconnecting across connection failures.
+func (c *Client) run(conn net.Conn, br *bufio.Reader) {
+	for {
+		err := c.pump(br)
+		conn.Close()
+		if c.closed() {
+			c.finish(nil)
+			return
+		}
+		c.cfg.logf("torctl: connection to %s lost: %v; reconnecting", c.cfg.Addr, err)
+		conn, br, err = c.reconnect()
+		if err != nil {
+			c.finish(err)
+			return
+		}
+	}
+}
+
+// pump reads lines from one established session until it fails,
+// forwarding 650 event payloads. Non-650 lines between events are
+// tolerated and dropped (a relay may volunteer status lines).
+func (c *Client) pump(br *bufio.Reader) error {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return err
+		}
+		if len(line) < 4 || line[:3] != "650" {
+			continue
+		}
+		switch line[3] {
+		case ' ':
+			select {
+			case c.lines <- line[4:]:
+			case <-c.stop:
+				return ErrClosed
+			}
+		case '+':
+			// An async data-block reply: drain the block so framing
+			// stays aligned; the PRIVCOUNT dialect never uses these.
+			if _, err := readDataBlock(br); err != nil {
+				return err
+			}
+		}
+		// "650-" continuation lines carry no standalone event; skip.
+	}
+}
+
+// reconnect retries connect with exponential backoff until it
+// succeeds, the client closes, or the failure budget is spent.
+func (c *Client) reconnect() (net.Conn, *bufio.Reader, error) {
+	delay := c.cfg.ReconnectMin
+	failures := 0
+	for {
+		select {
+		case <-time.After(delay):
+		case <-c.stop:
+			return nil, nil, ErrClosed
+		}
+		conn, br, err := c.connect()
+		if err == nil {
+			c.mu.Lock()
+			c.reconnects++
+			n := c.reconnects
+			c.mu.Unlock()
+			c.cfg.logf("torctl: reconnected to %s (reconnect %d)", c.cfg.Addr, n)
+			return conn, br, nil
+		}
+		if errors.Is(err, ErrAuthFailed) {
+			return nil, nil, err // credentials will not improve with retries
+		}
+		failures++
+		if c.cfg.MaxDialFailures > 0 && failures >= c.cfg.MaxDialFailures {
+			return nil, nil, fmt.Errorf("torctl: giving up after %d failed reconnect attempts: %w", failures, err)
+		}
+		c.cfg.logf("torctl: reconnect to %s failed (%v); next attempt in %v", c.cfg.Addr, err, delay*2)
+		if delay *= 2; delay > c.cfg.ReconnectMax {
+			delay = c.cfg.ReconnectMax
+		}
+	}
+}
+
+// connect dials and runs the synchronous session setup: PROTOCOLINFO,
+// AUTHENTICATE, SETEVENTS. No 650 can arrive before SETEVENTS is
+// acknowledged, so replies are read inline.
+func (c *Client) connect() (net.Conn, *bufio.Reader, error) {
+	var conn net.Conn
+	var err error
+	if c.cfg.Dialer != nil {
+		conn, err = c.cfg.Dialer()
+	} else {
+		conn, err = net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	if c.closed() {
+		conn.Close()
+		return nil, nil, ErrClosed
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	if err := c.handshake(conn, br); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, br, nil
+}
+
+// request writes one command line and reads its reply.
+func request(conn net.Conn, br *bufio.Reader, cmd string) (Reply, error) {
+	if _, err := conn.Write([]byte(cmd + "\r\n")); err != nil {
+		return Reply{}, err
+	}
+	return ReadReply(br)
+}
+
+func (c *Client) handshake(conn net.Conn, br *bufio.Reader) error {
+	rep, err := request(conn, br, "PROTOCOLINFO 1")
+	if err != nil {
+		return fmt.Errorf("torctl: PROTOCOLINFO: %w", err)
+	}
+	if !rep.IsOK() {
+		return fmt.Errorf("torctl: PROTOCOLINFO refused: %d %s", rep.Status, rep.Text())
+	}
+	methods, cookieFile := parseProtocolInfo(rep)
+
+	authCmd, err := c.chooseAuth(conn, br, methods, cookieFile)
+	if err != nil {
+		return err
+	}
+	rep, err = request(conn, br, authCmd)
+	if err != nil {
+		return fmt.Errorf("torctl: AUTHENTICATE: %w", err)
+	}
+	if !rep.IsOK() {
+		return fmt.Errorf("%w: %d %s", ErrAuthFailed, rep.Status, rep.Text())
+	}
+
+	rep, err = request(conn, br, "SETEVENTS "+strings.Join(c.cfg.Events, " "))
+	if err != nil {
+		return fmt.Errorf("torctl: SETEVENTS: %w", err)
+	}
+	if !rep.IsOK() {
+		return fmt.Errorf("torctl: SETEVENTS refused: %d %s", rep.Status, rep.Text())
+	}
+	return nil
+}
+
+// parseProtocolInfo extracts the advertised auth methods and cookie
+// file path from a PROTOCOLINFO reply.
+func parseProtocolInfo(rep Reply) (methods map[string]bool, cookieFile string) {
+	methods = make(map[string]bool)
+	for _, line := range rep.Lines {
+		rest, ok := strings.CutPrefix(line, "AUTH ")
+		if !ok {
+			continue
+		}
+		kv, _, err := splitFields(rest)
+		if err != nil {
+			continue
+		}
+		for _, m := range strings.Split(kv["METHODS"], ",") {
+			methods[m] = true
+		}
+		if f := kv["COOKIEFILE"]; f != "" {
+			cookieFile = f
+		}
+	}
+	return methods, cookieFile
+}
+
+// chooseAuth picks the strongest workable method and returns the
+// AUTHENTICATE command, running the AUTHCHALLENGE exchange for
+// SAFECOOKIE.
+func (c *Client) chooseAuth(conn net.Conn, br *bufio.Reader, methods map[string]bool, advertisedCookie string) (string, error) {
+	if c.cfg.Password != "" && methods["HASHEDPASSWORD"] {
+		return "AUTHENTICATE " + quoteString(c.cfg.Password), nil
+	}
+	cookiePath := c.cfg.CookiePath
+	if cookiePath == "" {
+		cookiePath = advertisedCookie
+	}
+	if cookiePath != "" && (methods["SAFECOOKIE"] || methods["COOKIE"]) {
+		cookie, err := os.ReadFile(cookiePath)
+		if err != nil {
+			return "", fmt.Errorf("torctl: read cookie: %w", err)
+		}
+		if len(cookie) != CookieLen {
+			return "", fmt.Errorf("torctl: cookie file %s holds %d bytes, want %d", cookiePath, len(cookie), CookieLen)
+		}
+		if methods["SAFECOOKIE"] {
+			return c.safeCookieAuth(conn, br, cookie)
+		}
+		return "AUTHENTICATE " + hex.EncodeToString(cookie), nil
+	}
+	if methods["NULL"] {
+		return "AUTHENTICATE", nil
+	}
+	return "", fmt.Errorf("torctl: no usable auth method (relay offers %v)", keys(methods))
+}
+
+// safeCookieAuth runs the AUTHCHALLENGE exchange and returns the final
+// AUTHENTICATE command. It verifies the server hash, so a fake relay
+// that does not know the cookie is rejected before we prove anything.
+func (c *Client) safeCookieAuth(conn net.Conn, br *bufio.Reader, cookie []byte) (string, error) {
+	clientNonce := make([]byte, 32)
+	if _, err := rand.Read(clientNonce); err != nil {
+		return "", err
+	}
+	rep, err := request(conn, br, "AUTHCHALLENGE SAFECOOKIE "+hex.EncodeToString(clientNonce))
+	if err != nil {
+		return "", fmt.Errorf("torctl: AUTHCHALLENGE: %w", err)
+	}
+	if !rep.IsOK() {
+		return "", fmt.Errorf("%w: AUTHCHALLENGE refused: %d %s", ErrAuthFailed, rep.Status, rep.Text())
+	}
+	rest, ok := strings.CutPrefix(rep.Text(), "AUTHCHALLENGE ")
+	if !ok {
+		return "", fmt.Errorf("torctl: malformed AUTHCHALLENGE reply %q", rep.Text())
+	}
+	kv, _, err := splitFields(rest)
+	if err != nil {
+		return "", fmt.Errorf("torctl: malformed AUTHCHALLENGE reply: %v", err)
+	}
+	serverHash, err1 := hex.DecodeString(kv["SERVERHASH"])
+	serverNonce, err2 := hex.DecodeString(kv["SERVERNONCE"])
+	if err1 != nil || err2 != nil || len(serverNonce) == 0 {
+		return "", fmt.Errorf("torctl: malformed AUTHCHALLENGE reply %q", rep.Text())
+	}
+	if !hashesEqual(serverHash, SafeCookieServerHash(cookie, clientNonce, serverNonce)) {
+		return "", fmt.Errorf("%w: relay failed the SAFECOOKIE server-hash check", ErrAuthFailed)
+	}
+	clientHash := SafeCookieClientHash(cookie, clientNonce, serverNonce)
+	return "AUTHENTICATE " + hex.EncodeToString(clientHash), nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package torctl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/event"
+)
+
+// FormatEvent renders an internal/event value as the payload of a 650
+// async line (keyword plus key=value fields, no "650 " prefix, no
+// CRLF). epochUnixNano is the wall-clock instant of simtime 0, so
+// replayed traces carry realistic absolute timestamps the way an
+// instrumented Tor would. FormatEvent and LineParser.Parse (with the
+// matching epoch) are exact inverses; the golden tests pin this.
+func FormatEvent(ev event.Event, epochUnixNano int64) (string, error) {
+	b := make([]byte, 0, 192)
+	wall := epochUnixNano + int64(ev.Time())
+	if wall < 0 {
+		return "", fmt.Errorf("torctl: event time %v predates the Unix epoch", ev.Time())
+	}
+	header := func(keyword string) {
+		b = append(b, keyword...)
+		b = appendKV(b, "Time", formatWall(wall))
+		b = appendKV(b, "Relay", strconv.FormatUint(uint64(ev.Observer()), 10))
+	}
+	u := func(key string, v uint64) { b = appendKV(b, key, strconv.FormatUint(v, 10)) }
+
+	switch e := ev.(type) {
+	case *event.StreamEnd:
+		header(EventStreamEnded)
+		u("CircID", e.CircuitID)
+		flag := "0"
+		if e.IsInitial {
+			flag = "1"
+		}
+		b = appendKV(b, "IsInitial", flag)
+		b = appendKV(b, "Target", e.Target.String())
+		u("Port", uint64(e.Port))
+		b = appendKV(b, "Host", e.Hostname)
+		u("SentBytes", e.BytesSent)
+		u("RecvBytes", e.BytesRecv)
+	case *event.CircuitEnd:
+		header(EventCircuitEnded)
+		u("CircID", e.CircuitID)
+		kind := kindDataStr
+		if e.Kind == event.CircuitDirectory {
+			kind = kindDirectoryStr
+		}
+		b = appendKV(b, "Kind", kind)
+		if e.ClientIP.IsValid() {
+			b = appendKV(b, "ClientIP", e.ClientIP.String())
+		}
+		b = appendKV(b, "Country", e.Country)
+		u("ASN", uint64(e.ASN))
+		u("NumStreams", uint64(e.NumStreams))
+		u("SentBytes", e.BytesSent)
+		u("RecvBytes", e.BytesRecv)
+	case *event.ConnectionEnd:
+		header(EventConnectionEnded)
+		if e.ClientIP.IsValid() {
+			b = appendKV(b, "ClientIP", e.ClientIP.String())
+		}
+		b = appendKV(b, "Country", e.Country)
+		u("ASN", uint64(e.ASN))
+		u("NumCircuits", uint64(e.NumCircuits))
+		u("SentBytes", e.BytesSent)
+		u("RecvBytes", e.BytesRecv)
+	case *event.DescPublished:
+		header(EventHSDirStored)
+		b = appendKV(b, "Address", e.Address)
+		u("Version", uint64(e.Version))
+		u("Replica", uint64(e.Replica))
+	case *event.DescFetched:
+		header(EventHSDirFetched)
+		b = appendKV(b, "Address", e.Address)
+		u("Version", uint64(e.Version))
+		b = appendKV(b, "Outcome", e.Outcome.String())
+	case *event.RendezvousEnd:
+		header(EventRendEnded)
+		u("CircID", e.CircuitID)
+		u("Version", uint64(e.Version))
+		b = appendKV(b, "Outcome", e.Outcome.String())
+		u("PayloadCells", e.PayloadCells)
+		u("PayloadBytes", e.PayloadBytes)
+	default:
+		return "", fmt.Errorf("torctl: no line format for event type %v", ev.EventType())
+	}
+	return string(b), nil
+}

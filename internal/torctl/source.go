@@ -1,0 +1,96 @@
+package torctl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// Source turns a control-port client into a stream of internal/event
+// values, the same shape the torsim socket feed produces, so the data
+// collector's round fan-out runs unchanged over a live relay.
+type Source struct {
+	c      *Client
+	parser LineParser
+	logf   func(format string, args ...any)
+	out    chan event.Event
+
+	parsed  atomic.Int64
+	skipped atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+// DialSource establishes the control connection (see Dial) and starts
+// translating its PRIVCOUNT_* lines into events.
+func DialSource(cfg Config, parser LineParser) (*Source, error) {
+	c, err := Dial(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{c: c, parser: parser, logf: cfg.logf, out: make(chan event.Event, 256)}
+	go s.loop()
+	return s, nil
+}
+
+// Events delivers parsed events. The channel closes when the trace
+// ends (mock relay), the source is closed, or the client dies; Err
+// distinguishes the last case.
+func (s *Source) Events() <-chan event.Event { return s.out }
+
+// Err reports why Events closed; nil for a clean end.
+func (s *Source) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats reports how many lines parsed into events and how many
+// malformed or unknown lines were skipped.
+func (s *Source) Stats() (parsed, skipped int64) {
+	return s.parsed.Load(), s.skipped.Load()
+}
+
+// Reconnects reports the underlying client's reconnection count.
+func (s *Source) Reconnects() int { return s.c.Reconnects() }
+
+// Close tears the source down; Events closes shortly after.
+func (s *Source) Close() { s.c.Close() }
+
+func (s *Source) loop() {
+	defer close(s.out)
+	for line := range s.c.Lines() {
+		ev, err := s.parser.Parse(line)
+		switch {
+		case err == nil:
+			s.parsed.Add(1)
+			// Select against client shutdown: a consumer that stopped
+			// reading Events after Close must not strand this goroutine
+			// on the send (Events still closes, via the deferred close).
+			select {
+			case s.out <- ev:
+			case <-s.c.stop:
+				return
+			}
+		case errors.Is(err, ErrTraceDone):
+			// The relay marked the end of its replayed trace: a clean
+			// end of collection.
+			s.c.Close()
+			return
+		case errors.Is(err, ErrNotPrivCount):
+			// Subscribed to broader events than we parse; ignore.
+		default:
+			// Malformed line: tolerate (a live feed must survive a
+			// relay hiccup) but count and report it.
+			if n := s.skipped.Add(1); n <= 5 {
+				s.logf("torctl: skipping unparseable event line: %v", err)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.err = s.c.Err()
+	s.mu.Unlock()
+}

@@ -257,6 +257,8 @@ type Stream struct {
 	failedCh      chan struct{}
 	remoteClosed  bool
 	localClosed   bool
+	bytesSent     int64 // payload bytes sent on this stream
+	bytesRecv     int64 // payload bytes received on this stream
 }
 
 func newStream(s *Session, id, round uint64, label string) *Stream {
@@ -306,11 +308,20 @@ func (st *Stream) SendFrame(f Frame) error {
 		return ErrClosed
 	}
 	st.sendCredit -= cost
+	st.bytesSent += int64(len(f.Payload))
 	st.mu.Unlock()
 	if err := st.sess.conn.SendFrame(f); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Stats reports the payload bytes moved on this stream in each
+// direction, feeding the engine's per-round metrics.
+func (st *Stream) Stats() (sent, recv int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytesSent, st.bytesRecv
 }
 
 // Recv returns the next frame, returning flow-control credit to the
@@ -419,6 +430,7 @@ func (st *Stream) enqueue(f Frame) bool {
 		st.mu.Unlock()
 		return false
 	}
+	st.bytesRecv += int64(len(f.Payload))
 	st.rq = append(st.rq, f)
 	st.mu.Unlock()
 	st.cond.Broadcast()
