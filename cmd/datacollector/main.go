@@ -58,9 +58,12 @@ func main() {
 	torPassword := flag.String("tor-password", "", "control-port password")
 	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all; also the observer id for control-port events)")
 	name := flag.String("name", "dc-0", "data collector name")
+	id := flag.String("id", "", "pinned party identity (empty: the name)")
+	token := flag.String("token", "", "registration token binding the identity across reconnects")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	rounds := flag.Int("rounds", 1, "number of rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	reconnect := flag.Int("reconnect", 8, "max consecutive tally reconnect attempts before giving up")
 	flag.Parse()
 
 	// Event source: live control port, or the simulator socket feed.
@@ -92,16 +95,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("datacollector %s: %v", *name, err)
 	}
-	conn, err := wire.Dial(*tallyAddr, tlsCfg, *timeout)
-	if err != nil {
-		log.Fatalf("datacollector %s: tally: %v", *name, err)
-	}
-	sess := wire.NewSession(conn, true)
-	defer sess.Close()
-	if err := engine.SendHello(sess, engine.RoleDC, *name); err != nil {
-		log.Fatalf("datacollector %s: hello: %v", *name, err)
-	}
-	fmt.Printf("datacollector %s: connected to %s\n", *name, *tallyAddr)
 
 	c := &collector{
 		name:       *name,
@@ -131,27 +124,70 @@ func main() {
 		}
 	}()
 
-	// Round server: the tally opens one stream per round.
+	// Round server: the tally opens one stream per round. The session
+	// loop survives tally churn — a dropped session is redialed with
+	// backoff and the daemon re-registers under its pinned identity, so
+	// rounds scheduled after the rejoin reach it again.
 	type outcome struct {
 		round uint64
 		err   error
 	}
 	completed := make(chan outcome, *rounds)
-	go engine.ServeRounds(sess, func(st *wire.Stream) error {
-		err := c.serveRound(st)
-		completed <- outcome{round: st.Round(), err: err}
-		return err
-	})
+	hello := engine.Hello{Role: engine.RoleDC, Name: *name, ID: *id, Token: *token}
+	dial := func() (*wire.Session, error) {
+		conn, err := wire.Dial(*tallyAddr, tlsCfg, *timeout)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewSession(conn, true), nil
+	}
+	go func() {
+		err := engine.ReconnectLoop(dial, func(sess *wire.Session) error {
+			if _, err := engine.SendHelloPinned(sess, hello); err != nil {
+				return err
+			}
+			fmt.Printf("datacollector %s: connected to %s\n", *name, *tallyAddr)
+			return engine.ServeRounds(sess, func(st *wire.Stream) error {
+				err := c.serveRound(st)
+				completed <- outcome{round: st.Round(), err: err}
+				return err
+			})
+		}, *reconnect, func(format string, args ...any) {
+			log.Printf("datacollector "+*name+": "+format, args...)
+		})
+		if err != nil {
+			log.Fatalf("datacollector %s: tally: %v", *name, err)
+		}
+	}()
 
-	for i := 0; i < *rounds; i++ {
-		out := <-completed
-		if out.err != nil {
-			fmt.Printf("datacollector %s: round %d failed: %v\n", *name, out.round, out.err)
-		} else {
-			fmt.Printf("datacollector %s: round %d complete\n", *name, out.round)
+	// Count distinct rounds, not outcomes — and let a failure linger
+	// before it consumes quota: a session blip delivers a failed outcome
+	// from the dead stream while the reconnect loop may already be
+	// resuming the same round on a fresh session, and that resumed
+	// outcome is the one that should count. A success counts its round
+	// immediately; a lingering failure finalizes only if nothing
+	// supersedes it.
+	const failLinger = 5 * time.Second
+	seen := make(map[uint64]bool)
+	finalFail := make(chan uint64, *rounds+16)
+	for len(seen) < *rounds {
+		select {
+		case out := <-completed:
+			if out.err != nil {
+				fmt.Printf("datacollector %s: round %d failed: %v\n", *name, out.round, out.err)
+				if !seen[out.round] {
+					r := out.round
+					time.AfterFunc(failLinger, func() { finalFail <- r })
+				}
+			} else {
+				fmt.Printf("datacollector %s: round %d complete\n", *name, out.round)
+				seen[out.round] = true
+			}
+		case r := <-finalFail:
+			seen[r] = true
 		}
 	}
-	fmt.Printf("datacollector %s: %d rounds served\n", *name, *rounds)
+	fmt.Printf("datacollector %s: %d rounds served\n", *name, len(seen))
 }
 
 // collector fans feed events into every active round's DC.
@@ -173,6 +209,7 @@ func (c *collector) serveRound(st *wire.Stream) error {
 		if err := dc.Setup(); err != nil {
 			return err
 		}
+		fmt.Printf("datacollector %s: round %d started (%s)\n", c.name, st.Round(), st.Label())
 		c.mu.Lock()
 		c.pscActive[dc] = true
 		c.mu.Unlock()
@@ -186,6 +223,7 @@ func (c *collector) serveRound(st *wire.Stream) error {
 		if err := dc.Setup(); err != nil {
 			return err
 		}
+		fmt.Printf("datacollector %s: round %d started (%s)\n", c.name, st.Round(), st.Label())
 		c.mu.Lock()
 		c.privActive[dc] = true
 		c.mu.Unlock()

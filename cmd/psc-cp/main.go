@@ -6,13 +6,18 @@
 // honest (§2.4); correctness is enforced on every CP by the attached
 // zero-knowledge proofs.
 //
+// The daemon survives tally churn: a dropped session is redialed with
+// exponential backoff, and the re-registration under the pinned
+// identity (-id, defaulting to -name, authenticated by -token) rebinds
+// the party in the tally's registry so subsequent rounds run at full
+// strength.
+//
 // Usage:
 //
-//	psc-cp -tally 127.0.0.1:7001 -name cp-alpha [-pin <hex-spki>]
+//	psc-cp -tally 127.0.0.1:7001 -name cp-alpha [-pin <hex-spki>] [-token <secret>]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,26 +30,33 @@ import (
 func main() {
 	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	name := flag.String("name", "cp-0", "computation party name")
+	id := flag.String("id", "", "pinned party identity (empty: the name)")
+	token := flag.String("token", "", "registration token binding the identity across reconnects")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
 	flag.Parse()
 
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("psc-cp %s: %v", *name, err)
 	}
-	conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+	hello := engine.Hello{Role: engine.RoleCP, Name: *name, ID: *id, Token: *token}
+	dial := func() (*wire.Session, error) {
+		conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("psc-cp %s: connected to %s\n", *name, *tally)
+		return wire.NewSession(conn, true), nil
+	}
+	err = engine.ReconnectLoop(dial, func(sess *wire.Session) error {
+		return engine.ServeCPAs(sess, hello, nil)
+	}, *reconnect, func(format string, args ...any) {
+		log.Printf("psc-cp "+*name+": "+format, args...)
+	})
 	if err != nil {
-		log.Fatalf("psc-cp %s: dial: %v", *name, err)
+		log.Fatalf("psc-cp %s: %v", *name, err)
 	}
-	sess := wire.NewSession(conn, true)
-	defer sess.Close()
-	fmt.Printf("psc-cp %s: connected to %s\n", *name, *tally)
-
-	err = engine.ServeCP(sess, *name, nil)
-	if errors.Is(err, wire.ErrClosed) {
-		fmt.Printf("psc-cp %s: session closed by tally\n", *name)
-		return
-	}
-	log.Fatalf("psc-cp %s: %v", *name, err)
+	fmt.Printf("psc-cp %s: session closed by tally\n", *name)
 }

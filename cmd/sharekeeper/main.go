@@ -6,45 +6,62 @@
 // one honest share keeper (§2.3); operators run this binary on
 // infrastructure independent of the tally server.
 //
+// The daemon survives tally churn: a dropped session is redialed with
+// exponential backoff, re-registering under the pinned identity (-id,
+// defaulting to -name, authenticated by -token). The seal keypair is
+// held across reconnects, so rounds already configured against this
+// SK's key are not orphaned by a session blip.
+//
 // Usage:
 //
-//	sharekeeper -tally 127.0.0.1:7001 -name sk-alpha [-pin <hex-spki>]
+//	sharekeeper -tally 127.0.0.1:7001 -name sk-alpha [-pin <hex-spki>] [-token <secret>]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/privcount"
 	"repro/internal/wire"
 )
 
 func main() {
 	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	name := flag.String("name", "sk-0", "share keeper name")
+	id := flag.String("id", "", "pinned party identity (empty: the name)")
+	token := flag.String("token", "", "registration token binding the identity across reconnects")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
+	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
 	flag.Parse()
 
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("sharekeeper %s: %v", *name, err)
 	}
-	conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+	sk, err := privcount.NewSK(*name, nil)
 	if err != nil {
-		log.Fatalf("sharekeeper %s: dial: %v", *name, err)
+		log.Fatalf("sharekeeper %s: %v", *name, err)
 	}
-	sess := wire.NewSession(conn, true)
-	defer sess.Close()
-	fmt.Printf("sharekeeper %s: connected to %s\n", *name, *tally)
-
-	err = engine.ServeSK(sess, *name)
-	if errors.Is(err, wire.ErrClosed) {
-		fmt.Printf("sharekeeper %s: session closed by tally\n", *name)
-		return
+	hello := engine.Hello{Role: engine.RoleSK, Name: *name, ID: *id, Token: *token}
+	dial := func() (*wire.Session, error) {
+		conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("sharekeeper %s: connected to %s\n", *name, *tally)
+		return wire.NewSession(conn, true), nil
 	}
-	log.Fatalf("sharekeeper %s: %v", *name, err)
+	err = engine.ReconnectLoop(dial, func(sess *wire.Session) error {
+		return engine.ServeSKAs(sess, hello, sk)
+	}, *reconnect, func(format string, args ...any) {
+		log.Printf("sharekeeper "+*name+": "+format, args...)
+	})
+	if err != nil {
+		log.Fatalf("sharekeeper %s: %v", *name, err)
+	}
+	fmt.Printf("sharekeeper %s: session closed by tally\n", *name)
 }

@@ -28,6 +28,15 @@
 // round prints its wall-clock and stream-byte metrics, and the daemon
 // dumps the fleet-wide counters before exiting.
 //
+// Party churn: the accept loop runs for the daemon's whole life, so a
+// party daemon that died can reconnect and re-register under its
+// pinned identity (name/-id plus -token). With -quorum dcs=K a round
+// that loses a data collector past its contribution barrier completes
+// degraded — the result annotated with the absent parties — instead of
+// wedging, aborting only below K contributing DCs; -rejoin-grace is
+// how long an in-flight round waits for a dropped party to rejoin and
+// resume before declaring it absent.
+//
 // With -tls the server generates an ephemeral identity and prints its
 // SPKI fingerprint; parties pin it via their -pin flag. -abort-round N
 // cancels the Nth scheduled round mid-flight (an operator cancel /
@@ -78,6 +87,8 @@ func main() {
 	abortRound := flag.Int("abort-round", 0, "abort the Nth scheduled round mid-flight (0: none)")
 	roundDeadline := flag.Duration("round-deadline", 0, "abort any round not finished within this duration (0: none)")
 	budget := flag.Int("budget", 0, "refuse rounds beyond N times the per-round study (ε,δ) budget (0: unlimited)")
+	rejoinGrace := flag.Duration("rejoin-grace", 0, "how long a round waits for a dropped party to rejoin before degrading (0: degrade immediately)")
+	quorumSpec := flag.String("quorum", "", "DC quorum, e.g. dcs=2: rounds complete degraded with at least this many DCs (empty: all DCs required)")
 	flag.Parse()
 
 	var tlsCfg *wire.Identity
@@ -118,6 +129,14 @@ func main() {
 	if *roundDeadline > 0 {
 		eng.SetRoundDeadline(*roundDeadline)
 	}
+	if *rejoinGrace > 0 {
+		eng.SetRejoinGrace(*rejoinGrace)
+	}
+	quorum, err := engine.ParseQuorum(*quorumSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.SetQuorum(quorum)
 	if *budget > 0 {
 		// The paper's per-round spend, capped at N rounds' worth by
 		// sequential composition; the engine refuses the (N+1)th round.
@@ -130,19 +149,31 @@ func main() {
 		eng.SetAccountant(acct)
 		printf("tally: privacy budget capped at %d rounds (ε=%.4g, δ=%.3g)\n", *budget, total.Epsilon, total.Delta)
 	}
-	for i := 0; i < numParties; i++ {
-		c, err := ln.Accept()
-		if err != nil {
-			log.Fatal(err)
+	// The accept loop runs for the daemon's whole life: after the fleet
+	// assembles, further sessions are rejoining daemons re-registering
+	// under their pinned identities (the engine rebinds them,
+	// latest-wins) — or rejected token mismatches, whose sessions are
+	// closed.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed at exit
+			}
+			go func() {
+				sess := wire.NewSession(c, false)
+				h, err := eng.AcceptSession(sess)
+				if err != nil {
+					printf("tally: session rejected: %v\n", err)
+					sess.Close()
+					return
+				}
+				nCPs, nSKs, nDCs := eng.Counts()
+				printf("tally: party connected: %s %q (%d/%d registered)\n",
+					h.Role, h.Name, nCPs+nSKs+nDCs, numParties)
+			}()
 		}
-		sess := wire.NewSession(c, false)
-		h, err := eng.AcceptSession(sess)
-		if err != nil {
-			log.Fatalf("tally: session %d: %v", i+1, err)
-		}
-		printf("tally: party %d/%d connected: %s %q\n", i+1, numParties, h.Role, h.Name)
-	}
-	nCPs, nSKs, nDCs := eng.Counts()
+	}()
 	wantSKs, wantCPs := *sks, *cps
 	if *protocol == "psc" {
 		wantSKs = 0
@@ -150,10 +181,10 @@ func main() {
 	if *protocol == "privcount" {
 		wantCPs = 0
 	}
-	if nDCs != *dcs || nSKs != wantSKs || nCPs != wantCPs {
-		log.Fatalf("tally: registered %d DCs, %d SKs, %d CPs; want %d, %d, %d",
-			nDCs, nSKs, nCPs, *dcs, wantSKs, wantCPs)
+	if err := eng.WaitParties(wantCPs, wantSKs, *dcs, 0); err != nil {
+		log.Fatal(err)
 	}
+	printf("tally: fleet assembled: %d parties\n", numParties)
 
 	// Phase 2: schedule rounds over the persistent sessions, at most
 	// -concurrency scheduling steps in flight.
@@ -280,6 +311,9 @@ func waitAndPrint(r *engine.Round, cfgStats []privcount.StatConfig) error {
 	}
 	if err != nil {
 		printf("tally: round %d failed: %v\n", r.ID, err)
+	}
+	if absent := r.Absent(); len(absent) > 0 && err == nil {
+		printf("tally: round %d degraded: absent parties: %s\n", r.ID, strings.Join(absent, ", "))
 	}
 	st := r.Stats()
 	printf("tally: round %d metrics: wall=%.3fs sent=%dB recv=%dB\n",

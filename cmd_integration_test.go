@@ -89,6 +89,108 @@ func TestCmdDeployment(t *testing.T) {
 	t.Logf("tally output:\n%s", out)
 }
 
+// TestCmdDeploymentChurn is the party-churn acceptance drill as real
+// processes: three datacollector daemons serve a PrivCount fleet under
+// a dcs=2 quorum; dc-2 is SIGKILLed mid-round after its contribution
+// barrier (shares distributed, collection begun) and restarted with the
+// same pinned identity and token. The in-flight round must complete
+// degraded — result annotated with the absence, no wedge — and the next
+// round must run at full party strength over the rejoined daemon.
+func TestCmdDeploymentChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployment test skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	bindir := t.TempDir()
+	for _, name := range []string{"torsim", "tally", "sharekeeper", "datacollector"} {
+		cmd := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bindir, name), "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+	}
+
+	// The feed waits for FOUR collectors while only three DCs start:
+	// the event stream — and with it the end of round 1 — is gated on
+	// the restarted dc-2 subscribing, so the kill below is guaranteed
+	// to land mid-round however fast the machine runs the simulation.
+	torsim := newProc(ctx, t, filepath.Join(bindir, "torsim"),
+		"-listen", "127.0.0.1:0", "-wait", "4", "-scale", "20000", "-days", "1", "-alexa", "2000")
+	torsimAddr := torsim.waitForAddr(t, "torsim: listening on ")
+
+	spec := "exit-streams:initial,subsequent:10;initial-target:hostname,ipv4,ipv6:10;hostname-port:web,other:10"
+	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
+		"-protocol", "privcount", "-listen", "127.0.0.1:0", "-tls",
+		"-dcs", "3", "-sks", "2", "-stats", spec,
+		"-rounds", "2", "-concurrency", "1",
+		"-quorum", "dcs=2", "-rejoin-grace", "10s")
+	tallyAddr := tally.waitForAddr(t, "listening on ")
+	pin := tally.waitForAddr(t, "tally: fingerprint ")
+
+	var procs []*proc
+	for i := 0; i < 2; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "sharekeeper"),
+			"-tally", tallyAddr, "-pin", pin, "-name", fmt.Sprintf("sk-%d", i)))
+	}
+	dcArgs := func(i, rounds int) []string {
+		return []string{
+			"-tally", tallyAddr, "-pin", pin, "-torsim", torsimAddr,
+			"-rounds", fmt.Sprintf("%d", rounds),
+			"-relay", fmt.Sprintf("%d", i), "-name", fmt.Sprintf("dc-%d", i),
+			"-token", fmt.Sprintf("secret-%d", i),
+		}
+	}
+	for i := 0; i < 2; i++ {
+		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"), dcArgs(i, 2)...))
+	}
+	doomed := newProc(ctx, t, filepath.Join(bindir, "datacollector"), dcArgs(2, 2)...)
+	t.Cleanup(func() {
+		if t.Failed() {
+			for _, p := range append(procs, doomed, torsim) {
+				t.Logf("%s output:\n%s", p.name, p.output())
+			}
+		}
+	})
+
+	// Kill dc-2 once round 1 has begun collection on it: its blinding
+	// shares are distributed, so the barrier is passed and the round
+	// must degrade rather than resume it.
+	doomed.waitForAddr(t, "dc-2: round 1 started")
+	doomed.cmd.Process.Kill()
+
+	// Restart under the same pinned identity; the engine rebinds it and
+	// round 2 runs at full strength.
+	procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"), dcArgs(2, 1)...))
+
+	for _, p := range append(procs, torsim) {
+		p.mustSucceed(t)
+	}
+	tally.mustSucceed(t)
+
+	out := tally.output()
+	if got := strings.Count(out, "results:"); got != 2 {
+		t.Fatalf("want 2 completed rounds, got %d:\n%s", got, out)
+	}
+	if got := strings.Count(out, "failed:"); got != 0 {
+		t.Fatalf("want no failed rounds, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "round 1 degraded: absent parties: dc-2") {
+		t.Fatalf("round 1 not annotated degraded without dc-2:\n%s", out)
+	}
+	if strings.Contains(out, "round 2 degraded") {
+		t.Fatalf("round 2 ran degraded after the rejoin:\n%s", out)
+	}
+	// The restarted daemon re-registered under its pinned identity.
+	if got := strings.Count(out, `datacollector "dc-2"`); got != 2 {
+		t.Fatalf("want 2 dc-2 registrations (initial + rejoin), got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "engine/parties-rejoined") {
+		t.Fatalf("fleet metrics missing the rejoin counter:\n%s", out)
+	}
+	t.Logf("churn tally output:\n%s", out)
+}
+
 // TestCmdDeploymentPSC runs the PSC daemons: torsim feeding two
 // datacollectors at guard relays, a tally, and two computation
 // parties, counting unique client IPs across two concurrent rounds

@@ -105,15 +105,19 @@ func (rt *partyRuntime) attach(role, name string) (*wire.Session, error) {
 	tsConn, partyConn := wire.Pipe()
 	tsSess := wire.NewSession(tsConn, false)
 	partySess := wire.NewSession(partyConn, true)
+	var err error
 	switch role {
 	case engine.RoleCP:
-		rt.eng.AddCP(name, tsSess)
+		err = rt.eng.AddCP(name, tsSess)
 	case engine.RoleSK:
-		rt.eng.AddSK(name, tsSess)
+		err = rt.eng.AddSK(name, tsSess)
 	case engine.RoleDC:
-		rt.eng.AddDC(name, tsSess)
+		err = rt.eng.AddDC(name, tsSess)
 	default:
-		return nil, fmt.Errorf("core: unknown role %q", role)
+		err = fmt.Errorf("core: unknown role %q", role)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return partySess, nil
 }

@@ -57,6 +57,7 @@ var actionNames = [...]string{
 	ActionRendData:             "rendezvous-data",
 }
 
+// String names the action for error text and tables.
 func (a Action) String() string {
 	if a >= 0 && int(a) < len(actionNames) {
 		return actionNames[a]

@@ -1,0 +1,31 @@
+// Package dp implements the differential-privacy methodology of the
+// paper's §3.2: the (ε,δ) privacy parameters, the Table 1 action bounds
+// derived from models of reasonable daily Tor activity, per-statistic
+// sensitivity, Gaussian noise calibration with budget allocation across
+// concurrently collected statistics (PrivCount), binomial noise (PSC),
+// and a sequential-composition accountant that enforces the paper's
+// measurement-scheduling rules.
+//
+// # Key types
+//
+//   - Params: an (ε,δ) guarantee over 24 hours of bounded activity;
+//     StudyParams returns the paper's ε=0.3, δ=10⁻¹¹.
+//   - Bounds / Statistic / Allocate: Table 1 action bounds,
+//     per-statistic sensitivity, and noise-budget allocation (equal or
+//     optimal) across concurrently collected statistics.
+//   - NoiseSource: deterministic-or-cryptographic Gaussian and
+//     binomial noise used by the DC and CP roles.
+//   - Accountant: sequential-composition bookkeeping with an optional
+//     hard budget — Spend admits a round or fails with
+//     ErrBudgetExhausted, Refund returns a spend whose round never
+//     ran.
+//
+// # Invariants
+//
+//   - The accountant is concurrency-safe and refuses rounds past its
+//     budget rather than silently eroding the guarantee; the engine
+//     consults it before opening any round stream.
+//   - Spent budget is in-memory only (persistence across daemon
+//     restarts is an open ROADMAP item): restarting the tally resets
+//     the ledger, which operators must account for in long epochs.
+package dp

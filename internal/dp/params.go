@@ -1,10 +1,3 @@
-// Package dp implements the differential-privacy methodology of the
-// paper's §3.2: the (ε,δ) privacy parameters, the Table 1 action bounds
-// derived from models of reasonable daily Tor activity, per-statistic
-// sensitivity, Gaussian noise calibration with budget allocation across
-// concurrently collected statistics (PrivCount), binomial noise (PSC),
-// and a sequential-composition accountant that enforces the paper's
-// measurement-scheduling rules.
 package dp
 
 import (

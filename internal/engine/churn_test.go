@@ -1,0 +1,406 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/psc"
+	"repro/internal/wire"
+)
+
+// churnDC is one restartable in-process data-collector daemon: each
+// "process incarnation" gets a fresh session registered through the
+// real hello handshake, serving PSC round streams until its session
+// dies. Killing it closes the party-side session, which is what a
+// killed daemon process looks like from the tally's side.
+type churnDC struct {
+	t     *testing.T
+	e     *Engine
+	name  string
+	token string
+
+	sess   *wire.Session // party side of the current incarnation
+	rounds chan dcRound
+}
+
+func newChurnDC(t *testing.T, e *Engine, name, token string, rounds chan dcRound) *churnDC {
+	d := &churnDC{t: t, e: e, name: name, token: token, rounds: rounds}
+	d.start()
+	return d
+}
+
+// start brings up a fresh incarnation: dial (pipe), pinned hello,
+// round-serving loop.
+func (d *churnDC) start() {
+	d.t.Helper()
+	tsConn, partyConn := wire.Pipe()
+	tsSess := wire.NewSession(tsConn, false)
+	partySess := wire.NewSession(partyConn, true)
+	hello := Hello{Role: RoleDC, Name: d.name, Token: d.token}
+	errCh := make(chan error, 1)
+	go func() {
+		if _, err := d.e.AcceptSession(tsSess); err != nil {
+			errCh <- err
+		}
+	}()
+	if _, err := SendHelloPinned(partySess, hello); err != nil {
+		d.t.Fatalf("churn dc %s register: %v", d.name, err)
+	}
+	select {
+	case err := <-errCh:
+		d.t.Fatalf("churn dc %s accept: %v", d.name, err)
+	default:
+	}
+	d.sess = partySess
+	go ServeRounds(partySess, func(st *wire.Stream) error {
+		dc := psc.NewDC(d.name, st)
+		if err := dc.Setup(); err != nil {
+			return err
+		}
+		r := dcRound{psc: dc, done: make(chan struct{})}
+		d.rounds <- r
+		<-r.done
+		return nil
+	})
+}
+
+// kill closes the current incarnation's session, as a SIGKILL would.
+func (d *churnDC) kill() { d.sess.Close() }
+
+// churnFleet builds an engine with CPs over piped sessions plus n
+// restartable DCs.
+func churnFleet(t *testing.T, numCPs, numDCs int) (*Engine, []*churnDC, chan dcRound) {
+	t.Helper()
+	e := New()
+	rounds := make(chan dcRound, 64)
+	for i := 0; i < numCPs; i++ {
+		tsConn, partyConn := wire.Pipe()
+		ts := wire.NewSession(tsConn, false)
+		party := wire.NewSession(partyConn, true)
+		go ServeCP(party, fmt.Sprintf("cp-%d", i), nil)
+		if _, err := e.AcceptSession(ts); err != nil {
+			t.Fatalf("accept cp: %v", err)
+		}
+	}
+	dcs := make([]*churnDC, numDCs)
+	for i := range dcs {
+		dcs[i] = newChurnDC(t, e, fmt.Sprintf("dc-%d", i), fmt.Sprintf("secret-%d", i), rounds)
+	}
+	t.Cleanup(e.Close)
+	return e, dcs, rounds
+}
+
+var smallPSC = psc.Config{Bins: 64, NoisePerCP: 2, ShuffleProofRounds: 1, NumCPs: 2, NumDCs: 2}
+
+// TestRejoinWrongTokenRejected: a session claiming a registered
+// identity with the wrong token must be rejected with an explicit ack,
+// and the pinned member must keep its original session.
+func TestRejoinWrongTokenRejected(t *testing.T) {
+	e, dcs, rounds := churnFleet(t, 2, 2)
+
+	tsConn, partyConn := wire.Pipe()
+	ts := wire.NewSession(tsConn, false)
+	party := wire.NewSession(partyConn, true)
+	go e.AcceptSession(ts)
+	_, err := SendHelloPinned(party, Hello{Role: RoleDC, Name: "dc-0", Token: "stolen"})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("hijack registration error = %v, want ErrRejected", err)
+	}
+	if _, _, got := e.Counts(); got != 2 {
+		t.Fatalf("registry has %d DCs after rejected hijack, want 2", got)
+	}
+
+	// The legitimate fleet is untouched: a round over it completes.
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range collect(t, rounds, 2, r) {
+		d.psc.Observe("item")
+		if err := d.psc.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		close(d.done)
+	}
+	if _, err := r.WaitPSC(); err != nil {
+		t.Fatalf("round after rejected hijack: %v", err)
+	}
+	_ = dcs
+}
+
+// TestRejoinLatestWins: two live sessions claiming the same pinned
+// identity resolve latest-wins — the newer session serves, the older
+// one is closed by the engine.
+func TestRejoinLatestWins(t *testing.T) {
+	e, dcs, rounds := churnFleet(t, 2, 2)
+
+	old := dcs[1].sess
+	dcs[1].start() // second incarnation registers while the first is still live
+	select {
+	case <-old.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("old session not closed after latest-wins takeover")
+	}
+	if cps, _, dcCount := e.Counts(); cps != 2 || dcCount != 2 {
+		t.Fatalf("counts after takeover: %d CPs, %d DCs; want 2, 2", cps, dcCount)
+	}
+
+	// Rounds reach the new incarnation.
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range collect(t, rounds, 2, r) {
+		if err := d.psc.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		close(d.done)
+	}
+	if _, err := r.WaitPSC(); err != nil {
+		t.Fatalf("round after takeover: %v", err)
+	}
+}
+
+// TestMidRoundKillDegradesThenFullStrength is the tentpole scenario at
+// the engine level: a DC's session dies mid-round after its table
+// upload began; under a k-of-n quorum the round completes degraded with
+// the absence annotated, and — once the DC re-registers under its
+// pinned identity — the next round runs at full strength.
+func TestMidRoundKillDegradesThenFullStrength(t *testing.T) {
+	e, dcs, rounds := churnFleet(t, 2, 2)
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+	e.SetQuorum(QuorumPolicy{MinDCs: 1})
+
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := collect(t, rounds, 2, r)
+	var survivor dcRound
+	for _, d := range roles {
+		if d.psc.Name == "dc-1" {
+			// Feed the doomed DC and begin its upload so its contribution
+			// barrier is passed, then kill it mid-round.
+			d.psc.Observe("doomed-item")
+		} else {
+			survivor = d
+		}
+	}
+	dcs[1].kill()
+	survivor.psc.Observe("item-a")
+	survivor.psc.Observe("item-b")
+	if err := survivor.psc.Finish(); err != nil {
+		t.Fatalf("survivor finish: %v", err)
+	}
+	res, err := r.WaitPSC()
+	if err != nil {
+		t.Fatalf("degraded round failed: %v", err)
+	}
+	for _, d := range roles {
+		close(d.done)
+	}
+	if len(res.AbsentDCs) != 1 || res.AbsentDCs[0] != "dc-1" {
+		t.Fatalf("AbsentDCs = %v, want [dc-1]", res.AbsentDCs)
+	}
+	if got := r.Absent(); len(got) != 1 || got[0] != "dc-1" {
+		t.Fatalf("round Absent() = %v, want [dc-1]", got)
+	}
+	if !r.Degraded() {
+		t.Fatal("round not marked degraded")
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-degraded"); got != 1 {
+		t.Errorf("rounds-degraded = %g, want 1", got)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-completed"); got != 1 {
+		t.Errorf("rounds-completed = %g, want 1", got)
+	}
+
+	// The DC restarts and re-registers under its pinned identity.
+	dcs[1].start()
+	full, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range collect(t, rounds, 2, full) {
+		d.psc.Observe("fresh-item")
+		if err := d.psc.Finish(); err != nil {
+			t.Fatalf("full-strength finish: %v", err)
+		}
+		close(d.done)
+	}
+	fullRes, err := full.WaitPSC()
+	if err != nil {
+		t.Fatalf("full-strength round failed: %v", err)
+	}
+	if len(fullRes.AbsentDCs) != 0 || full.Degraded() {
+		t.Fatalf("post-rejoin round degraded: absent %v", fullRes.AbsentDCs)
+	}
+	if got := reg.Get("engine/parties-rejoined"); got != 1 {
+		t.Errorf("parties-rejoined = %g, want 1", got)
+	}
+	if got := reg.Get("engine/parties-disconnected"); got != 1 {
+		t.Errorf("parties-disconnected = %g, want 1", got)
+	}
+}
+
+// TestRejoinResumesRoundBeforeBarrier: a DC killed before its table
+// upload starts rejoins within the grace window, and the engine reopens
+// the in-flight round's stream on the new session — the round completes
+// at full strength, no degradation.
+func TestRejoinResumesRoundBeforeBarrier(t *testing.T) {
+	e, dcs, rounds := churnFleet(t, 2, 2)
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+	e.SetQuorum(QuorumPolicy{MinDCs: 1})
+	e.SetRejoinGrace(time.Minute)
+
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := collect(t, rounds, 2, r)
+	dcs[1].kill() // before any Finish: no table chunk combined yet
+	dcs[1].start()
+
+	// The reopened stream delivers a fresh DC role for the same round.
+	var fresh dcRound
+	deadline := time.After(2 * time.Minute)
+	for fresh.psc == nil {
+		select {
+		case d := <-rounds:
+			if d.psc.Round() != r.ID {
+				t.Fatalf("unexpected round %d delivery", d.psc.Round())
+			}
+			fresh = d
+		case <-deadline:
+			t.Fatal("rejoined DC never received a reopened round stream")
+		}
+	}
+	finish := func(d dcRound) {
+		if d.psc.Name == "dc-1" && d.done != fresh.done && d.psc != fresh.psc {
+			// The first incarnation's role died with its session.
+			close(d.done)
+			return
+		}
+		d.psc.Observe("item-" + d.psc.Name)
+		if err := d.psc.Finish(); err != nil {
+			t.Fatalf("finish %s: %v", d.psc.Name, err)
+		}
+		close(d.done)
+	}
+	for _, d := range roles {
+		finish(d)
+	}
+	finish(fresh)
+	res, err := r.WaitPSC()
+	if err != nil {
+		t.Fatalf("resumed round failed: %v", err)
+	}
+	if len(res.AbsentDCs) != 0 {
+		t.Fatalf("resumed round degraded: absent %v", res.AbsentDCs)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/parties-reattached"); got != 1 {
+		t.Errorf("parties-reattached = %g, want 1", got)
+	}
+}
+
+// TestGraceExpiryDegradesExactlyOnce drills the double-abort race: a
+// dead DC plus a round deadline must resolve to exactly one outcome —
+// degraded completion when the grace window expires first, or a single
+// deadline failure when the watchdog wins — never both.
+func TestGraceExpiryDegradesExactlyOnce(t *testing.T) {
+	// Grace far shorter than the deadline: degradation wins.
+	e, dcs, rounds := churnFleet(t, 2, 2)
+	reg := metrics.NewRegistry()
+	e.SetMetrics(reg)
+	e.SetQuorum(QuorumPolicy{MinDCs: 1})
+	e.SetRejoinGrace(100 * time.Millisecond)
+	e.SetRoundDeadline(2 * time.Minute)
+
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := collect(t, rounds, 2, r)
+	dcs[1].kill() // never restarted: the grace window expires
+	for _, d := range roles {
+		if d.psc.Name != "dc-1" {
+			d.psc.Observe("item")
+			if err := d.psc.Finish(); err != nil {
+				t.Fatalf("finish: %v", err)
+			}
+		}
+	}
+	if _, err := r.WaitPSC(); err != nil {
+		t.Fatalf("degraded round failed: %v", err)
+	}
+	for _, d := range roles {
+		close(d.done)
+	}
+	if got := reg.Get("engine/" + LabelPSC + "/rounds-degraded"); got != 1 {
+		t.Errorf("rounds-degraded = %g, want exactly 1", got)
+	}
+	if got := reg.Get("engine/"+LabelPSC+"/rounds-completed") + reg.Get("engine/"+LabelPSC+"/rounds-failed"); got != 1 {
+		t.Errorf("rounds-completed+failed = %g, want exactly 1 outcome", got)
+	}
+
+	// Deadline far shorter than the grace window: the watchdog wins and
+	// the round fails exactly once, with no degradation recorded.
+	e2, dcs2, rounds2 := churnFleet(t, 2, 2)
+	reg2 := metrics.NewRegistry()
+	e2.SetMetrics(reg2)
+	e2.SetQuorum(QuorumPolicy{MinDCs: 1})
+	e2.SetRejoinGrace(2 * time.Minute)
+	e2.SetRoundDeadline(2 * time.Second)
+
+	r2, err := e2.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles2 := collect(t, rounds2, 2, r2)
+	dcs2[1].kill()
+	_, err = r2.WaitPSC()
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("deadline-vs-grace round error = %v, want deadline abort", err)
+	}
+	for _, d := range roles2 {
+		close(d.done)
+	}
+	if got := reg2.Get("engine/" + LabelPSC + "/rounds-degraded"); got != 0 {
+		t.Errorf("rounds-degraded = %g after deadline abort, want 0", got)
+	}
+	if got := reg2.Get("engine/" + LabelPSC + "/rounds-failed"); got != 1 {
+		t.Errorf("rounds-failed = %g, want exactly 1", got)
+	}
+	if got := reg2.Get("engine/" + LabelPSC + "/rounds-deadline-exceeded"); got != 1 {
+		t.Errorf("rounds-deadline-exceeded = %g, want exactly 1", got)
+	}
+}
+
+// TestQuorumLostAborts: when more DCs die than the quorum floor
+// tolerates, the round must fail with a quorum error rather than
+// report a result over too little coverage.
+func TestQuorumLostAborts(t *testing.T) {
+	e, dcs, rounds := churnFleet(t, 2, 2)
+	e.SetQuorum(QuorumPolicy{MinDCs: 2}) // both DCs required
+
+	r, err := e.StartPSC(smallPSC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := collect(t, rounds, 2, r)
+	dcs[0].kill()
+	dcs[1].kill()
+	_, err = r.WaitPSC()
+	if err == nil {
+		t.Fatal("round with zero DCs completed")
+	}
+	for _, d := range roles {
+		close(d.done)
+	}
+}

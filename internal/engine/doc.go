@@ -1,0 +1,53 @@
+// Package engine is the multi-round scheduler shared by the in-process
+// experiment harness and the deployed daemons. Parties register their
+// multiplexed sessions once; the tally-side Engine then schedules any
+// number of PSC and PrivCount rounds, sequentially or concurrently,
+// each round riding its own streams of the persistent per-party
+// connections. A failed or aborted round resets only its own streams —
+// the sessions, party keys, and every other in-flight round survive.
+//
+// # Key types
+//
+//   - Engine: the tally-side scheduler. Sessions attach via
+//     AcceptSession (the acked hello handshake) or the Add* methods
+//     (in-process, no handshake); StartPSC and StartPrivCount schedule
+//     rounds over the registered fleet.
+//   - Hello / HelloAck: the session-registration exchange. A Hello
+//     carries the party's role, name, pinned identity (ID, defaulting
+//     to the name), and registration token.
+//   - Round: one scheduled measurement round. Wait* blocks for the
+//     outcome, Abort cancels it in isolation, Absent lists parties the
+//     round completed without.
+//   - QuorumPolicy: the per-protocol degradation rule (MinDCs); see
+//     below.
+//   - ReconnectLoop: the party-daemon dial/serve/backoff loop.
+//
+// # Party churn
+//
+// The engine keeps an identity-pinned registry rather than a fixed
+// party set. Every party is keyed by (role, ID) and bound to its
+// registration token on first contact; a party whose session dies
+// enters the disconnected state, and a reconnecting daemon presenting
+// the same identity and token is rebound to its registry entry —
+// latest-wins, with any previous live session closed. A token mismatch
+// is rejected (ErrRejected). Rounds snapshot their membership at
+// scheduling time: a party that drops mid-round may resume on its
+// rejoined session while its contribution barrier has not been passed
+// (the engine waits up to the SetRejoinGrace window and reopens the
+// round stream); past the barrier the party is declared absent and the
+// round degrades under the QuorumPolicy — completing with the absence
+// annotated — aborting only when quorum is genuinely lost.
+//
+// # Invariants
+//
+//   - PSC rounds require every CP (the joint ElGamal key is an n-of-n
+//     threshold) and PrivCount rounds require every SK (each holds
+//     blinding state nobody else can reproduce): QuorumPolicy tunes
+//     only data-collector coverage.
+//   - A round claims exactly one outcome: completed (possibly
+//     degraded), failed, or deadline-exceeded — the watchdog and the
+//     round goroutine arbitrate through the finishing/deadlineFired
+//     claim, and degradation is counted only for completed rounds.
+//   - Aborting or failing a round never tears down sessions; only
+//     Engine.Close does.
+package engine

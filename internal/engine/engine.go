@@ -1,13 +1,7 @@
-// Package engine is the multi-round scheduler shared by the in-process
-// experiment harness and the deployed daemons. Parties register their
-// multiplexed sessions once; the tally-side Engine then schedules any
-// number of PSC and PrivCount rounds, sequentially or concurrently,
-// each round riding its own streams of the persistent per-party
-// connections. A failed or aborted round resets only its own streams —
-// the sessions, party keys, and every other in-flight round survive.
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,13 +29,42 @@ const (
 	RoleDC = "datacollector"
 )
 
-// Hello announces a party when its session is established.
+// Hello announces a party when its session is established. ID is the
+// party's pinned identity (defaulting to Name); Token is the
+// registration secret bound to that identity on first contact — a
+// rejoining daemon must present the same token, so a session drop does
+// not let another operator claim the identity. Deployments that want
+// stronger pinning run the wire layer over TLS and use the session
+// fingerprint as the token.
 type Hello struct {
-	Role string
-	Name string
+	Role  string
+	Name  string
+	ID    string
+	Token string
 }
 
-// SendHello announces this party on a fresh session (party side).
+// id resolves the pinned identity: the declared ID, or the name.
+func (h Hello) id() string {
+	if h.ID != "" {
+		return h.ID
+	}
+	return h.Name
+}
+
+// HelloAck is the engine's answer on the hello stream: whether the
+// registration was accepted, and whether it rebound an existing pinned
+// identity (a rejoin) rather than creating a new one.
+type HelloAck struct {
+	OK       bool
+	Rejoined bool
+	Reason   string
+}
+
+// SendHello announces this party on a fresh session (party side)
+// without waiting for the engine's answer — the fire-and-forget path
+// used by the in-process harness, where the engine side registers
+// directly. Daemons use SendHelloPinned to learn whether their
+// registration (or rejoin) was accepted.
 func SendHello(sess *wire.Session, role, name string) error {
 	st, err := sess.Open(0, LabelHello)
 	if err != nil {
@@ -51,40 +74,47 @@ func SendHello(sess *wire.Session, role, name string) error {
 	return st.Send(LabelHello, Hello{Role: role, Name: name})
 }
 
-// AcceptHello reads the party announcement from a fresh session (tally
-// side).
-func AcceptHello(sess *wire.Session) (Hello, error) {
-	st, err := sess.Accept()
+// ErrRejected reports that the engine refused a registration — the
+// pinned identity exists with a different token, or the hello was
+// malformed. Daemons treat it as fatal: retrying with the same
+// credentials can never succeed.
+var ErrRejected = errors.New("engine: registration rejected")
+
+// SendHelloPinned announces this party and waits for the engine's
+// verdict: the ack reports whether the pinned identity was accepted and
+// whether this was a rejoin. A rejected registration (token mismatch)
+// returns an error wrapping ErrRejected with the engine's reason.
+func SendHelloPinned(sess *wire.Session, h Hello) (HelloAck, error) {
+	st, err := sess.Open(0, LabelHello)
 	if err != nil {
-		return Hello{}, err
+		return HelloAck{}, err
 	}
 	defer st.Close()
-	if st.Label() != LabelHello {
-		return Hello{}, fmt.Errorf("engine: expected hello stream, got %q", st.Label())
+	if err := st.Send(LabelHello, h); err != nil {
+		return HelloAck{}, err
 	}
-	var h Hello
-	if err := st.Expect(LabelHello, &h); err != nil {
-		return Hello{}, err
+	var ack HelloAck
+	if err := st.Expect(LabelHello, &ack); err != nil {
+		return HelloAck{}, err
 	}
-	if h.Name == "" {
-		return Hello{}, fmt.Errorf("engine: hello without a name")
+	if !ack.OK {
+		return ack, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
-	return h, nil
-}
-
-// Party is one registered session.
-type Party struct {
-	Name string
-	Sess *wire.Session
+	return ack, nil
 }
 
 // Engine is the tally-side round scheduler.
 type Engine struct {
 	mu        sync.Mutex
 	nextRound uint64
-	cps       []Party
-	sks       []Party
-	dcs       []Party
+	registry  map[string]*member   // pinned identity -> member
+	members   map[string][]*member // role -> members, registration order
+	// membership closes and is replaced on every registration; it wakes
+	// WaitParties.
+	membership chan struct{}
+
+	grace  time.Duration
+	quorum QuorumPolicy
 
 	acct     *dp.Accountant
 	deadline time.Duration
@@ -93,7 +123,14 @@ type Engine struct {
 
 // New returns an empty engine; parties attach via the Add methods or
 // AcceptSession.
-func New() *Engine { return &Engine{reg: metrics.Default()} }
+func New() *Engine {
+	return &Engine{
+		reg:        metrics.Default(),
+		registry:   make(map[string]*member),
+		members:    make(map[string][]*member),
+		membership: make(chan struct{}),
+	}
+}
 
 // SetAccountant makes the engine consult a privacy accountant before
 // scheduling: a round whose noise weight would push the cumulative
@@ -156,63 +193,87 @@ func (e *Engine) unauthorize(label string) {
 	}
 }
 
-// AddCP registers a computation-party session.
-func (e *Engine) AddCP(name string, sess *wire.Session) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cps = append(e.cps, Party{Name: name, Sess: sess})
+// AddCP registers a computation-party session directly (no hello
+// handshake), for in-process deployments. Unlike the hello path, a
+// duplicate name is an error, not a rejoin.
+func (e *Engine) AddCP(name string, sess *wire.Session) error {
+	_, err := e.register(Hello{Role: RoleCP, Name: name}, sess, false)
+	return err
 }
 
-// AddSK registers a share-keeper session.
-func (e *Engine) AddSK(name string, sess *wire.Session) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.sks = append(e.sks, Party{Name: name, Sess: sess})
+// AddSK registers a share-keeper session directly.
+func (e *Engine) AddSK(name string, sess *wire.Session) error {
+	_, err := e.register(Hello{Role: RoleSK, Name: name}, sess, false)
+	return err
 }
 
-// AddDC registers a data-collector session.
-func (e *Engine) AddDC(name string, sess *wire.Session) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.dcs = append(e.dcs, Party{Name: name, Sess: sess})
+// AddDC registers a data-collector session directly.
+func (e *Engine) AddDC(name string, sess *wire.Session) error {
+	_, err := e.register(Hello{Role: RoleDC, Name: name}, sess, false)
+	return err
 }
 
-// AcceptSession reads a session's hello and registers it by role.
+// AcceptSession performs the tally side of the hello handshake: it
+// reads the party announcement, registers or rebinds the pinned
+// identity, and acks the verdict on the hello stream. A re-registration
+// under a known identity with the matching token rebinds the member to
+// this session (latest wins; any previous live session is closed); a
+// token mismatch is rejected and the caller should close the session.
 func (e *Engine) AcceptSession(sess *wire.Session) (Hello, error) {
-	h, err := AcceptHello(sess)
+	st, err := sess.Accept()
 	if err != nil {
 		return Hello{}, err
 	}
+	defer st.Close()
+	if st.Label() != LabelHello {
+		st.Reset("engine: expected hello stream")
+		return Hello{}, fmt.Errorf("engine: expected hello stream, got %q", st.Label())
+	}
+	var h Hello
+	if err := st.Expect(LabelHello, &h); err != nil {
+		return Hello{}, err
+	}
+	if h.Name == "" {
+		return Hello{}, fmt.Errorf("engine: hello without a name")
+	}
+	var rejoined bool
 	switch h.Role {
-	case RoleCP:
-		e.AddCP(h.Name, sess)
-	case RoleSK:
-		e.AddSK(h.Name, sess)
-	case RoleDC:
-		e.AddDC(h.Name, sess)
+	case RoleCP, RoleSK, RoleDC:
+		rejoined, err = e.register(h, sess, true)
 	default:
-		return Hello{}, fmt.Errorf("engine: unknown role %q", h.Role)
+		err = fmt.Errorf("engine: unknown role %q", h.Role)
+	}
+	ack := HelloAck{OK: err == nil, Rejoined: rejoined}
+	if err != nil {
+		ack.Reason = err.Error()
+	}
+	_ = st.Send(LabelHello, ack)
+	if err != nil {
+		return Hello{}, err
 	}
 	return h, nil
 }
 
-// Counts reports how many parties of each role are registered.
+// Counts reports how many parties of each role are registered
+// (connected or disconnected).
 func (e *Engine) Counts() (cps, sks, dcs int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.cps), len(e.sks), len(e.dcs)
+	return len(e.members[RoleCP]), len(e.members[RoleSK]), len(e.members[RoleDC])
 }
 
 // Close tears down every registered session.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	parties := make([]Party, 0, len(e.cps)+len(e.sks)+len(e.dcs))
-	parties = append(parties, e.cps...)
-	parties = append(parties, e.sks...)
-	parties = append(parties, e.dcs...)
+	var sessions []*wire.Session
+	for _, ms := range e.members {
+		for _, m := range ms {
+			sessions = append(sessions, m.sess)
+		}
+	}
 	e.mu.Unlock()
-	for _, p := range parties {
-		p.Sess.Close()
+	for _, s := range sessions {
+		s.Close()
 	}
 }
 
@@ -231,7 +292,7 @@ func (e *Engine) newRound(label string) *Round {
 	e.mu.Unlock()
 	return &Round{
 		ID: e.reserveRound(), Label: label, done: make(chan struct{}),
-		started: time.Now(), reg: reg,
+		aborted: make(chan struct{}), started: time.Now(), reg: reg,
 	}
 }
 
@@ -260,7 +321,7 @@ func (e *Engine) armDeadline(r *Round) {
 }
 
 // pick selects parties for a round: explicit indices, or the first n.
-func pick(pool []Party, sel []int, n int, role string) ([]Party, error) {
+func pick(pool []*member, sel []int, n int, role string) ([]*member, error) {
 	if sel == nil {
 		if len(pool) < n {
 			return nil, fmt.Errorf("engine: need %d %s sessions, have %d", n, role, len(pool))
@@ -270,7 +331,7 @@ func pick(pool []Party, sel []int, n int, role string) ([]Party, error) {
 	if len(sel) != n {
 		return nil, fmt.Errorf("engine: %d %s indices for %d slots", len(sel), role, n)
 	}
-	out := make([]Party, n)
+	out := make([]*member, n)
 	for i, idx := range sel {
 		if idx < 0 || idx >= len(pool) {
 			return nil, fmt.Errorf("engine: %s index %d out of range", role, idx)
@@ -284,25 +345,36 @@ func pick(pool []Party, sel []int, n int, role string) ([]Party, error) {
 // outcome; Abort resets the round's streams without touching the
 // sessions, so every other round keeps running.
 type Round struct {
-	ID      uint64
-	Label   string
-	streams []*wire.Stream
-	done    chan struct{}
+	ID    uint64
+	Label string
+	done  chan struct{}
+	// aborted closes when the round is aborted (operator, deadline, or
+	// failure); it unblocks any rejoin wait still pending on the round's
+	// behalf.
+	aborted chan struct{}
+	// parties is the membership snapshot the round was scheduled over,
+	// in the order its streams were opened.
+	parties []*member
 
 	started  time.Time
 	reg      *metrics.Registry
 	timer    *time.Timer   // deadline watchdog, nil when no deadline
 	deadline time.Duration // the armed deadline, for error text
 
-	mu sync.Mutex
+	mu      sync.Mutex
+	streams []*wire.Stream
 	// finishing and deadlineFired are the two sides of an atomic claim
 	// on the round's outcome: whichever of finish() and the watchdog
 	// takes r.mu first decides, so a timer firing as a round completes
 	// can never reset the streams of a round reported as successful.
+	// abortFlagged is set under mu before Abort snapshots the stream
+	// set, so addStream can never slip a stream past the reset.
 	finishing     bool
+	abortFlagged  bool
 	deadlineFired bool
 	err           error
 	stats         RoundStats
+	absent        []string
 	pscRes        psc.Result
 	privRes       map[string][]float64
 	abortOnce     sync.Once
@@ -338,10 +410,47 @@ func (r *Round) Err() error {
 // error; the sessions stay healthy.
 func (r *Round) Abort(reason string) {
 	r.abortOnce.Do(func() {
-		for _, st := range r.streams {
+		close(r.aborted)
+		r.mu.Lock()
+		r.abortFlagged = true
+		streams := append([]*wire.Stream(nil), r.streams...)
+		r.mu.Unlock()
+		for _, st := range streams {
 			st.Reset(reason)
 		}
 	})
+}
+
+// addStream attaches a replacement stream (opened for a rejoined party)
+// to the round's stream set, so aborts and stats cover it. It refuses
+// once the round has claimed an outcome or an abort has snapshotted the
+// stream set — the same mutex orders the two, so a stream is either in
+// the abort's reset set or refused here and reset by the caller.
+func (r *Round) addStream(st *wire.Stream) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finishing || r.abortFlagged {
+		return false
+	}
+	r.streams = append(r.streams, st)
+	return true
+}
+
+// Absent lists the parties declared absent from a completed round — the
+// round ran degraded without their contribution under the quorum
+// policy. Empty for a full-strength round.
+func (r *Round) Absent() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.absent...)
+}
+
+// Degraded reports whether the round completed without some selected
+// parties.
+func (r *Round) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.absent) > 0
 }
 
 // finish records the outcome, stops the deadline watchdog, records
@@ -354,15 +463,23 @@ func (r *Round) finish(err error) {
 	r.mu.Lock()
 	r.finishing = true
 	fired := r.deadlineFired
+	streams := append([]*wire.Stream(nil), r.streams...)
 	r.mu.Unlock()
-	if fired && err == nil {
-		err = fmt.Errorf("round deadline %v exceeded", r.deadline)
+	if fired {
+		// The watchdog claimed the outcome: the round failed on its
+		// deadline, whatever error the unwinding tally goroutine hit on
+		// its reset streams.
+		derr := fmt.Errorf("round deadline %v exceeded", r.deadline)
+		if err != nil {
+			derr = fmt.Errorf("%v (unwound with: %v)", derr, err)
+		}
+		err = derr
 	}
 	if r.timer != nil {
 		r.timer.Stop()
 	}
 	stats := RoundStats{Seconds: time.Since(r.started).Seconds()}
-	for _, st := range r.streams {
+	for _, st := range streams {
 		sent, recv := st.Stats()
 		stats.BytesSent += sent
 		stats.BytesRecv += recv
@@ -380,30 +497,91 @@ func (r *Round) finish(err error) {
 		r.reg.Add("engine/"+r.Label+"/round-seconds", stats.Seconds)
 		r.reg.Add("engine/"+r.Label+"/stream-bytes-sent", float64(stats.BytesSent))
 		r.reg.Add("engine/"+r.Label+"/stream-bytes-recv", float64(stats.BytesRecv))
+		r.mu.Lock()
+		nAbsent := len(r.absent)
+		r.mu.Unlock()
+		// A degraded round counts exactly once, and only if it actually
+		// completed: a round that also failed (deadline, quorum lost) is
+		// a failure, not a degradation.
+		if err == nil && nAbsent > 0 {
+			r.reg.Inc("engine/" + r.Label + "/rounds-degraded")
+			r.reg.Add("engine/"+r.Label+"/parties-absent", float64(nAbsent))
+		}
 	}
 	if err != nil {
 		r.Abort(err.Error())
 	} else {
-		for _, st := range r.streams {
+		for _, st := range streams {
 			st.Close()
 		}
 	}
 	close(r.done)
 }
 
-// open opens one labeled stream per selected party.
-func (r *Round) open(parties []Party) ([]wire.Messenger, error) {
+// openRound opens one labeled stream per selected party of the
+// membership snapshot. Parties before dcStart are protocol-critical
+// (CPs, SKs): an open failure aborts the round. From dcStart on the
+// parties are data collectors, where the quorum policy may tolerate
+// absence: a failed open substitutes a messenger that reports the
+// failure on first use, routing a dead-at-start DC through the tally's
+// per-party recovery path instead of wedging scheduling.
+func (e *Engine) openRound(r *Round, parties []*member, dcStart int) ([]wire.Messenger, error) {
 	ms := make([]wire.Messenger, 0, len(parties))
-	for _, p := range parties {
-		st, err := p.Sess.Open(r.ID, r.Label)
+	for i, m := range parties {
+		e.mu.Lock()
+		sess := m.sess
+		e.mu.Unlock()
+		st, err := sess.Open(r.ID, r.Label)
 		if err != nil {
+			err = fmt.Errorf("engine: open %s stream to %s: %w", r.Label, m.name, err)
+			if i >= dcStart {
+				ms = append(ms, failedMessenger{err: err})
+				continue
+			}
 			r.Abort("round setup failed")
-			return nil, fmt.Errorf("engine: open %s stream to %s: %w", r.Label, p.Name, err)
+			return nil, err
 		}
-		r.streams = append(r.streams, st)
+		if !r.addStream(st) {
+			st.Reset("round already finished")
+			return nil, fmt.Errorf("engine: round %d finished during setup", r.ID)
+		}
 		ms = append(ms, st)
 	}
 	return ms, nil
+}
+
+// recoverFn builds the per-round recovery callback the protocol tallies
+// consult when a party's exchange fails. If the party may still resume
+// (its contribution barrier has not been passed), the engine tries to
+// rebind it: an already-rejoined session gets a fresh round stream
+// immediately, and otherwise the call blocks up to the rejoin grace
+// window for the party to re-register. When no resumption is possible
+// the party is recorded absent and the tally decides — by its quorum
+// floor — whether the round degrades or fails. An aborted round never
+// converts its failures into degradation.
+func (e *Engine) recoverFn(r *Round) func(i int, name string, canRetry bool) (wire.Messenger, bool) {
+	return func(i int, name string, canRetry bool) (wire.Messenger, bool) {
+		if i < 0 || i >= len(r.parties) {
+			return nil, false
+		}
+		m := r.parties[i]
+		if canRetry {
+			if st := e.reopenFor(r, m); st != nil {
+				e.reg.Inc("engine/" + r.Label + "/parties-reattached")
+				return st, true
+			}
+		}
+		select {
+		case <-r.aborted:
+			// The round is being torn down; surface the original error.
+			return nil, false
+		default:
+		}
+		r.mu.Lock()
+		r.absent = append(r.absent, m.name)
+		r.mu.Unlock()
+		return nil, true
+	}
 }
 
 // WaitPSC blocks until the round completes and returns its result.
@@ -429,19 +607,25 @@ func (r *Round) WaitPrivCount() (map[string][]float64, error) {
 // background; collect the outcome with WaitPSC.
 func (e *Engine) StartPSC(cfg psc.Config, dcSel []int) (*Round, error) {
 	e.mu.Lock()
-	var parties []Party
-	cps, err := pick(e.cps, nil, cfg.NumCPs, "CP")
+	var parties []*member
+	cps, err := pick(e.members[RoleCP], nil, cfg.NumCPs, "CP")
 	if err == nil {
-		var dcs []Party
-		dcs, err = pick(e.dcs, dcSel, cfg.NumDCs, "DC")
+		var dcs []*member
+		dcs, err = pick(e.members[RoleDC], dcSel, cfg.NumDCs, "DC")
 		parties = append(append(parties, cps...), dcs...)
 	}
+	quorum := e.quorum
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	r := e.newRound(LabelPSC)
+	r.parties = parties
 	cfg.Round = r.ID
+	// PSC correctness requires every CP (n-of-n joint key); the quorum
+	// policy governs DC coverage only.
+	cfg.MinDCs = quorum.minDCsFor(cfg.NumDCs)
+	cfg.Recover = e.recoverFn(r)
 	tally, err := psc.NewTally(cfg)
 	if err != nil {
 		return nil, err
@@ -449,7 +633,7 @@ func (e *Engine) StartPSC(cfg psc.Config, dcSel []int) (*Round, error) {
 	if err := e.authorize(LabelPSC); err != nil {
 		return nil, err
 	}
-	ms, err := r.open(parties)
+	ms, err := e.openRound(r, parties, cfg.NumCPs)
 	if err != nil {
 		e.unauthorize(LabelPSC)
 		return nil, err
@@ -472,19 +656,25 @@ func (e *Engine) StartPSC(cfg psc.Config, dcSel []int) (*Round, error) {
 // first NumDCs). cfg.Round is assigned by the engine.
 func (e *Engine) StartPrivCount(cfg privcount.TallyConfig, dcSel []int) (*Round, error) {
 	e.mu.Lock()
-	var parties []Party
-	sks, err := pick(e.sks, nil, cfg.NumSKs, "SK")
+	var parties []*member
+	sks, err := pick(e.members[RoleSK], nil, cfg.NumSKs, "SK")
 	if err == nil {
-		var dcs []Party
-		dcs, err = pick(e.dcs, dcSel, cfg.NumDCs, "DC")
+		var dcs []*member
+		dcs, err = pick(e.members[RoleDC], dcSel, cfg.NumDCs, "DC")
 		parties = append(append(parties, sks...), dcs...)
 	}
+	quorum := e.quorum
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	r := e.newRound(LabelPrivCount)
+	r.parties = parties
 	cfg.Round = r.ID
+	// PrivCount requires every SK (each holds blinding state nobody can
+	// reproduce); the quorum policy governs DC coverage only.
+	cfg.MinDCs = quorum.minDCsFor(cfg.NumDCs)
+	cfg.Recover = e.recoverFn(r)
 	tally, err := privcount.NewTally(cfg)
 	if err != nil {
 		return nil, err
@@ -492,7 +682,7 @@ func (e *Engine) StartPrivCount(cfg privcount.TallyConfig, dcSel []int) (*Round,
 	if err := e.authorize(LabelPrivCount); err != nil {
 		return nil, err
 	}
-	ms, err := r.open(parties)
+	ms, err := e.openRound(r, parties, cfg.NumSKs)
 	if err != nil {
 		e.unauthorize(LabelPrivCount)
 		return nil, err

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"errors"
+	"time"
+
 	"repro/internal/dp"
 	"repro/internal/privcount"
 	"repro/internal/psc"
@@ -15,10 +18,27 @@ import (
 
 // ServeCP announces a computation party on sess and serves PSC rounds
 // until the session closes. It returns the session's terminal error.
+// The hello is fire-and-forget; daemons that need the engine's
+// registration verdict (rejoin, token rejection) use ServeCPAs.
 func ServeCP(sess *wire.Session, name string, noise *dp.NoiseSource) error {
 	if err := SendHello(sess, RoleCP, name); err != nil {
 		return err
 	}
+	return serveCP(sess, name, noise)
+}
+
+// ServeCPAs is ServeCP with a pinned identity: it registers via the
+// acked hello exchange, so a token mismatch surfaces as an immediate
+// error instead of a dead session.
+func ServeCPAs(sess *wire.Session, h Hello, noise *dp.NoiseSource) error {
+	h.Role = RoleCP
+	if _, err := SendHelloPinned(sess, h); err != nil {
+		return err
+	}
+	return serveCP(sess, h.Name, noise)
+}
+
+func serveCP(sess *wire.Session, name string, noise *dp.NoiseSource) error {
 	cp := psc.NewCP(name, nil, noise)
 	return serveRounds(sess, func(st *wire.Stream) error {
 		if st.Label() != LabelPSC {
@@ -39,6 +59,27 @@ func ServeSK(sess *wire.Session, name string) error {
 	if err != nil {
 		return err
 	}
+	return serveSK(sess, sk)
+}
+
+// ServeSKAs is ServeSK with a pinned identity and acked registration.
+// The SK value may be reused across reconnects so the seal keypair
+// survives session churn (nil creates a fresh one).
+func ServeSKAs(sess *wire.Session, h Hello, sk *privcount.SK) error {
+	h.Role = RoleSK
+	if _, err := SendHelloPinned(sess, h); err != nil {
+		return err
+	}
+	if sk == nil {
+		var err error
+		if sk, err = privcount.NewSK(h.Name, nil); err != nil {
+			return err
+		}
+	}
+	return serveSK(sess, sk)
+}
+
+func serveSK(sess *wire.Session, sk *privcount.SK) error {
 	return serveRounds(sess, func(st *wire.Stream) error {
 		if st.Label() != LabelPrivCount {
 			st.Reset("sharekeeper: unexpected stream " + st.Label())
@@ -54,6 +95,51 @@ func ServeSK(sess *wire.Session, name string) error {
 // directly with handlers that create per-round DCs.
 func ServeRounds(sess *wire.Session, handle func(st *wire.Stream) error) error {
 	return serveRounds(sess, handle)
+}
+
+// ReconnectLoop is the party-daemon churn loop, mirroring torctl's
+// relay-side reconnect on the party→tally edge: it dials a fresh
+// session and serves it until the session dies, then redials with
+// exponential backoff (250ms doubling to 5s). The engine's registry
+// rebinds the re-registered identity, so rounds scheduled after the
+// rejoin run at full strength. It returns nil when serve reports
+// wire.ErrClosed (the tally hung up deliberately), the serve error when
+// it wraps ErrRejected (retrying a refused identity cannot succeed),
+// and the last error once maxAttempts consecutive failed cycles burn
+// out. A session that survived five seconds resets the failure budget.
+func ReconnectLoop(dial func() (*wire.Session, error), serve func(*wire.Session) error, maxAttempts int, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	const baseBackoff, maxBackoff = 250 * time.Millisecond, 5 * time.Second
+	backoff := baseBackoff
+	attempts := 0
+	for {
+		sess, err := dial()
+		if err == nil {
+			start := time.Now()
+			err = serve(sess)
+			sess.Close()
+			if err == nil || errors.Is(err, wire.ErrClosed) {
+				return nil
+			}
+			if errors.Is(err, ErrRejected) {
+				return err
+			}
+			if time.Since(start) >= 5*time.Second {
+				attempts, backoff = 0, baseBackoff
+			}
+		}
+		attempts++
+		if attempts > maxAttempts {
+			return err
+		}
+		logf("reconnecting in %v after: %v", backoff, err)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 func serveRounds(sess *wire.Session, handle func(st *wire.Stream) error) error {

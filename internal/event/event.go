@@ -1,12 +1,3 @@
-// Package event defines the vocabulary of measurement events emitted by
-// instrumented Tor relays, mirroring the PrivCount Tor patch the paper
-// deploys (§3.1): stream-end, circuit-end, and connection-end events plus
-// the new onion-service-directory and rendezvous events the authors added.
-//
-// Events are produced by the simulator (internal/tornet, internal/onion),
-// carried either in-process over a Bus or across a socket using the
-// compact binary codec in codec.go, and consumed by PrivCount and PSC
-// data collectors which turn them into counter increments or set items.
 package event
 
 import (
@@ -39,6 +30,7 @@ var typeNames = [...]string{
 	TypeRendezvousEnd: "rendezvous-end",
 }
 
+// String names the event type.
 func (t Type) String() string {
 	if int(t) < len(typeNames) {
 		return typeNames[t]
@@ -81,12 +73,14 @@ type Event interface {
 // The paper's Figure 1b breaks initial streams down along this axis.
 type TargetKind uint8
 
+// Target kinds, the Figure 1b breakdown of initial-stream targets.
 const (
 	TargetHostname TargetKind = iota
 	TargetIPv4
 	TargetIPv6
 )
 
+// String names the target kind.
 func (k TargetKind) String() string {
 	switch k {
 	case TargetHostname:
@@ -197,6 +191,7 @@ const (
 	FetchMalformed
 )
 
+// String names the fetch outcome.
 func (o FetchOutcome) String() string {
 	switch o {
 	case FetchOK:
@@ -236,6 +231,7 @@ const (
 	RendExpired
 )
 
+// String names the rendezvous outcome.
 func (o RendOutcome) String() string {
 	switch o {
 	case RendSucceeded:

@@ -1,0 +1,28 @@
+// Package metrics has two halves that share a name for two senses of
+// "metrics".
+//
+// The first (metrics.go) implements the Tor Metrics Portal's *indirect*
+// user estimation technique as the baseline the paper argues against
+// (§7): participating directory mirrors count directory requests, the
+// total is extrapolated by the participating fraction, and users are
+// inferred by assuming each client fetches the consensus about ten
+// times a day (Loesing et al., FC 2010). The paper's §5.1 finding is
+// that this heuristic undercounts daily users by roughly 4x against
+// PSC's direct unique-client measurement; running both estimators over
+// the same simulated network reproduces the gap.
+//
+// The second (ops.go) is the operational telemetry of the deployed
+// fleet: Registry is a concurrency-safe named-counter registry the
+// engine and protocol tallies record into — per-round wall-clock and
+// stream bytes, verification failures, and the churn counters
+// (parties-disconnected / rejoined / rejected, rounds-degraded,
+// parties-absent). Default() is the process-wide registry the tally
+// daemon dumps on exit.
+//
+// # Invariants
+//
+//   - Registry operations are safe for concurrent use and never fail:
+//     recording telemetry must not be able to break a round.
+//   - Counter names are slash-namespaced ("engine/<label>/...",
+//     "psc/..."); Dump emits them sorted, one "name value" per line.
+package metrics

@@ -1,17 +1,3 @@
-// Package metrics implements the Tor Metrics Portal's *indirect* user
-// estimation technique as the baseline the paper argues against (§7):
-// participating directory mirrors count directory requests, the total
-// is extrapolated by the participating fraction, and users are inferred
-// by assuming each client fetches the consensus about ten times a day
-// (Loesing et al., FC 2010).
-//
-// The paper's §5.1 finding is that this heuristic undercounts daily
-// users by roughly 4x against PSC's direct unique-client measurement.
-// Running both estimators over the same simulated network reproduces
-// the gap and shows where it comes from: the requests-per-client
-// constant is wrong in both directions (blocked clients hammer the
-// directory, most clients fetch less than assumed), and directory
-// requests simply are not client identities.
 package metrics
 
 import (

@@ -1,16 +1,3 @@
-// Package privcount implements the PrivCount distributed measurement
-// protocol (Jansen & Johnson, CCS 2016) as deployed in the paper: a
-// tally server (TS), data collectors (DCs) attached to instrumented Tor
-// relays, and share keepers (SKs). DCs maintain counters blinded with
-// random shares, one per SK, so no single party ever sees a true count;
-// DCs add calibrated Gaussian noise so the aggregate is differentially
-// private; the TS learns only the noisy totals.
-//
-// Counters live in ℤ₂⁶⁴ with binary fixed-point scaling so the
-// real-valued noise survives modular blinding exactly, following the
-// PrivCount design. Multi-bin histogram counters provide the
-// set-membership counting the paper added for its domain, country, and
-// onion-service measurements (§3.1).
 package privcount
 
 import (

@@ -84,12 +84,16 @@ type RegisterMsg struct {
 
 // ConfigureMsg carries the round configuration from the TS to every
 // party. DCs learn the statistics schema, their noise weight, and the
-// SK public keys to seal blinding shares to; SKs learn the schema size
-// and how many DC share vectors to expect.
+// SK public keys to seal blinding shares to; SKs learn the schema size,
+// how many DC share vectors to expect, and the round's declared DC
+// quorum floor (MinDCs): an SK refuses a collect request naming fewer
+// DCs, so a TS cannot adaptively subset the aggregate below the policy
+// it declared before collection began.
 type ConfigureMsg struct {
 	Round       uint64
 	Stats       []StatConfig
 	NumDCs      int
+	MinDCs      int
 	SKNames     []string
 	SKKeys      map[string][]byte
 	NoiseWeight float64
@@ -134,9 +138,15 @@ type ReportMsg struct {
 	N     int
 }
 
-// CollectMsg asks a share keeper for its blinding sums.
+// CollectMsg asks a share keeper for its blinding sums. DCs lists the
+// data collectors whose reports the tally actually holds: the SK sums
+// exactly those DCs' blinding shares, so a DC that distributed shares
+// but never reported (churn, crash) is excluded on both sides of the
+// telescoping sum instead of corrupting the aggregate. An empty list
+// means all DCs whose vectors completed (the pre-churn wire format).
 type CollectMsg struct {
 	Round uint64
+	DCs   []string
 }
 
 // SumsMsg opens a share keeper's response — the negated sum of all

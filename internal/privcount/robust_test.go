@@ -142,6 +142,36 @@ func TestTallyRejectsMissingBox(t *testing.T) {
 	}
 }
 
+// TestSKRefusesCollectBelowQuorumFloor: a TS naming fewer DCs in its
+// collect request than the quorum floor it declared at configure time
+// must be refused — otherwise it could isolate one DC's counters with
+// only that DC's fraction of the calibrated noise.
+func TestSKRefusesCollectBelowQuorumFloor(t *testing.T) {
+	tsSide, skSide := wire.Pipe()
+	sk, err := NewSK("sk", skSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sk.Serve() }()
+
+	var reg RegisterMsg
+	if err := tsSide.Expect(kindRegister, &reg); err != nil {
+		t.Fatal(err)
+	}
+	tsSide.Send(kindConfigure, ConfigureMsg{Round: 1, Stats: oneStat, NumDCs: 2, MinDCs: 2})
+	for _, dc := range []string{"dc-0", "dc-1"} {
+		plain, _ := wire.EncodePayload([]uint64{7})
+		box, _ := Seal(reg.SealPub, plain)
+		tsSide.Send(kindRelay, RelayMsg{From: dc, Off: 0, Count: 1, N: 1, Box: box})
+	}
+	tsSide.Send(kindCollect, CollectMsg{Round: 1, DCs: []string{"dc-0"}})
+	err = <-errCh
+	if err == nil || !strings.Contains(err.Error(), "quorum floor") {
+		t.Fatalf("want quorum-floor refusal, got %v", err)
+	}
+}
+
 // TestSKRejectsShortShareVector: a DC sending a wrong-length share
 // vector must be caught by the SK.
 func TestSKRejectsShortShareVector(t *testing.T) {

@@ -52,46 +52,101 @@ func (sk *SK) ServeRound(m wire.Messenger) error {
 	if err != nil {
 		return err
 	}
-	sums := make([]uint64, schema.Size())
+	size := schema.Size()
 
-	// Each DC's vector arrives as sealed chunks; only one chunk is ever
-	// open at a time.
-	for i := 0; i < cfg.NumDCs; i++ {
-		for got := 0; got < len(sums); {
-			var relay RelayMsg
-			if err := m.Expect(kindRelay, &relay); err != nil {
-				return fmt.Errorf("privcount sk %s: relay %d: %w", sk.Name, i, err)
-			}
-			if relay.N != len(sums) {
-				return fmt.Errorf("privcount sk %s: DC %s vector has %d slots, want %d",
-					sk.Name, relay.From, relay.N, len(sums))
-			}
-			if relay.Off != got || relay.Count <= 0 || relay.Off+relay.Count > len(sums) {
-				return fmt.Errorf("privcount sk %s: DC %s chunk [%d,%d) does not continue at %d",
-					sk.Name, relay.From, relay.Off, relay.Off+relay.Count, got)
-			}
-			plain, err := sk.key.Open(relay.Box)
-			if err != nil {
-				return fmt.Errorf("privcount sk %s: open box from %s: %w", sk.Name, relay.From, err)
-			}
-			var shares []uint64
-			if err := wire.DecodePayload(plain, &shares); err != nil {
-				return fmt.Errorf("privcount sk %s: decode shares from %s: %w", sk.Name, relay.From, err)
-			}
-			if len(shares) != relay.Count {
-				return fmt.Errorf("privcount sk %s: share chunk from %s has %d slots, want %d",
-					sk.Name, relay.From, len(shares), relay.Count)
-			}
-			for j, s := range shares {
-				sums[relay.Off+j] -= s // negate: SK sums cancel DC blinding at the TS
-			}
-			got += relay.Count
+	// Each DC's vector arrives as sealed chunks and accumulates
+	// per-DC (negated) until the collect request names the DCs whose
+	// reports the tally holds; only those sum into the answer. A chunk
+	// restarting at offset zero resets that DC's accumulation — the
+	// restart semantics of a DC that rejoined mid-distribution and
+	// re-sent its shares from scratch. Only one chunk is ever open at a
+	// time.
+	type dcAccum struct {
+		vec []uint64
+		got int
+	}
+	accums := make(map[string]*dcAccum)
+	var collect CollectMsg
+	for {
+		f, err := m.Recv()
+		if err != nil {
+			return fmt.Errorf("privcount sk %s: relay: %w", sk.Name, err)
 		}
+		if f.Kind == kindCollect {
+			if err := wire.DecodePayload(f.Payload, &collect); err != nil {
+				return fmt.Errorf("privcount sk %s: collect: %w", sk.Name, err)
+			}
+			break
+		}
+		if f.Kind != kindRelay {
+			return fmt.Errorf("privcount sk %s: expected %q or %q frame, got %q", sk.Name, kindRelay, kindCollect, f.Kind)
+		}
+		var relay RelayMsg
+		if err := wire.DecodePayload(f.Payload, &relay); err != nil {
+			return fmt.Errorf("privcount sk %s: relay: %w", sk.Name, err)
+		}
+		if relay.N != size {
+			return fmt.Errorf("privcount sk %s: DC %s vector has %d slots, want %d",
+				sk.Name, relay.From, relay.N, size)
+		}
+		acc := accums[relay.From]
+		if acc == nil || relay.Off == 0 {
+			acc = &dcAccum{vec: make([]uint64, size)}
+			accums[relay.From] = acc
+		}
+		if relay.Off != acc.got || relay.Count <= 0 || relay.Off+relay.Count > size {
+			return fmt.Errorf("privcount sk %s: DC %s chunk [%d,%d) does not continue at %d",
+				sk.Name, relay.From, relay.Off, relay.Off+relay.Count, acc.got)
+		}
+		plain, err := sk.key.Open(relay.Box)
+		if err != nil {
+			return fmt.Errorf("privcount sk %s: open box from %s: %w", sk.Name, relay.From, err)
+		}
+		var shares []uint64
+		if err := wire.DecodePayload(plain, &shares); err != nil {
+			return fmt.Errorf("privcount sk %s: decode shares from %s: %w", sk.Name, relay.From, err)
+		}
+		if len(shares) != relay.Count {
+			return fmt.Errorf("privcount sk %s: share chunk from %s has %d slots, want %d",
+				sk.Name, relay.From, len(shares), relay.Count)
+		}
+		for j, s := range shares {
+			acc.vec[relay.Off+j] -= s // negate: SK sums cancel DC blinding at the TS
+		}
+		acc.got += relay.Count
 	}
 
-	var collect CollectMsg
-	if err := m.Expect(kindCollect, &collect); err != nil {
-		return fmt.Errorf("privcount sk %s: collect: %w", sk.Name, err)
+	include := collect.DCs
+	if include == nil {
+		// Pre-churn collect: every completed vector participates.
+		for name, acc := range accums {
+			if acc.got == size {
+				include = append(include, name)
+			}
+		}
+	} else {
+		// The TS may exclude DCs that never reported, but never below
+		// the quorum floor it declared at configure time: a smaller list
+		// would let it isolate individual DCs' counters with only their
+		// fraction of the calibrated noise.
+		floor := cfg.MinDCs
+		if floor <= 0 {
+			floor = cfg.NumDCs
+		}
+		if len(include) < floor {
+			return fmt.Errorf("privcount sk %s: collect names %d DCs, below the declared quorum floor %d",
+				sk.Name, len(include), floor)
+		}
+	}
+	sums := make([]uint64, size)
+	for _, name := range include {
+		acc := accums[name]
+		if acc == nil || acc.got != size {
+			return fmt.Errorf("privcount sk %s: collect names DC %s whose share vector is incomplete", sk.Name, name)
+		}
+		for j, s := range acc.vec {
+			sums[j] += s
+		}
 	}
 	if err := m.Send(kindSums, SumsMsg{From: sk.Name, Round: cfg.Round, N: len(sums)}); err != nil {
 		return err

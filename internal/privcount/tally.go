@@ -2,6 +2,7 @@ package privcount
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/wire"
 )
@@ -18,6 +19,24 @@ type TallyConfig struct {
 	// the noise responsibility; weights are normalized. Nil means equal
 	// shares.
 	NoiseWeights map[string]float64
+	// MinDCs is the quorum floor for data collectors: when Recover is
+	// set, the round completes (with reduced coverage and noise,
+	// annotated via Absent) as long as at least MinDCs reports arrive.
+	// Zero means every DC is required. SKs have no quorum knob: each
+	// holds blinding state the aggregate cannot telescope without.
+	MinDCs int
+	// Recover, when set, is consulted whenever the exchange with the
+	// party at index i of the Run slice fails (the first NumSKs
+	// messengers must then be the SKs, the rest the DCs, which is how
+	// the engine orders them). canRetry reports that the DC's
+	// contribution barrier has not been passed — the begin signal has
+	// not gone out — so a replacement messenger can restart its
+	// register/configure/shares exchange (the SKs reset that DC's share
+	// accumulation when the re-sent chunks restart at offset zero). A
+	// nil replacement with absentOK=true declares the DC absent — its
+	// blinding shares are excluded from every SK's sum via the collect
+	// DC list; absentOK=false fails the round with the original error.
+	Recover func(i int, name string, canRetry bool) (replacement wire.Messenger, absentOK bool)
 }
 
 // Validate checks the configuration.
@@ -28,6 +47,16 @@ func (c TallyConfig) Validate() error {
 	if c.NumSKs <= 0 {
 		return fmt.Errorf("privcount: need at least one SK (the privacy guarantee requires an honest SK)")
 	}
+	if c.MinDCs < 0 || c.MinDCs > c.NumDCs {
+		return fmt.Errorf("privcount: DC quorum %d out of range for %d DCs", c.MinDCs, c.NumDCs)
+	}
+	if c.Recover != nil && len(c.NoiseWeights) > 0 {
+		// The tolerant flow configures DCs one at a time as they
+		// register, so per-name weights cannot be normalized over the
+		// round's actual DC set the way the strict flow does; silently
+		// under-noising the round would erode (ε,δ).
+		return fmt.Errorf("privcount: NoiseWeights are not supported with churn recovery; use equal weights")
+	}
 	_, err := NewSchema(c.Stats)
 	return err
 }
@@ -36,6 +65,14 @@ func (c TallyConfig) Validate() error {
 type Tally struct {
 	cfg    TallyConfig
 	schema *Schema
+	absent []string
+}
+
+// Absent lists the DCs declared absent under the quorum policy after
+// Run returns successfully: the aggregate excludes their counts, their
+// blinding shares, and their noise contribution.
+func (t *Tally) Absent() []string {
+	return append([]string(nil), t.absent...)
 }
 
 // NewTally validates the configuration and returns a tally server.
@@ -55,17 +92,25 @@ func (t *Tally) Schema() *Schema { return t.schema }
 
 // Run executes the round over the given established messengers (one
 // per party — dedicated connections or per-round streams of
-// multiplexed sessions, in any order). It blocks until every DC has
+// multiplexed sessions). It blocks until every participating DC has
 // reported and every SK has answered, then returns the aggregated
 // noisy statistics.
 //
 // The protocol phases are strictly sequenced, matching the PrivCount
 // deployment: registration, configuration, share distribution (sealed
-// chunks relayed through the TS), collection, and aggregation.
+// chunks relayed through the TS), collection, and aggregation. Without
+// cfg.Recover the messenger order is free and any party failure fails
+// the round; with it, the slice must be SKs first (see
+// TallyConfig.Recover) and DC failures degrade the round down to the
+// MinDCs quorum floor, with absent DCs excluded from both the report
+// sum and — via the collect DC list — every SK's blinding sum.
 func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 	if len(conns) != t.cfg.NumDCs+t.cfg.NumSKs {
 		return nil, fmt.Errorf("privcount ts: have %d connections, want %d DCs + %d SKs",
 			len(conns), t.cfg.NumDCs, t.cfg.NumSKs)
+	}
+	if t.cfg.Recover != nil {
+		return t.runTolerant(conns)
 	}
 
 	// Phase 1: registration.
@@ -120,7 +165,7 @@ func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 		}
 	}
 	for _, name := range skNames {
-		cfg := ConfigureMsg{Round: t.cfg.Round, Stats: t.cfg.Stats, NumDCs: t.cfg.NumDCs}
+		cfg := ConfigureMsg{Round: t.cfg.Round, Stats: t.cfg.Stats, NumDCs: t.cfg.NumDCs, MinDCs: t.cfg.MinDCs}
 		if err := skConns[name].Send(kindConfigure, cfg); err != nil {
 			return nil, fmt.Errorf("privcount ts: configure SK %s: %w", name, err)
 		}
@@ -130,36 +175,8 @@ func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 	// arrive; it never holds a key that opens them, and never more than
 	// one chunk of boxes per DC.
 	for _, name := range dcNames {
-		var shares SharesMsg
-		if err := dcConns[name].Expect(kindShares, &shares); err != nil {
-			return nil, fmt.Errorf("privcount ts: shares from DC %s: %w", name, err)
-		}
-		if shares.N != t.schema.Size() {
-			return nil, fmt.Errorf("privcount ts: DC %s sharing %d slots, want %d", name, shares.N, t.schema.Size())
-		}
-		for got := 0; got < shares.N; {
-			var chunk ShareChunkMsg
-			if err := dcConns[name].Expect(kindShareChunk, &chunk); err != nil {
-				return nil, fmt.Errorf("privcount ts: share chunk from DC %s: %w", name, err)
-			}
-			if chunk.Off != got || chunk.Count <= 0 || chunk.Off+chunk.Count > shares.N {
-				return nil, fmt.Errorf("privcount ts: DC %s share chunk [%d,%d) does not continue at %d",
-					name, chunk.Off, chunk.Off+chunk.Count, got)
-			}
-			if len(chunk.Boxes) != len(skNames) {
-				return nil, fmt.Errorf("privcount ts: DC %s sent %d boxes, want %d", name, len(chunk.Boxes), len(skNames))
-			}
-			for _, sk := range skNames {
-				box, ok := chunk.Boxes[sk]
-				if !ok {
-					return nil, fmt.Errorf("privcount ts: DC %s missing box for SK %s", name, sk)
-				}
-				relay := RelayMsg{From: name, Off: chunk.Off, Count: chunk.Count, N: shares.N, Box: box}
-				if err := skConns[sk].Send(kindRelay, relay); err != nil {
-					return nil, fmt.Errorf("privcount ts: relay to SK %s: %w", sk, err)
-				}
-			}
-			got += chunk.Count
+		if err := t.relayShares(name, dcConns[name], skNames, skConns); err != nil {
+			return nil, err
 		}
 	}
 
@@ -174,26 +191,241 @@ func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 	// chunked.
 	vectors := make([][]uint64, 0, len(conns))
 	for _, name := range dcNames {
-		var rep ReportMsg
-		if err := dcConns[name].Expect(kindReport, &rep); err != nil {
-			return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
-		}
-		if rep.Round != t.cfg.Round {
-			return nil, fmt.Errorf("privcount ts: DC %s reported round %d, want %d", name, rep.Round, t.cfg.Round)
-		}
-		vals, err := recvValues(dcConns[name], rep.N)
+		vals, err := t.collectReport(name, dcConns[name])
 		if err != nil {
-			return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+			return nil, err
 		}
 		vectors = append(vectors, vals)
 	}
 
 	// Phase 6: collect SK sums, chunked.
+	sums, err := t.collectSums(skNames, skConns, nil)
+	if err != nil {
+		return nil, err
+	}
+	vectors = append(vectors, sums...)
+
+	// Phase 7: aggregate. Blinding telescopes; what remains is the true
+	// totals plus the DCs' combined Gaussian noise.
+	return Aggregate(t.schema, vectors...)
+}
+
+// runTolerant is the churn-aware flow installed by the engine: SKs
+// register positionally (all required — each holds irreplaceable
+// blinding state), then each DC's setup runs with the engine's
+// recovery callback deciding between a restart on a rejoined session,
+// a declared absence, and failing the round. Absent DCs are excluded
+// from the aggregate on both sides of the telescoping sum.
+func (t *Tally) runTolerant(conns []wire.Messenger) (map[string][]float64, error) {
+	// SKs: positional and protocol-critical.
+	skConns := make(map[string]wire.Messenger)
+	skKeys := make(map[string][]byte)
+	var skNames []string
+	for i := 0; i < t.cfg.NumSKs; i++ {
+		var reg RegisterMsg
+		if err := conns[i].Expect(kindRegister, &reg); err != nil {
+			return nil, fmt.Errorf("privcount ts: registration: %w", err)
+		}
+		if reg.Role != RoleSK {
+			return nil, fmt.Errorf("privcount ts: party %d registered as %q, want %q", i, reg.Role, RoleSK)
+		}
+		if _, dup := skConns[reg.Name]; dup {
+			return nil, fmt.Errorf("privcount ts: duplicate SK %q", reg.Name)
+		}
+		if len(reg.SealPub) == 0 {
+			return nil, fmt.Errorf("privcount ts: SK %q registered without a seal key", reg.Name)
+		}
+		skConns[reg.Name] = conns[i]
+		skNames = append(skNames, reg.Name)
+		skKeys[reg.Name] = reg.SealPub
+	}
 	for _, name := range skNames {
-		if err := skConns[name].Send(kindCollect, CollectMsg{Round: t.cfg.Round}); err != nil {
+		cfg := ConfigureMsg{Round: t.cfg.Round, Stats: t.cfg.Stats, NumDCs: t.cfg.NumDCs, MinDCs: t.cfg.MinDCs}
+		if err := skConns[name].Send(kindConfigure, cfg); err != nil {
+			return nil, fmt.Errorf("privcount ts: configure SK %s: %w", name, err)
+		}
+	}
+
+	// DC setup: register, configure, relay shares — sequentially, so
+	// each SK stream has a single sender. A failed DC may be restarted
+	// once on a replacement messenger while its contribution barrier
+	// (the begin signal) has not been passed; the SKs reset its share
+	// accumulation when the restarted upload begins at offset zero.
+	type dcSlot struct {
+		idx  int
+		name string
+		conn wire.Messenger
+	}
+	var present []dcSlot
+	var absent []string
+	owner := make(map[string]int)
+	for di := 0; di < t.cfg.NumDCs; di++ {
+		idx := t.cfg.NumSKs + di
+		name, err := t.setupDC(idx, conns[idx], skNames, skKeys, skConns, owner)
+		if err == nil {
+			present = append(present, dcSlot{idx: idx, name: name, conn: conns[idx]})
+			continue
+		}
+		repl, absentOK := t.cfg.Recover(idx, name, true)
+		if repl != nil {
+			retryName, retryErr := t.setupDC(idx, repl, skNames, skKeys, skConns, owner)
+			if retryName != "" {
+				name = retryName
+			}
+			if retryErr == nil {
+				present = append(present, dcSlot{idx: idx, name: name, conn: repl})
+				continue
+			}
+			err = retryErr
+			_, absentOK = t.cfg.Recover(idx, name, false)
+		}
+		if !absentOK {
+			return nil, err
+		}
+		if name == "" {
+			name = fmt.Sprintf("dc#%d", di)
+		}
+		absent = append(absent, name)
+	}
+
+	// Begin, then reports; from here a lost DC cannot restart (its
+	// shares are already counted into collection), only be excluded.
+	begun := present[:0]
+	for _, d := range present {
+		if err := d.conn.Send(kindBegin, BeginMsg{Round: t.cfg.Round}); err != nil {
+			if _, absentOK := t.cfg.Recover(d.idx, d.name, false); !absentOK {
+				return nil, fmt.Errorf("privcount ts: begin DC %s: %w", d.name, err)
+			}
+			absent = append(absent, d.name)
+			continue
+		}
+		begun = append(begun, d)
+	}
+	vectors := make([][]uint64, 0, len(begun)+len(skNames))
+	var reported []string
+	for _, d := range begun {
+		vals, err := t.collectReport(d.name, d.conn)
+		if err != nil {
+			if _, absentOK := t.cfg.Recover(d.idx, d.name, false); !absentOK {
+				return nil, err
+			}
+			absent = append(absent, d.name)
+			continue
+		}
+		vectors = append(vectors, vals)
+		reported = append(reported, d.name)
+	}
+
+	min := t.cfg.MinDCs
+	if min <= 0 {
+		min = t.cfg.NumDCs
+	}
+	if len(reported) < min || len(reported) < 1 {
+		return nil, fmt.Errorf("privcount ts: quorum lost: %d of %d DC reports arrived, need %d (absent: %v)",
+			len(reported), t.cfg.NumDCs, min, absent)
+	}
+
+	// SK sums over exactly the reported DCs: the telescoping sum must
+	// exclude an absent DC's blinding on both sides.
+	sums, err := t.collectSums(skNames, skConns, reported)
+	if err != nil {
+		return nil, err
+	}
+	vectors = append(vectors, sums...)
+	sort.Strings(absent)
+	t.absent = absent
+	return Aggregate(t.schema, vectors...)
+}
+
+// setupDC drives one DC through registration, configuration, and share
+// distribution.
+func (t *Tally) setupDC(idx int, c wire.Messenger, skNames []string, skKeys map[string][]byte, skConns map[string]wire.Messenger, owner map[string]int) (string, error) {
+	var reg RegisterMsg
+	if err := c.Expect(kindRegister, &reg); err != nil {
+		return "", fmt.Errorf("privcount ts: registration: %w", err)
+	}
+	if reg.Role != RoleDC {
+		return reg.Name, fmt.Errorf("privcount ts: party %d registered as %q, want %q", idx, reg.Role, RoleDC)
+	}
+	if prev, dup := owner[reg.Name]; dup && prev != idx {
+		return reg.Name, fmt.Errorf("privcount ts: duplicate DC %q", reg.Name)
+	}
+	owner[reg.Name] = idx
+	cfg := ConfigureMsg{
+		Round:       t.cfg.Round,
+		Stats:       t.cfg.Stats,
+		NumDCs:      t.cfg.NumDCs,
+		SKNames:     skNames,
+		SKKeys:      skKeys,
+		NoiseWeight: t.weightFor(reg.Name),
+	}
+	if err := c.Send(kindConfigure, cfg); err != nil {
+		return reg.Name, fmt.Errorf("privcount ts: configure DC %s: %w", reg.Name, err)
+	}
+	return reg.Name, t.relayShares(reg.Name, c, skNames, skConns)
+}
+
+// relayShares forwards one DC's sealed share chunks to every SK.
+func (t *Tally) relayShares(name string, c wire.Messenger, skNames []string, skConns map[string]wire.Messenger) error {
+	var shares SharesMsg
+	if err := c.Expect(kindShares, &shares); err != nil {
+		return fmt.Errorf("privcount ts: shares from DC %s: %w", name, err)
+	}
+	if shares.N != t.schema.Size() {
+		return fmt.Errorf("privcount ts: DC %s sharing %d slots, want %d", name, shares.N, t.schema.Size())
+	}
+	for got := 0; got < shares.N; {
+		var chunk ShareChunkMsg
+		if err := c.Expect(kindShareChunk, &chunk); err != nil {
+			return fmt.Errorf("privcount ts: share chunk from DC %s: %w", name, err)
+		}
+		if chunk.Off != got || chunk.Count <= 0 || chunk.Off+chunk.Count > shares.N {
+			return fmt.Errorf("privcount ts: DC %s share chunk [%d,%d) does not continue at %d",
+				name, chunk.Off, chunk.Off+chunk.Count, got)
+		}
+		if len(chunk.Boxes) != len(skNames) {
+			return fmt.Errorf("privcount ts: DC %s sent %d boxes, want %d", name, len(chunk.Boxes), len(skNames))
+		}
+		for _, sk := range skNames {
+			box, ok := chunk.Boxes[sk]
+			if !ok {
+				return fmt.Errorf("privcount ts: DC %s missing box for SK %s", name, sk)
+			}
+			relay := RelayMsg{From: name, Off: chunk.Off, Count: chunk.Count, N: shares.N, Box: box}
+			if err := skConns[sk].Send(kindRelay, relay); err != nil {
+				return fmt.Errorf("privcount ts: relay to SK %s: %w", sk, err)
+			}
+		}
+		got += chunk.Count
+	}
+	return nil
+}
+
+// collectReport gathers one DC's chunked, blinded, noised report.
+func (t *Tally) collectReport(name string, c wire.Messenger) ([]uint64, error) {
+	var rep ReportMsg
+	if err := c.Expect(kindReport, &rep); err != nil {
+		return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+	}
+	if rep.Round != t.cfg.Round {
+		return nil, fmt.Errorf("privcount ts: DC %s reported round %d, want %d", name, rep.Round, t.cfg.Round)
+	}
+	vals, err := recvValues(c, rep.N)
+	if err != nil {
+		return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+	}
+	return vals, nil
+}
+
+// collectSums asks every SK for its blinding sums over the given DC
+// list (nil: all completed vectors, the pre-churn behavior).
+func (t *Tally) collectSums(skNames []string, skConns map[string]wire.Messenger, dcs []string) ([][]uint64, error) {
+	for _, name := range skNames {
+		if err := skConns[name].Send(kindCollect, CollectMsg{Round: t.cfg.Round, DCs: dcs}); err != nil {
 			return nil, fmt.Errorf("privcount ts: collect SK %s: %w", name, err)
 		}
 	}
+	out := make([][]uint64, 0, len(skNames))
 	for _, name := range skNames {
 		var sums SumsMsg
 		if err := skConns[name].Expect(kindSums, &sums); err != nil {
@@ -203,13 +435,16 @@ func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
 		}
-		vectors = append(vectors, vals)
+		out = append(out, vals)
 	}
-
-	// Phase 7: aggregate. Blinding telescopes; what remains is the true
-	// totals plus the DCs' combined Gaussian noise.
-	return Aggregate(t.schema, vectors...)
+	return out, nil
 }
+
+// weightFor resolves one DC's noise weight in the tolerant flow, where
+// DC names are learned incrementally: always equal weights (Validate
+// rejects NoiseWeights together with Recover, because per-name weights
+// cannot be normalized over a DC set that is still registering).
+func (t *Tally) weightFor(string) float64 { return 1 / float64(t.cfg.NumDCs) }
 
 func (t *Tally) normalizedWeights(dcNames []string) map[string]float64 {
 	out := make(map[string]float64, len(dcNames))

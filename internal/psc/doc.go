@@ -1,0 +1,50 @@
+// Package psc implements the Private Set-Union Cardinality protocol
+// (Fenske, Mani, Johnson, Sherr — CCS 2017) with the paper's extensions
+// (§3.1): a tally server coordinating the data collectors (DCs) and
+// computation parties (CPs), and ingestion of PrivCount events from
+// instrumented relays.
+//
+// Each DC maintains an oblivious hash table: observed items (client
+// IPs, domains, onion addresses) are hashed into bins and immediately
+// discarded — no item is ever stored. Bins are encrypted bits under the
+// CPs' joint ElGamal key. The protocol computes |⋃ᵢ Iᵢ| + noise:
+//
+//  1. DCs send encrypted bit tables; the TS homomorphically sums them,
+//     turning per-bin sums into an OR in the exponent.
+//  2. Each CP in turn appends fair-coin noise ciphertexts (with
+//     Cramer–Damgård–Schoenmakers proofs they encrypt bits), shuffles
+//     and re-randomizes the batch (cut-and-choose verifiable shuffle),
+//     and exponent-blinds every ciphertext (Chaum–Pedersen proofs), so
+//     only empty-vs-non-empty survives and nobody can link bins.
+//  3. The CPs jointly decrypt (proving every decryption share); the TS
+//     counts non-identity plaintexts.
+//
+// The reported value is occupied-bins + Binomial(k·|CPs|, ½); the
+// estimator in internal/stats removes the noise mean and inverts hash
+// collisions to recover the distinct count with an exact CI (§3.3).
+// Privacy holds if at least one CP is honest; correctness is enforced
+// against all CPs by the attached proofs.
+//
+// # Key types
+//
+//   - Config: one round's parameters, including the MinDCs quorum
+//     floor and the engine's Recover callback for churn tolerance.
+//   - Tally: the TS role — chunk-pipelined relay and verifier; it
+//     holds no decryption capability and never sees an unencrypted
+//     bin.
+//   - DC / CP: the party roles, each speaking over one wire.Messenger.
+//   - Result: the round outcome, with AbsentDCs annotating degraded
+//     coverage.
+//
+// # Invariants
+//
+//   - Every vector phase travels as a header plus bounded chunks; the
+//     one whole-vector barrier is the verifiable shuffle, whose proof
+//     must cover the entire permuted batch.
+//   - A round may complete without a DC (reduced coverage, annotated)
+//     but never without a CP: the joint key is an n-of-n threshold.
+//   - A DC's upload can be restarted on a rejoined session only before
+//     its first table chunk is combined (the contribution barrier);
+//     after that the DC is declared absent and the combined table
+//     keeps its partial, still-valid contribution.
+package psc

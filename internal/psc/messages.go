@@ -104,4 +104,8 @@ type Result struct {
 	Reported    int
 	Bins        int
 	NoiseTrials int
+	// AbsentDCs lists data collectors declared absent under the quorum
+	// policy: the round completed without their tables, so Reported
+	// covers a reduced relay set. Empty for a full-strength round.
+	AbsentDCs []string
 }

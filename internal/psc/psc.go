@@ -1,29 +1,3 @@
-// Package psc implements the Private Set-Union Cardinality protocol
-// (Fenske, Mani, Johnson, Sherr — CCS 2017) with the paper's extensions
-// (§3.1): a tally server coordinating the data collectors (DCs) and
-// computation parties (CPs), and ingestion of PrivCount events from
-// instrumented relays.
-//
-// Each DC maintains an oblivious hash table: observed items (client
-// IPs, domains, onion addresses) are hashed into bins and immediately
-// discarded — no item is ever stored. Bins are encrypted bits under the
-// CPs' joint ElGamal key. The protocol computes |⋃ᵢ Iᵢ| + noise:
-//
-//  1. DCs send encrypted bit tables; the TS homomorphically sums them,
-//     turning per-bin sums into an OR in the exponent.
-//  2. Each CP in turn appends fair-coin noise ciphertexts (with
-//     Cramer–Damgård–Schoenmakers proofs they encrypt bits), shuffles
-//     and re-randomizes the batch (cut-and-choose verifiable shuffle),
-//     and exponent-blinds every ciphertext (Chaum–Pedersen proofs), so
-//     only empty-vs-non-empty survives and nobody can link bins.
-//  3. The CPs jointly decrypt (proving every decryption share); the TS
-//     counts non-identity plaintexts.
-//
-// The reported value is occupied-bins + Binomial(k·|CPs|, ½); the
-// estimator in internal/stats removes the noise mean and inverts hash
-// collisions to recover the distinct count with an exact CI (§3.3).
-// Privacy holds if at least one CP is honest; correctness is enforced
-// against all CPs by the attached proofs.
 package psc
 
 import (
@@ -31,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wire"
 )
 
 // Config describes one PSC round.
@@ -54,6 +30,25 @@ type Config struct {
 	// selects DefaultChunk. Smaller chunks tighten the per-party memory
 	// bound of the element-wise phases at the cost of more frames.
 	ChunkElems int
+	// MinDCs is the quorum floor for data collectors: when Recover is
+	// set, the round completes (with degraded coverage, annotated in
+	// Result.AbsentDCs) as long as at least MinDCs tables arrive in
+	// full. Zero means every DC is required. CPs have no quorum knob:
+	// the joint key is an n-of-n threshold, so losing any CP loses the
+	// round.
+	MinDCs int
+	// Recover, when set, is consulted whenever the exchange with the
+	// party at index i of the Run slice fails (the first NumCPs
+	// messengers must then be the CPs, the rest the DCs, which is how
+	// the engine orders them). canRetry reports that the party's
+	// contribution barrier has not been passed — no table chunk has
+	// been combined — so a replacement messenger (a rejoined daemon's
+	// fresh round stream) can restart the party's exchange from
+	// registration. A nil replacement with absentOK=true declares the
+	// party absent; absentOK=false fails the round with the original
+	// error. Nil Recover preserves the strict behavior: any party
+	// failure fails the round.
+	Recover func(i int, name string, canRetry bool) (replacement wire.Messenger, absentOK bool)
 }
 
 // Validate checks the configuration.
@@ -78,6 +73,9 @@ func (c Config) Validate() error {
 	}
 	if c.NumDCs <= 0 {
 		return fmt.Errorf("psc: need at least one DC")
+	}
+	if c.MinDCs < 0 || c.MinDCs > c.NumDCs {
+		return fmt.Errorf("psc: DC quorum %d out of range for %d DCs", c.MinDCs, c.NumDCs)
 	}
 	if c.NumCPs <= 0 {
 		return fmt.Errorf("psc: need at least one CP (privacy needs one honest CP)")

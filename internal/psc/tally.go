@@ -68,117 +68,47 @@ func (f *failer) latched() error {
 	}
 }
 
+// roundParties is the outcome of the registration/configuration/table
+// phase, everything the shared mixing and decryption tail needs.
+type roundParties struct {
+	cpM     map[string]wire.Messenger
+	cpKeys  map[string]elgamal.Point
+	cpNames []string
+	joint   elgamal.Point
+	absent  []string
+}
+
 // Run executes one round over established messengers (one per party —
 // dedicated connections or per-round streams of multiplexed sessions).
+// Without cfg.Recover any party failure fails the round and the
+// messenger order is free; with it, the slice must be CPs first (see
+// Config.Recover) and DC failures degrade the round down to the MinDCs
+// quorum floor.
 func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 	if len(parties) != t.cfg.NumDCs+t.cfg.NumCPs {
 		return Result{}, fmt.Errorf("psc ts: have %d connections, want %d DCs + %d CPs",
 			len(parties), t.cfg.NumDCs, t.cfg.NumCPs)
 	}
 
-	// Registration.
-	dcM := make(map[string]wire.Messenger)
-	cpM := make(map[string]wire.Messenger)
-	cpKeys := make(map[string]elgamal.Point)
-	var dcNames, cpNames []string
-	for _, m := range parties {
-		var reg RegisterMsg
-		if err := m.Expect(kindRegister, &reg); err != nil {
-			return Result{}, fmt.Errorf("psc ts: registration: %w", err)
-		}
-		switch reg.Role {
-		case RoleDC:
-			if _, dup := dcM[reg.Name]; dup {
-				return Result{}, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
-			}
-			dcM[reg.Name] = m
-			dcNames = append(dcNames, reg.Name)
-		case RoleCP:
-			if _, dup := cpM[reg.Name]; dup {
-				return Result{}, fmt.Errorf("psc ts: duplicate CP %q", reg.Name)
-			}
-			pk, _, err := elgamal.ParsePoint(reg.PubKey)
-			if err != nil {
-				return Result{}, fmt.Errorf("psc ts: CP %q public key: %w", reg.Name, err)
-			}
-			cpM[reg.Name] = m
-			cpKeys[reg.Name] = pk
-			cpNames = append(cpNames, reg.Name)
-		default:
-			return Result{}, fmt.Errorf("psc ts: unknown role %q", reg.Role)
-		}
-	}
-	if len(dcNames) != t.cfg.NumDCs || len(cpNames) != t.cfg.NumCPs {
-		return Result{}, fmt.Errorf("psc ts: registered %d DCs and %d CPs, want %d and %d",
-			len(dcNames), len(cpNames), t.cfg.NumDCs, t.cfg.NumCPs)
-	}
-	// Deterministic pipeline order.
-	sort.Strings(cpNames)
-	sort.Strings(dcNames)
-
-	keyList := make([]elgamal.Point, 0, len(cpNames))
-	keyBytes := make([][]byte, 0, len(cpNames))
-	for _, n := range cpNames {
-		keyList = append(keyList, cpKeys[n])
-		keyBytes = append(keyBytes, cpKeys[n].Bytes())
-	}
-	joint, err := elgamal.CombineKeys(keyList...)
-	if err != nil {
-		return Result{}, fmt.Errorf("psc ts: combine keys: %w", err)
-	}
-	// The verification passes below multiply against the joint key for
-	// every element; precompute its fixed-base table once.
-	elgamal.Precompute(joint)
-
-	hashKey := make([]byte, 32)
-	if _, err := rand.Read(hashKey); err != nil {
-		return Result{}, fmt.Errorf("psc ts: hash key: %w", err)
-	}
-
-	// Configuration. Only DCs receive the hash key.
-	base := ConfigureMsg{
-		Round:              t.cfg.Round,
-		Bins:               t.cfg.Bins,
-		NoisePerCP:         t.cfg.NoisePerCP,
-		ShuffleProofRounds: t.cfg.ShuffleProofRounds,
-		ChunkElems:         t.cfg.ChunkElems,
-		JointKey:           joint.Bytes(),
-		CPKeys:             keyBytes,
-	}
-	for _, n := range cpNames {
-		if err := cpM[n].Send(kindConfig, base); err != nil {
-			return Result{}, fmt.Errorf("psc ts: configure CP %s: %w", n, err)
-		}
-	}
-	dcCfg := base
-	dcCfg.HashKey = hashKey
-	for _, n := range dcNames {
-		if err := dcM[n].Send(kindConfig, dcCfg); err != nil {
-			return Result{}, fmt.Errorf("psc ts: configure DC %s: %w", n, err)
-		}
-	}
-
-	f := newFailer()
-	chunk := chunkOf(t.cfg.ChunkElems)
-
 	// Collect encrypted tables from all DCs concurrently, combining
 	// chunks homomorphically as they land: per-bin ciphertext sums turn
 	// into OR in the exponent. Only the running combination is held.
 	combined := make([]elgamal.Ciphertext, t.cfg.Bins)
 	seen := make([]bool, t.cfg.Bins)
-	var combineMu sync.Mutex
-	tableErrs := make(chan error, len(dcNames))
-	for _, n := range dcNames {
-		go func(name string, m wire.Messenger) {
-			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu)
-		}(n, dcM[n])
+	var rp roundParties
+	var err error
+	if t.cfg.Recover == nil {
+		rp, err = t.gatherStrict(parties, combined, seen)
+	} else {
+		rp, err = t.gatherTolerant(parties, combined, seen)
 	}
-	for range dcNames {
-		if err := <-tableErrs; err != nil {
-			f.fail(err)
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
+	cpNames, cpM, cpKeys, joint := rp.cpNames, rp.cpM, rp.cpKeys, rp.joint
+
+	f := newFailer()
+	chunk := chunkOf(t.cfg.ChunkElems)
 
 	// Mixing pipeline: feeder -> CP 1 -> ... -> CP k -> collector, all
 	// running at once, chunked end to end.
@@ -273,11 +203,270 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 		Reported:    reported,
 		Bins:        t.cfg.Bins,
 		NoiseTrials: t.cfg.TotalNoiseTrials(),
+		AbsentDCs:   rp.absent,
 	}, nil
 }
 
-// collectTable streams one DC's table into the shared combination.
-func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
+// gatherStrict is the pre-churn phase driver: order-agnostic
+// registration, configuration, and table collection, with any party
+// failure failing the round.
+func (t *Tally) gatherStrict(parties []wire.Messenger, combined []elgamal.Ciphertext, seen []bool) (roundParties, error) {
+	rp := roundParties{cpM: make(map[string]wire.Messenger), cpKeys: make(map[string]elgamal.Point)}
+	dcM := make(map[string]wire.Messenger)
+	var dcNames []string
+	for _, m := range parties {
+		var reg RegisterMsg
+		if err := m.Expect(kindRegister, &reg); err != nil {
+			return rp, fmt.Errorf("psc ts: registration: %w", err)
+		}
+		switch reg.Role {
+		case RoleDC:
+			if _, dup := dcM[reg.Name]; dup {
+				return rp, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
+			}
+			dcM[reg.Name] = m
+			dcNames = append(dcNames, reg.Name)
+		case RoleCP:
+			if err := rp.addCP(reg, m); err != nil {
+				return rp, err
+			}
+		default:
+			return rp, fmt.Errorf("psc ts: unknown role %q", reg.Role)
+		}
+	}
+	if len(dcNames) != t.cfg.NumDCs || len(rp.cpNames) != t.cfg.NumCPs {
+		return rp, fmt.Errorf("psc ts: registered %d DCs and %d CPs, want %d and %d",
+			len(dcNames), len(rp.cpNames), t.cfg.NumDCs, t.cfg.NumCPs)
+	}
+	sort.Strings(dcNames)
+	cpCfg, dcCfg, err := t.buildConfigs(&rp)
+	if err != nil {
+		return rp, err
+	}
+	for _, n := range rp.cpNames {
+		if err := rp.cpM[n].Send(kindConfig, cpCfg); err != nil {
+			return rp, fmt.Errorf("psc ts: configure CP %s: %w", n, err)
+		}
+	}
+	for _, n := range dcNames {
+		if err := dcM[n].Send(kindConfig, dcCfg); err != nil {
+			return rp, fmt.Errorf("psc ts: configure DC %s: %w", n, err)
+		}
+	}
+	var combineMu sync.Mutex
+	tableErrs := make(chan error, len(dcNames))
+	for _, n := range dcNames {
+		go func(name string, m wire.Messenger) {
+			var merged int
+			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu, &merged)
+		}(n, dcM[n])
+	}
+	// Fail fast on the first error: the caller aborts the round, which
+	// resets every stream and unwinds the remaining collectors (their
+	// sends land in the buffered channel). Waiting for all of them here
+	// would wedge the round on a stalled DC with no deadline armed.
+	for range dcNames {
+		if err := <-tableErrs; err != nil {
+			return rp, err
+		}
+	}
+	return rp, nil
+}
+
+// gatherTolerant is the churn-aware phase driver installed by the
+// engine: CPs register positionally (all required), then each DC's
+// register/configure/table exchange runs in its own goroutine with the
+// engine's recovery callback deciding — per failed DC — between a
+// restart on a rejoined session, a declared absence, and failing the
+// round. The round proceeds only if the surviving tables meet the
+// quorum floor and still cover every bin.
+func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciphertext, seen []bool) (roundParties, error) {
+	rp := roundParties{cpM: make(map[string]wire.Messenger), cpKeys: make(map[string]elgamal.Point)}
+	for i := 0; i < t.cfg.NumCPs; i++ {
+		var reg RegisterMsg
+		if err := parties[i].Expect(kindRegister, &reg); err != nil {
+			return rp, fmt.Errorf("psc ts: registration: %w", err)
+		}
+		if reg.Role != RoleCP {
+			return rp, fmt.Errorf("psc ts: party %d registered as %q, want %q", i, reg.Role, RoleCP)
+		}
+		if err := rp.addCP(reg, parties[i]); err != nil {
+			return rp, err
+		}
+	}
+	cpCfg, dcCfg, err := t.buildConfigs(&rp)
+	if err != nil {
+		return rp, err
+	}
+	for _, n := range rp.cpNames {
+		if err := rp.cpM[n].Send(kindConfig, cpCfg); err != nil {
+			return rp, fmt.Errorf("psc ts: configure CP %s: %w", n, err)
+		}
+	}
+
+	type outcome struct {
+		name   string
+		absent bool
+		err    error
+	}
+	outcomes := make(chan outcome, t.cfg.NumDCs)
+	var mu sync.Mutex
+	owner := make(map[string]int) // DC name -> party index, for duplicate detection across retries
+	for di := 0; di < t.cfg.NumDCs; di++ {
+		idx := t.cfg.NumCPs + di
+		go func(idx int) {
+			name, absent, err := t.runDC(idx, parties[idx], dcCfg, combined, seen, &mu, owner)
+			outcomes <- outcome{name: name, absent: absent, err: err}
+		}(idx)
+	}
+	completed := 0
+	for i := 0; i < t.cfg.NumDCs; i++ {
+		o := <-outcomes
+		switch {
+		case o.err != nil:
+			// Fail fast: the round is aborting (or a DC misbehaved past
+			// what quorum tolerates). The abort resets every stream, so
+			// the remaining DC goroutines unwind into the buffered
+			// channel instead of wedging this loop.
+			return rp, o.err
+		case o.absent:
+			rp.absent = append(rp.absent, o.name)
+		default:
+			completed++
+		}
+	}
+	min := t.cfg.MinDCs
+	if min <= 0 {
+		min = t.cfg.NumDCs
+	}
+	if completed < min || completed < 1 {
+		return rp, fmt.Errorf("psc ts: quorum lost: %d of %d DC tables arrived, need %d (absent: %v)",
+			completed, t.cfg.NumDCs, min, rp.absent)
+	}
+	// A degraded round must still cover the whole table: with >= 1
+	// complete table every bin is populated, but verify rather than
+	// decrypt zero-value ciphertexts.
+	for i, s := range seen {
+		if !s {
+			return rp, fmt.Errorf("psc ts: bin %d has no contribution after degradation", i)
+		}
+	}
+	sort.Strings(rp.absent)
+	return rp, nil
+}
+
+// runDC drives one data collector's registration/configure/table
+// exchange, retrying once on a replacement messenger when the recovery
+// callback provides one and no table chunk has been combined yet (the
+// contribution barrier).
+func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex, owner map[string]int) (name string, absent bool, err error) {
+	attempt := func(m wire.Messenger) (string, int, error) {
+		var reg RegisterMsg
+		if err := m.Expect(kindRegister, &reg); err != nil {
+			return "", 0, fmt.Errorf("psc ts: registration: %w", err)
+		}
+		if reg.Role != RoleDC {
+			return reg.Name, 0, fmt.Errorf("psc ts: party %d registered as %q, want %q", idx, reg.Role, RoleDC)
+		}
+		mu.Lock()
+		prev, claimed := owner[reg.Name]
+		if !claimed {
+			owner[reg.Name] = idx
+		}
+		mu.Unlock()
+		if claimed && prev != idx {
+			return reg.Name, 0, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
+		}
+		if err := m.Send(kindConfig, dcCfg); err != nil {
+			return reg.Name, 0, fmt.Errorf("psc ts: configure DC %s: %w", reg.Name, err)
+		}
+		var merged int
+		err := t.collectTable(reg.Name, m, combined, seen, mu, &merged)
+		return reg.Name, merged, err
+	}
+
+	var merged int
+	name, merged, err = attempt(m)
+	if err == nil {
+		return name, false, nil
+	}
+	repl, absentOK := t.cfg.Recover(idx, name, merged == 0)
+	if repl != nil && merged == 0 {
+		retryName, _, retryErr := attempt(repl)
+		if retryName != "" {
+			name = retryName
+		}
+		if retryErr == nil {
+			return name, false, nil
+		}
+		err = retryErr
+		_, absentOK = t.cfg.Recover(idx, name, false)
+	}
+	if name == "" {
+		name = fmt.Sprintf("dc#%d", idx-t.cfg.NumCPs)
+	}
+	if absentOK {
+		return name, true, nil
+	}
+	return name, false, err
+}
+
+// addCP records one computation party's registration.
+func (rp *roundParties) addCP(reg RegisterMsg, m wire.Messenger) error {
+	if _, dup := rp.cpM[reg.Name]; dup {
+		return fmt.Errorf("psc ts: duplicate CP %q", reg.Name)
+	}
+	pk, _, err := elgamal.ParsePoint(reg.PubKey)
+	if err != nil {
+		return fmt.Errorf("psc ts: CP %q public key: %w", reg.Name, err)
+	}
+	rp.cpM[reg.Name] = m
+	rp.cpKeys[reg.Name] = pk
+	rp.cpNames = append(rp.cpNames, reg.Name)
+	return nil
+}
+
+// buildConfigs combines the CP keys into the round's joint key and
+// materializes the configure messages (the DC variant carries the hash
+// key, which CPs must not see). cpNames is sorted here: the mixing
+// pipeline order must be deterministic.
+func (t *Tally) buildConfigs(rp *roundParties) (cpCfg, dcCfg ConfigureMsg, err error) {
+	sort.Strings(rp.cpNames)
+	keyList := make([]elgamal.Point, 0, len(rp.cpNames))
+	keyBytes := make([][]byte, 0, len(rp.cpNames))
+	for _, n := range rp.cpNames {
+		keyList = append(keyList, rp.cpKeys[n])
+		keyBytes = append(keyBytes, rp.cpKeys[n].Bytes())
+	}
+	rp.joint, err = elgamal.CombineKeys(keyList...)
+	if err != nil {
+		return cpCfg, dcCfg, fmt.Errorf("psc ts: combine keys: %w", err)
+	}
+	// The verification passes multiply against the joint key for every
+	// element; precompute its fixed-base table once.
+	elgamal.Precompute(rp.joint)
+	hashKey := make([]byte, 32)
+	if _, err := rand.Read(hashKey); err != nil {
+		return cpCfg, dcCfg, fmt.Errorf("psc ts: hash key: %w", err)
+	}
+	cpCfg = ConfigureMsg{
+		Round:              t.cfg.Round,
+		Bins:               t.cfg.Bins,
+		NoisePerCP:         t.cfg.NoisePerCP,
+		ShuffleProofRounds: t.cfg.ShuffleProofRounds,
+		ChunkElems:         t.cfg.ChunkElems,
+		JointKey:           rp.joint.Bytes(),
+		CPKeys:             keyBytes,
+	}
+	dcCfg = cpCfg
+	dcCfg.HashKey = hashKey
+	return cpCfg, dcCfg, nil
+}
+
+// collectTable streams one DC's table into the shared combination,
+// counting combined chunks into merged (the contribution barrier:
+// once non-zero, the DC's upload can no longer be restarted).
+func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex, merged *int) error {
 	var hdr VectorHeader
 	if err := m.Expect(kindTable, &hdr); err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
@@ -288,6 +477,7 @@ func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.C
 	err := recvVectorFunc(m, t.cfg.Bins, func(off int, cts []elgamal.Ciphertext) error {
 		mu.Lock()
 		defer mu.Unlock()
+		*merged++
 		fresh := true
 		have := true
 		for i := range cts {

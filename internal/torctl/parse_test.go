@@ -43,7 +43,7 @@ func sampleEvents() []event.Event {
 			Country: "us", ASN: 7018, NumCircuits: 3, BytesSent: 5, BytesRecv: 6,
 		},
 		&event.DescPublished{Header: hdr(simtime.Hour, 5), Address: "abcdefghijklmnop", Version: 2, Replica: 1},
-		&event.DescFetched{Header: hdr(simtime.Hour + 1, 5), Address: "qrstuvwxyz234567", Version: 2, Outcome: event.FetchNotFound},
+		&event.DescFetched{Header: hdr(simtime.Hour+1, 5), Address: "qrstuvwxyz234567", Version: 2, Outcome: event.FetchNotFound},
 		&event.RendezvousEnd{
 			Header: hdr(2*simtime.Hour, 4), CircuitID: 1, Version: 3,
 			Outcome: event.RendConnClosed, PayloadCells: 10, PayloadBytes: 4980,

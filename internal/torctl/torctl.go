@@ -1,35 +1,3 @@
-// Package torctl speaks the Tor control protocol to an instrumented
-// relay, replacing the torsim socket feed with the ingestion path the
-// paper's deployment used (§3.1): a PrivCount-patched Tor emits
-// asynchronous PRIVCOUNT_* control-port events, and the data collector
-// consumes them over a long-lived, authenticated control connection.
-//
-// The package has three layers:
-//
-//   - A control-protocol client (Client): PROTOCOLINFO, COOKIE /
-//     SAFECOOKIE / password AUTHENTICATE, SETEVENTS, 650 async-reply
-//     parsing, and automatic reconnect with exponential backoff, so a
-//     months-long collection survives relay restarts and network churn.
-//   - Line parsers (LineParser, FormatEvent) mapping PRIVCOUNT_* event
-//     lines onto the internal/event vocabulary: wall-clock timestamps
-//     map onto simtime via a TimeMap, enum fields are normalized, and
-//     unknown keys are tolerated so a newer Tor patch does not break an
-//     older collector.
-//   - A mock instrumented relay (MockRelay): a control-port server that
-//     authenticates controllers and replays torsim-generated traces as
-//     PRIVCOUNT_* lines. It doubles as the test double for the client
-//     and, via cmd/mockrelay, as a standalone stand-in relay for
-//     deployment rehearsals.
-//
-// The event-line dialect is keyword=value, mirroring Tor's own async
-// events (e.g. "650 CIRC ... BUILD_FLAGS=..."):
-//
-//	650 PRIVCOUNT_STREAM_ENDED Time=1514764800.250000000 Relay=3
-//	    CircID=77 IsInitial=1 Target=hostname Port=443
-//	    Host=example.com SentBytes=120 RecvBytes=4096
-//
-// Values containing spaces, quotes, or backslashes travel as quoted
-// strings with backslash escapes (the control-spec QuotedString form).
 package torctl
 
 import "errors"

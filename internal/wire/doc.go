@@ -1,0 +1,40 @@
+// Package wire is the message transport shared by the PrivCount and PSC
+// deployments: length-framed, gob-encoded messages over TCP, optionally
+// wrapped in TLS with ephemeral self-signed certificates authenticated
+// by pinned public-key hashes (the way a research deployment pins its
+// tally server and share keepers to known operators).
+//
+// The same Conn type also runs over an in-memory pipe so protocol tests
+// exercise identical code paths without sockets.
+//
+// # Key types
+//
+//   - Frame: the unit of exchange — a kind tag, a gob payload, and a
+//     stream ID for multiplexed sessions.
+//   - Conn: a framed connection with a per-connection frame cap.
+//   - Session / Stream: HTTP/2-in-miniature multiplexing — one
+//     persistent connection carries one logical Stream per (round,
+//     role), each with credit-based flow control. Session.Done is the
+//     churn signal the engine's party registry watches.
+//   - Messenger: the interface every protocol role speaks, satisfied by
+//     both Conn and Stream, so a role runs unchanged over a dedicated
+//     connection or one stream of a shared session.
+//   - Identity / Listener / Dial: the TLS layer with SPKI-fingerprint
+//     pinning.
+//
+// # Invariants
+//
+//   - No frame exceeds the connection's cap (DefaultMaxFrame, 1 MiB
+//     unless overridden with WithMaxFrame): vector-valued protocol
+//     phases chunk their payloads, and a peer demanding a larger
+//     allocation is dropped, not accommodated.
+//   - A stream sender may have at most one flow-control window
+//     (DefaultWindow) in flight; the session read loop never writes,
+//     so two sessions cannot deadlock exchanging window updates.
+//   - The "mux/" frame-kind prefix is reserved for session control;
+//     protocol kinds are namespaced ("psc/...", "privcount/...",
+//     "engine/...").
+//   - Send and Recv are each safe for one concurrent caller (a reader
+//     goroutine plus a writer goroutine — the shape every chunked
+//     phase uses).
+package wire

@@ -119,6 +119,13 @@ func (s *Session) Accept() (*Stream, error) {
 	}
 }
 
+// Done closes when the session dies — the peer hung up, the transport
+// failed, or Close was called. It is the engine's churn signal: a
+// registry watching Done can move a party to the disconnected state the
+// moment its TCP session drops, instead of discovering it on the next
+// round's first failed stream operation.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
 // Err reports why the session died (nil while healthy).
 func (s *Session) Err() error {
 	s.mu.Lock()

@@ -1,11 +1,3 @@
-// Package wire is the message transport shared by the PrivCount and PSC
-// deployments: length-framed, gob-encoded messages over TCP, optionally
-// wrapped in TLS with ephemeral self-signed certificates authenticated
-// by pinned public-key hashes (the way a research deployment pins its
-// tally server and share keepers to known operators).
-//
-// The same Conn type also runs over an in-memory pipe so protocol tests
-// exercise identical code paths without sockets.
 package wire
 
 import (

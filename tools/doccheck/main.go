@@ -1,0 +1,113 @@
+// Command doccheck fails when exported identifiers in the given
+// packages lack doc comments, keeping the godoc pass from rotting. It
+// is the repo's stand-in for a linter dependency: go/ast only, no
+// modules beyond the standard library.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/engine ./internal/wire ...
+//
+// Rules: every exported package-level function, method, and type needs
+// a doc comment; exported consts and vars are covered by a comment on
+// their declaration group; _test.go files are exempt.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				for _, miss := range missing(file) {
+					pos := fset.Position(miss.pos)
+					fmt.Printf("%s:%d: exported %s %s has no doc comment\n",
+						filepath.ToSlash(path), pos.Line, miss.kind, miss.name)
+					bad++
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("doccheck: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+type miss struct {
+	kind, name string
+	pos        token.Pos
+}
+
+// missing reports exported declarations in one file without docs.
+func missing(file *ast.File) []miss {
+	var out []miss
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			kind := "function"
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				base := receiverName(d.Recv.List[0].Type)
+				if base != "" && !ast.IsExported(base) {
+					continue // method on an unexported type
+				}
+				name = base + "." + name
+				kind = "method"
+			}
+			out = append(out, miss{kind: kind, name: name, pos: d.Pos()})
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						out = append(out, miss{kind: "type", name: s.Name.Name, pos: s.Pos()})
+					}
+				case *ast.ValueSpec:
+					// A comment on the group covers every name in it.
+					if d.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil {
+							out = append(out, miss{kind: "value", name: n.Name, pos: n.Pos()})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's base type name.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}
