@@ -59,7 +59,7 @@ func main() {
 	relay := flag.Int("relay", 0, "relay id to subscribe to (-1 = all; also the observer id for control-port events)")
 	name := flag.String("name", "dc-0", "data collector name")
 	id := flag.String("id", "", "pinned party identity (empty: the name)")
-	token := flag.String("token", "", "registration token binding the identity across reconnects")
+	token := flag.String("token", "", "registration token binding the identity across reconnects (required to rejoin)")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	rounds := flag.Int("rounds", 1, "number of rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
@@ -164,30 +164,83 @@ func main() {
 	// before it consumes quota: a session blip delivers a failed outcome
 	// from the dead stream while the reconnect loop may already be
 	// resuming the same round on a fresh session, and that resumed
-	// outcome is the one that should count. A success counts its round
-	// immediately; a lingering failure finalizes only if nothing
-	// supersedes it.
+	// outcome is the one that should count. A success finalizes its
+	// round immediately (superseding any lingering — or even already
+	// finalized — failure); a failure finalizes, and is reported as a
+	// failure, only when its linger window expires unsuperseded. Each
+	// round arms at most one timer, and the timer finalizes under the
+	// mutex with a non-blocking wakeup, so repeated failures across many
+	// rounds can neither leak blocked goroutines nor miscount.
 	const failLinger = 5 * time.Second
-	seen := make(map[uint64]bool)
-	finalFail := make(chan uint64, *rounds+16)
-	for len(seen) < *rounds {
+	const (
+		pendingFail = iota + 1
+		doneOK
+		doneFailed
+	)
+	var (
+		mu    sync.Mutex
+		state = make(map[uint64]int)
+		wake  = make(chan struct{}, 1)
+	)
+	poke := func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	tally := func() (finalized, failed int) {
+		for _, s := range state {
+			switch s {
+			case doneOK:
+				finalized++
+			case doneFailed:
+				finalized++
+				failed++
+			}
+		}
+		return
+	}
+	for {
+		mu.Lock()
+		finalized, _ := tally()
+		mu.Unlock()
+		if finalized >= *rounds {
+			break
+		}
 		select {
 		case out := <-completed:
+			mu.Lock()
 			if out.err != nil {
 				fmt.Printf("datacollector %s: round %d failed: %v\n", *name, out.round, out.err)
-				if !seen[out.round] {
+				if state[out.round] == 0 {
+					state[out.round] = pendingFail
 					r := out.round
-					time.AfterFunc(failLinger, func() { finalFail <- r })
+					time.AfterFunc(failLinger, func() {
+						mu.Lock()
+						if state[r] == pendingFail {
+							state[r] = doneFailed
+						}
+						mu.Unlock()
+						poke()
+					})
 				}
 			} else {
 				fmt.Printf("datacollector %s: round %d complete\n", *name, out.round)
-				seen[out.round] = true
+				state[out.round] = doneOK
 			}
-		case r := <-finalFail:
-			seen[r] = true
+			mu.Unlock()
+		case <-wake:
 		}
 	}
-	fmt.Printf("datacollector %s: %d rounds served\n", *name, len(seen))
+	mu.Lock()
+	finalized, failed := tally()
+	mu.Unlock()
+	if failed > 0 {
+		fmt.Printf("datacollector %s: %d rounds served (%d completed, %d failed)\n",
+			*name, finalized, finalized-failed, failed)
+	} else {
+		fmt.Printf("datacollector %s: %d rounds served\n", *name, finalized)
+	}
 }
 
 // collector fans feed events into every active round's DC.

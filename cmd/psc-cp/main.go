@@ -31,7 +31,7 @@ func main() {
 	tally := flag.String("tally", "127.0.0.1:7001", "tally server address")
 	name := flag.String("name", "cp-0", "computation party name")
 	id := flag.String("id", "", "pinned party identity (empty: the name)")
-	token := flag.String("token", "", "registration token binding the identity across reconnects")
+	token := flag.String("token", "", "registration token binding the identity across reconnects (required to rejoin)")
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")

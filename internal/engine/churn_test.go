@@ -404,3 +404,56 @@ func TestQuorumLostAborts(t *testing.T) {
 		close(d.done)
 	}
 }
+
+// TestRejoinWithoutTokenRejected: an identity pinned without a token is
+// not rejoin-capable. A second session claiming it — presenting the
+// trivially "matching" empty token — must be refused with an explicit
+// ack and must not disturb the original session, or knowing a party's
+// name would be enough to hijack its identity.
+func TestRejoinWithoutTokenRejected(t *testing.T) {
+	e := New()
+	t.Cleanup(e.Close)
+	register := func() (*wire.Session, error) {
+		tsConn, partyConn := wire.Pipe()
+		ts := wire.NewSession(tsConn, false)
+		party := wire.NewSession(partyConn, true)
+		go e.AcceptSession(ts)
+		_, err := SendHelloPinned(party, Hello{Role: RoleDC, Name: "dc-bare"})
+		return party, err
+	}
+	first, err := register()
+	if err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if _, err := register(); !errors.Is(err, ErrRejected) {
+		t.Fatalf("token-less rejoin error = %v, want ErrRejected", err)
+	}
+	select {
+	case <-first.Done():
+		t.Fatal("original session closed by the rejected rejoin")
+	default:
+	}
+	if _, _, dcs := e.Counts(); dcs != 1 {
+		t.Fatalf("registry has %d DCs after rejected rejoin, want 1", dcs)
+	}
+}
+
+// TestRejoinEmptyPresentedTokenRejected: a pinned identity with a real
+// token must also refuse a rejoin that presents no token at all — the
+// constant-time comparison rejects on length, and the registry counts
+// the attempt as a rejection.
+func TestRejoinEmptyPresentedTokenRejected(t *testing.T) {
+	e, dcs, _ := churnFleet(t, 1, 1)
+	_ = dcs
+	tsConn, partyConn := wire.Pipe()
+	ts := wire.NewSession(tsConn, false)
+	party := wire.NewSession(partyConn, true)
+	go e.AcceptSession(ts)
+	_, err := SendHelloPinned(party, Hello{Role: RoleDC, Name: "dc-0"})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("empty-token rejoin error = %v, want ErrRejected", err)
+	}
+	if _, _, got := e.Counts(); got != 1 {
+		t.Fatalf("registry has %d DCs after rejected rejoin, want 1", got)
+	}
+}

@@ -30,13 +30,17 @@
 // enters the disconnected state, and a reconnecting daemon presenting
 // the same identity and token is rebound to its registry entry —
 // latest-wins, with any previous live session closed. A token mismatch
-// is rejected (ErrRejected). Rounds snapshot their membership at
-// scheduling time: a party that drops mid-round may resume on its
-// rejoined session while its contribution barrier has not been passed
-// (the engine waits up to the SetRejoinGrace window and reopens the
-// round stream); past the barrier the party is declared absent and the
-// round degrades under the QuorumPolicy — completing with the absence
-// annotated — aborting only when quorum is genuinely lost.
+// is rejected (ErrRejected, constant-time comparison), and so is any
+// rejoin of an identity pinned without a token: token-less identities
+// stay bound to their first session, since an empty token would let
+// anyone who knows the name hijack it. Rounds snapshot their
+// membership at scheduling time: a party that drops mid-round may
+// resume on its rejoined session while its contribution barrier has
+// not been passed (the engine waits up to the SetRejoinGrace window
+// and reopens the round stream); past the barrier the party is
+// declared absent and the round degrades under the QuorumPolicy —
+// completing with the absence annotated — aborting only when quorum is
+// genuinely lost.
 //
 // # Invariants
 //

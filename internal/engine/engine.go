@@ -33,9 +33,13 @@ const (
 // party's pinned identity (defaulting to Name); Token is the
 // registration secret bound to that identity on first contact — a
 // rejoining daemon must present the same token, so a session drop does
-// not let another operator claim the identity. Deployments that want
-// stronger pinning run the wire layer over TLS and use the session
-// fingerprint as the token.
+// not let another operator claim the identity. An empty token leaves
+// the identity bound to its first session: every rejoin attempt is
+// refused, since accepting one would let any peer that knows the name
+// take the session over. Daemons that must survive reconnects
+// therefore need a token. Deployments that want stronger pinning run
+// the wire layer over TLS and use the session fingerprint as the
+// token.
 type Hello struct {
 	Role  string
 	Name  string

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"time"
 
@@ -66,11 +67,14 @@ func regKey(role, id string) string { return role + "/" + id }
 // register adds a new party or — when allowRejoin is set — rebinds an
 // existing identity to a fresh session (a rejoin). Two live sessions
 // claiming the same identity resolve latest-wins: the newer session
-// becomes the member's session and the older one is closed. A
-// registration whose token does not match the pinned token is
-// rejected, as is a duplicate identity when rejoining is not allowed
-// (the direct Add* path, where a duplicate is a caller bug rather than
-// a reconnecting daemon).
+// becomes the member's session and the older one is closed. Rejoining
+// requires a token: an identity pinned without one stays bound to its
+// first session and every rejoin attempt is refused, because with an
+// empty token any peer that knows a party's name could hijack its
+// session. Token comparison is constant-time. A registration whose
+// token does not match the pinned token is rejected, as is a duplicate
+// identity when rejoining is not allowed (the direct Add* path, where
+// a duplicate is a caller bug rather than a reconnecting daemon).
 func (e *Engine) register(h Hello, sess *wire.Session, allowRejoin bool) (rejoined bool, err error) {
 	id := h.id()
 	var stale *wire.Session
@@ -84,7 +88,12 @@ func (e *Engine) register(h Hello, sess *wire.Session, allowRejoin bool) (rejoin
 			e.mu.Unlock()
 			return false, fmt.Errorf("engine: %s %q already registered", h.Role, id)
 		}
-		if m.token != h.Token {
+		if m.token == "" {
+			e.mu.Unlock()
+			e.reg.Inc("engine/parties-rejected")
+			return false, fmt.Errorf("engine: %s %q registered without a token and cannot rejoin; set -token to make the identity rejoin-capable", h.Role, id)
+		}
+		if subtle.ConstantTimeCompare([]byte(m.token), []byte(h.Token)) != 1 {
 			e.mu.Unlock()
 			e.reg.Inc("engine/parties-rejected")
 			return false, fmt.Errorf("engine: %s %q: registration token does not match pinned identity", h.Role, id)

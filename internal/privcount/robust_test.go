@@ -197,3 +197,33 @@ func TestSKRejectsShortShareVector(t *testing.T) {
 		t.Fatalf("want share-length error, got %v", err)
 	}
 }
+
+// TestTolerantNoiseWeightProvisionsQuorumFloor: the churn-aware flow
+// must hand every DC 1/MinDCs of the noise responsibility, not
+// 1/NumDCs — an absent DC's noise share travels in its never-sent
+// report, so quorum-floor weights are what keep a round degraded to
+// MinDCs reporting DCs at (or above) the calibrated Gaussian sigma.
+func TestTolerantNoiseWeightProvisionsQuorumFloor(t *testing.T) {
+	recover := func(int, string, bool) (wire.Messenger, bool) { return nil, false }
+	for _, tc := range []struct {
+		numDCs, minDCs int
+		want           float64
+	}{
+		{4, 2, 0.5},     // k-of-n quorum: provision at the floor
+		{4, 0, 0.25},    // no floor set: all DCs required, equal shares
+		{3, 3, 1.0 / 3}, // floor equals the fleet: equal shares
+		{2, 1, 1.0},     // dcs=1 quorum: every DC carries full sigma
+	} {
+		tally, err := NewTally(TallyConfig{
+			Round: 1, Stats: oneStat, NumDCs: tc.numDCs, NumSKs: 1,
+			MinDCs: tc.minDCs, Recover: recover,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tally.weightFor("any"); got != tc.want {
+			t.Errorf("weightFor with %d DCs, quorum floor %d = %v, want %v",
+				tc.numDCs, tc.minDCs, got, tc.want)
+		}
+	}
+}

@@ -215,7 +215,10 @@ func (t *Tally) Run(conns []wire.Messenger) (map[string][]float64, error) {
 // blinding state), then each DC's setup runs with the engine's
 // recovery callback deciding between a restart on a rejoined session,
 // a declared absence, and failing the round. Absent DCs are excluded
-// from the aggregate on both sides of the telescoping sum.
+// from the aggregate on both sides of the telescoping sum; their noise
+// shares are covered by provisioning every DC's weight at the quorum
+// floor (see weightFor), so a degraded round never carries less than
+// the calibrated sigma.
 func (t *Tally) runTolerant(conns []wire.Messenger) (map[string][]float64, error) {
 	// SKs: positional and protocol-critical.
 	skConns := make(map[string]wire.Messenger)
@@ -441,10 +444,25 @@ func (t *Tally) collectSums(skNames []string, skConns map[string]wire.Messenger,
 }
 
 // weightFor resolves one DC's noise weight in the tolerant flow, where
-// DC names are learned incrementally: always equal weights (Validate
-// rejects NoiseWeights together with Recover, because per-name weights
-// cannot be normalized over a DC set that is still registering).
-func (t *Tally) weightFor(string) float64 { return 1 / float64(t.cfg.NumDCs) }
+// DC names are learned incrementally (Validate rejects NoiseWeights
+// together with Recover, because per-name weights cannot be normalized
+// over a DC set that is still registering). Weights are provisioned at
+// the quorum floor, not the DC count: an absent DC's noise share
+// travels in its never-sent report, so 1/NumDCs shares would leave a
+// round degraded to k of n DCs with only k/n of the calibrated
+// Gaussian variance — silently eroding (ε,δ). At 1/MinDCs every
+// outcome the quorum admits carries at least the full calibrated
+// sigma; a full-strength round is over-noised by NumDCs/MinDCs in
+// variance, the price of not knowing at configure time which DCs will
+// survive to report, and the accountant's nominal per-round charge
+// stays an upper bound on the realized epsilon.
+func (t *Tally) weightFor(string) float64 {
+	min := t.cfg.MinDCs
+	if min <= 0 || min > t.cfg.NumDCs {
+		min = t.cfg.NumDCs
+	}
+	return 1 / float64(min)
+}
 
 func (t *Tally) normalizedWeights(dcNames []string) map[string]float64 {
 	out := make(map[string]float64, len(dcNames))

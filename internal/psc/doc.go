@@ -43,8 +43,9 @@
 //     must cover the entire permuted batch.
 //   - A round may complete without a DC (reduced coverage, annotated)
 //     but never without a CP: the joint key is an n-of-n threshold.
-//   - A DC's upload can be restarted on a rejoined session only before
-//     its first table chunk is combined (the contribution barrier);
-//     after that the DC is declared absent and the combined table
-//     keeps its partial, still-valid contribution.
+//   - A DC's upload can be restarted on a rejoined session until its
+//     table completes: the tolerant flow buffers each table privately
+//     and merges it into the shared combination only as a whole, so a
+//     DC declared absent contributed nothing — Result.AbsentDCs is an
+//     exact coverage boundary, never "partially included".
 package psc

@@ -40,14 +40,16 @@ type Config struct {
 	// Recover, when set, is consulted whenever the exchange with the
 	// party at index i of the Run slice fails (the first NumCPs
 	// messengers must then be the CPs, the rest the DCs, which is how
-	// the engine orders them). canRetry reports that the party's
-	// contribution barrier has not been passed — no table chunk has
-	// been combined — so a replacement messenger (a rejoined daemon's
-	// fresh round stream) can restart the party's exchange from
-	// registration. A nil replacement with absentOK=true declares the
-	// party absent; absentOK=false fails the round with the original
-	// error. Nil Recover preserves the strict behavior: any party
-	// failure fails the round.
+	// the engine orders them). canRetry reports that a replacement
+	// messenger (a rejoined daemon's fresh round stream) may restart
+	// the party's exchange from registration; the tolerant flow
+	// buffers each DC's table and merges it into the shared sum only
+	// once complete, so a failed upload leaves no partial state and
+	// every failure before the table's completion is retryable. A nil
+	// replacement with absentOK=true declares the party absent — none
+	// of its table is included in the aggregate; absentOK=false fails
+	// the round with the original error. Nil Recover preserves the
+	// strict behavior: any party failure fails the round.
 	Recover func(i int, name string, canRetry bool) (replacement wire.Messenger, absentOK bool)
 }
 

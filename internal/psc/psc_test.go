@@ -339,3 +339,92 @@ func BenchmarkRound256Bins(b *testing.B) {
 		cpWG.Wait()
 	}
 }
+
+// TestTolerantAbsentDCContributesNothing: a DC that dies after
+// uploading part of its table must be declared absent with none of its
+// chunks in the aggregate. The tolerant flow buffers each table and
+// merges it only once complete, so Result.AbsentDCs is an exact
+// coverage statement — here the dying DC marks 16 bins in its aborted
+// upload and the result must still count only the survivor's one item.
+func TestTolerantAbsentDCContributesNothing(t *testing.T) {
+	cfg := Config{
+		Round: 7, Bins: 64, NoisePerCP: 0, ShuffleProofRounds: 2,
+		NumDCs: 2, NumCPs: 1, MinDCs: 1, ChunkElems: 16,
+		Recover: func(int, string, bool) (wire.Messenger, bool) { return nil, true },
+	}
+	tally, err := NewTally(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tsConns []wire.Messenger
+
+	// CP first: the tolerant flow registers CPs positionally.
+	tsSide0, cpSide := wire.Pipe()
+	tsConns = append(tsConns, tsSide0)
+	cp := NewCP("cp-0", cpSide, nil)
+	go cp.Serve()
+
+	// Surviving DC.
+	tsSide1, goodSide := wire.Pipe()
+	tsConns = append(tsConns, tsSide1)
+	good := NewDC("dc-good", goodSide)
+
+	// Dying DC: registers, announces a full table, uploads one chunk
+	// with every bin set — then its connection dies mid-upload.
+	tsSide2, dyingSide := wire.Pipe()
+	tsConns = append(tsConns, tsSide2)
+	dying := make(chan struct{})
+	go func() {
+		defer close(dying)
+		conn := dyingSide
+		conn.Send(kindRegister, RegisterMsg{Role: RoleDC, Name: "dc-dying"})
+		var cc ConfigureMsg
+		if conn.Expect(kindConfig, &cc) != nil {
+			return
+		}
+		joint, _, err := elgamal.ParsePoint(cc.JointKey)
+		if err != nil {
+			return
+		}
+		bits := make([]bool, cc.ChunkElems)
+		for i := range bits {
+			bits[i] = true
+		}
+		cts, _ := elgamal.BatchEncryptBits(joint, bits)
+		conn.Send(kindTable, VectorHeader{From: "dc-dying", Round: cc.Round, N: cc.Bins})
+		conn.Send(kindChunk, ChunkMsg{Off: 0, Count: len(cts), Data: encodeVector(cts)})
+		conn.Close()
+	}()
+
+	resCh := make(chan Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := tally.Run(tsConns)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	if err := good.Setup(); err != nil {
+		t.Fatalf("surviving dc setup: %v", err)
+	}
+	good.Observe("only-item")
+	if err := good.Finish(); err != nil {
+		t.Fatalf("surviving dc finish: %v", err)
+	}
+	<-dying
+	select {
+	case res := <-resCh:
+		if len(res.AbsentDCs) != 1 || res.AbsentDCs[0] != "dc-dying" {
+			t.Fatalf("AbsentDCs = %v, want [dc-dying]", res.AbsentDCs)
+		}
+		if res.Reported != 1 {
+			t.Fatalf("reported %d bins, want 1: the absent DC's partial upload leaked into the aggregate", res.Reported)
+		}
+	case err := <-errCh:
+		t.Fatalf("tally: %v", err)
+	}
+}

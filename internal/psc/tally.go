@@ -18,11 +18,13 @@ import (
 // never sees an unencrypted bin.
 //
 // Every vector phase is chunked and pipelined: DC tables are combined
-// as their chunks arrive, each CP's verified blinded chunks are
-// forwarded to the next CP while the upstream CP is still mixing, and
-// decryption shares are verified per chunk from all CPs concurrently.
-// The CP-chain barrier is the verifiable shuffle, which privacy
-// requires to cover the whole vector at once.
+// as their chunks arrive (strict flow) or buffered per DC and merged
+// whole (tolerant flow, so an absent DC contributes nothing), each
+// CP's verified blinded chunks are forwarded to the next CP while the
+// upstream CP is still mixing, and decryption shares are verified per
+// chunk from all CPs concurrently. The CP-chain barrier is the
+// verifiable shuffle, which privacy requires to cover the whole vector
+// at once.
 type Tally struct {
 	cfg Config
 }
@@ -91,8 +93,10 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 	}
 
 	// Collect encrypted tables from all DCs concurrently, combining
-	// chunks homomorphically as they land: per-bin ciphertext sums turn
-	// into OR in the exponent. Only the running combination is held.
+	// them homomorphically: per-bin ciphertext sums turn into OR in the
+	// exponent. The strict flow merges chunks as they land and holds
+	// only the running combination; the tolerant flow buffers each DC's
+	// table and merges it once complete (see collectTableBuffered).
 	combined := make([]elgamal.Ciphertext, t.cfg.Bins)
 	seen := make([]bool, t.cfg.Bins)
 	var rp roundParties
@@ -257,8 +261,7 @@ func (t *Tally) gatherStrict(parties []wire.Messenger, combined []elgamal.Cipher
 	tableErrs := make(chan error, len(dcNames))
 	for _, n := range dcNames {
 		go func(name string, m wire.Messenger) {
-			var merged int
-			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu, &merged)
+			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu)
 		}(n, dcM[n])
 	}
 	// Fail fast on the first error: the caller aborts the round, which
@@ -357,16 +360,18 @@ func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciph
 
 // runDC drives one data collector's registration/configure/table
 // exchange, retrying once on a replacement messenger when the recovery
-// callback provides one and no table chunk has been combined yet (the
-// contribution barrier).
+// callback provides one. Tables are buffered per DC and merged into the
+// shared combination only once complete, so a failed upload leaves no
+// partial state: every failure before the table's completion is
+// retryable, and a DC declared absent contributed nothing.
 func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex, owner map[string]int) (name string, absent bool, err error) {
-	attempt := func(m wire.Messenger) (string, int, error) {
+	attempt := func(m wire.Messenger) (string, error) {
 		var reg RegisterMsg
 		if err := m.Expect(kindRegister, &reg); err != nil {
-			return "", 0, fmt.Errorf("psc ts: registration: %w", err)
+			return "", fmt.Errorf("psc ts: registration: %w", err)
 		}
 		if reg.Role != RoleDC {
-			return reg.Name, 0, fmt.Errorf("psc ts: party %d registered as %q, want %q", idx, reg.Role, RoleDC)
+			return reg.Name, fmt.Errorf("psc ts: party %d registered as %q, want %q", idx, reg.Role, RoleDC)
 		}
 		mu.Lock()
 		prev, claimed := owner[reg.Name]
@@ -375,24 +380,21 @@ func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, combined []
 		}
 		mu.Unlock()
 		if claimed && prev != idx {
-			return reg.Name, 0, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
+			return reg.Name, fmt.Errorf("psc ts: duplicate DC %q", reg.Name)
 		}
 		if err := m.Send(kindConfig, dcCfg); err != nil {
-			return reg.Name, 0, fmt.Errorf("psc ts: configure DC %s: %w", reg.Name, err)
+			return reg.Name, fmt.Errorf("psc ts: configure DC %s: %w", reg.Name, err)
 		}
-		var merged int
-		err := t.collectTable(reg.Name, m, combined, seen, mu, &merged)
-		return reg.Name, merged, err
+		return reg.Name, t.collectTableBuffered(reg.Name, m, combined, seen, mu)
 	}
 
-	var merged int
-	name, merged, err = attempt(m)
+	name, err = attempt(m)
 	if err == nil {
 		return name, false, nil
 	}
-	repl, absentOK := t.cfg.Recover(idx, name, merged == 0)
-	if repl != nil && merged == 0 {
-		retryName, _, retryErr := attempt(repl)
+	repl, absentOK := t.cfg.Recover(idx, name, true)
+	if repl != nil {
+		retryName, retryErr := attempt(repl)
 		if retryName != "" {
 			name = retryName
 		}
@@ -463,10 +465,12 @@ func (t *Tally) buildConfigs(rp *roundParties) (cpCfg, dcCfg ConfigureMsg, err e
 	return cpCfg, dcCfg, nil
 }
 
-// collectTable streams one DC's table into the shared combination,
-// counting combined chunks into merged (the contribution barrier:
-// once non-zero, the DC's upload can no longer be restarted).
-func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex, merged *int) error {
+// collectTable streams one DC's table into the shared combination as
+// chunks arrive — the strict flow's memory-lean path, holding only the
+// running combination. That is safe only because any DC failure fails
+// the whole strict round: a partially merged table can never outlive
+// its round as a completed result.
+func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
 	var hdr VectorHeader
 	if err := m.Expect(kindTable, &hdr); err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
@@ -477,42 +481,74 @@ func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.C
 	err := recvVectorFunc(m, t.cfg.Bins, func(off int, cts []elgamal.Ciphertext) error {
 		mu.Lock()
 		defer mu.Unlock()
-		*merged++
-		fresh := true
-		have := true
-		for i := range cts {
-			if seen[off+i] {
-				fresh = false
-			} else {
-				have = false
-			}
-		}
-		switch {
-		case fresh && have: // impossible (empty chunk is rejected upstream)
-		case fresh:
-			copy(combined[off:], cts)
-		case have:
-			// All positions populated: one batch add normalizes the whole
-			// chunk with a single inversion.
-			copy(combined[off:], elgamal.BatchAddCiphertexts(combined[off:off+len(cts)], cts))
-		default:
-			for i, ct := range cts {
-				if seen[off+i] {
-					combined[off+i] = combined[off+i].Add(ct)
-				} else {
-					combined[off+i] = ct
-				}
-			}
-		}
-		for i := range cts {
-			seen[off+i] = true
-		}
+		mergeChunk(combined, seen, off, cts)
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
 	}
 	return nil
+}
+
+// collectTableBuffered streams one DC's table into a private buffer and
+// merges it into the shared combination only once it is complete — the
+// tolerant flow's path. Ciphertext sums cannot be unpicked, so a DC the
+// quorum policy later declares absent must never have touched the
+// shared sum: buffering makes Result.AbsentDCs an exact coverage
+// statement ("none of this DC's table is included") at the cost of up
+// to NumDCs in-flight table buffers instead of one running combination.
+func (t *Tally) collectTableBuffered(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
+	var hdr VectorHeader
+	if err := m.Expect(kindTable, &hdr); err != nil {
+		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
+	}
+	if hdr.N != t.cfg.Bins {
+		return fmt.Errorf("psc ts: DC %s sent %d bins, want %d", name, hdr.N, t.cfg.Bins)
+	}
+	table, err := recvVector(m, t.cfg.Bins)
+	if err != nil {
+		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
+	}
+	// recvVector guarantees the chunks tiled [0, Bins) in order, so the
+	// buffer is a whole table; merge it in one shot.
+	mu.Lock()
+	defer mu.Unlock()
+	mergeChunk(combined, seen, 0, table)
+	return nil
+}
+
+// mergeChunk folds cts into the combination at element offset off. The
+// caller holds the combination mutex.
+func mergeChunk(combined []elgamal.Ciphertext, seen []bool, off int, cts []elgamal.Ciphertext) {
+	fresh := true
+	have := true
+	for i := range cts {
+		if seen[off+i] {
+			fresh = false
+		} else {
+			have = false
+		}
+	}
+	switch {
+	case fresh && have: // impossible (empty chunk is rejected upstream)
+	case fresh:
+		copy(combined[off:], cts)
+	case have:
+		// All positions populated: one batch add normalizes the whole
+		// chunk with a single inversion.
+		copy(combined[off:], elgamal.BatchAddCiphertexts(combined[off:off+len(cts)], cts))
+	default:
+		for i, ct := range cts {
+			if seen[off+i] {
+				combined[off+i] = combined[off+i].Add(ct)
+			} else {
+				combined[off+i] = ct
+			}
+		}
+	}
+	for i := range cts {
+		seen[off+i] = true
+	}
 }
 
 // mixCP drives one CP's mixing step: it forwards input chunks from
