@@ -23,6 +23,10 @@ vet:
 bench-smoke:
 	$(GO) test ./internal/elgamal/ -run '^$$' -bench 'BenchmarkGroupOps' -benchtime=100x
 	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/(verified|tcp)/bins-512' -benchtime=1x
+	# The 2^16-bin streaming-shuffle round (previously infeasible with
+	# the whole-vector shuffle). The bench itself is -short-aware: run
+	# `go test -short -bench ...` to skip it in quick local loops.
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/stream/bins-65536' -benchtime=1x -timeout=30m
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/torctl"
@@ -64,6 +65,8 @@ func main() {
 	rounds := flag.Int("rounds", 1, "number of rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive tally reconnect attempts before giving up")
+	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	flag.Parse()
 
 	// Event source: live control port, or the simulator socket feed.
@@ -94,6 +97,17 @@ func main() {
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("datacollector %s: %v", *name, err)
+	}
+	if *metricsAddr != "" {
+		addr, _, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("datacollector %s: %v", *name, err)
+		}
+		fmt.Printf("datacollector %s: metrics on http://%s/metrics\n", *name, addr)
+	}
+	var connOpts []wire.Option
+	if *streamWindow > 0 {
+		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
 	}
 
 	c := &collector{
@@ -135,7 +149,7 @@ func main() {
 	completed := make(chan outcome, *rounds)
 	hello := engine.Hello{Role: engine.RoleDC, Name: *name, ID: *id, Token: *token}
 	dial := func() (*wire.Session, error) {
-		conn, err := wire.Dial(*tallyAddr, tlsCfg, *timeout)
+		conn, err := wire.Dial(*tallyAddr, tlsCfg, *timeout, connOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +163,20 @@ func main() {
 			fmt.Printf("datacollector %s: connected to %s\n", *name, *tallyAddr)
 			return engine.ServeRounds(sess, func(st *wire.Stream) error {
 				err := c.serveRound(st)
+				if err == nil {
+					// Wait for the tally to finish the round and close
+					// the stream before counting it served: this DC's
+					// part ends at its upload, but exiting the process
+					// while the round is still in flight would RST the
+					// connection and discard table chunks the kernel
+					// already delivered to the tally.
+					st.Close()
+					for {
+						if _, rerr := st.Recv(); rerr != nil {
+							break
+						}
+					}
+				}
 				completed <- outcome{round: st.Round(), err: err}
 				return err
 			})

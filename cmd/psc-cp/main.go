@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -35,15 +36,28 @@ func main() {
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
+	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	flag.Parse()
 
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("psc-cp %s: %v", *name, err)
 	}
+	if *metricsAddr != "" {
+		addr, _, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("psc-cp %s: %v", *name, err)
+		}
+		fmt.Printf("psc-cp %s: metrics on http://%s/metrics\n", *name, addr)
+	}
+	var connOpts []wire.Option
+	if *streamWindow > 0 {
+		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
+	}
 	hello := engine.Hello{Role: engine.RoleCP, Name: *name, ID: *id, Token: *token}
 	dial := func() (*wire.Session, error) {
-		conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+		conn, err := wire.Dial(*tally, tlsCfg, *timeout, connOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/wire"
 )
@@ -36,11 +37,24 @@ func main() {
 	pin := flag.String("pin", "", "tally SPKI fingerprint (hex) for TLS pinning; empty for plain TCP")
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
+	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	flag.Parse()
 
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("sharekeeper %s: %v", *name, err)
+	}
+	if *metricsAddr != "" {
+		addr, _, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("sharekeeper %s: %v", *name, err)
+		}
+		fmt.Printf("sharekeeper %s: metrics on http://%s/metrics\n", *name, addr)
+	}
+	var connOpts []wire.Option
+	if *streamWindow > 0 {
+		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
 	}
 	sk, err := privcount.NewSK(*name, nil)
 	if err != nil {
@@ -48,7 +62,7 @@ func main() {
 	}
 	hello := engine.Hello{Role: engine.RoleSK, Name: *name, ID: *id, Token: *token}
 	dial := func() (*wire.Session, error) {
-		conn, err := wire.Dial(*tally, tlsCfg, *timeout)
+		conn, err := wire.Dial(*tally, tlsCfg, *timeout, connOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/stats"
@@ -81,16 +82,25 @@ func main() {
 	statsSpec := flag.String("stats", "count::0", "privcount statistics: name:bin1,bin2:sigma;...")
 	bins := flag.Int("bins", 4096, "psc hash-table size")
 	noise := flag.Int("noise", 64, "psc noise coins per CP")
-	proofRounds := flag.Int("proof-rounds", 8, "psc shuffle-proof rounds")
+	proofRounds := flag.Int("proof-rounds", 8, "psc per-block shuffle-proof rounds")
+	shuffleBlock := flag.Int("shuffle-block", 0, "psc streaming-shuffle block size in elements (0: default 1024)")
+	shufflePasses := flag.Int("shuffle-passes", 0, "psc shuffle passes per CP, alternating rows/columns (0: default 2)")
 	rounds := flag.Int("rounds", 1, "number of rounds (or round pairs with -protocol both)")
 	concurrency := flag.Int("concurrency", 1, "rounds (or pairs) in flight at once")
 	abortRound := flag.Int("abort-round", 0, "abort the Nth scheduled round mid-flight (0: none)")
 	roundDeadline := flag.Duration("round-deadline", 0, "abort any round not finished within this duration (0: none)")
 	budget := flag.Int("budget", 0, "refuse rounds beyond N times the per-round study (ε,δ) budget (0: unlimited)")
+	budgetFile := flag.String("budget-file", "", "JSON ledger persisting spent budget across restarts (written on every spend)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	rejoinGrace := flag.Duration("rejoin-grace", 0, "how long a round waits for a dropped party to rejoin before degrading (0: degrade immediately)")
 	quorumSpec := flag.String("quorum", "", "DC quorum, e.g. dcs=2: rounds complete degraded with at least this many DCs (empty: all DCs required)")
 	flag.Parse()
 
+	var connOpts []wire.Option
+	if *streamWindow > 0 {
+		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
+	}
 	var tlsCfg *wire.Identity
 	var ln wire.Listener
 	var err error
@@ -99,9 +109,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ln, err = wire.Listen(*listen, tlsCfg.ServerTLS())
+		ln, err = wire.Listen(*listen, tlsCfg.ServerTLS(), connOpts...)
 	} else {
-		ln, err = wire.Listen(*listen, nil)
+		ln, err = wire.Listen(*listen, nil, connOpts...)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -137,17 +147,37 @@ func main() {
 		log.Fatal(err)
 	}
 	eng.SetQuorum(quorum)
-	if *budget > 0 {
+	if *budget > 0 || *budgetFile != "" {
 		// The paper's per-round spend, capped at N rounds' worth by
 		// sequential composition; the engine refuses the (N+1)th round.
+		// The ledger file makes the spend durable: a restarted daemon
+		// resumes the epoch where it left off instead of forgetting
+		// what it already released.
 		acct := dp.StudyAccountant()
-		per := dp.StudyParams()
-		total := dp.Params{Epsilon: per.Epsilon * float64(*budget), Delta: per.Delta * float64(*budget)}
-		if err := acct.SetBudget(total); err != nil {
-			log.Fatal(err)
+		if *budget > 0 {
+			per := dp.StudyParams()
+			total := dp.Params{Epsilon: per.Epsilon * float64(*budget), Delta: per.Delta * float64(*budget)}
+			if err := acct.SetBudget(total); err != nil {
+				log.Fatal(err)
+			}
+			printf("tally: privacy budget capped at %d rounds (ε=%.4g, δ=%.3g)\n", *budget, total.Epsilon, total.Delta)
+		}
+		if *budgetFile != "" {
+			if err := acct.SetLedger(*budgetFile); err != nil {
+				log.Fatal(err)
+			}
+			if n := acct.Rounds(); n > 0 {
+				printf("tally: budget ledger %s resumes with %d rounds already spent\n", *budgetFile, n)
+			}
 		}
 		eng.SetAccountant(acct)
-		printf("tally: privacy budget capped at %d rounds (ε=%.4g, δ=%.3g)\n", *budget, total.Epsilon, total.Delta)
+	}
+	if *metricsAddr != "" {
+		addr, _, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		printf("tally: metrics on http://%s/metrics\n", addr)
 	}
 	// The accept loop runs for the daemon's whole life: after the fleet
 	// assembles, further sessions are rejoining daemons re-registering
@@ -195,6 +225,7 @@ func main() {
 	startPSC := func() (*engine.Round, error) {
 		return eng.StartPSC(psc.Config{
 			Bins: *bins, NoisePerCP: *noise, ShuffleProofRounds: *proofRounds,
+			ShuffleBlockElems: *shuffleBlock, ShufflePasses: *shufflePasses,
 			NumDCs: *dcs, NumCPs: *cps,
 		}, nil)
 	}

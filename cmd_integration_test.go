@@ -268,8 +268,12 @@ func newProc(ctx context.Context, t *testing.T, bin string, args ...string) *pro
 	if err := p.cmd.Start(); err != nil {
 		t.Fatalf("start %s: %v", p.name, err)
 	}
-	go p.pump(stdout)
-	go func() { p.done <- p.cmd.Wait() }()
+	// Drain the pipe fully before reaping: Wait closes the pipe, so a
+	// concurrent pump can lose the process's final output lines.
+	go func() {
+		p.pump(stdout)
+		p.done <- p.cmd.Wait()
+	}()
 	t.Cleanup(func() { p.cmd.Process.Kill() })
 	return p
 }

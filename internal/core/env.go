@@ -30,9 +30,15 @@ type Env struct {
 	Seed uint64
 	// AlexaN is the synthetic top-sites list size (1M at paper scale).
 	AlexaN int
-	// ProofRounds is the PSC cut-and-choose soundness parameter; 0
-	// runs the honest-but-curious fast path.
+	// ProofRounds is the PSC per-block cut-and-choose soundness
+	// parameter; 0 runs the honest-but-curious fast path.
 	ProofRounds int
+	// ShuffleBlock is the PSC streaming-shuffle block size in elements;
+	// 0 selects the psc package default.
+	ShuffleBlock int
+	// ShufflePasses is how many alternating row/column shuffle passes
+	// each CP runs; 0 selects the psc package default (2).
+	ShufflePasses int
 
 	alexaOnce sync.Once
 	alexaList *alexa.List

@@ -446,6 +446,8 @@ func (e *Env) RunPSCWithSim(run PSCRun, onSim func(*Sim)) (*PSCResult, error) {
 		Bins:               bins,
 		NoisePerCP:         perCP,
 		ShuffleProofRounds: e.ProofRounds,
+		ShuffleBlockElems:  e.ShuffleBlock,
+		ShufflePasses:      e.ShufflePasses,
 		NumDCs:             len(relays),
 		NumCPs:             harnessCPs,
 	}, nil)

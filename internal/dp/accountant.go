@@ -1,8 +1,11 @@
 package dp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -30,11 +33,27 @@ type Accountant struct {
 	rounds    []roundRecord
 	budget    Params
 	hasBudget bool
+	ledger    string // persistence path; empty disables
 }
 
 type roundRecord struct {
 	name       string
 	start, end time.Time
+}
+
+// ledgerFile is the on-disk form of the accountant's spent state. The
+// per-round parameters and budget stay configuration (flags), so a
+// redeployed daemon can tighten them; only the irreversible facts —
+// which rounds spent budget — persist.
+type ledgerFile struct {
+	Rounds []ledgerRecord `json:"rounds"`
+}
+
+// ledgerRecord is one authorized round in the ledger.
+type ledgerRecord struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start,omitempty"`
+	End   time.Time `json:"end,omitempty"`
 }
 
 // NewAccountant returns an accountant granting each round the given
@@ -76,6 +95,75 @@ func (a *Accountant) SetBudget(total Params) error {
 // accountant, so schedulers can tell "out of budget" from other errors.
 var ErrBudgetExhausted = errors.New("privacy budget exhausted")
 
+// SetLedger attaches a JSON ledger file: spent rounds recorded there by
+// a previous process are loaded immediately (so spent ε survives daemon
+// restarts across a months-long epoch), and every subsequent Spend,
+// Refund, and Authorize rewrites the file atomically before returning.
+// A missing file starts an empty ledger; a corrupt one is an error —
+// refusing to guess is the only safe reading of a privacy ledger.
+func (a *Accountant) SetLedger(path string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return fmt.Errorf("dp: read ledger %s: %w", path, err)
+		}
+		a.ledger = path
+		return a.persistLocked()
+	}
+	var lf ledgerFile
+	if err := json.Unmarshal(raw, &lf); err != nil {
+		return fmt.Errorf("dp: parse ledger %s: %w", path, err)
+	}
+	rounds := make([]roundRecord, len(lf.Rounds))
+	for i, r := range lf.Rounds {
+		if r.Name == "" {
+			return fmt.Errorf("dp: ledger %s round %d has no name", path, i)
+		}
+		rounds[i] = roundRecord{name: r.Name, start: r.Start, end: r.End}
+	}
+	a.rounds = rounds
+	a.ledger = path
+	return nil
+}
+
+// persistLocked rewrites the ledger (holding a.mu). Writes go to a
+// temp file in the ledger's directory and rename into place, so a
+// crash mid-write can never leave a truncated ledger.
+func (a *Accountant) persistLocked() error {
+	if a.ledger == "" {
+		return nil
+	}
+	lf := ledgerFile{Rounds: make([]ledgerRecord, len(a.rounds))}
+	for i, r := range a.rounds {
+		lf.Rounds[i] = ledgerRecord{Name: r.name, Start: r.start, End: r.end}
+	}
+	raw, err := json.MarshalIndent(lf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dp: encode ledger: %w", err)
+	}
+	dir := filepath.Dir(a.ledger)
+	tmp, err := os.CreateTemp(dir, ".ledger-*")
+	if err != nil {
+		return fmt.Errorf("dp: write ledger: %w", err)
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dp: write ledger: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dp: write ledger: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), a.ledger); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dp: write ledger: %w", err)
+	}
+	return nil
+}
+
 // spent computes (holding a.mu) the cumulative spend of n rounds. It
 // multiplies rather than accumulating additions, so a budget set as
 // N×perRound compares exactly against N spends — repeated float
@@ -116,6 +204,12 @@ func (a *Accountant) Spend(name string) (Params, error) {
 		return Params{}, fmt.Errorf("round %q refused: %w", name, err)
 	}
 	a.rounds = append(a.rounds, roundRecord{name: name})
+	if err := a.persistLocked(); err != nil {
+		// A spend that cannot be recorded must not authorize: after a
+		// restart it would be invisible and the budget double-spent.
+		a.rounds = a.rounds[:len(a.rounds)-1]
+		return Params{}, fmt.Errorf("round %q refused: %w", name, err)
+	}
 	return a.perRound, nil
 }
 
@@ -128,6 +222,10 @@ func (a *Accountant) Refund(name string) {
 	for i := len(a.rounds) - 1; i >= 0; i-- {
 		if a.rounds[i].name == name {
 			a.rounds = append(a.rounds[:i], a.rounds[i+1:]...)
+			// A refund that fails to persist leaves the ledger
+			// overstating the spend — the safe direction; the next
+			// successful write reconciles it.
+			_ = a.persistLocked()
 			return
 		}
 	}
@@ -159,6 +257,15 @@ func (a *Accountant) Authorize(name string, start, end time.Time) (Params, error
 	}
 	a.rounds = append(a.rounds, roundRecord{name: name, start: start, end: end})
 	sort.Slice(a.rounds, func(i, j int) bool { return a.rounds[i].start.Before(a.rounds[j].start) })
+	if err := a.persistLocked(); err != nil {
+		for i, r := range a.rounds {
+			if r.name == name && r.start.Equal(start) {
+				a.rounds = append(a.rounds[:i], a.rounds[i+1:]...)
+				break
+			}
+		}
+		return Params{}, err
+	}
 	return a.perRound, nil
 }
 

@@ -3,6 +3,8 @@ package dp
 import (
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 	"time"
@@ -533,5 +535,76 @@ func TestAccountantBudgetExactMultiple(t *testing.T) {
 		if _, err := a.Spend("r"); !errors.Is(err, ErrBudgetExhausted) {
 			t.Fatalf("budget of %d rounds admitted round %d: %v", n, n+1, err)
 		}
+	}
+}
+
+// TestLedgerSurvivesRestart drives the spend→restart→refuse cycle the
+// ledger exists for: a budget of two rounds is spent by one accountant,
+// a fresh accountant loading the same ledger file must refuse the third
+// round, and a refund must be visible across the restart too.
+func TestLedgerSurvivesRestart(t *testing.T) {
+	per := StudyParams()
+	path := filepath.Join(t.TempDir(), "budget.json")
+	budget := Params{Epsilon: per.Epsilon * 2, Delta: per.Delta * 2}
+
+	a1, err := NewAccountant(per, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.SetBudget(budget); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.SetLedger(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a1.Spend("psc/round"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a1.Spend("privcount/round"); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new accountant process loads the same ledger.
+	a2, err := NewAccountant(per, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.SetBudget(budget); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.SetLedger(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.Rounds(); got != 2 {
+		t.Fatalf("restarted accountant sees %d spent rounds, want 2", got)
+	}
+	if _, err := a2.Spend("psc/round"); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("third round after restart: got %v, want ErrBudgetExhausted", err)
+	}
+
+	// A refund persists too: the freed unit is spendable after another
+	// restart.
+	a2.Refund("privcount/round")
+	a3, err := NewAccountant(per, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.SetBudget(budget); err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.SetLedger(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a3.Spend("psc/round"); err != nil {
+		t.Fatalf("refunded unit not spendable after restart: %v", err)
+	}
+
+	// A corrupt ledger must refuse to load.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a4, _ := NewAccountant(per, 0)
+	if err := a4.SetLedger(path); err == nil {
+		t.Fatal("corrupt ledger loaded without error")
 	}
 }

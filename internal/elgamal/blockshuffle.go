@@ -1,0 +1,255 @@
+package elgamal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"math/big"
+)
+
+// Block-wise verifiable shuffle support. The streaming PSC shuffle
+// arranges the vector as a grid and permutes each fixed-size block
+// independently, so neither prover nor verifier ever holds more than a
+// block of ciphertexts. Each block gets its own cut-and-choose argument
+// whose shadow vectors are hash-committed before the challenge exists:
+// challenges derive from a running Fiat–Shamir transcript over every
+// block commitment seen so far, so a prover cannot grind a block's
+// challenge without changing a commitment that is itself hashed.
+//
+// Soundness: a cheating prover survives one block's argument with
+// probability 2^-rounds; by a union bound over the blocks·passes block
+// arguments of a stage, the stage soundness error is at most
+// blocks·passes·2^-rounds. Size rounds to the table, not just to
+// 2^-rounds: a 2¹⁶-element stage at the default geometry runs ~2⁷
+// block arguments, so the deployment default of 8 rounds bounds the
+// stage error only at ~2⁻¹ — large tables want 16+ rounds (2⁷·2⁻¹⁶ ≈
+// 2⁻⁹), which stays O(block·rounds) resident because the cost is per
+// block.
+
+// HashBlock commits to a ciphertext block: SHA-256 over the element
+// count and each ciphertext's encoding. It is the commitment scheme of
+// the block shuffle argument and the continuity check between passes.
+func HashBlock(cts []Ciphertext) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(cts)))
+	h.Write(n[:])
+	var buf [2 * pointLen]byte
+	for _, c := range cts {
+		h.Write(c.AppendTo(buf[:0]))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// BlockHasher computes HashBlock incrementally, for verifiers that see
+// a block's elements one at a time (the pass-continuity check receives
+// the previous pass's output transposed).
+type BlockHasher struct {
+	h    hash.Hash
+	seen int
+	n    int
+}
+
+// NewBlockHasher starts an incremental commitment over a block that
+// will receive exactly n elements.
+func NewBlockHasher(n int) *BlockHasher {
+	h := sha256.New()
+	var nb [8]byte
+	binary.LittleEndian.PutUint64(nb[:], uint64(n))
+	h.Write(nb[:])
+	return &BlockHasher{h: h, n: n}
+}
+
+// Add absorbs the next element. Elements must arrive in block order.
+func (bh *BlockHasher) Add(c Ciphertext) {
+	var buf [2 * pointLen]byte
+	bh.h.Write(c.AppendTo(buf[:0]))
+	bh.seen++
+}
+
+// Done reports whether every element has been absorbed.
+func (bh *BlockHasher) Done() bool { return bh.seen == bh.n }
+
+// Sum finalizes the commitment; valid only once Done.
+func (bh *BlockHasher) Sum() [32]byte {
+	var out [32]byte
+	bh.h.Sum(out[:0])
+	return out
+}
+
+// ShuffleTranscript is the running Fiat–Shamir state of one party's
+// block-shuffle stage. Prover and verifier advance identical
+// transcripts block by block, in block order; each block's challenge
+// bits bind the block's input, output, shadow commitments, and every
+// block that came before.
+type ShuffleTranscript struct {
+	state [32]byte
+}
+
+// shuffleTranscriptDomain separates block-shuffle challenges from every
+// other Fiat–Shamir use of SHA-256 in this package.
+const shuffleTranscriptDomain = "psc/block-shuffle/v1"
+
+// NewShuffleTranscript initializes a stage transcript over the public
+// stage parameters: the joint key, total vector length, block size,
+// pass count, and proof rounds.
+func NewShuffleTranscript(pk Point, n, block, passes, rounds int) *ShuffleTranscript {
+	h := sha256.New()
+	h.Write([]byte(shuffleTranscriptDomain))
+	h.Write(pk.Bytes())
+	var buf [8]byte
+	for _, v := range []int{n, block, passes, rounds} {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	t := &ShuffleTranscript{}
+	h.Sum(t.state[:0])
+	return t
+}
+
+// maxTranscriptRounds bounds the challenge bits one block draw can
+// yield (one SHA-256 output).
+const maxTranscriptRounds = 256
+
+// BlockChallenges absorbs one block record — pass and block indices,
+// input and output commitments, and the shadow commitments — into the
+// transcript and returns one challenge bit per proof round. It mutates
+// the transcript: callers must invoke it exactly once per block, in
+// block order.
+func (t *ShuffleTranscript) BlockChallenges(pass, block int, inHash, outHash [32]byte, commits [][32]byte, rounds int) ([]byte, error) {
+	if rounds <= 0 || rounds > maxTranscriptRounds {
+		return nil, fmt.Errorf("elgamal: %d proof rounds outside [1,%d]", rounds, maxTranscriptRounds)
+	}
+	h := sha256.New()
+	h.Write(t.state[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(pass))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(block))
+	h.Write(buf[:])
+	h.Write(inHash[:])
+	h.Write(outHash[:])
+	for _, c := range commits {
+		h.Write(c[:])
+	}
+	h.Sum(t.state[:0])
+	bits := make([]byte, rounds)
+	for i := range bits {
+		bits[i] = (t.state[i/8] >> (i % 8)) & 1
+	}
+	return bits, nil
+}
+
+// BlockShuffleProof is the cut-and-choose argument for one block: the
+// shadow commitments (hashed before the challenge exists) and one
+// opened round per challenge bit.
+type BlockShuffleProof struct {
+	Commits [][32]byte
+	Rounds  []ShuffleRound
+}
+
+// ProveShuffleBlock builds the block's argument: out must be a shuffle
+// of in under the witness w (from Shuffle). The transcript advances by
+// one block record; the caller must prove blocks in block order.
+func ProveShuffleBlock(t *ShuffleTranscript, pass, block int, pk Point, in, out []Ciphertext, w ShuffleWitness, rounds int) (BlockShuffleProof, error) {
+	n := len(in)
+	shadows := make([][]Ciphertext, rounds)
+	perms := make([][]int, rounds)
+	rands := make([][]*big.Int, rounds)
+	commits := make([][32]byte, rounds)
+	for r := 0; r < rounds; r++ {
+		perms[r] = randomPerm(n)
+		rands[r] = RandomScalars(n)
+		shadows[r] = BatchRerandomizeWith(pk, permute(in, perms[r]), rands[r])
+		commits[r] = HashBlock(shadows[r])
+	}
+	bits, err := t.BlockChallenges(pass, block, HashBlock(in), HashBlock(out), commits, rounds)
+	if err != nil {
+		return BlockShuffleProof{}, err
+	}
+	proof := BlockShuffleProof{Commits: commits, Rounds: make([]ShuffleRound, rounds)}
+	for r := 0; r < rounds; r++ {
+		round := ShuffleRound{Shadow: shadows[r]}
+		if bits[r] == 0 {
+			// Open input -> shadow directly.
+			round.OpenPerm = perms[r]
+			round.OpenRand = rands[r]
+		} else {
+			// Open shadow -> output: output i came from input w.Perm[i]
+			// with randomizer w.Rand[i], which feeds shadow index
+			// invShadow[w.Perm[i]]; the residual randomizer is the
+			// difference.
+			invShadow := invertPerm(perms[r])
+			openPerm := make([]int, n)
+			openRand := make([]*big.Int, n)
+			for i := 0; i < n; i++ {
+				idx := invShadow[w.Perm[i]]
+				openPerm[i] = idx
+				d := new(big.Int).Sub(w.Rand[i], rands[r][idx])
+				openRand[i] = d.Mod(d, order)
+			}
+			round.OpenPerm = openPerm
+			round.OpenRand = openRand
+		}
+		proof.Rounds[r] = round
+	}
+	return proof, nil
+}
+
+// ErrBadBlockShuffle is returned when a block's shuffle argument fails
+// to verify.
+var ErrBadBlockShuffle = errors.New("elgamal: block shuffle proof verification failed")
+
+// VerifyShuffleBlock checks one block's argument against the verifier's
+// own copy of the input block and the prover's claimed output block.
+// The transcript advances by one block record; the caller must verify
+// blocks in block order.
+func VerifyShuffleBlock(t *ShuffleTranscript, pass, block int, pk Point, in, out []Ciphertext, proof BlockShuffleProof) error {
+	n := len(in)
+	if len(out) != n || len(proof.Rounds) == 0 || len(proof.Commits) != len(proof.Rounds) {
+		return ErrBadBlockShuffle
+	}
+	// Commitment binding first: every shadow must match the commitment
+	// that fed the challenge derivation.
+	for r, round := range proof.Rounds {
+		if len(round.Shadow) != n || len(round.OpenPerm) != n || len(round.OpenRand) != n {
+			return ErrBadBlockShuffle
+		}
+		if HashBlock(round.Shadow) != proof.Commits[r] {
+			return fmt.Errorf("%w: shadow %d does not match its commitment", ErrBadBlockShuffle, r)
+		}
+	}
+	bits, err := t.BlockChallenges(pass, block, HashBlock(in), HashBlock(out), proof.Commits, len(proof.Rounds))
+	if err != nil {
+		return err
+	}
+	for r, round := range proof.Rounds {
+		if !isPerm(round.OpenPerm) {
+			return ErrBadBlockShuffle
+		}
+		for _, rr := range round.OpenRand {
+			if rr == nil || rr.Sign() < 0 || rr.Cmp(order) >= 0 {
+				return ErrBadBlockShuffle
+			}
+		}
+		var src, dst []Ciphertext
+		if bits[r] == 0 {
+			src, dst = in, round.Shadow
+		} else {
+			src, dst = round.Shadow, out
+		}
+		// Re-derive the opened side in one batch (shared tables, one
+		// normalization) and compare.
+		want := BatchRerandomizeWith(pk, permute(src, round.OpenPerm), round.OpenRand)
+		for i := 0; i < n; i++ {
+			if !want[i].Equal(dst[i]) {
+				return ErrBadBlockShuffle
+			}
+		}
+	}
+	return nil
+}

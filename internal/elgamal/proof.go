@@ -263,11 +263,15 @@ func randomPerm(n int) []int {
 	return p
 }
 
-// ShuffleProof is a k-round cut-and-choose argument. For each round the
-// prover commits to a "shadow" shuffle of the input; the Fiat–Shamir
-// challenge bit selects whether the prover opens the input→shadow
-// mapping or the shadow→output mapping. A cheating prover survives each
-// round with probability 1/2.
+// ShuffleProof is a k-round cut-and-choose argument over one whole
+// vector. For each round the prover commits to a "shadow" shuffle of
+// the input; the Fiat–Shamir challenge bit selects whether the prover
+// opens the input→shadow mapping or the shadow→output mapping. A
+// cheating prover survives each round with probability 1/2. The PSC
+// protocol itself now runs the streaming block-wise variant
+// (blockshuffle.go), which applies this same argument per block under
+// a stage transcript; the whole-vector form remains as the reference
+// primitive.
 type ShuffleProof struct {
 	Rounds []ShuffleRound
 }

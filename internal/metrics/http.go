@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTP pull endpoint for the ops registry, in expvar style: a
+// long-running fleet is scraped instead of read post-mortem from the
+// exit dump. Every daemon exposes it behind a -metrics-addr flag;
+// GET /metrics returns the merged counter snapshot as a flat JSON
+// object ordered by the encoder (scrapers treat it as a map), and
+// GET /metrics?format=text returns the same sorted "name value" lines
+// Dump writes.
+
+// Handler returns an http.Handler serving the merged snapshot of the
+// given registries (later registries win on name collisions; pass
+// Default() alone for the process-wide counters).
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		merged := make(map[string]float64)
+		for _, reg := range regs {
+			for k, v := range reg.Snapshot() {
+				merged[k] = v
+			}
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			tmp := NewRegistry()
+			for k, v := range merged {
+				tmp.Add(k, v)
+			}
+			_ = tmp.Dump(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(merged)
+	})
+}
+
+// Serve starts the pull endpoint on addr (use ":0" for an ephemeral
+// port), serving /metrics — and / for convenience — from the given
+// registries. It returns the bound address and a closer; errors after
+// startup only affect individual scrapes.
+func Serve(addr string, regs ...*Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	h := Handler(regs...)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

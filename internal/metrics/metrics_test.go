@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
 	"net/netip"
 	"strings"
 	"sync"
@@ -135,5 +138,55 @@ func TestDefaultRegistryIsShared(t *testing.T) {
 	Default().Inc(name)
 	if got := Default().Get(name); got != before+1 {
 		t.Fatalf("default registry did not accumulate: %g -> %g", before, got)
+	}
+}
+
+// TestMetricsScrape covers the HTTP pull endpoint: counters fed into a
+// registry must come back over a real scrape, in both JSON and text
+// form, and later registries must win merged-name collisions.
+func TestMetricsScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("engine/psc/round-seconds", 12.5)
+	reg.Inc("psc/verify-failures")
+	override := NewRegistry()
+	override.Add("psc/verify-failures", 3)
+
+	addr, closeFn, err := Serve("127.0.0.1:0", reg, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["engine/psc/round-seconds"] != 12.5 {
+		t.Fatalf("round-seconds = %v", got["engine/psc/round-seconds"])
+	}
+	if got["psc/verify-failures"] != 3 {
+		t.Fatalf("merged counter = %v, want the later registry's 3", got["psc/verify-failures"])
+	}
+
+	resp2, err := http.Get("http://" + addr + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "engine/psc/round-seconds 12.5\npsc/verify-failures 3\n"
+	if string(body) != want {
+		t.Fatalf("text dump %q, want %q", body, want)
 	}
 }

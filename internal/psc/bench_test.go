@@ -10,7 +10,9 @@ package psc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -30,7 +32,13 @@ func pipePair(b *testing.B) (connPair, func()) {
 
 // tcpPair builds loopback TCP pairs through one listener.
 func tcpPair(b *testing.B) (connPair, func()) {
-	ln, err := wire.Listen("127.0.0.1:0", nil)
+	return tcpPairOpts(b)
+}
+
+// tcpPairOpts builds loopback TCP pairs with connection options applied
+// to both ends — the harness for the flow-control window sweep.
+func tcpPairOpts(b *testing.B, opts ...wire.Option) (connPair, func()) {
+	ln, err := wire.Listen("127.0.0.1:0", nil, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,12 +53,41 @@ func tcpPair(b *testing.B) (connPair, func()) {
 		}
 	}()
 	return func() (wire.Messenger, wire.Messenger) {
-		party, err := wire.Dial(ln.Addr().String(), nil, 5*time.Second)
+		party, err := wire.Dial(ln.Addr().String(), nil, 5*time.Second, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return <-accepted, party
 	}, func() { ln.Close() }
+}
+
+// samplePeakHeap polls the live heap until stop closes and reports the
+// peak as a benchmark metric — the residency measurement the streaming
+// shuffle exists for (total B/op says how much was allocated; this says
+// how much had to be resident at once, across all in-process parties).
+func samplePeakHeap(b *testing.B) (stop func()) {
+	done := make(chan struct{})
+	var peak int64
+	go func() {
+		var ms runtime.MemStats
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if h := int64(ms.HeapAlloc); h > atomic.LoadInt64(&peak) {
+					atomic.StoreInt64(&peak, h)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		b.ReportMetric(float64(atomic.LoadInt64(&peak))/(1<<20), "peak-heap-MB")
+	}
 }
 
 func runBenchRound(b *testing.B, cfg Config, items int, mk connPair) {
@@ -127,8 +164,14 @@ func benchRound(b *testing.B, bins, noisePerCP, proofRounds, items int,
 		NumDCs:             2,
 		NumCPs:             2,
 	}
+	benchRoundCfg(b, cfg, items, transport)
+}
+
+func benchRoundCfg(b *testing.B, cfg Config, items int, transport func(*testing.B) (connPair, func())) {
 	mk, cleanup := transport(b)
 	defer cleanup()
+	stop := samplePeakHeap(b)
+	defer stop()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runBenchRound(b, cfg, items, mk)
@@ -151,4 +194,29 @@ func BenchmarkPSCRound(b *testing.B) {
 	b.Run("tcp/bins-2048", func(b *testing.B) {
 		benchRound(b, 2048, 128, 1, 800, tcpPair)
 	})
+	// The table size the whole-vector shuffle could not reach: 2¹⁶
+	// bins, verified, streaming block-wise. Gated on -short so quick
+	// local smoke runs can skip the multi-minute variant; CI's
+	// bench-smoke runs it.
+	b.Run("stream/bins-65536", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping 2^16-bin round in -short mode")
+		}
+		benchRound(b, 65536, 128, 1, 4000, pipePair)
+	})
+}
+
+// BenchmarkPSCRoundWindow sweeps the per-stream flow-control window of
+// a TCP round — the ROADMAP's WAN-tuning harness. Over loopback the
+// differences are small; over real latency the window bounds throughput
+// directly (one window in flight per stream).
+func BenchmarkPSCRoundWindow(b *testing.B) {
+	for _, win := range []int{256 << 10, 512 << 10, 1 << 20, 4 << 20} {
+		b.Run(fmt.Sprintf("win-%dk", win>>10), func(b *testing.B) {
+			cfg := Config{Round: 1, Bins: 2048, NoisePerCP: 128, ShuffleProofRounds: 1, NumDCs: 2, NumCPs: 2}
+			benchRoundCfg(b, cfg, 800, func(b *testing.B) (connPair, func()) {
+				return tcpPairOpts(b, wire.WithWindow(win))
+			})
+		})
+	}
 }

@@ -1,0 +1,173 @@
+package psc
+
+import (
+	"testing"
+
+	"repro/internal/elgamal"
+	"repro/internal/wire"
+)
+
+// Fuzzing for the block-proof codec: whatever bytes a malicious or
+// confused CP ships as shuffled blocks, shadow openings, or re-streamed
+// feeds, the tally must get a clean error — never a panic or a bogus
+// acceptance of malformed structure.
+
+// FuzzBlockOutCodec mutates a well-formed BlockOutMsg payload.
+func FuzzBlockOutCodec(f *testing.F) {
+	pk := pkForTest()
+	cts := encryptBits(pk, 3)
+	good := BlockOutMsg{Pass: 1, Block: 0, Count: 3, Data: encodeVector(cts), Commits: [][]byte{make([]byte, 32), make([]byte, 32)}}
+	seed, err := wire.EncodePayload(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, 3, 2)
+	f.Add([]byte{}, 0, 0)
+	f.Add([]byte{0xff, 0x00, 0x41}, 1, 1)
+	f.Fuzz(func(t *testing.T, payload []byte, count, rounds int) {
+		if count < 0 || count > 64 || rounds < 0 || rounds > 16 {
+			return
+		}
+		var msg BlockOutMsg
+		if err := wire.DecodePayload(payload, &msg); err != nil {
+			return
+		}
+		if len(msg.Data) > 1<<16 {
+			return
+		}
+		outB, commits, err := parseBlockOut(msg, msg.Pass, msg.Block, count, rounds)
+		if err != nil {
+			return
+		}
+		// Structural acceptance must mean structural validity.
+		if len(outB) != count || len(commits) != rounds {
+			t.Fatalf("parseBlockOut accepted %d elements / %d commits, want %d / %d", len(outB), len(commits), count, rounds)
+		}
+		for _, c := range outB {
+			if !c.IsValid() {
+				t.Fatal("parseBlockOut accepted an invalid ciphertext")
+			}
+		}
+	})
+}
+
+// FuzzBlockShadowCodec mutates a well-formed BlockShadowMsg payload —
+// the frame carrying commitment openings (permutation and randomizers).
+func FuzzBlockShadowCodec(f *testing.F) {
+	pk := pkForTest()
+	in := encryptBits(pk, 3)
+	out, w := elgamal.Shuffle(pk, in)
+	tr := elgamal.NewShuffleTranscript(pk, 3, 3, 1, 1)
+	proof, err := elgamal.ProveShuffleBlock(tr, 1, 0, pk, in, out, w, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := BlockShadowMsg{
+		Pass: 1, Block: 0, Round: 0, Count: 3,
+		Data:     encodeVector(proof.Rounds[0].Shadow),
+		OpenPerm: proof.Rounds[0].OpenPerm,
+		OpenRand: [][]byte{proof.Rounds[0].OpenRand[0].Bytes(), proof.Rounds[0].OpenRand[1].Bytes(), proof.Rounds[0].OpenRand[2].Bytes()},
+	}
+	seed, err := wire.EncodePayload(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04}, 2)
+	f.Fuzz(func(t *testing.T, payload []byte, count int) {
+		if count < 0 || count > 64 {
+			return
+		}
+		var msg BlockShadowMsg
+		if err := wire.DecodePayload(payload, &msg); err != nil {
+			return
+		}
+		if len(msg.Data) > 1<<16 || len(msg.OpenPerm) > 1<<10 || len(msg.OpenRand) > 1<<10 {
+			return
+		}
+		round, err := parseBlockShadow(msg, msg.Pass, msg.Block, msg.Round, count)
+		if err != nil {
+			return
+		}
+		if len(round.Shadow) != count || len(round.OpenPerm) != count || len(round.OpenRand) != count {
+			t.Fatal("parseBlockShadow accepted mismatched sizes")
+		}
+		for _, r := range round.OpenRand {
+			if r == nil || r.Sign() < 0 {
+				t.Fatal("parseBlockShadow accepted a bad randomizer")
+			}
+		}
+	})
+}
+
+// FuzzBlockFeedCodec mutates a re-streamed input block frame.
+func FuzzBlockFeedCodec(f *testing.F) {
+	pk := pkForTest()
+	cts := encryptBits(pk, 2)
+	good := BlockFeedMsg{Pass: 2, Block: 1, Count: 2, Data: encodeVector(cts)}
+	seed, err := wire.EncodePayload(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, 2)
+	f.Add([]byte(nil), 0)
+	f.Fuzz(func(t *testing.T, payload []byte, count int) {
+		if count < 0 || count > 64 {
+			return
+		}
+		var msg BlockFeedMsg
+		if err := wire.DecodePayload(payload, &msg); err != nil {
+			return
+		}
+		if len(msg.Data) > 1<<16 {
+			return
+		}
+		inB, err := parseBlockFeed(msg, msg.Pass, msg.Block, count)
+		if err != nil {
+			return
+		}
+		if len(inB) != count {
+			t.Fatal("parseBlockFeed accepted a short block")
+		}
+	})
+}
+
+// TestBlockCodecRejectsMalformed pins the specific malformed shapes the
+// fuzzers explore: they must error, not panic, and never be accepted.
+func TestBlockCodecRejectsMalformed(t *testing.T) {
+	pk := pkForTest()
+	cts := encryptBits(pk, 3)
+	data := encodeVector(cts)
+
+	cases := []BlockOutMsg{
+		{Pass: 2, Block: 0, Count: 3, Data: data},                                              // wrong pass
+		{Pass: 1, Block: 1, Count: 3, Data: data},                                              // wrong block
+		{Pass: 1, Block: 0, Count: 2, Data: data},                                              // count understates data
+		{Pass: 1, Block: 0, Count: 3, Data: data[:10]},                                         // truncated ciphertexts
+		{Pass: 1, Block: 0, Count: 3, Data: data, Commits: [][]byte{make([]byte, 31), {}, {}}}, // short commitment
+		{Pass: 1, Block: 0, Count: 3, Data: data, Commits: [][]byte{make([]byte, 32)}},         // missing commitments
+	}
+	for i, msg := range cases {
+		if _, _, err := parseBlockOut(msg, 1, 0, 3, 3); err == nil {
+			t.Errorf("malformed BlockOutMsg %d accepted", i)
+		}
+	}
+
+	shadowCases := []BlockShadowMsg{
+		{Pass: 1, Block: 0, Round: 1, Count: 3, Data: data, OpenPerm: []int{0, 1, 2}, OpenRand: [][]byte{{1}, {2}, {3}}},              // wrong round
+		{Pass: 1, Block: 0, Round: 0, Count: 3, Data: data, OpenPerm: []int{0, 1}, OpenRand: [][]byte{{1}, {2}, {3}}},                 // short perm
+		{Pass: 1, Block: 0, Round: 0, Count: 3, Data: data, OpenPerm: []int{0, 1, 2}, OpenRand: [][]byte{{1}, {2}}},                   // short rands
+		{Pass: 1, Block: 0, Round: 0, Count: 3, Data: data, OpenPerm: []int{0, 1, 2}, OpenRand: [][]byte{{1}, {2}, make([]byte, 40)}}, // oversized rand
+		{Pass: 1, Block: 0, Round: 0, Count: 3, Data: []byte{4, 4, 4}, OpenPerm: []int{0, 1, 2}, OpenRand: [][]byte{{1}, {2}, {3}}},   // garbage points
+	}
+	for i, msg := range shadowCases {
+		if _, err := parseBlockShadow(msg, 1, 0, 0, 3); err == nil {
+			t.Errorf("malformed BlockShadowMsg %d accepted", i)
+		}
+	}
+
+	if _, err := parseBlockFeed(BlockFeedMsg{Pass: 2, Block: 0, Count: 3, Data: data[:7]}, 2, 0, 3); err == nil {
+		t.Error("truncated BlockFeedMsg accepted")
+	}
+}

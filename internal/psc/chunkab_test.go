@@ -2,12 +2,12 @@ package psc
 
 import "testing"
 
-// BenchmarkPSCRoundChunkSize sweeps the chunk size of a 2048-bin
-// verified round. Chunking must be ~free: transfer-chunk granularity
-// bounds frames and per-party memory, while the RLC batch proof
-// verifications still amortize over whole vectors at the TS. A gap
-// between chunk-2048 (two chunks for the 2304-element mixed vector)
-// and the small chunks means per-chunk work crept into a hot path.
+// BenchmarkPSCRoundChunkSize sweeps the transfer-chunk size of a
+// 2048-bin verified round. Chunking must be ~free: chunk granularity
+// bounds frames and the feed/decrypt-phase residency (the shuffle
+// phase has its own block size), and the per-chunk share RLCs shrink
+// with it. A widening gap between chunk-2048 and the small chunks
+// means per-chunk work crept into a hot path.
 func BenchmarkPSCRoundChunkSize(b *testing.B) {
 	run := func(b *testing.B, chunkElems int) {
 		cfg := Config{Round: 1, Bins: 2048, NoisePerCP: 128, ShuffleProofRounds: 1,

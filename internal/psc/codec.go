@@ -177,44 +177,103 @@ func unpackBitProof(w wireBitProof) (elgamal.BitProof, error) {
 	return p, nil
 }
 
-// sendShuffleProof streams a cut-and-choose proof: for each proof
-// round, the shadow vector's chunks followed by the challenge opening.
-// Shadow vectors are as long as the mixed batch, so they are the one
-// proof component that must be chunked.
-func sendShuffleProof(m wire.Messenger, p elgamal.ShuffleProof, chunk int) error {
-	for _, r := range p.Rounds {
-		if err := sendVector(m, r.Shadow, chunk); err != nil {
-			return err
+// sendBlockProof streams one block's cut-and-choose argument: the
+// shuffled block with its shadow commitments, then one opened shadow
+// round per challenge. Nothing larger than a block ever rides in one
+// frame.
+func sendBlockProof(m wire.Messenger, pass, block int, out []elgamal.Ciphertext, proof elgamal.BlockShuffleProof) error {
+	msg := BlockOutMsg{Pass: pass, Block: block, Count: len(out), Data: encodeVector(out)}
+	msg.Commits = make([][]byte, len(proof.Commits))
+	for i, c := range proof.Commits {
+		msg.Commits[i] = append([]byte(nil), c[:]...)
+	}
+	if err := m.Send(kindShufBlock, msg); err != nil {
+		return err
+	}
+	for r, round := range proof.Rounds {
+		sh := BlockShadowMsg{
+			Pass: pass, Block: block, Round: r, Count: len(round.Shadow),
+			Data:     encodeVector(round.Shadow),
+			OpenPerm: round.OpenPerm,
+			OpenRand: make([][]byte, len(round.OpenRand)),
 		}
-		open := ShuffleOpenMsg{OpenPerm: r.OpenPerm, OpenRand: make([][]byte, len(r.OpenRand))}
-		for j, s := range r.OpenRand {
-			open.OpenRand[j] = s.Bytes()
+		for j, s := range round.OpenRand {
+			sh.OpenRand[j] = s.Bytes()
 		}
-		if err := m.Send(kindShufOpen, open); err != nil {
+		if err := m.Send(kindShufShadow, sh); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// recvShuffleProof receives rounds proof rounds, each an n-element
-// shadow vector plus its opening.
-func recvShuffleProof(m wire.Messenger, rounds, n int) (elgamal.ShuffleProof, error) {
-	out := elgamal.ShuffleProof{Rounds: make([]elgamal.ShuffleRound, rounds)}
-	for i := range out.Rounds {
-		shadow, err := recvVector(m, n)
-		if err != nil {
-			return elgamal.ShuffleProof{}, fmt.Errorf("psc: shuffle shadow %d: %w", i, err)
+// parseBlockOut validates a shuffled-block announcement against the
+// expected pass/block position, element count, and proof-round count,
+// and decodes the output ciphertexts and shadow commitments. Malformed
+// frames error; they never panic.
+func parseBlockOut(msg BlockOutMsg, pass, block, count, rounds int) ([]elgamal.Ciphertext, [][32]byte, error) {
+	if msg.Pass != pass || msg.Block != block {
+		return nil, nil, fmt.Errorf("psc: block %d/%d out of order (want %d/%d)", msg.Pass, msg.Block, pass, block)
+	}
+	if msg.Count != count {
+		return nil, nil, fmt.Errorf("psc: block %d/%d has %d elements, want %d", pass, block, msg.Count, count)
+	}
+	if len(msg.Commits) != rounds {
+		return nil, nil, fmt.Errorf("psc: block %d/%d has %d shadow commitments, want %d", pass, block, len(msg.Commits), rounds)
+	}
+	commits := make([][32]byte, rounds)
+	for i, c := range msg.Commits {
+		if len(c) != 32 {
+			return nil, nil, fmt.Errorf("psc: block %d/%d commitment %d is %d bytes", pass, block, i, len(c))
 		}
-		var open ShuffleOpenMsg
-		if err := m.Expect(kindShufOpen, &open); err != nil {
-			return elgamal.ShuffleProof{}, err
+		copy(commits[i][:], c)
+	}
+	cts, err := decodeVector(msg.Data, count)
+	if err != nil {
+		return nil, nil, fmt.Errorf("psc: block %d/%d: %w", pass, block, err)
+	}
+	return cts, commits, nil
+}
+
+// parseBlockShadow validates one opened shadow round against the
+// expected position and count and decodes it into an
+// elgamal.ShuffleRound. Malformed frames error; they never panic.
+func parseBlockShadow(msg BlockShadowMsg, pass, block, round, count int) (elgamal.ShuffleRound, error) {
+	if msg.Pass != pass || msg.Block != block || msg.Round != round {
+		return elgamal.ShuffleRound{}, fmt.Errorf("psc: shadow %d/%d/%d out of order (want %d/%d/%d)",
+			msg.Pass, msg.Block, msg.Round, pass, block, round)
+	}
+	if msg.Count != count || len(msg.OpenPerm) != count || len(msg.OpenRand) != count {
+		return elgamal.ShuffleRound{}, fmt.Errorf("psc: shadow %d/%d/%d sizes %d/%d/%d, want %d",
+			pass, block, round, msg.Count, len(msg.OpenPerm), len(msg.OpenRand), count)
+	}
+	shadow, err := decodeVector(msg.Data, count)
+	if err != nil {
+		return elgamal.ShuffleRound{}, fmt.Errorf("psc: shadow %d/%d/%d: %w", pass, block, round, err)
+	}
+	out := elgamal.ShuffleRound{Shadow: shadow, OpenPerm: msg.OpenPerm, OpenRand: make([]*big.Int, count)}
+	for j, b := range msg.OpenRand {
+		if len(b) > 32 {
+			return elgamal.ShuffleRound{}, fmt.Errorf("psc: shadow %d/%d/%d randomizer %d is %d bytes", pass, block, round, j, len(b))
 		}
-		rands := make([]*big.Int, len(open.OpenRand))
-		for j, b := range open.OpenRand {
-			rands[j] = new(big.Int).SetBytes(b)
-		}
-		out.Rounds[i] = elgamal.ShuffleRound{Shadow: shadow, OpenPerm: open.OpenPerm, OpenRand: rands}
+		out.OpenRand[j] = new(big.Int).SetBytes(b)
 	}
 	return out, nil
+}
+
+// parseBlockFeed validates a re-streamed input block against the
+// expected position and count and decodes it. Malformed frames error;
+// they never panic.
+func parseBlockFeed(msg BlockFeedMsg, pass, block, count int) ([]elgamal.Ciphertext, error) {
+	if msg.Pass != pass || msg.Block != block {
+		return nil, fmt.Errorf("psc: feed block %d/%d out of order (want %d/%d)", msg.Pass, msg.Block, pass, block)
+	}
+	if msg.Count != count {
+		return nil, fmt.Errorf("psc: feed block %d/%d has %d elements, want %d", pass, block, msg.Count, count)
+	}
+	cts, err := decodeVector(msg.Data, count)
+	if err != nil {
+		return nil, fmt.Errorf("psc: feed block %d/%d: %w", pass, block, err)
+	}
+	return cts, nil
 }

@@ -78,6 +78,9 @@ func (cp *CP) mixPhase(m wire.Messenger, cfg ConfigureMsg, joint elgamal.Point) 
 	}
 	prove := cfg.ShuffleProofRounds > 0
 	chunk := chunkOf(cfg.ChunkElems)
+	total := hdr.N + cfg.NoisePerCP
+	g := newGrid(total, blockOf(cfg.ShuffleBlockElems))
+	passes := g.passes(passesOf(cfg.ShufflePasses))
 
 	// The noise contribution is independent of the input, so encrypt
 	// (and prove) it while input chunks are still arriving.
@@ -95,21 +98,14 @@ func (cp *CP) mixPhase(m wire.Messenger, cfg ConfigureMsg, joint elgamal.Point) 
 		noiseCh <- roundNoise{cts: cts, proofs: proofs}
 	}()
 
-	batch, err := recvVector(m, hdr.N)
-	if err != nil {
-		return fmt.Errorf("psc cp %s: mix batch: %w", cp.Name, err)
-	}
+	// Stage 1: announce the mixed length and ship the fair-coin noise.
+	// The TS reconstructs the combined vector itself, so only the
+	// appended elements travel; they form the tail of the shuffle input.
 	noise := <-noiseCh
-
-	// Stage 1: append the fair-coin noise. The TS reconstructs the
-	// combined vector itself, so only the appended elements travel.
-	withNoise := make([]elgamal.Ciphertext, 0, len(batch)+len(noise.cts))
-	withNoise = append(withNoise, batch...)
-	withNoise = append(withNoise, noise.cts...)
-	if err := m.Send(kindMixed, VectorHeader{From: cp.Name, Round: cfg.Round, N: len(withNoise)}); err != nil {
+	if err := m.Send(kindMixed, VectorHeader{From: cp.Name, Round: cfg.Round, N: total}); err != nil {
 		return err
 	}
-	err = forEachChunk(len(noise.cts), chunk, func(off, end int) error {
+	err := forEachChunk(len(noise.cts), chunk, func(off, end int) error {
 		nc := NoiseChunkMsg{Off: off, Count: end - off, Data: encodeVector(noise.cts[off:end])}
 		if prove {
 			nc.Proofs = make([]wireBitProof, end-off)
@@ -123,34 +119,180 @@ func (cp *CP) mixPhase(m wire.Messenger, cfg ConfigureMsg, joint elgamal.Point) 
 		return err
 	}
 
-	// Stage 2: verifiable shuffle. This is the round's privacy barrier:
-	// the permutation covers the whole vector, so the full batch must be
-	// resident here and nowhere else.
-	shuffled, witness := elgamal.Shuffle(joint, withNoise)
-	if err := sendVector(m, shuffled, chunk); err != nil {
-		return err
+	// Stage 2+3: the streaming verifiable shuffle, with the final
+	// pass's blocks exponent-blinded as they emerge. Every block is
+	// permuted, re-randomized, and proven independently against the
+	// stage transcript; only the current block (and, for later passes,
+	// the spilled encoding of the previous pass's output) is resident.
+	st := &cpShuffleState{
+		cp: cp, m: m, joint: joint, prove: prove,
+		rounds: cfg.ShuffleProofRounds, g: g, passes: passes,
 	}
 	if prove {
-		proof := elgamal.ProveShuffle(joint, withNoise, shuffled, witness, cfg.ShuffleProofRounds)
-		if err := sendShuffleProof(m, proof, chunk); err != nil {
+		st.tr = elgamal.NewShuffleTranscript(joint, total, g.block, passes, cfg.ShuffleProofRounds)
+	}
+	if passes > 1 {
+		if st.inter, err = newSpill(total); err != nil {
+			return fmt.Errorf("psc cp %s: shuffle spill: %w", cp.Name, err)
+		}
+		defer func() {
+			if st.inter != nil {
+				st.inter.Close()
+			}
+		}()
+	}
+
+	// Pass 1 streams directly off the arriving input: noise tail
+	// appended after the TS-fed prefix, blocks emitted as they fill.
+	if err := st.runPassOne(hdr.N, noise.cts); err != nil {
+		return err
+	}
+	// Later passes re-stream the spilled intermediate in the new pass's
+	// block order (a transpose for column passes).
+	for p := 2; p <= passes; p++ {
+		if err := st.runPass(p); err != nil {
 			return err
 		}
 	}
+	return nil
+}
 
-	// Stage 3: exponent blinding, proved and shipped per chunk so the
-	// TS verifies (and forwards downstream) chunk k while this CP is
-	// still proving chunk k+1.
-	blinded, blindScalars := elgamal.BatchExpBlind(shuffled)
-	return forEachChunk(len(blinded), chunk, func(off, end int) error {
-		bc := BlindChunkMsg{Off: off, Count: end - off, Data: encodeVector(blinded[off:end])}
-		if prove {
-			bc.Proofs = make([]wireEquality, end-off)
-			for i, pr := range elgamal.BatchProveBlinds(shuffled[off:end], blinded[off:end], blindScalars[off:end]) {
-				bc.Proofs[i] = packEquality(pr)
+// cpShuffleState threads one CP's streaming-shuffle stage: the
+// Fiat–Shamir transcript, the grid geometry, and the spilled
+// inter-pass vector.
+type cpShuffleState struct {
+	cp     *CP
+	m      wire.Messenger
+	joint  elgamal.Point
+	prove  bool
+	rounds int
+	g      grid
+	passes int
+	tr     *elgamal.ShuffleTranscript
+	inter  *spill // previous pass's output; nil for a single pass
+}
+
+// runPassOne consumes the TS-fed input chunks plus this CP's noise
+// tail, emitting each row block's shuffle (and argument) as soon as the
+// block fills. With a single pass the block is also blinded and shipped
+// immediately; otherwise its output is spilled for the next pass.
+func (st *cpShuffleState) runPassOne(nIn int, noise []elgamal.Ciphertext) error {
+	block := make([]elgamal.Ciphertext, 0, st.g.block)
+	bIdx := 0
+	emit := func() error {
+		if err := st.emitBlock(1, bIdx, block); err != nil {
+			return err
+		}
+		bIdx++
+		block = block[:0]
+		return nil
+	}
+	absorb := func(cts []elgamal.Ciphertext) error {
+		for len(cts) > 0 {
+			take := st.g.blockLen(1, bIdx) - len(block)
+			if take > len(cts) {
+				take = len(cts)
+			}
+			block = append(block, cts[:take]...)
+			cts = cts[take:]
+			if len(block) == st.g.blockLen(1, bIdx) {
+				if err := emit(); err != nil {
+					return err
+				}
 			}
 		}
-		return m.Send(kindBlind, bc)
+		return nil
+	}
+	err := recvVectorFunc(st.m, nIn, func(_ int, cts []elgamal.Ciphertext) error {
+		return absorb(cts)
 	})
+	if err != nil {
+		return fmt.Errorf("psc cp %s: mix batch: %w", st.cp.Name, err)
+	}
+	return absorb(noise)
+}
+
+// runPass re-streams the previous pass's spilled output in pass p's
+// block order, announcing each claimed input block before its shuffle
+// so the TS can hash-check the stream against the verified
+// intermediate.
+func (st *cpShuffleState) runPass(p int) error {
+	var next *spill
+	var err error
+	handedOff := false
+	if p < st.passes {
+		if next, err = newSpill(st.g.n); err != nil {
+			return fmt.Errorf("psc cp %s: shuffle spill: %w", st.cp.Name, err)
+		}
+		defer func() {
+			if !handedOff {
+				next.Close()
+			}
+		}()
+	}
+	idx := make([]int, 0, maxBlockElems)
+	for b := 0; b < st.g.blocks(p); b++ {
+		n := st.g.blockLen(p, b)
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			idx = append(idx, st.g.inIndex(p, b, j))
+		}
+		in, err := st.inter.readIndices(idx)
+		if err != nil {
+			return fmt.Errorf("psc cp %s: shuffle spill: %w", st.cp.Name, err)
+		}
+		if err := st.m.Send(kindShufFeed, BlockFeedMsg{Pass: p, Block: b, Count: n, Data: encodeVector(in)}); err != nil {
+			return err
+		}
+		if err := st.emitBlockTo(p, b, in, next); err != nil {
+			return err
+		}
+	}
+	st.inter.Close()
+	st.inter = next
+	handedOff = true
+	return nil
+}
+
+// emitBlock shuffles, proves, and sends one block, then either blinds
+// it (final pass) or spills it for the next pass.
+func (st *cpShuffleState) emitBlock(p, b int, in []elgamal.Ciphertext) error {
+	return st.emitBlockTo(p, b, in, st.inter)
+}
+
+func (st *cpShuffleState) emitBlockTo(p, b int, in []elgamal.Ciphertext, dst *spill) error {
+	out, witness := elgamal.Shuffle(st.joint, in)
+	if st.prove {
+		proof, err := elgamal.ProveShuffleBlock(st.tr, p, b, st.joint, in, out, witness, st.rounds)
+		if err != nil {
+			return fmt.Errorf("psc cp %s: block %d/%d proof: %w", st.cp.Name, p, b, err)
+		}
+		if err := sendBlockProof(st.m, p, b, out, proof); err != nil {
+			return err
+		}
+	} else if err := st.m.Send(kindShufBlock, BlockOutMsg{Pass: p, Block: b, Count: len(out), Data: encodeVector(out)}); err != nil {
+		return err
+	}
+	if p < st.passes {
+		return dst.write(st.g.outStart(p, b), out)
+	}
+	return st.blindBlock(p, b, out)
+}
+
+// blindBlock exponent-blinds one final-pass block and ships it with its
+// DLEQ proofs; the TS verifies against the block output it just
+// checked and forwards downstream while this CP works on the next
+// block.
+func (st *cpShuffleState) blindBlock(p, b int, out []elgamal.Ciphertext) error {
+	blinded, blindScalars := elgamal.BatchExpBlind(out)
+	bc := BlindChunkMsg{Off: st.g.outStart(p, b), Count: len(blinded), Data: encodeVector(blinded)}
+	if st.prove {
+		bc.Proofs = make([]wireEquality, len(blinded))
+		for i, pr := range elgamal.BatchProveBlinds(out, blinded, blindScalars) {
+			bc.Proofs[i] = packEquality(pr)
+		}
+	}
+	return st.m.Send(kindBlind, bc)
 }
 
 // decryptPhase answers the final batch chunk by chunk: only one chunk

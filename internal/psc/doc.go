@@ -12,12 +12,28 @@
 //  1. DCs send encrypted bit tables; the TS homomorphically sums them,
 //     turning per-bin sums into an OR in the exponent.
 //  2. Each CP in turn appends fair-coin noise ciphertexts (with
-//     Cramer–Damgård–Schoenmakers proofs they encrypt bits), shuffles
-//     and re-randomizes the batch (cut-and-choose verifiable shuffle),
-//     and exponent-blinds every ciphertext (Chaum–Pedersen proofs), so
-//     only empty-vs-non-empty survives and nobody can link bins.
-//  3. The CPs jointly decrypt (proving every decryption share); the TS
-//     counts non-identity plaintexts.
+//     Cramer–Damgård–Schoenmakers proofs they encrypt bits), then runs
+//     the streaming verifiable shuffle: the vector is arranged as a
+//     grid of ShuffleBlockElems-element rows and permuted in
+//     ShufflePasses alternating passes (contiguous row blocks, then
+//     column groups — a transpose in emission order). Every block is
+//     independently permuted, re-randomized, and proven with its own
+//     cut-and-choose argument whose shadows are hash-committed before
+//     the challenge exists and whose challenge bits come from a
+//     Fiat–Shamir transcript over all block commitments of the stage
+//     (elgamal.ShuffleTranscript). Later passes re-stream the spilled
+//     intermediate in the new block order; the TS checks the re-stream
+//     against the previous pass's per-block hashes (pass-continuity),
+//     so the claimed input can never diverge from the verified
+//     intermediate. Final-pass blocks are exponent-blinded
+//     (Chaum–Pedersen proofs, verified per block) and forwarded while
+//     later blocks are still in flight, so only empty-vs-non-empty
+//     survives, nobody can link bins, and no party ever holds more
+//     than O(block·rounds) ciphertexts.
+//  3. The CPs jointly decrypt, streamed: the TS re-streams the spilled
+//     final vector per chunk to every CP, verifies each share chunk's
+//     proofs on arrival, and recovers and counts plaintexts chunk by
+//     chunk (behind the barrier that all mix verification finished).
 //
 // The reported value is occupied-bins + Binomial(k·|CPs|, ½); the
 // estimator in internal/stats removes the noise mean and inverts hash
@@ -38,9 +54,19 @@
 //
 // # Invariants
 //
-//   - Every vector phase travels as a header plus bounded chunks; the
-//     one whole-vector barrier is the verifiable shuffle, whose proof
-//     must cover the entire permuted batch.
+//   - Every vector phase travels as a header plus bounded chunks or
+//     blocks; no phase of the CP chain holds a whole vector of parsed
+//     ciphertexts. Inter-pass shuffle vectors and the pre-decrypt
+//     final vector live as encoded bytes in unlinked temp-file spills.
+//   - Shuffle soundness is per block: a cheating block survives one
+//     argument with probability 2^-ShuffleProofRounds, and a stage
+//     makes blocks·passes attempts (union bound) — size proof rounds
+//     to the table, not just to 2^-k.
+//   - Decryption never starts before every CP's verification (block
+//     arguments, pass continuity, blind proofs) has finished; blinded
+//     blocks forwarded early are semantically secure ciphertexts, so a
+//     late verification failure still aborts the round before any
+//     share is produced.
 //   - A round may complete without a DC (reduced coverage, annotated)
 //     but never without a CP: the joint key is an n-of-n threshold.
 //   - A DC's upload can be restarted on a rejoined session until its

@@ -1,0 +1,194 @@
+package psc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/elgamal"
+)
+
+func pkForTest() elgamal.Point { return elgamal.GenerateKey().PK }
+
+func encryptBits(pk elgamal.Point, n int) []elgamal.Ciphertext {
+	cts, _ := elgamal.BatchEncryptBits(pk, make([]bool, n))
+	return cts
+}
+
+// TestGridGeometry checks the blocking invariants every shape must
+// satisfy: blocks tile the vector exactly, emission offsets are
+// consistent with block lengths, and prevBlockOf inverts outStart.
+func TestGridGeometry(t *testing.T) {
+	shapes := []struct{ n, block int }{
+		{1, 4}, {4, 4}, {5, 4}, {16, 4}, {17, 4}, {19, 4}, {100, 7}, {1024, 64}, {65792, 1024},
+	}
+	for _, s := range shapes {
+		g := newGrid(s.n, s.block)
+		for p := 1; p <= 3; p++ {
+			if g.rows == 1 && p > 1 {
+				break
+			}
+			seen := make([]bool, s.n)
+			emitted := 0
+			for b := 0; b < g.blocks(p); b++ {
+				if got := g.outStart(p, b); got != emitted {
+					t.Fatalf("n=%d block=%d pass %d: outStart(%d)=%d, want %d", s.n, s.block, p, b, got, emitted)
+				}
+				for j := 0; j < g.blockLen(p, b); j++ {
+					idx := g.inIndex(p, b, j)
+					if idx < 0 || idx >= s.n || seen[idx] {
+						t.Fatalf("n=%d block=%d pass %d: index %d repeated or out of range", s.n, s.block, p, idx)
+					}
+					seen[idx] = true
+					if p > 1 {
+						pb := g.prevBlockOf(p, idx)
+						start := g.outStart(p-1, pb)
+						if idx < start || idx >= start+g.blockLen(p-1, pb) {
+							t.Fatalf("n=%d block=%d pass %d: prevBlockOf(%d)=%d does not contain it", s.n, s.block, p, idx, pb)
+						}
+					}
+				}
+				emitted += g.blockLen(p, b)
+			}
+			if emitted != s.n {
+				t.Fatalf("n=%d block=%d pass %d: blocks tile %d elements", s.n, s.block, p, emitted)
+			}
+		}
+	}
+}
+
+// applyPasses runs the composed grid shuffle on an index vector with
+// the given per-block permutation source, returning the composite
+// mapping src index -> dst position.
+func applyPasses(g grid, passes int, rng *rand.Rand) []int {
+	vec := make([]int, g.n)
+	for i := range vec {
+		vec[i] = i
+	}
+	for p := 1; p <= passes; p++ {
+		next := make([]int, 0, g.n)
+		for b := 0; b < g.blocks(p); b++ {
+			n := g.blockLen(p, b)
+			blk := make([]int, n)
+			for j := 0; j < n; j++ {
+				blk[j] = vec[g.inIndex(p, b, j)]
+			}
+			rng.Shuffle(n, func(i, j int) { blk[i], blk[j] = blk[j], blk[i] })
+			next = append(next, blk...)
+		}
+		vec = next
+	}
+	pos := make([]int, g.n)
+	for dst, src := range vec {
+		pos[src] = dst
+	}
+	return pos
+}
+
+// TestComposedPassesPermutationEquivalence is the whole-vector
+// permutation-equivalence property test: composing per-block row and
+// column passes must (a) always yield a permutation of the full
+// vector, (b) give every element full positional support, and (c)
+// produce per-(src,dst) marginals statistically close to the uniform
+// 1/n — the "uniform-enough" requirement the round's privacy argument
+// rests on, at the same soundness bound as the per-block arguments
+// (each pass is exactly the permutation its block proofs attest).
+func TestComposedPassesPermutationEquivalence(t *testing.T) {
+	const trials = 6000
+	shapes := []struct{ n, block int }{
+		{24, 6},  // single-column groups (gcols = 1)
+		{40, 10}, // grouped columns (gcols = 2)
+	}
+	rng := rand.New(rand.NewSource(20180901))
+	for _, shape := range shapes {
+		n := shape.n
+		g := newGrid(n, shape.block)
+		passes := g.passes(DefaultShufflePasses)
+		if passes < 2 {
+			t.Fatalf("grid %dx%d collapsed to one pass", n, shape.block)
+		}
+		counts := make([][]int, n)
+		for i := range counts {
+			counts[i] = make([]int, n)
+		}
+		for trial := 0; trial < trials; trial++ {
+			pos := applyPasses(g, passes, rng)
+			seen := make([]bool, n)
+			for src, dst := range pos {
+				if dst < 0 || dst >= n || seen[dst] {
+					t.Fatalf("trial %d: not a permutation", trial)
+				}
+				seen[dst] = true
+				counts[src][dst]++
+			}
+		}
+		want := float64(trials) / float64(n)
+		for src := range counts {
+			for dst, c := range counts[src] {
+				if c == 0 {
+					t.Fatalf("n=%d: position (%d -> %d) unreachable: composed passes lack full support", n, src, dst)
+				}
+				// Binomial sd ≈ sqrt(want); ±40% is over 6 sd, far past
+				// flake territory while still catching any systematic
+				// bias (a one-pass shuffle concentrates whole rows and
+				// fails this immediately).
+				if ratio := float64(c) / want; ratio < 0.6 || ratio > 1.4 {
+					t.Errorf("n=%d: position (%d -> %d) frequency %d is %.2f× uniform", n, src, dst, c, ratio)
+				}
+			}
+		}
+	}
+	// A ragged grid must keep the same guarantees.
+	g2 := newGrid(19, 6)
+	for trial := 0; trial < 64; trial++ {
+		pos := applyPasses(g2, g2.passes(DefaultShufflePasses), rng)
+		seen := make([]bool, g2.n)
+		for _, dst := range pos {
+			if seen[dst] {
+				t.Fatalf("ragged trial %d: not a permutation", trial)
+			}
+			seen[dst] = true
+		}
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	joint := pkForTest()
+	const n = 37
+	sp, err := newSpill(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cts := encryptBits(joint, n)
+	if err := sp.write(0, cts[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.write(20, cts[20:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.readRange(5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range got {
+		if !c.Equal(cts[5+i]) {
+			t.Fatalf("readRange element %d differs", i)
+		}
+	}
+	idx := []int{36, 0, 7, 7, 19}
+	gathered, err := sp.readIndices(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range gathered {
+		if !c.Equal(cts[idx[i]]) {
+			t.Fatalf("readIndices element %d differs", i)
+		}
+	}
+	if _, err := sp.readRange(30, 10); err == nil {
+		t.Fatal("out-of-range read must fail")
+	}
+	if err := sp.write(30, cts[:10]); err == nil {
+		t.Fatal("out-of-range write must fail")
+	}
+}

@@ -7,18 +7,20 @@ package psc
 // (combine, verify, forward) each chunk while later chunks are still in
 // flight.
 const (
-	kindRegister = "psc/register"
-	kindConfig   = "psc/configure"
-	kindTable    = "psc/table"        // DC upload header, then chunks
-	kindChunk    = "psc/chunk"        // one ciphertext-vector chunk
-	kindMix      = "psc/mix"          // TS->CP input header, then chunks
-	kindMixed    = "psc/mixed"        // CP->TS output header
-	kindNoise    = "psc/noise"        // CP noise chunk with bit proofs
-	kindShufOpen = "psc/shuffle-open" // one per shuffle-proof round
-	kindBlind    = "psc/blind"        // blinded chunk with DLEQ proofs
-	kindDecrypt  = "psc/decrypt"      // TS->CP final batch header, then chunks
-	kindShares   = "psc/shares"       // CP->TS share stream header
-	kindShare    = "psc/share-chunk"  // decryption-share chunk with proofs
+	kindRegister   = "psc/register"
+	kindConfig     = "psc/configure"
+	kindTable      = "psc/table"          // DC upload header, then chunks
+	kindChunk      = "psc/chunk"          // one ciphertext-vector chunk
+	kindMix        = "psc/mix"            // TS->CP input header, then chunks
+	kindMixed      = "psc/mixed"          // CP->TS output header
+	kindNoise      = "psc/noise"          // CP noise chunk with bit proofs
+	kindShufBlock  = "psc/shuffle-block"  // one shuffled block with shadow commitments
+	kindShufShadow = "psc/shuffle-shadow" // one opened shadow round of a block
+	kindShufFeed   = "psc/shuffle-feed"   // pass>=2 claimed input block (re-streamed)
+	kindBlind      = "psc/blind"          // blinded chunk with DLEQ proofs
+	kindDecrypt    = "psc/decrypt"        // TS->CP final batch header, then chunks
+	kindShares     = "psc/shares"         // CP->TS share stream header
+	kindShare      = "psc/share-chunk"    // decryption-share chunk with proofs
 )
 
 // Party roles.
@@ -41,6 +43,8 @@ type ConfigureMsg struct {
 	Bins               int
 	NoisePerCP         int
 	ShuffleProofRounds int
+	ShuffleBlockElems  int      // shuffle block size (0: DefaultShuffleBlock)
+	ShufflePasses      int      // shuffle passes (0: DefaultShufflePasses)
 	ChunkElems         int      // elements per vector chunk (0: DefaultChunk)
 	JointKey           []byte   // combined CP public key
 	CPKeys             [][]byte // individual CP keys, in pipeline order
@@ -71,11 +75,35 @@ type NoiseChunkMsg struct {
 	Proofs     []wireBitProof
 }
 
-// ShuffleOpenMsg reveals one cut-and-choose round's challenge opening
-// after its shadow vector's chunks.
-type ShuffleOpenMsg struct {
-	OpenPerm []int
-	OpenRand [][]byte
+// BlockOutMsg carries one shuffled block of the streaming verifiable
+// shuffle: the block's permuted, re-randomized ciphertexts plus the
+// hash commitments to every shadow of its cut-and-choose argument. The
+// commitments arrive before any shadow is revealed — they feed the
+// Fiat–Shamir transcript that fixes the block's challenge bits.
+type BlockOutMsg struct {
+	Pass, Block, Count int
+	Data               []byte   // Count packed ciphertexts
+	Commits            [][]byte // one 32-byte shadow commitment per proof round
+}
+
+// BlockShadowMsg opens one cut-and-choose round of a block's argument:
+// the shadow ciphertexts (which must match their commitment) and the
+// permutation/randomizer opening for the challenged side.
+type BlockShadowMsg struct {
+	Pass, Block, Round, Count int
+	Data                      []byte // Count packed shadow ciphertexts
+	OpenPerm                  []int
+	OpenRand                  [][]byte
+}
+
+// BlockFeedMsg re-streams one input block of a pass ≥ 2: the prover
+// reads the previous pass's output back in the new pass's block order
+// (a transpose for column passes) and the verifier checks the stream
+// against the previous pass's per-block hashes, so the claimed input
+// can never diverge from the verified intermediate vector.
+type BlockFeedMsg struct {
+	Pass, Block, Count int
+	Data               []byte
 }
 
 // BlindChunkMsg carries exponent-blinded ciphertexts with their DLEQ

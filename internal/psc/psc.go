@@ -20,12 +20,25 @@ type Config struct {
 	// injects. Total noise is Binomial(NoisePerCP·NumCPs, 1/2); the
 	// calibration comes from dp.PSCNoiseTrials.
 	NoisePerCP int
-	// ShuffleProofRounds is the cut-and-choose soundness parameter
-	// (error 2^-rounds). Zero disables shuffle/blind/bit proofs — an
+	// ShuffleProofRounds is the per-block cut-and-choose soundness
+	// parameter (a cheating block survives with probability 2^-rounds;
+	// the stage error is at most blocks·passes·2^-rounds by a union
+	// bound). Zero disables shuffle/blind/bit proofs — an
 	// honest-but-curious mode used only by the scale benchmarks; the
 	// deployment default is 8.
 	ShuffleProofRounds int
-	NumDCs, NumCPs     int
+	// ShuffleBlockElems is the streaming shuffle's block size: the
+	// mixed vector is arranged as rows of this many elements and each
+	// pass permutes one block at a time, so CP and TS shuffle-phase
+	// residency is O(block·rounds) instead of O(bins·rounds). Zero
+	// selects DefaultShuffleBlock.
+	ShuffleBlockElems int
+	// ShufflePasses is how many alternating row/column passes each CP
+	// runs (zero: DefaultShufflePasses). Two passes give every element
+	// full positional support; more passes tighten the composed
+	// permutation toward uniform at a linear cost.
+	ShufflePasses  int
+	NumDCs, NumCPs int
 	// ChunkElems is how many ciphertexts travel per chunk frame; zero
 	// selects DefaultChunk. Smaller chunks tighten the per-party memory
 	// bound of the element-wise phases at the cost of more frames.
@@ -73,6 +86,18 @@ func (c Config) Validate() error {
 	if c.ChunkElems > 2048 {
 		return fmt.Errorf("psc: chunk size %d exceeds the frame budget (max 2048)", c.ChunkElems)
 	}
+	if c.ShuffleBlockElems < 0 {
+		return fmt.Errorf("psc: negative shuffle block size")
+	}
+	if c.ShuffleBlockElems > maxBlockElems {
+		return fmt.Errorf("psc: shuffle block %d exceeds the frame budget (max %d)", c.ShuffleBlockElems, maxBlockElems)
+	}
+	if c.ShufflePasses < 0 || c.ShufflePasses > 16 {
+		return fmt.Errorf("psc: shuffle passes %d outside [0,16]", c.ShufflePasses)
+	}
+	if c.ShuffleProofRounds > 128 {
+		return fmt.Errorf("psc: %d proof rounds exceeds the transcript budget (max 128)", c.ShuffleProofRounds)
+	}
 	if c.NumDCs <= 0 {
 		return fmt.Errorf("psc: need at least one DC")
 	}
@@ -81,6 +106,24 @@ func (c Config) Validate() error {
 	}
 	if c.NumCPs <= 0 {
 		return fmt.Errorf("psc: need at least one CP (privacy needs one honest CP)")
+	}
+	// A column block carries one element per row, so the row count must
+	// fit the frame budget too. The largest mixed vector is the last
+	// CP's: the table plus every CP's appended noise.
+	block := blockOf(c.ShuffleBlockElems)
+	maxTotal := c.Bins + c.NumCPs*c.NoisePerCP
+	if rows := (maxTotal + block - 1) / block; rows > maxBlockElems {
+		return fmt.Errorf("psc: %d-element vectors over %d-element blocks give %d-element columns, exceeding the frame budget (max %d); raise the shuffle block size",
+			maxTotal, block, rows, maxBlockElems)
+	}
+	// A single pass over a multi-block vector never moves an element
+	// out of its block, so the TS would learn which block every
+	// occupied bin falls in — a silent downgrade of the privacy barrier
+	// the shuffle exists to provide. (A vector that fits one block is
+	// fine: one pass covers it entirely.)
+	if c.ShufflePasses == 1 && maxTotal > block {
+		return fmt.Errorf("psc: 1 shuffle pass over a %d-element vector with %d-element blocks is block-local, not a full shuffle; use at least 2 passes",
+			maxTotal, block)
 	}
 	return nil
 }

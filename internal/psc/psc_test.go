@@ -133,6 +133,24 @@ func TestRoundWithNoiseRecoversCount(t *testing.T) {
 	}
 }
 
+// TestRoundNonDefaultShuffleGeometry pins the end-to-end propagation of
+// the shuffle parameters: an honest round with a non-default block size
+// and pass count must succeed, which only happens when the TS's
+// ConfigureMsg carries the same geometry the tally verifies against
+// (a mismatch desynchronizes blocking on the first block).
+func TestRoundNonDefaultShuffleGeometry(t *testing.T) {
+	cfg := Config{Round: 11, Bins: 96, NoisePerCP: 4, ShuffleProofRounds: 2,
+		ShuffleBlockElems: 16, ShufflePasses: 3, NumDCs: 2, NumCPs: 2, ChunkElems: 32}
+	res := runRound(t, cfg, func(dcs []*DC) {
+		dcs[0].Observe("alpha")
+		dcs[1].Observe("beta")
+	})
+	// 2 occupied bins + Binomial(8, 1/2) noise: result in [2, 10].
+	if res.Reported < 2 || res.Reported > 10 {
+		t.Fatalf("reported %d outside feasible range", res.Reported)
+	}
+}
+
 func TestRoundEmptySets(t *testing.T) {
 	cfg := Config{Round: 3, Bins: 32, NoisePerCP: 0, ShuffleProofRounds: 2, NumDCs: 2, NumCPs: 2}
 	res := runRound(t, cfg, func([]*DC) {})
@@ -181,6 +199,16 @@ func TestConfigValidation(t *testing.T) {
 		{Bins: 8, ShuffleProofRounds: -1, NumDCs: 1, NumCPs: 1},
 		{Bins: 8, NumDCs: 0, NumCPs: 1},
 		{Bins: 8, NumDCs: 1, NumCPs: 0},
+		{Bins: 8, ShuffleBlockElems: -1, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, ShuffleBlockElems: maxBlockElems + 1, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, ShufflePasses: 17, NumDCs: 1, NumCPs: 1},
+		{Bins: 8, ShuffleProofRounds: 129, NumDCs: 1, NumCPs: 1},
+		// Column length over the frame budget: 2^16 bins in 16-element
+		// blocks means 4096-element columns.
+		{Bins: 1 << 16, ShuffleBlockElems: 16, NumDCs: 1, NumCPs: 1},
+		// One pass over a multi-block vector is block-local, not a
+		// shuffle: the TS would learn each occupied bin's block.
+		{Bins: 4096, ShufflePasses: 1, NumDCs: 1, NumCPs: 1},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -189,6 +217,11 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := NewTally(Config{}); err == nil {
 		t.Fatal("NewTally must validate")
+	}
+	// A single pass is fine when the vector fits one block.
+	ok := Config{Bins: 512, ShufflePasses: 1, ShuffleBlockElems: 1024, NumDCs: 1, NumCPs: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("single-block single-pass config rejected: %v", err)
 	}
 }
 
@@ -213,90 +246,134 @@ func TestTallyRejectsWrongConnCount(t *testing.T) {
 	}
 }
 
-// TestMaliciousCPRejected runs a tally against one honest CP and one
-// cheating CP that skips the real shuffle: it echoes its input (plus
-// valid noise) as the "shuffled" vector with a proof for a different
-// permutation, and echoes it again as the "blinded" vector. The proofs
-// cannot cover the forged stages, so the TS must reject the round.
-func TestMaliciousCPRejected(t *testing.T) {
-	cfg := Config{Round: 9, Bins: 16, NoisePerCP: 2, ShuffleProofRounds: 8, NumDCs: 1, NumCPs: 2}
-	tally, err := NewTally(cfg)
+// tamperConn wraps a TS-side messenger and corrupts the Nth shuffled
+// block announcement arriving from the CP: one output ciphertext is
+// replaced with a fresh, perfectly valid encryption. The block's shadow
+// commitments and openings still describe the CP's honest output, so
+// this models a CP (or a relay between them) substituting a ciphertext
+// inside the streaming shuffle.
+type tamperConn struct {
+	wire.Messenger
+	joint    elgamal.Point
+	skip     int // tamper the (skip+1)th block announcement
+	tampered bool
+}
+
+func (tc *tamperConn) Send(kind string, v any) error {
+	if kind == kindConfig {
+		if cc, ok := v.(ConfigureMsg); ok {
+			tc.joint, _, _ = elgamal.ParsePoint(cc.JointKey)
+		}
+	}
+	return tc.Messenger.Send(kind, v)
+}
+
+func (tc *tamperConn) Recv() (wire.Frame, error) {
+	f, err := tc.Messenger.Recv()
+	if err != nil || f.Kind != kindShufBlock || tc.tampered {
+		return f, err
+	}
+	if tc.skip > 0 {
+		tc.skip--
+		return f, nil
+	}
+	var bo BlockOutMsg
+	if err := wire.DecodePayload(f.Payload, &bo); err != nil {
+		return f, nil
+	}
+	cts, err := decodeVector(bo.Data, bo.Count)
 	if err != nil {
-		t.Fatal(err)
+		return f, nil
 	}
-
-	var tsConns []wire.Messenger
-
-	// Honest CP.
-	tsSide1, cpSide1 := wire.Pipe()
-	tsConns = append(tsConns, tsSide1)
-	honest := NewCP("cp-a", cpSide1, nil)
-	go honest.Serve() // may error when the round aborts; ignored
-
-	// Malicious CP: runs the normal protocol but lies at the mix step.
-	tsSide2, cpSide2 := wire.Pipe()
-	tsConns = append(tsConns, tsSide2)
-	go func() {
-		conn := cpSide2
-		evil := NewCP("cp-b", conn, nil)
-		conn.Send(kindRegister, RegisterMsg{Role: RoleCP, Name: "cp-b", PubKey: evil.key.PK.Bytes()})
-		var cc ConfigureMsg
-		if conn.Expect(kindConfig, &cc) != nil {
-			return
-		}
-		joint, _, err := elgamal.ParsePoint(cc.JointKey)
-		if err != nil {
-			return
-		}
-		var hdr VectorHeader
-		if conn.Expect(kindMix, &hdr) != nil {
-			return
-		}
-		batch, err := recvVector(conn, hdr.N)
-		if err != nil {
-			return
-		}
-		// Honest noise with valid bit proofs, so the forgery reaches the
-		// shuffle verification.
-		bits := make([]bool, cc.NoisePerCP)
-		noiseCts, rands := elgamal.BatchEncryptBits(joint, bits)
-		proofs := elgamal.BatchProveBits(joint, noiseCts, bits, rands)
-		withNoise := append(append([]elgamal.Ciphertext{}, batch...), noiseCts...)
-		conn.Send(kindMixed, VectorHeader{From: "cp-b", Round: cc.Round, N: len(withNoise)})
-		nc := NoiseChunkMsg{Off: 0, Count: len(noiseCts), Data: encodeVector(noiseCts)}
-		nc.Proofs = make([]wireBitProof, len(proofs))
-		for i, pr := range proofs {
-			nc.Proofs[i] = packBitProof(pr)
-		}
-		conn.Send(kindNoise, nc)
-		// Forge: "shuffle" that is the identity, with a proof generated
-		// for a real shuffle of a different vector.
-		realShuffled, witness := elgamal.Shuffle(joint, withNoise)
-		sendVector(conn, withNoise, 0)
-		sendShuffleProof(conn, elgamal.ProveShuffle(joint, withNoise, realShuffled, witness, cc.ShuffleProofRounds), 0)
-		conn.Send(kindBlind, BlindChunkMsg{Off: 0, Count: len(withNoise), Data: encodeVector(withNoise)})
-	}()
-
-	// DC.
-	tsSide3, dcSide := wire.Pipe()
-	tsConns = append(tsConns, tsSide3)
-	dc := NewDC("dc-0", dcSide)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := dc.Setup(); err != nil {
-			return
-		}
-		dc.Observe("victim")
-		dc.Finish()
-	}()
-
-	_, err = tally.Run(tsConns)
-	if err == nil {
-		t.Fatal("tally must reject the malicious CP")
+	cts[0] = elgamal.Encrypt(tc.joint, elgamal.Generator())
+	bo.Data = encodeVector(cts)
+	if payload, err := wire.EncodePayload(bo); err == nil {
+		f.Payload = payload
+		tc.tampered = true
 	}
-	wg.Wait()
+	return f, nil
+}
+
+func (tc *tamperConn) Expect(kind string, out any) error {
+	f, err := tc.Recv()
+	if err != nil {
+		return err
+	}
+	if f.Kind != kind {
+		return fmt.Errorf("expected %q frame, got %q", kind, f.Kind)
+	}
+	if out == nil {
+		return nil
+	}
+	return wire.DecodePayload(f.Payload, out)
+}
+
+// TestMaliciousCPRejected substitutes a single valid ciphertext into
+// one shuffled block of an otherwise honest CP and requires the TS to
+// reject the round. The single-pass shape is caught by the block's
+// cut-and-choose argument or, at the latest, by the blind DLEQ check
+// against the tampered block; the multi-pass shape is additionally
+// pinned by the pass-continuity hashes when the CP re-streams its own
+// (untampered) intermediate.
+func TestMaliciousCPRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		skip int
+	}{
+		// Single pass (vector fits one block): tamper the only block.
+		{"single-pass", Config{Round: 9, Bins: 16, NoisePerCP: 2, ShuffleProofRounds: 8, NumDCs: 1, NumCPs: 2}, 0},
+		// Multi-pass grid: tamper a pass-1 block; the continuity check
+		// over the re-streamed intermediate must catch whatever the
+		// cut-and-choose argument misses.
+		{"multi-pass", Config{Round: 10, Bins: 48, NoisePerCP: 2, ShuffleProofRounds: 2,
+			ShuffleBlockElems: 8, ShufflePasses: 2, NumDCs: 1, NumCPs: 2}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tally, err := NewTally(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tsConns []wire.Messenger
+
+			// Honest CP.
+			tsSide1, cpSide1 := wire.Pipe()
+			tsConns = append(tsConns, tsSide1)
+			honest := NewCP("cp-a", cpSide1, nil)
+			go honest.Serve() // errors when the round aborts; ignored
+
+			// Honest CP behind a tampering wire.
+			tsSide2, cpSide2 := wire.Pipe()
+			tsConns = append(tsConns, &tamperConn{Messenger: tsSide2, skip: tc.skip})
+			victim := NewCP("cp-b", cpSide2, nil)
+			go victim.Serve()
+
+			// DC.
+			tsSide3, dcSide := wire.Pipe()
+			tsConns = append(tsConns, tsSide3)
+			dc := NewDC("dc-0", dcSide)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := dc.Setup(); err != nil {
+					return
+				}
+				dc.Observe("victim")
+				dc.Finish()
+			}()
+
+			_, err = tally.Run(tsConns)
+			if err == nil {
+				t.Fatal("tally must reject the tampered shuffle")
+			}
+			for _, m := range tsConns {
+				m.Close()
+			}
+			wg.Wait()
+		})
+	}
 }
 
 func BenchmarkRound256Bins(b *testing.B) {

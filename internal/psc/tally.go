@@ -20,11 +20,14 @@ import (
 // Every vector phase is chunked and pipelined: DC tables are combined
 // as their chunks arrive (strict flow) or buffered per DC and merged
 // whole (tolerant flow, so an absent DC contributes nothing), each
-// CP's verified blinded chunks are forwarded to the next CP while the
-// upstream CP is still mixing, and decryption shares are verified per
-// chunk from all CPs concurrently. The CP-chain barrier is the
-// verifiable shuffle, which privacy requires to cover the whole vector
-// at once.
+// CP's verified blinded blocks are forwarded to the next CP while the
+// upstream CP is still mixing, and decryption shares are verified and
+// recovered per chunk from all CPs concurrently. The shuffle itself
+// streams block-wise (grid passes with per-block cut-and-choose
+// arguments), so no phase of the CP chain holds a whole vector of
+// parsed ciphertexts; the only whole-vector state is the spilled
+// encoding of the final batch awaiting the pre-decrypt verification
+// barrier.
 type Tally struct {
 	cfg Config
 }
@@ -115,13 +118,21 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 	chunk := chunkOf(t.cfg.ChunkElems)
 
 	// Mixing pipeline: feeder -> CP 1 -> ... -> CP k -> collector, all
-	// running at once, chunked end to end.
+	// running at once, chunked end to end. The feeder releases each fed
+	// chunk of the combined table so the table's group elements are
+	// collected as the pipeline drains them: from here on the TS holds
+	// O(block) parsed ciphertexts per CP stage.
 	feed := make(chan vchunk, 2)
 	go func() {
 		defer close(feed)
 		_ = forEachChunk(len(combined), chunk, func(off, end int) error {
+			cts := make([]elgamal.Ciphertext, end-off)
+			copy(cts, combined[off:end])
+			for i := off; i < end; i++ {
+				combined[i] = elgamal.Ciphertext{}
+			}
 			select {
-			case feed <- vchunk{off: off, cts: combined[off:end]}:
+			case feed <- vchunk{off: off, cts: cts}:
 				return nil
 			case <-f.ch:
 				return f.err
@@ -140,15 +151,30 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 		}(n, cpM[n], nIn, in, out)
 		in = out
 	}
+	// Collect the final blinded vector into a spill, not the heap: the
+	// decryption tail re-streams it per chunk to every CP.
 	finalN := t.cfg.Bins + t.cfg.NumCPs*t.cfg.NoisePerCP
-	batch := make([]elgamal.Ciphertext, 0, finalN)
+	dec, err := newSpill(finalN)
+	if err != nil {
+		return Result{}, fmt.Errorf("psc ts: decrypt spill: %w", err)
+	}
+	// Closed through the locking wrapper: a failure path may return
+	// while per-CP decrypt goroutines still read the spill, and they
+	// must see an error, not released storage.
+	src := &lockedSpill{sp: dec}
+	defer src.Close()
+	written := 0
 	for c := range in {
-		batch = append(batch, c.cts...)
+		if err := dec.write(c.off, c.cts); err != nil {
+			f.fail(fmt.Errorf("psc ts: decrypt spill: %w", err))
+			break
+		}
+		written += len(c.cts)
 	}
 	// Decryption must not start until every CP's verification has
-	// finished: the last blinded chunks are forwarded before their
-	// whole-vector proof check completes, and decrypting a batch whose
-	// blinding later fails to verify would hand out shares the protocol
+	// finished: the last blinded blocks are forwarded before the final
+	// pass-continuity check completes, and decrypting a batch whose
+	// shuffle later fails to verify would hand out shares the protocol
 	// never authorized.
 	mixDone := make(chan struct{})
 	go func() { mixWG.Wait(); close(mixDone) }()
@@ -162,46 +188,59 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 		// latched failure lose the select race.
 		return Result{}, err
 	}
-	if len(batch) != finalN {
-		return Result{}, fmt.Errorf("psc ts: mix pipeline produced %d elements, want %d", len(batch), finalN)
+	if written != finalN {
+		return Result{}, fmt.Errorf("psc ts: mix pipeline produced %d elements, want %d", written, finalN)
 	}
 
-	// Joint decryption with chunk-verified shares, all CPs in parallel.
-	allShares := make([][]elgamal.DecryptionShare, len(cpNames))
-	var decWG sync.WaitGroup
+	// Joint decryption, streamed: every CP receives the final vector
+	// chunk by chunk from the spill, its share chunks are verified on
+	// arrival, and each chunk's plaintexts are recovered and counted the
+	// moment all CPs have answered it — the TS never holds more than a
+	// chunk of shares per CP.
+	shareChans := make([]chan decShareChunk, len(cpNames))
 	for i, n := range cpNames {
-		decWG.Add(1)
-		go func(idx int, name string, m wire.Messenger) {
-			defer decWG.Done()
-			shares, err := t.decryptCP(name, m, cpKeys[name], batch, chunk, f)
-			if err != nil {
-				f.fail(err)
-				return
-			}
-			allShares[idx] = shares
-		}(i, n, cpM[n])
+		shareChans[i] = make(chan decShareChunk, 2)
+		go t.decryptCP(n, cpM[n], cpKeys[n], src, finalN, chunk, f, shareChans[i])
 	}
-	decDone := make(chan struct{})
-	go func() { decWG.Wait(); close(decDone) }()
-	select {
-	case <-f.ch:
-		return Result{}, f.err
-	case <-decDone:
+	reported := 0
+	err = forEachChunk(finalN, chunk, func(off, end int) error {
+		cts, err := src.readRange(off, end-off)
+		if err != nil {
+			return fmt.Errorf("psc ts: decrypt spill: %w", err)
+		}
+		shares := make([][]elgamal.DecryptionShare, len(cpNames))
+		for i := range shareChans {
+			select {
+			case sc, ok := <-shareChans[i]:
+				if !ok {
+					if err := f.latched(); err != nil {
+						return err
+					}
+					return fmt.Errorf("psc ts: CP %s share stream ended early", cpNames[i])
+				}
+				if sc.off != off {
+					return fmt.Errorf("psc ts: CP %s shares for offset %d, want %d", cpNames[i], sc.off, off)
+				}
+				shares[i] = sc.shares
+			case <-f.ch:
+				return f.err
+			}
+		}
+		for _, pt := range elgamal.RecoverBatch(cts, shares) {
+			if !pt.IsIdentity() {
+				reported++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		f.fail(err)
+		return Result{}, err
 	}
 	if err := f.latched(); err != nil {
-		// A decrypt goroutine that failed still counts down decWG, so
-		// both channels can be ready; re-check before trusting shares.
 		return Result{}, err
 	}
 
-	// Recover plaintexts and count non-empty elements; the whole batch
-	// normalizes with one inversion.
-	reported := 0
-	for _, m := range elgamal.RecoverBatch(batch, allShares) {
-		if !m.IsIdentity() {
-			reported++
-		}
-	}
 	return Result{
 		Round:       t.cfg.Round,
 		Reported:    reported,
@@ -456,6 +495,8 @@ func (t *Tally) buildConfigs(rp *roundParties) (cpCfg, dcCfg ConfigureMsg, err e
 		Bins:               t.cfg.Bins,
 		NoisePerCP:         t.cfg.NoisePerCP,
 		ShuffleProofRounds: t.cfg.ShuffleProofRounds,
+		ShuffleBlockElems:  t.cfg.ShuffleBlockElems,
+		ShufflePasses:      t.cfg.ShufflePasses,
 		ChunkElems:         t.cfg.ChunkElems,
 		JointKey:           rp.joint.Bytes(),
 		CPKeys:             keyBytes,
@@ -551,46 +592,62 @@ func mergeChunk(combined []elgamal.Ciphertext, seen []bool, off int, cts []elgam
 	}
 }
 
-// mixCP drives one CP's mixing step: it forwards input chunks from
-// upstream while accumulating them for verification, then verifies the
-// CP's noise, shuffle, and blinding, emitting verified blinded chunks
-// downstream as they arrive. On any failure it latches the round error;
-// out always closes so downstream stages unwind.
+// mixCP drives one CP's mixing stage through the streaming block
+// shuffle: a feeder goroutine forwards upstream chunks to the CP while
+// this goroutine verifies, block by block, the CP's noise, every
+// block's shuffle argument, the pass-continuity hashes of re-streamed
+// intermediates, and the final pass's blinding — forwarding each
+// verified blinded block downstream before the next arrives. Neither
+// direction ever holds more than O(block) ciphertexts. On any failure
+// it latches the round error; out always closes so downstream stages
+// unwind.
 func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn int, in <-chan vchunk, out chan<- vchunk, f *failer, chunk int) {
 	defer close(out)
 	prove := t.cfg.ShuffleProofRounds > 0
+	total := nIn + t.cfg.NoisePerCP
+	g := newGrid(total, blockOf(t.cfg.ShuffleBlockElems))
+	passes := g.passes(passesOf(t.cfg.ShufflePasses))
 
 	if err := m.Send(kindMix, VectorHeader{Round: t.cfg.Round, N: nIn}); err != nil {
 		f.fail(fmt.Errorf("psc ts: mix to CP %s: %w", name, err))
 		return
 	}
-	inVec := make([]elgamal.Ciphertext, 0, nIn)
-	for c := range in {
-		inVec = append(inVec, c.cts...)
-		if err := m.Send(kindChunk, ChunkMsg{Off: c.off, Count: len(c.cts), Data: encodeVector(c.cts)}); err != nil {
-			f.fail(fmt.Errorf("psc ts: mix chunk to CP %s: %w", name, err))
-			return
+	// Feeder: forward upstream chunks to the CP, retaining each chunk
+	// on a bounded channel for pass-1 verification. The CP emits block
+	// b only after receiving block b's elements and the verifier drains
+	// the copies before expecting block b, so the channel never backs
+	// up beyond its slack.
+	feedCopy := make(chan []elgamal.Ciphertext, 4)
+	go func() {
+		defer close(feedCopy)
+		for c := range in {
+			if err := m.Send(kindChunk, ChunkMsg{Off: c.off, Count: len(c.cts), Data: encodeVector(c.cts)}); err != nil {
+				f.fail(fmt.Errorf("psc ts: mix chunk to CP %s: %w", name, err))
+				return
+			}
+			select {
+			case feedCopy <- c.cts:
+			case <-f.ch:
+				return
+			}
 		}
-	}
-	if len(inVec) != nIn {
-		return // upstream failed and already latched the error
-	}
+	}()
 
-	wantN := nIn + t.cfg.NoisePerCP
 	var hdr VectorHeader
 	if err := m.Expect(kindMixed, &hdr); err != nil {
 		f.fail(fmt.Errorf("psc ts: mixed from CP %s: %w", name, err))
 		return
 	}
-	if hdr.N != wantN {
-		f.fail(fmt.Errorf("psc ts: CP %s produced %d elements, want %d", name, hdr.N, wantN))
+	if hdr.N != total {
+		f.fail(fmt.Errorf("psc ts: CP %s produced %d elements, want %d", name, hdr.N, total))
 		return
 	}
 
-	// Noise: the CP sends only its appended elements; the input prefix
-	// is ours by construction, so a CP cannot tamper with it.
+	// Noise: the CP sends only its appended elements, bit-verified per
+	// chunk; the input prefix is ours by construction, so a CP cannot
+	// tamper with it. The noise ciphertexts form the tail of the
+	// shuffle input.
 	noiseCts := make([]elgamal.Ciphertext, 0, t.cfg.NoisePerCP)
-	var bitProofs []elgamal.BitProof
 	for len(noiseCts) < t.cfg.NoisePerCP {
 		var nc NoiseChunkMsg
 		if err := m.Expect(kindNoise, &nc); err != nil {
@@ -606,108 +663,278 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 			f.fail(fmt.Errorf("psc ts: CP %s noise batch: %w", name, err))
 			return
 		}
-		noiseCts = append(noiseCts, cts...)
 		if prove {
 			if len(nc.Proofs) != nc.Count {
 				f.fail(fmt.Errorf("psc ts: CP %s sent %d bit proofs for %d noise elements", name, len(nc.Proofs), nc.Count))
 				return
 			}
+			proofs := make([]elgamal.BitProof, nc.Count)
 			for i, w := range nc.Proofs {
 				proof, err := unpackBitProof(w)
 				if err != nil {
 					f.fail(fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, nc.Off+i, err))
 					return
 				}
-				bitProofs = append(bitProofs, proof)
+				proofs[i] = proof
 			}
-		}
-	}
-	if prove {
-		// Every appended noise element must provably encrypt a bit.
-		if i, ok := elgamal.VerifyBitsBatch(joint, noiseCts, bitProofs); !ok {
-			verifyFailure("bit-proof")
-			f.fail(fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, i))
-			return
-		}
-	}
-	withNoise := make([]elgamal.Ciphertext, 0, wantN)
-	withNoise = append(withNoise, inVec...)
-	withNoise = append(withNoise, noiseCts...)
-
-	// The shuffle is the privacy barrier: its proof covers the whole
-	// permuted vector, so this is the one phase that waits for a full
-	// vector before verifying.
-	shuffled, err := recvVector(m, wantN)
-	if err != nil {
-		f.fail(fmt.Errorf("psc ts: CP %s shuffled batch: %w", name, err))
-		return
-	}
-	if prove {
-		proof, err := recvShuffleProof(m, t.cfg.ShuffleProofRounds, wantN)
-		if err != nil {
-			f.fail(fmt.Errorf("psc ts: CP %s shuffle proof: %w", name, err))
-			return
-		}
-		if err := elgamal.VerifyShuffle(joint, withNoise, shuffled, proof); err != nil {
-			verifyFailure("shuffle")
-			f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
-			return
-		}
-	}
-
-	// Blinded chunks forward downstream the moment they parse — the
-	// next CP overlaps its work with this CP's remaining chunks — while
-	// the DLEQ proofs accumulate for one whole-vector batch
-	// verification: the random-linear-combination check amortizes over
-	// the full batch (chunked RLCs cost ~5% of a round), and since the
-	// forwarded elements are semantically secure ciphertexts, a CP that
-	// fails verification only aborts the round before any decryption.
-	blinded := make([]elgamal.Ciphertext, 0, wantN)
-	var blindProofs []elgamal.EqualityProof
-	for off := 0; off < wantN; {
-		var bc BlindChunkMsg
-		if err := m.Expect(kindBlind, &bc); err != nil {
-			f.fail(fmt.Errorf("psc ts: blinded from CP %s: %w", name, err))
-			return
-		}
-		if bc.Off != off || bc.Count <= 0 || off+bc.Count > wantN {
-			f.fail(fmt.Errorf("psc ts: CP %s blind chunk [%d,%d) out of order", name, bc.Off, bc.Off+bc.Count))
-			return
-		}
-		cts, err := decodeVector(bc.Data, bc.Count)
-		if err != nil {
-			f.fail(fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err))
-			return
-		}
-		if prove {
-			if len(bc.Proofs) != bc.Count {
-				f.fail(fmt.Errorf("psc ts: CP %s sent %d blind proofs for %d elements", name, len(bc.Proofs), bc.Count))
+			// Every appended noise element must provably encrypt a bit.
+			if i, ok := elgamal.VerifyBitsBatch(joint, cts, proofs); !ok {
+				verifyFailure("bit-proof")
+				f.fail(fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, nc.Off+i))
 				return
 			}
-			for i, w := range bc.Proofs {
-				proof, err := unpackEquality(w)
-				if err != nil {
-					f.fail(fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, off+i, err))
-					return
-				}
-				blindProofs = append(blindProofs, proof)
+		}
+		noiseCts = append(noiseCts, cts...)
+	}
+
+	var tr *elgamal.ShuffleTranscript
+	if prove {
+		tr = elgamal.NewShuffleTranscript(joint, total, g.block, passes, t.cfg.ShuffleProofRounds)
+	}
+
+	// Pass 1: assemble the CP's input blocks from the fed copies plus
+	// the verified noise tail, checking each block's argument as its
+	// output lands.
+	src := &blockSource{feed: feedCopy, tail: noiseCts}
+	var prevHashes [][32]byte
+	if passes > 1 {
+		prevHashes = make([][32]byte, g.blocks(1))
+	}
+	for b := 0; b < g.blocks(1); b++ {
+		inB, ok := src.next(g.blockLen(1, b), f)
+		if !ok {
+			return // upstream failed and already latched the error
+		}
+		outB := t.recvBlock(name, m, tr, joint, 1, b, inB, f)
+		if outB == nil {
+			return
+		}
+		if passes > 1 {
+			prevHashes[b] = elgamal.HashBlock(outB)
+		} else if !t.recvBlindForward(name, m, g.outStart(1, b), outB, out, f) {
+			return
+		}
+	}
+
+	// Later passes: the CP re-streams the previous pass's output in the
+	// new pass's block order; the continuity check proves the claimed
+	// input is exactly the verified intermediate (per-block incremental
+	// hashes), so no whole-vector copy is ever needed here.
+	for p := 2; p <= passes; p++ {
+		cont := newContinuity(g, p, prevHashes)
+		var nextHashes [][32]byte
+		if p < passes {
+			nextHashes = make([][32]byte, g.blocks(p))
+		}
+		for b := 0; b < g.blocks(p); b++ {
+			var fm BlockFeedMsg
+			if err := m.Expect(kindShufFeed, &fm); err != nil {
+				f.fail(fmt.Errorf("psc ts: feed from CP %s: %w", name, err))
+				return
+			}
+			inB, err := parseBlockFeed(fm, p, b, g.blockLen(p, b))
+			if err != nil {
+				f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
+				return
+			}
+			if err := cont.absorb(b, inB); err != nil {
+				verifyFailure("pass-continuity")
+				f.fail(fmt.Errorf("psc ts: CP %s pass %d: %w", name, p, err))
+				return
+			}
+			outB := t.recvBlock(name, m, tr, joint, p, b, inB, f)
+			if outB == nil {
+				return
+			}
+			if p < passes {
+				nextHashes[b] = elgamal.HashBlock(outB)
+			} else if !t.recvBlindForward(name, m, g.outStart(p, b), outB, out, f) {
+				return
 			}
 		}
-		blinded = append(blinded, cts...)
+		if err := cont.finish(); err != nil {
+			verifyFailure("pass-continuity")
+			f.fail(fmt.Errorf("psc ts: CP %s pass %d: %w", name, p, err))
+			return
+		}
+		prevHashes = nextHashes
+	}
+}
+
+// blockSource assembles pass-1 input blocks for the verifier: elements
+// come from the upstream feed copies, then from the CP's verified noise
+// tail.
+type blockSource struct {
+	feed    <-chan []elgamal.Ciphertext
+	tail    []elgamal.Ciphertext
+	pending []elgamal.Ciphertext
+	drained bool
+}
+
+// next returns the next n input elements, or false when the upstream
+// pipeline ended early (its failure is already latched) or the round
+// failed.
+func (s *blockSource) next(n int, f *failer) ([]elgamal.Ciphertext, bool) {
+	for len(s.pending) < n {
+		if s.drained {
+			return nil, false
+		}
 		select {
-		case out <- vchunk{off: off, cts: cts}:
+		case cts, ok := <-s.feed:
+			if !ok {
+				s.pending = append(s.pending, s.tail...)
+				s.tail = nil
+				s.drained = true
+				continue
+			}
+			s.pending = append(s.pending, cts...)
 		case <-f.ch:
-			return
+			return nil, false
 		}
-		off += bc.Count
 	}
-	if prove {
-		if i, ok := elgamal.VerifyBlindsBatch(shuffled, blinded, blindProofs); !ok {
+	blk := s.pending[:n:n]
+	s.pending = s.pending[n:]
+	return blk, true
+}
+
+// continuity verifies that a pass's re-streamed input equals the
+// previous pass's verified output: every arriving element feeds the
+// incremental hash of the previous-pass block that produced it, and
+// each completed hash must match the commitment recorded when that
+// block's argument was verified. Only O(rows) hash states are live.
+type continuity struct {
+	g       grid
+	p       int
+	prev    [][32]byte
+	hashers map[int]*elgamal.BlockHasher
+	seen    int
+	matched int
+}
+
+func newContinuity(g grid, p int, prev [][32]byte) *continuity {
+	return &continuity{g: g, p: p, prev: prev, hashers: make(map[int]*elgamal.BlockHasher)}
+}
+
+// absorb feeds one claimed input block (block b of pass p) into the
+// running hashes.
+func (c *continuity) absorb(b int, cts []elgamal.Ciphertext) error {
+	for j, ct := range cts {
+		idx := c.g.inIndex(c.p, b, j)
+		pb := c.g.prevBlockOf(c.p, idx)
+		h := c.hashers[pb]
+		if h == nil {
+			h = elgamal.NewBlockHasher(c.g.blockLen(c.p-1, pb))
+			c.hashers[pb] = h
+		}
+		h.Add(ct)
+		c.seen++
+		if h.Done() {
+			if h.Sum() != c.prev[pb] {
+				return fmt.Errorf("re-streamed input diverges from verified block %d of pass %d", pb, c.p-1)
+			}
+			delete(c.hashers, pb)
+			c.matched++
+		}
+	}
+	return nil
+}
+
+// finish checks that the whole intermediate vector was re-streamed.
+func (c *continuity) finish() error {
+	if c.seen != c.g.n || c.matched != len(c.prev) || len(c.hashers) != 0 {
+		return fmt.Errorf("re-streamed input covered %d/%d elements, %d/%d blocks", c.seen, c.g.n, c.matched, len(c.prev))
+	}
+	return nil
+}
+
+// recvBlock receives and verifies one shuffled block (announcement plus
+// opened shadow rounds) against the verifier's own input block. It
+// returns nil after latching the round failure.
+func (t *Tally) recvBlock(name string, m wire.Messenger, tr *elgamal.ShuffleTranscript, joint elgamal.Point, p, b int, inB []elgamal.Ciphertext, f *failer) []elgamal.Ciphertext {
+	var bo BlockOutMsg
+	if err := m.Expect(kindShufBlock, &bo); err != nil {
+		f.fail(fmt.Errorf("psc ts: block from CP %s: %w", name, err))
+		return nil
+	}
+	rounds := 0
+	if tr != nil {
+		rounds = t.cfg.ShuffleProofRounds
+	}
+	outB, commits, err := parseBlockOut(bo, p, b, len(inB), rounds)
+	if err != nil {
+		f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
+		return nil
+	}
+	if tr == nil {
+		return outB
+	}
+	proof := elgamal.BlockShuffleProof{Commits: commits, Rounds: make([]elgamal.ShuffleRound, rounds)}
+	for r := 0; r < rounds; r++ {
+		var sm BlockShadowMsg
+		if err := m.Expect(kindShufShadow, &sm); err != nil {
+			f.fail(fmt.Errorf("psc ts: shadow from CP %s: %w", name, err))
+			return nil
+		}
+		round, err := parseBlockShadow(sm, p, b, r, len(inB))
+		if err != nil {
+			f.fail(fmt.Errorf("psc ts: CP %s: %w", name, err))
+			return nil
+		}
+		proof.Rounds[r] = round
+	}
+	if err := elgamal.VerifyShuffleBlock(tr, p, b, joint, inB, outB, proof); err != nil {
+		verifyFailure("shuffle")
+		f.fail(fmt.Errorf("psc ts: CP %s block %d/%d: %w", name, p, b, err))
+		return nil
+	}
+	return outB
+}
+
+// recvBlindForward receives the exponent-blinded form of one verified
+// final-pass block, checks its DLEQ proofs (a per-block RLC), and
+// forwards it downstream. It reports false after latching the round
+// failure.
+func (t *Tally) recvBlindForward(name string, m wire.Messenger, off int, outB []elgamal.Ciphertext, out chan<- vchunk, f *failer) bool {
+	var bc BlindChunkMsg
+	if err := m.Expect(kindBlind, &bc); err != nil {
+		f.fail(fmt.Errorf("psc ts: blinded from CP %s: %w", name, err))
+		return false
+	}
+	if bc.Off != off || bc.Count != len(outB) {
+		f.fail(fmt.Errorf("psc ts: CP %s blind chunk [%d,%d), want [%d,%d)", name, bc.Off, bc.Off+bc.Count, off, off+len(outB)))
+		return false
+	}
+	cts, err := decodeVector(bc.Data, bc.Count)
+	if err != nil {
+		f.fail(fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err))
+		return false
+	}
+	if t.cfg.ShuffleProofRounds > 0 {
+		if len(bc.Proofs) != bc.Count {
+			f.fail(fmt.Errorf("psc ts: CP %s sent %d blind proofs for %d elements", name, len(bc.Proofs), bc.Count))
+			return false
+		}
+		proofs := make([]elgamal.EqualityProof, bc.Count)
+		for i, w := range bc.Proofs {
+			proof, err := unpackEquality(w)
+			if err != nil {
+				f.fail(fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, off+i, err))
+				return false
+			}
+			proofs[i] = proof
+		}
+		if i, ok := elgamal.VerifyBlindsBatch(outB, cts, proofs); !ok {
 			verifyFailure("blind-proof")
-			f.fail(fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, i))
-			return
+			f.fail(fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, off+i))
+			return false
 		}
 	}
+	select {
+	case out <- vchunk{off: off, cts: cts}:
+	case <-f.ch:
+		return false
+	}
+	return true
 }
 
 // verifyFailure counts a failed cryptographic verification in the
@@ -719,72 +946,130 @@ func verifyFailure(kind string) {
 	metrics.Default().Inc("psc/verify-failures/" + kind)
 }
 
-// decryptCP streams the final batch to one CP and verifies its share
-// chunks as they return. Sending and receiving overlap: the CP answers
-// chunk k while chunk k+1 is in flight.
-func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, batch []elgamal.Ciphertext, chunk int, f *failer) ([]elgamal.DecryptionShare, error) {
+// decShareChunk is one CP's verified decryption shares for one chunk
+// of the final vector, handed from the per-CP decrypt stream to the
+// recovering combiner.
+type decShareChunk struct {
+	off    int
+	shares []elgamal.DecryptionShare
+}
+
+// decryptCP streams the final batch to one CP from the shared spill and
+// verifies its share chunks as they return (a per-chunk RLC), pushing
+// each verified chunk to the combiner. Sending and receiving overlap:
+// the CP answers chunk k while chunk k+1 is in flight; the sender hands
+// each parsed chunk to the verifier over a bounded channel so the spill
+// is decoded once per CP, not twice. On failure it latches the round
+// error; out always closes.
+func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, src *lockedSpill, n, chunk int, f *failer, out chan<- decShareChunk) {
+	defer close(out)
+	prove := t.cfg.ShuffleProofRounds > 0
+	sent := make(chan []elgamal.Ciphertext, 2)
 	go func() {
-		if err := m.Send(kindDecrypt, VectorHeader{Round: t.cfg.Round, N: len(batch)}); err != nil {
+		defer close(sent)
+		if err := m.Send(kindDecrypt, VectorHeader{Round: t.cfg.Round, N: n}); err != nil {
 			f.fail(fmt.Errorf("psc ts: decrypt to CP %s: %w", name, err))
 			return
 		}
-		if err := sendVector(m, batch, chunk); err != nil {
+		err := forEachChunk(n, chunk, func(off, end int) error {
+			cts, err := src.readRange(off, end-off)
+			if err != nil {
+				return err
+			}
+			if err := m.Send(kindChunk, ChunkMsg{Off: off, Count: end - off, Data: encodeVector(cts)}); err != nil {
+				return err
+			}
+			if !prove {
+				return nil // verifier doesn't need the plaintext chunks
+			}
+			select {
+			case sent <- cts:
+				return nil
+			case <-f.ch:
+				return f.err
+			}
+		})
+		if err != nil {
 			f.fail(fmt.Errorf("psc ts: decrypt chunk to CP %s: %w", name, err))
 		}
 	}()
 
 	var hdr VectorHeader
 	if err := m.Expect(kindShares, &hdr); err != nil {
-		return nil, fmt.Errorf("psc ts: shares from CP %s: %w", name, err)
+		f.fail(fmt.Errorf("psc ts: shares from CP %s: %w", name, err))
+		return
 	}
-	if hdr.N != len(batch) {
-		return nil, fmt.Errorf("psc ts: CP %s answering %d elements, want %d", name, hdr.N, len(batch))
+	if hdr.N != n {
+		f.fail(fmt.Errorf("psc ts: CP %s answering %d elements, want %d", name, hdr.N, n))
+		return
 	}
-	// Share chunks parse on arrival (overlapping the CP's computation
-	// of later chunks); the Chaum–Pedersen proofs verify once over the
-	// whole vector so the RLC amortizes across the full batch.
-	prove := t.cfg.ShuffleProofRounds > 0
-	shares := make([]elgamal.DecryptionShare, 0, len(batch))
-	var proofs []elgamal.EqualityProof
-	for off := 0; off < len(batch); {
+	for off := 0; off < n; {
+		// Share chunks must mirror the chunks we sent: the combiner
+		// recovers plaintexts on the same boundaries, and RecoverBatch
+		// requires share and ciphertext vectors of equal length.
+		end := off + chunk
+		if end > n {
+			end = n
+		}
 		var sc ShareChunkMsg
 		if err := m.Expect(kindShare, &sc); err != nil {
-			return nil, fmt.Errorf("psc ts: shares from CP %s: %w", name, err)
+			f.fail(fmt.Errorf("psc ts: shares from CP %s: %w", name, err))
+			return
 		}
-		if sc.Off != off || sc.Count <= 0 || off+sc.Count > len(batch) {
-			return nil, fmt.Errorf("psc ts: CP %s share chunk [%d,%d) out of order", name, sc.Off, sc.Off+sc.Count)
+		if sc.Off != off || sc.Count != end-off {
+			f.fail(fmt.Errorf("psc ts: CP %s share chunk [%d,%d), want [%d,%d)", name, sc.Off, sc.Off+sc.Count, off, end))
+			return
 		}
+		shares := make([]elgamal.DecryptionShare, 0, sc.Count)
 		b := sc.Shares
 		for i := 0; i < sc.Count; i++ {
 			pt, used, err := elgamal.ParsePoint(b)
 			if err != nil {
-				return nil, fmt.Errorf("psc ts: CP %s share %d: %w", name, off+i, err)
+				f.fail(fmt.Errorf("psc ts: CP %s share %d: %w", name, off+i, err))
+				return
 			}
 			b = b[used:]
 			shares = append(shares, elgamal.DecryptionShare{Share: pt})
 		}
 		if len(b) != 0 {
-			return nil, fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b))
+			f.fail(fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b)))
+			return
 		}
 		if prove {
 			if len(sc.Proofs) != sc.Count {
-				return nil, fmt.Errorf("psc ts: CP %s sent %d share proofs for %d elements", name, len(sc.Proofs), sc.Count)
+				f.fail(fmt.Errorf("psc ts: CP %s sent %d share proofs for %d elements", name, len(sc.Proofs), sc.Count))
+				return
 			}
+			proofs := make([]elgamal.EqualityProof, sc.Count)
 			for i, w := range sc.Proofs {
 				proof, err := unpackEquality(w)
 				if err != nil {
-					return nil, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, off+i, err)
+					f.fail(fmt.Errorf("psc ts: CP %s share proof %d: %w", name, off+i, err))
+					return
 				}
-				proofs = append(proofs, proof)
+				proofs[i] = proof
 			}
+			var cts []elgamal.Ciphertext
+			select {
+			case c, ok := <-sent:
+				if !ok {
+					return // sender failed and latched the error
+				}
+				cts = c
+			case <-f.ch:
+				return
+			}
+			if i, ok := elgamal.VerifySharesBatch(cpKey, cts, shares, proofs); !ok {
+				verifyFailure("share-proof")
+				f.fail(fmt.Errorf("psc ts: CP %s share %d unverified", name, off+i))
+				return
+			}
+		}
+		select {
+		case out <- decShareChunk{off: off, shares: shares}:
+		case <-f.ch:
+			return
 		}
 		off += sc.Count
 	}
-	if prove {
-		if i, ok := elgamal.VerifySharesBatch(cpKey, batch, shares, proofs); !ok {
-			verifyFailure("share-proof")
-			return nil, fmt.Errorf("psc ts: CP %s share %d unverified", name, i)
-		}
-	}
-	return shares, nil
 }

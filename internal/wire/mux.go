@@ -97,7 +97,7 @@ func (s *Session) Open(round uint64, label string) (*Stream, error) {
 	s.streams[id] = st
 	s.mu.Unlock()
 
-	payload, err := EncodePayload(openMsg{Round: round, Label: label, Window: DefaultWindow})
+	payload, err := EncodePayload(openMsg{Round: round, Label: label, Window: s.conn.window})
 	if err != nil {
 		return nil, err
 	}
@@ -190,8 +190,20 @@ func (s *Session) readLoop() {
 				s.fail(fmt.Errorf("wire: bad mux open: %w", err))
 				return
 			}
+			// The window must match on both ends: there is no
+			// negotiation, and a sender configured larger than its
+			// receiver would overrun the receiver's enforcement limit
+			// mid-round. Reject the mismatch here, where the error can
+			// name the two values, instead of killing a busy session
+			// with an overrun later.
+			if om.Window != s.conn.window {
+				s.fail(fmt.Errorf("wire: peer stream window %d does not match local %d (set the same -stream-window on both ends)",
+					om.Window, s.conn.window))
+				return
+			}
 			st := newStream(s, f.SID, om.Round, om.Label)
 			st.sendCredit = om.Window
+			st.sendWindow = om.Window
 			s.mu.Lock()
 			if s.err != nil {
 				s.mu.Unlock()
@@ -260,18 +272,24 @@ type Stream struct {
 	rqCost        int64
 	pendingCredit int64
 	sendCredit    int64
-	err           error
-	failedCh      chan struct{}
-	remoteClosed  bool
-	localClosed   bool
-	bytesSent     int64 // payload bytes sent on this stream
-	bytesRecv     int64 // payload bytes received on this stream
+	// sendWindow is the peer's announced receive window (the largest
+	// frame that can ever be covered by credit); recvWindow is this
+	// end's own, governing refunds and overrun detection.
+	sendWindow   int64
+	recvWindow   int64
+	err          error
+	failedCh     chan struct{}
+	remoteClosed bool
+	localClosed  bool
+	bytesSent    int64 // payload bytes sent on this stream
+	bytesRecv    int64 // payload bytes received on this stream
 }
 
 func newStream(s *Session, id, round uint64, label string) *Stream {
 	st := &Stream{
 		sess: s, id: id, round: round, label: label,
-		sendCredit: DefaultWindow, failedCh: make(chan struct{}),
+		sendCredit: s.conn.window, sendWindow: s.conn.window,
+		recvWindow: s.conn.window, failedCh: make(chan struct{}),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
@@ -298,7 +316,7 @@ func (st *Stream) Send(kind string, v any) error {
 func (st *Stream) SendFrame(f Frame) error {
 	f.SID = st.id
 	cost := frameCost(f)
-	if cost > DefaultWindow {
+	if cost > st.sendWindow {
 		return ErrFrameTooLarge
 	}
 	st.mu.Lock()
@@ -355,7 +373,16 @@ func (st *Stream) Recv() (Frame, error) {
 	st.rqCost -= cost
 	st.pendingCredit += cost
 	var refund int64
-	if st.pendingCredit >= DefaultWindow/2 && st.err == nil {
+	// Refund once half a window accumulates (batching window updates),
+	// and always when the queue drains: leaving residual credit
+	// unrefunded across an idle stream would cap the peer below a full
+	// window, and a protocol whose next frame needs more than the
+	// remainder (e.g. a PSC share chunk after the mix input left
+	// window/2−1 unrefunded) would wedge both ends. A half-closed peer
+	// gets nothing: it will never send on this stream again, and a
+	// refund racing its process exit turns into a TCP RST that discards
+	// data it already delivered.
+	if (st.pendingCredit >= st.recvWindow/2 || len(st.rq) == 0) && !st.remoteClosed && st.err == nil {
 		refund = st.pendingCredit
 		st.pendingCredit = 0
 	}
@@ -433,7 +460,7 @@ func (st *Stream) enqueue(f Frame) bool {
 	st.rqCost += frameCost(f)
 	// Allow one window of queued frames plus one max frame of slack for
 	// accounting skew; beyond that the peer is ignoring flow control.
-	if st.rqCost > DefaultWindow+int64(st.sess.conn.maxFrame)+frameOverhead {
+	if st.rqCost > st.recvWindow+int64(st.sess.conn.maxFrame)+frameOverhead {
 		st.mu.Unlock()
 		return false
 	}

@@ -377,3 +377,126 @@ func TestMuxOverTCPWithTLS(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMuxConfigurableWindow exercises WithWindow end to end: a shrunken
+// window still moves bulk data correctly (credit-gated, many refunds),
+// frames exceeding the configured window are rejected outright, and the
+// announced window governs the opener's credit toward the acceptor.
+func TestMuxConfigurableWindow(t *testing.T) {
+	const window = 16 << 10
+	client, server := pipeSessions(WithWindow(window))
+	defer client.Close()
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st, err := client.Open(1, "bulk")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// A frame costing more than one window can never be covered.
+		if err := st.SendFrame(Frame{Kind: "big", Payload: make([]byte, window+1)}); !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("oversized frame: got %v, want ErrFrameTooLarge", err)
+		}
+		// 64 frames of 4 KiB: ~16 windows of data, forcing repeated
+		// credit refunds through the shrunken window.
+		for i := 0; i < 64; i++ {
+			payload := make([]byte, 4096)
+			payload[0] = byte(i)
+			if err := st.SendFrame(Frame{Kind: "bulk", Payload: payload}); err != nil {
+				t.Errorf("frame %d: %v", i, err)
+				return
+			}
+		}
+		st.Close()
+	}()
+
+	st, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Kind != "bulk" || len(f.Payload) != 4096 || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d corrupted: kind %q len %d tag %d", i, f.Kind, len(f.Payload), f.Payload[0])
+		}
+	}
+	wg.Wait()
+}
+
+// TestMuxIdleStreamRefundsResidualCredit pins the drain-time refund: a
+// receiver that consumed just under half a window and then went idle
+// must still return the credit, or the sender's next larger frame can
+// never be covered and both ends wedge (the PSC decrypt phase hit
+// exactly this with a shrunken -stream-window).
+func TestMuxIdleStreamRefundsResidualCredit(t *testing.T) {
+	const window = 16 << 10
+	client, server := pipeSessions(WithWindow(window))
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		st, err := client.Open(1, "residual")
+		if err != nil {
+			done <- err
+			return
+		}
+		// Under half a window: without the drain refund this residual
+		// stays unreturned...
+		if err := st.SendFrame(Frame{Kind: "a", Payload: make([]byte, 8000)}); err != nil {
+			done <- err
+			return
+		}
+		// ...and this frame needs more credit than the remainder.
+		done <- st.SendFrame(Frame{Kind: "b", Payload: make([]byte, 9000)})
+	}()
+
+	st, err := server.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "b"} {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("frame %q: %v", want, err)
+		}
+		if f.Kind != want {
+			t.Fatalf("got %q, want %q", f.Kind, want)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender wedged: residual credit never refunded on idle stream")
+	}
+}
+
+// TestMuxRejectsMismatchedWindow pins the no-negotiation rule: a peer
+// announcing a different stream window is rejected at open with an
+// error naming both values, instead of a mid-round overrun killing a
+// busy session.
+func TestMuxRejectsMismatchedWindow(t *testing.T) {
+	a, b := Pipe() // raw conns; configure the windows asymmetrically
+	WithWindow(4 << 20)(a)
+	client := NewSession(a, true)
+	server := NewSession(b, false)
+	defer client.Close()
+	defer server.Close()
+
+	if _, err := client.Open(1, "mismatch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Accept(); err == nil || !strings.Contains(err.Error(), "does not match local") {
+		t.Fatalf("mismatched window accepted: %v", err)
+	}
+}

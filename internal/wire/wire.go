@@ -61,11 +61,32 @@ func WithMaxFrame(n int) Option {
 	}
 }
 
+// WithWindow overrides the per-stream flow-control window for sessions
+// multiplexed over this connection (default DefaultWindow). Both ends
+// of a connection must agree — the window is announced on stream open
+// and a session rejects a mismatched peer with a clear error, since an
+// unnegotiated asymmetry would let the larger sender overrun the
+// smaller receiver mid-round. A frame costing more than the window can
+// never be covered and is rejected with ErrFrameTooLarge, so the
+// window must exceed the largest frame the protocol ships — for PSC at
+// the default chunk/block sizes that is a ~256 KiB share chunk, making
+// 512 KiB a safe practical floor. This is the WAN-tuning knob: a
+// window of at least the bandwidth-delay product keeps a stream's pipe
+// full.
+func WithWindow(n int) Option {
+	return func(c *Conn) {
+		if n > 0 {
+			c.window = int64(n)
+		}
+	}
+}
+
 // Conn is a framed message connection. Send and Recv are each safe for
 // one concurrent caller (a reader goroutine plus a writer goroutine).
 type Conn struct {
 	c        net.Conn
 	maxFrame int
+	window   int64
 	readMu   sync.Mutex
 	writeMu  sync.Mutex
 	lenBuf   [4]byte
@@ -73,7 +94,7 @@ type Conn struct {
 
 // NewConn wraps a stream connection.
 func NewConn(c net.Conn, opts ...Option) *Conn {
-	conn := &Conn{c: c, maxFrame: DefaultMaxFrame}
+	conn := &Conn{c: c, maxFrame: DefaultMaxFrame, window: DefaultWindow}
 	for _, o := range opts {
 		o(conn)
 	}
@@ -82,6 +103,10 @@ func NewConn(c net.Conn, opts ...Option) *Conn {
 
 // MaxFrame reports the connection's frame cap.
 func (c *Conn) MaxFrame() int { return c.maxFrame }
+
+// Window reports the flow-control window sessions over this connection
+// grant each stream.
+func (c *Conn) Window() int64 { return c.window }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
