@@ -3,11 +3,14 @@
 #   make          - build + vet + test (tier-1)
 #   make bench-smoke - one iteration of the crypto and protocol
 #                      benchmarks; catches gross perf regressions fast
+#   make bench-scale - the million-bin regime: the 2^18-bin spilled
+#                      round plus the GOMAXPROCS core-scaling sweep
+#   make bench-json  - bench-scale with output converted to BENCH_PR6.json
 #   make bench    - the full paper-table benchmark harness (slow)
 
 GO ?= go
 
-.PHONY: all build test vet bench-smoke bench
+.PHONY: all build test vet bench-smoke bench-scale bench-json bench
 
 all: build vet test
 
@@ -27,6 +30,15 @@ bench-smoke:
 	# the whole-vector shuffle). The bench itself is -short-aware: run
 	# `go test -short -bench ...` to skip it in quick local loops.
 	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/stream/bins-65536' -benchtime=1x -timeout=30m
+
+bench-scale:
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/verified/stream/bins-262144' -benchtime=1x -timeout=60m
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRoundCores' -benchtime=1x -timeout=90m
+
+bench-json:
+	$(GO) test ./internal/psc/ -run '^$$' \
+		-bench 'BenchmarkPSCRound/verified/stream/bins-262144|BenchmarkPSCRoundCores' \
+		-benchtime=1x -timeout=150m | $(GO) run ./tools/benchjson -o BENCH_PR6.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

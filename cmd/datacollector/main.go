@@ -47,6 +47,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
+	"repro/internal/spill"
 	"repro/internal/torctl"
 	"repro/internal/wire"
 )
@@ -66,8 +67,13 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive tally reconnect attempts before giving up")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	spillDir := flag.String("spill-dir", "", "directory for bounded-residency scratch files (empty: system temp)")
 	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	flag.Parse()
+
+	if *spillDir != "" {
+		spill.SetDir(*spillDir)
+	}
 
 	// Event source: live control port, or the simulator socket feed.
 	var feed net.Conn

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/spill"
 	"repro/internal/wire"
 )
 
@@ -37,9 +38,13 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "dial timeout")
 	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	spillDir := flag.String("spill-dir", "", "directory for the shuffle's bounded-residency scratch files (empty: system temp)")
 	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	flag.Parse()
 
+	if *spillDir != "" {
+		spill.SetDir(*spillDir)
+	}
 	tlsCfg, err := wire.ClientTLSPin(*pin)
 	if err != nil {
 		log.Fatalf("psc-cp %s: %v", *name, err)

@@ -60,6 +60,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/privcount"
 	"repro/internal/psc"
+	"repro/internal/spill"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -92,11 +93,15 @@ func main() {
 	budget := flag.Int("budget", 0, "refuse rounds beyond N times the per-round study (ε,δ) budget (0: unlimited)")
 	budgetFile := flag.String("budget-file", "", "JSON ledger persisting spent budget across restarts (written on every spend)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
+	spillDir := flag.String("spill-dir", "", "directory for bounded-residency tally scratch files (empty: system temp)")
 	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
 	rejoinGrace := flag.Duration("rejoin-grace", 0, "how long a round waits for a dropped party to rejoin before degrading (0: degrade immediately)")
 	quorumSpec := flag.String("quorum", "", "DC quorum, e.g. dcs=2: rounds complete degraded with at least this many DCs (empty: all DCs required)")
 	flag.Parse()
 
+	if *spillDir != "" {
+		spill.SetDir(*spillDir)
+	}
 	var connOpts []wire.Option
 	if *streamWindow > 0 {
 		connOpts = append(connOpts, wire.WithWindow(*streamWindow))

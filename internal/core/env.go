@@ -39,6 +39,10 @@ type Env struct {
 	// ShufflePasses is how many alternating row/column shuffle passes
 	// each CP runs; 0 selects the psc package default (2).
 	ShufflePasses int
+	// SpillDir is where the tally layers place their bounded-residency
+	// scratch files; empty selects the system temp directory. Applied
+	// process-wide when the Env's fleet first starts.
+	SpillDir string
 
 	alexaOnce sync.Once
 	alexaList *alexa.List

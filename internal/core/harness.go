@@ -10,6 +10,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/privcount"
 	"repro/internal/psc"
+	"repro/internal/spill"
 	"repro/internal/stats"
 	"repro/internal/tornet"
 	"repro/internal/wire"
@@ -77,6 +78,9 @@ func (e *Env) runtime() (*partyRuntime, error) {
 	defer e.rtMu.Unlock()
 	if e.rt != nil {
 		return e.rt, nil
+	}
+	if e.SpillDir != "" {
+		spill.SetDir(e.SpillDir)
 	}
 	rt := &partyRuntime{eng: engine.New(), deliveries: make(map[uint64]chan dcDelivery)}
 	for i := 0; i < harnessCPs; i++ {

@@ -504,6 +504,18 @@ func (r *Round) finish(err error) {
 		r.mu.Lock()
 		nAbsent := len(r.absent)
 		r.mu.Unlock()
+		// Per-round gauges: the most recent round's footprint as levels, so
+		// a scraper graphs the latest round directly instead of
+		// differentiating the cumulative counters.
+		ok := 0.0
+		if err == nil {
+			ok = 1
+		}
+		r.reg.Set("engine/"+r.Label+"/last-round-ok", ok)
+		r.reg.Set("engine/"+r.Label+"/last-round-seconds", stats.Seconds)
+		r.reg.Set("engine/"+r.Label+"/last-round-bytes-sent", float64(stats.BytesSent))
+		r.reg.Set("engine/"+r.Label+"/last-round-bytes-recv", float64(stats.BytesRecv))
+		r.reg.Set("engine/"+r.Label+"/last-round-parties-absent", float64(nAbsent))
 		// A degraded round counts exactly once, and only if it actually
 		// completed: a round that also failed (deadline, quorum lost) is
 		// a failure, not a degradation.

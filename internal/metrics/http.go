@@ -5,25 +5,48 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 )
 
 // HTTP pull endpoint for the ops registry, in expvar style: a
 // long-running fleet is scraped instead of read post-mortem from the
 // exit dump. Every daemon exposes it behind a -metrics-addr flag;
-// GET /metrics returns the merged counter snapshot as a flat JSON
-// object ordered by the encoder (scrapers treat it as a map), and
+// GET /metrics returns the merged counter+gauge snapshot as a flat
+// JSON object ordered by the encoder (scrapers treat it as a map),
 // GET /metrics?format=text returns the same sorted "name value" lines
-// Dump writes.
+// Dump writes, and GET /metrics?format=prom — or any request whose
+// Accept header names the Prometheus exposition format — returns the
+// typed text exposition a stock Prometheus server scrapes.
+
+// wantsProm reports whether the request negotiated the Prometheus text
+// exposition: the explicit format=prom override, or an Accept header
+// carrying the scraper's version=0.0.4 / OpenMetrics media types.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
 
 // Handler returns an http.Handler serving the merged snapshot of the
 // given registries (later registries win on name collisions; pass
 // Default() alone for the process-wide counters).
 func Handler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = WritePrometheus(w, regs...)
+			return
+		}
 		merged := make(map[string]float64)
 		for _, reg := range regs {
 			for k, v := range reg.Snapshot() {
+				merged[k] = v
+			}
+			for k, v := range reg.SnapshotGauges() {
 				merged[k] = v
 			}
 		}

@@ -15,16 +15,21 @@ import (
 // sorted text dump, enough to watch a busy fleet without growing a
 // telemetry dependency.
 
-// Registry is a set of named monotonic counters. The zero value is not
-// usable; call NewRegistry. All methods are safe for concurrent use.
+// Registry is a set of named monotonic counters plus last-value gauges.
+// The zero value is not usable; call NewRegistry. All methods are safe
+// for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]float64
+	gauges   map[string]float64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]float64)}
+	return &Registry{
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
 }
 
 // Add increases the named counter by v (which may be fractional —
@@ -38,11 +43,28 @@ func (r *Registry) Add(name string, v float64) {
 // Inc increases the named counter by one.
 func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
+// Set records the named gauge's current value — a level, not an
+// accumulation: last write wins (e.g. bins in the active round, peak
+// heap of the last tally). Gauges live in a separate namespace from
+// counters so exporters can type them correctly.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
 // Get returns the counter's current value (zero if never touched).
 func (r *Registry) Get(name string) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters[name]
+}
+
+// Gauge returns the gauge's current value (zero if never set).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
 }
 
 // Snapshot copies the current counter values.
@@ -56,9 +78,24 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Dump writes "name value" lines in sorted order.
+// SnapshotGauges copies the current gauge values.
+func (r *Registry) SnapshotGauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Dump writes "name value" lines in sorted order, counters and gauges
+// merged (a name collision between the two shows the gauge).
 func (r *Registry) Dump(w io.Writer) error {
 	snap := r.Snapshot()
+	for k, v := range r.SnapshotGauges() {
+		snap[k] = v
+	}
 	names := make([]string, 0, len(snap))
 	for n := range snap {
 		names = append(names, n)

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the ops
+// registry, so a fleet can be scraped by a stock Prometheus server
+// instead of a bespoke JSON poller. Registry names use '/' and '-' as
+// separators; exposition rewrites every character outside
+// [a-zA-Z0-9_:] to '_' and prefixes names that would start with a
+// digit, which keeps the mapping stable and collision-free for the
+// names this codebase emits.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry counter name into a valid Prometheus
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the merged snapshot of the registries in the
+// Prometheus text format: counters typed counter, gauges typed gauge,
+// sorted by exposition name. Later registries win name collisions,
+// matching Handler's merge order.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	counters := make(map[string]float64)
+	gauges := make(map[string]float64)
+	for _, reg := range regs {
+		for k, v := range reg.Snapshot() {
+			counters[promName(k)] = v
+		}
+		for k, v := range reg.SnapshotGauges() {
+			gauges[promName(k)] = v
+		}
+	}
+	return writePromFamilies(w, []promFamily{
+		{kind: "counter", vals: counters},
+		{kind: "gauge", vals: gauges},
+	})
+}
+
+type promFamily struct {
+	kind string
+	vals map[string]float64
+}
+
+func writePromFamilies(w io.Writer, fams []promFamily) error {
+	for _, fam := range fams {
+		names := make([]string, 0, len(fam.vals))
+		for n := range fam.vals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", n, fam.kind, n, fam.vals[n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

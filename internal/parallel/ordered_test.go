@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestOrderedPreservesSubmissionOrder runs jobs with randomized
+// completion times and checks results still land in submission order.
+func TestOrderedPreservesSubmissionOrder(t *testing.T) {
+	o := NewOrdered[int](4, 8, "")
+	const n = 200
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		for r := range o.Out() {
+			if r.Err != nil {
+				t.Errorf("job %d: unexpected error %v", next, r.Err)
+			}
+			if r.V != next {
+				t.Errorf("result %d delivered at position %d", r.V, next)
+			}
+			next++
+		}
+		if next != n {
+			t.Errorf("delivered %d results, want %d", next, n)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		i := i
+		o.Submit(func() (int, error) {
+			time.Sleep(delays[i])
+			return i, nil
+		})
+	}
+	o.Close()
+	<-done
+}
+
+// TestOrderedPropagatesErrors checks a failing job surfaces in its
+// submission slot and later jobs still deliver.
+func TestOrderedPropagatesErrors(t *testing.T) {
+	o := NewOrdered[string](2, 2, "")
+	boom := errors.New("boom")
+	go func() {
+		o.Submit(func() (string, error) { return "a", nil })
+		o.Submit(func() (string, error) { return "", boom })
+		o.Submit(func() (string, error) { return "c", nil })
+		o.Close()
+	}()
+	var got []string
+	var errs []error
+	for r := range o.Out() {
+		got = append(got, r.V)
+		errs = append(errs, r.Err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("results %q", got)
+	}
+	if errs[0] != nil || !errors.Is(errs[1], boom) || errs[2] != nil {
+		t.Fatalf("errors %v", errs)
+	}
+}
+
+// TestOrderedDepthBound checks Submit blocks once depth jobs are in
+// flight — the backpressure bound the verify plane relies on.
+func TestOrderedDepthBound(t *testing.T) {
+	const depth = 3
+	o := NewOrdered[int](2, depth, "")
+	release := make(chan struct{})
+	var inFlight atomic.Int64
+	submitted := make(chan int, 64)
+	go func() {
+		for i := 0; i < depth+5; i++ {
+			i := i
+			o.Submit(func() (int, error) {
+				inFlight.Add(1)
+				<-release
+				return i, nil
+			})
+			submitted <- i
+		}
+		o.Close()
+		close(submitted)
+	}()
+	// With nobody consuming Out and nobody releasing jobs, submissions
+	// must stall at the depth bound (+1 for the Submit parked on the
+	// queue itself).
+	time.Sleep(50 * time.Millisecond)
+	stalled := len(submitted)
+	if stalled > depth+1 {
+		t.Fatalf("%d submissions in flight, want <= %d", stalled, depth+1)
+	}
+	close(release)
+	next := 0
+	for r := range o.Out() {
+		if r.V != next {
+			t.Fatalf("result %d at position %d", r.V, next)
+		}
+		next++
+	}
+	if next != depth+5 {
+		t.Fatalf("delivered %d, want %d", next, depth+5)
+	}
+}
+
+// TestOrderedDrainReturnsFirstError exercises the error-only drain.
+func TestOrderedDrainReturnsFirstError(t *testing.T) {
+	o := NewOrdered[struct{}](2, 4, "")
+	wantErr := errors.New("first")
+	go func() {
+		o.Submit(func() (struct{}, error) { return struct{}{}, nil })
+		o.Submit(func() (struct{}, error) { return struct{}{}, wantErr })
+		o.Submit(func() (struct{}, error) { return struct{}{}, errors.New("second") })
+		o.Close()
+	}()
+	if err := o.Drain(); !errors.Is(err, wantErr) {
+		t.Fatalf("Drain() = %v, want %v", err, wantErr)
+	}
+}
+
+// TestOrderedShardCounters checks a named pool counts jobs per shard in
+// the process-wide registry.
+func TestOrderedShardCounters(t *testing.T) {
+	name := fmt.Sprintf("test-%d", time.Now().UnixNano())
+	o := NewOrdered[int](2, 4, name)
+	const n = 20
+	go func() {
+		for i := 0; i < n; i++ {
+			o.Submit(func() (int, error) { return 0, nil })
+		}
+		o.Close()
+	}()
+	for range o.Out() {
+	}
+	total := 0.0
+	for i := 0; i < 2; i++ {
+		total += metrics.Default().Get(fmt.Sprintf("parallel/%s/shard-%d/jobs", name, i))
+	}
+	if total != n {
+		t.Fatalf("shard counters sum to %g, want %d", total, n)
+	}
+}

@@ -1,8 +1,9 @@
 // Package parallel provides the process-wide worker pool the batch
-// crypto APIs fan out on. PSC rounds are embarrassingly parallel at the
-// vector-element level (thousands of independent group operations), so
-// batch callers split work into chunks and feed them here rather than
-// spawning goroutines per call.
+// crypto APIs fan out on, plus the bounded ordered-results pool the
+// tally's verify/combine plane shards chunk work across. PSC rounds are
+// embarrassingly parallel at the vector-element level (thousands of
+// independent group operations), so batch callers split work into
+// chunks and feed them here rather than spawning goroutines per call.
 package parallel
 
 import (
@@ -10,23 +11,39 @@ import (
 	"sync"
 )
 
-// Workers is the pool size: one worker per CPU.
-var Workers = runtime.NumCPU()
+// PoolSize is the target worker count: one worker per schedulable CPU.
+// It follows runtime.GOMAXPROCS, not runtime.NumCPU, so container CPU
+// quotas (which cap GOMAXPROCS via the runtime or an entrypoint) and
+// explicit GOMAXPROCS sweeps size the pool correctly — on a 16-core
+// host limited to 4 procs, 16 workers would only add scheduler churn.
+func PoolSize() int { return runtime.GOMAXPROCS(0) }
 
 var (
-	startOnce sync.Once
-	tasks     chan func()
+	poolMu  sync.Mutex
+	started int
+	tasks   chan func()
 )
 
-// start lazily launches the pool so importing the package costs nothing.
-func start() {
-	tasks = make(chan func(), Workers)
-	for i := 0; i < Workers; i++ {
+// ensure grows the pool to at least n workers. Workers are never
+// reaped: a pool sized for an earlier, larger GOMAXPROCS leaves its
+// extra workers parked on the task channel, where they cost nothing —
+// the runtime schedules at most GOMAXPROCS of them at once, so
+// shrinking the proc limit shrinks effective parallelism for free.
+func ensure(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if tasks == nil {
+		// The queue capacity bounds how many chunks can be parked
+		// before submitters start running chunks themselves (see For).
+		tasks = make(chan func(), 256)
+	}
+	for started < n {
 		go func() {
 			for f := range tasks {
 				f()
 			}
 		}()
+		started++
 	}
 }
 
@@ -44,7 +61,7 @@ func For(n, minChunk int, fn func(lo, hi int)) {
 	if minChunk < 1 {
 		minChunk = 1
 	}
-	chunks := Workers
+	chunks := PoolSize()
 	if c := (n + minChunk - 1) / minChunk; c < chunks {
 		chunks = c
 	}
@@ -52,7 +69,7 @@ func For(n, minChunk int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	startOnce.Do(start)
+	ensure(chunks)
 	size := (n + chunks - 1) / chunks
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += size {

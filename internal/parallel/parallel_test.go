@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -61,5 +62,30 @@ func TestForMinChunk(t *testing.T) {
 	})
 	if calls != 1 {
 		t.Fatalf("%d calls, want 1", calls)
+	}
+}
+
+// TestPoolSizeFollowsGOMAXPROCS pins the regression the container fleet
+// hit: pool sizing must track GOMAXPROCS (which CPU quotas and bench
+// sweeps set), not the host's NumCPU. On a 1-CPU host raising
+// GOMAXPROCS is how the difference becomes observable: NumCPU-based
+// sizing would split work into 1 chunk regardless.
+func TestPoolSizeFollowsGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, procs := range []int{1, 3, 4} {
+		runtime.GOMAXPROCS(procs)
+		if got := PoolSize(); got != procs {
+			t.Fatalf("GOMAXPROCS=%d: PoolSize() = %d", procs, got)
+		}
+		var calls atomic.Int64
+		For(1000, 1, func(lo, hi int) { calls.Add(1) })
+		if procs == 1 && calls.Load() != 1 {
+			t.Fatalf("GOMAXPROCS=1: %d chunks, want 1", calls.Load())
+		}
+		if procs > 1 && calls.Load() != int64(procs) {
+			t.Fatalf("GOMAXPROCS=%d: %d chunks, want %d", procs, calls.Load(), procs)
+		}
 	}
 }

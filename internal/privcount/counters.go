@@ -195,6 +195,16 @@ func Aggregate(schema *Schema, vectors ...[]uint64) (map[string][]float64, error
 			sum[i] += x
 		}
 	}
+	return AggregateSum(schema, sum)
+}
+
+// AggregateSum decodes an already-telescoped modular accumulator — the
+// streaming tolerant flow folds every report and blinding vector into
+// one sum chunk-wise instead of buffering them, then decodes it here.
+func AggregateSum(schema *Schema, sum []uint64) (map[string][]float64, error) {
+	if len(sum) != schema.Size() {
+		return nil, fmt.Errorf("privcount: aggregate sum length %d, want %d", len(sum), schema.Size())
+	}
 	out := make(map[string][]float64, len(schema.Stats))
 	i := 0
 	for _, st := range schema.Stats {

@@ -41,4 +41,12 @@
 //     never more than one chunk of boxes per DC in flight.
 //   - A round may complete without a DC (its counts, blinds, and noise
 //     share are all excluded) but never without an SK.
+//   - The tolerant flow's TS residency is one schema-sized modular
+//     accumulator plus O(chunk) per in-flight stream: DC reports are
+//     collected concurrently, each buffered whole on spill storage
+//     (internal/spill) and folded into the striped accumulator only
+//     once complete — a DC that dies mid-report contributes nothing,
+//     which the telescoping sum requires, since its blinding is
+//     excluded from the SK sums. SK sums fold directly: every SK is
+//     required, so a partial fold is never observed.
 package privcount

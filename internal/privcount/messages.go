@@ -54,18 +54,36 @@ func sendValues(m wire.Messenger, v []uint64) error {
 // recvValues collects a chunked vector of n slots.
 func recvValues(m wire.Messenger, n int) ([]uint64, error) {
 	out := make([]uint64, 0, n)
-	for len(out) < n {
-		var c ValueChunkMsg
-		if err := m.Expect(kindChunk, &c); err != nil {
-			return nil, err
-		}
-		if c.Off != len(out) || len(c.Values) == 0 || c.Off+len(c.Values) > n {
-			return nil, fmt.Errorf("privcount: chunk [%d,%d) does not continue vector at %d/%d",
-				c.Off, c.Off+len(c.Values), len(out), n)
-		}
-		out = append(out, c.Values...)
+	err := recvValuesFunc(m, n, func(_ int, vals []uint64) error {
+		out = append(out, vals...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// recvValuesFunc consumes chunk frames until n slots have arrived,
+// invoking fn for each chunk as it lands — for callers that fold or
+// spill the vector instead of buffering it whole. Chunks must tile
+// [0, n) in order.
+func recvValuesFunc(m wire.Messenger, n int, fn func(off int, vals []uint64) error) error {
+	for off := 0; off < n; {
+		var c ValueChunkMsg
+		if err := m.Expect(kindChunk, &c); err != nil {
+			return err
+		}
+		if c.Off != off || len(c.Values) == 0 || c.Off+len(c.Values) > n {
+			return fmt.Errorf("privcount: chunk [%d,%d) does not continue vector at %d/%d",
+				c.Off, c.Off+len(c.Values), off, n)
+		}
+		if err := fn(off, c.Values); err != nil {
+			return err
+		}
+		off += len(c.Values)
+	}
+	return nil
 }
 
 // Party roles.

@@ -304,20 +304,38 @@ func (t *Tally) runTolerant(conns []wire.Messenger) (map[string][]float64, error
 		}
 		begun = append(begun, d)
 	}
-	vectors := make([][]uint64, 0, len(begun)+len(skNames))
-	var reported []string
+	// Reports are collected concurrently — one goroutine per begun DC —
+	// each streaming into a spilled per-DC buffer that folds into the
+	// round's single modular accumulator only once complete, so a DC
+	// that dies mid-report leaves nothing behind and the TS holds one
+	// schema-sized sum plus O(chunk) per stream instead of one vector
+	// per party. The recovery callback stays on this goroutine.
+	acc := newSumAccum(t.schema.Size())
+	type reportOutcome struct {
+		d   dcSlot
+		err error
+	}
+	repOutcomes := make(chan reportOutcome, len(begun))
 	for _, d := range begun {
-		vals, err := t.collectReport(d.name, d.conn)
-		if err != nil {
-			if _, absentOK := t.cfg.Recover(d.idx, d.name, false); !absentOK {
-				return nil, err
+		go func(d dcSlot) {
+			repOutcomes <- reportOutcome{d: d, err: t.collectReportInto(d.name, d.conn, acc)}
+		}(d)
+	}
+	var reported []string
+	for range begun {
+		o := <-repOutcomes
+		if o.err != nil {
+			if _, absentOK := t.cfg.Recover(o.d.idx, o.d.name, false); !absentOK {
+				return nil, o.err
 			}
-			absent = append(absent, d.name)
+			absent = append(absent, o.d.name)
 			continue
 		}
-		vectors = append(vectors, vals)
-		reported = append(reported, d.name)
+		reported = append(reported, o.d.name)
 	}
+	// Completion order is nondeterministic; the collect request and the
+	// absent annotation should not be.
+	sort.Strings(reported)
 
 	min := t.cfg.MinDCs
 	if min <= 0 {
@@ -329,15 +347,15 @@ func (t *Tally) runTolerant(conns []wire.Messenger) (map[string][]float64, error
 	}
 
 	// SK sums over exactly the reported DCs: the telescoping sum must
-	// exclude an absent DC's blinding on both sides.
-	sums, err := t.collectSums(skNames, skConns, reported)
-	if err != nil {
+	// exclude an absent DC's blinding on both sides. Every SK is
+	// required, so its chunks fold straight into the accumulator — a
+	// failure aborts the round, partial folds and all.
+	if err := t.collectSumsInto(skNames, skConns, reported, acc); err != nil {
 		return nil, err
 	}
-	vectors = append(vectors, sums...)
 	sort.Strings(absent)
 	t.absent = absent
-	return Aggregate(t.schema, vectors...)
+	return AggregateSum(t.schema, acc.sum)
 }
 
 // setupDC drives one DC through registration, configuration, and share
@@ -418,6 +436,72 @@ func (t *Tally) collectReport(name string, c wire.Messenger) ([]uint64, error) {
 		return nil, fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
 	}
 	return vals, nil
+}
+
+// collectReportInto streams one DC's report into a spilled buffer and,
+// only once every chunk has arrived, folds it into the round
+// accumulator. The two phases matter: a DC that dies mid-report must
+// contribute nothing, because its blinding will be excluded from the
+// SK sums — so partial folds would corrupt the telescoping sum.
+func (t *Tally) collectReportInto(name string, c wire.Messenger, acc *sumAccum) error {
+	var rep ReportMsg
+	if err := c.Expect(kindReport, &rep); err != nil {
+		return fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+	}
+	if rep.Round != t.cfg.Round {
+		return fmt.Errorf("privcount ts: DC %s reported round %d, want %d", name, rep.Round, t.cfg.Round)
+	}
+	if rep.N != t.schema.Size() {
+		return fmt.Errorf("privcount ts: DC %s report has %d slots, want %d", name, rep.N, t.schema.Size())
+	}
+	buf, err := newU64Spill(rep.N)
+	if err != nil {
+		return fmt.Errorf("privcount ts: report spill for DC %s: %w", name, err)
+	}
+	defer buf.Close()
+	err = recvValuesFunc(c, rep.N, func(off int, vals []uint64) error {
+		return buf.write(off, vals)
+	})
+	if err != nil {
+		return fmt.Errorf("privcount ts: report from DC %s: %w", name, err)
+	}
+	return forEachChunk(rep.N, func(off, end int) error {
+		vals, err := buf.readRange(off, end-off)
+		if err != nil {
+			return fmt.Errorf("privcount ts: report fold for DC %s: %w", name, err)
+		}
+		acc.fold(off, vals)
+		return nil
+	})
+}
+
+// collectSumsInto streams every SK's blinding sums straight into the
+// round accumulator. Unlike DC reports, no buffer-then-fold staging is
+// needed: every SK is required, so any SK failure aborts the whole
+// round and a partially folded sum is never observed.
+func (t *Tally) collectSumsInto(skNames []string, skConns map[string]wire.Messenger, dcs []string, acc *sumAccum) error {
+	for _, name := range skNames {
+		if err := skConns[name].Send(kindCollect, CollectMsg{Round: t.cfg.Round, DCs: dcs}); err != nil {
+			return fmt.Errorf("privcount ts: collect SK %s: %w", name, err)
+		}
+	}
+	for _, name := range skNames {
+		var sums SumsMsg
+		if err := skConns[name].Expect(kindSums, &sums); err != nil {
+			return fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
+		}
+		if sums.N != t.schema.Size() {
+			return fmt.Errorf("privcount ts: SK %s sums have %d slots, want %d", name, sums.N, t.schema.Size())
+		}
+		err := recvValuesFunc(skConns[name], sums.N, func(off int, vals []uint64) error {
+			acc.fold(off, vals)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("privcount ts: sums from SK %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // collectSums asks every SK for its blinding sums over the given DC

@@ -204,6 +204,38 @@ func BenchmarkPSCRound(b *testing.B) {
 		}
 		benchRound(b, 65536, 128, 1, 4000, pipePair)
 	})
+	// The million-bin regime this PR targets: 2¹⁸ bins, verified,
+	// gather table and per-DC buffers on spill storage, verify/combine
+	// sharded across the worker plane. peak-heap-MB is the acceptance
+	// metric — the TS must stay O(chunk) resident while the table is
+	// ~70 MB of ciphertexts per party.
+	b.Run("verified/stream/bins-262144", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping 2^18-bin round in -short mode")
+		}
+		benchRound(b, 262144, 128, 1, 8000, pipePair)
+	})
+}
+
+// BenchmarkPSCRoundCores sweeps GOMAXPROCS over the 2¹⁶-bin verified
+// round: the sharded verify/combine plane sizes its pools from
+// GOMAXPROCS at round start, so this measures how the tally scales
+// with cores (the shuffle-transcript verification stays sequential by
+// design — Fiat-Shamir order — so scaling saturates below linear).
+// On a single-vCPU host every arm runs the same one-core schedule;
+// the sweep still pins pool sizing to the knob, it just cannot show
+// speedup there.
+func BenchmarkPSCRoundCores(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping core sweep in -short mode")
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("gomaxprocs-%d/bins-65536", n), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(prev)
+			benchRound(b, 65536, 128, 1, 4000, pipePair)
+		})
+	}
 }
 
 // BenchmarkPSCRoundWindow sweeps the per-stream flow-control window of

@@ -63,6 +63,20 @@ func sendVector(m wire.Messenger, v []elgamal.Ciphertext, chunk int) error {
 // tile [0, n) in order — the sender is sequential, so out-of-order
 // offsets mean a confused or malicious peer.
 func recvVectorFunc(m wire.Messenger, n int, fn func(off int, cts []elgamal.Ciphertext) error) error {
+	return recvVectorRawFunc(m, n, func(off, count int, data []byte) error {
+		cts, err := decodeVector(data, count)
+		if err != nil {
+			return err
+		}
+		return fn(off, cts)
+	})
+}
+
+// recvVectorRawFunc is recvVectorFunc without the decode: fn receives
+// each chunk's raw bytes, for callers that hand the (expensive) point
+// parsing to a worker shard instead of the receive loop. Each call's
+// data is freshly allocated by the frame decoder, so fn may retain it.
+func recvVectorRawFunc(m wire.Messenger, n int, fn func(off, count int, data []byte) error) error {
 	for off := 0; off < n; {
 		var c ChunkMsg
 		if err := m.Expect(kindChunk, &c); err != nil {
@@ -71,11 +85,7 @@ func recvVectorFunc(m wire.Messenger, n int, fn func(off int, cts []elgamal.Ciph
 		if c.Off != off || c.Count <= 0 || off+c.Count > n {
 			return fmt.Errorf("psc: chunk [%d,%d) does not continue vector at %d/%d", c.Off, c.Off+c.Count, off, n)
 		}
-		cts, err := decodeVector(c.Data, c.Count)
-		if err != nil {
-			return err
-		}
-		if err := fn(off, cts); err != nil {
+		if err := fn(off, c.Count, c.Data); err != nil {
 			return err
 		}
 		off += c.Count

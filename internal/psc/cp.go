@@ -169,7 +169,7 @@ type cpShuffleState struct {
 	g      grid
 	passes int
 	tr     *elgamal.ShuffleTranscript
-	inter  *spill // previous pass's output; nil for a single pass
+	inter  *ctSpill // previous pass's output; nil for a single pass
 }
 
 // runPassOne consumes the TS-fed input chunks plus this CP's noise
@@ -217,7 +217,7 @@ func (st *cpShuffleState) runPassOne(nIn int, noise []elgamal.Ciphertext) error 
 // so the TS can hash-check the stream against the verified
 // intermediate.
 func (st *cpShuffleState) runPass(p int) error {
-	var next *spill
+	var next *ctSpill
 	var err error
 	handedOff := false
 	if p < st.passes {
@@ -260,7 +260,7 @@ func (st *cpShuffleState) emitBlock(p, b int, in []elgamal.Ciphertext) error {
 	return st.emitBlockTo(p, b, in, st.inter)
 }
 
-func (st *cpShuffleState) emitBlockTo(p, b int, in []elgamal.Ciphertext, dst *spill) error {
+func (st *cpShuffleState) emitBlockTo(p, b int, in []elgamal.Ciphertext, dst *ctSpill) error {
 	out, witness := elgamal.Shuffle(st.joint, in)
 	if st.prove {
 		proof, err := elgamal.ProveShuffleBlock(st.tr, p, b, st.joint, in, out, witness, st.rounds)

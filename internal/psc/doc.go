@@ -56,8 +56,19 @@
 //
 //   - Every vector phase travels as a header plus bounded chunks or
 //     blocks; no phase of the CP chain holds a whole vector of parsed
-//     ciphertexts. Inter-pass shuffle vectors and the pre-decrypt
-//     final vector live as encoded bytes in unlinked temp-file spills.
+//     ciphertexts. Inter-pass shuffle vectors, the pre-decrypt final
+//     vector, the TS's combined gather table, and the tolerant flow's
+//     per-DC table buffers all live as encoded bytes in unlinked
+//     temp-file spills (internal/spill, -spill-dir), so TS residency
+//     is O(chunk) end to end — a spill read failure mid-re-stream
+//     latches the round failer and aborts cleanly.
+//   - The tally's per-chunk verification and combination (noise bit
+//     proofs, blind DLEQs, share RLCs, homomorphic merges, recovery)
+//     runs on bounded ordered worker pools (internal/parallel) sized
+//     from GOMAXPROCS; results apply in submission order, so wire
+//     order and the decrypt barrier are unchanged. Only the shuffle
+//     transcript itself is sequential: each block's Fiat–Shamir
+//     challenge binds every block before it.
 //   - Shuffle soundness is per block: a cheating block survives one
 //     argument with probability 2^-ShuffleProofRounds, and a stage
 //     makes blocks·passes attempts (union bound) — size proof rounds

@@ -2,55 +2,45 @@ package psc
 
 import (
 	"fmt"
-	"io"
-	"os"
 	"sync"
 
 	"repro/internal/elgamal"
+	"repro/internal/spill"
 )
-
-// spill is a random-access store of n encoded ciphertexts backing the
-// streaming shuffle's inter-pass vectors and the tally's pre-decrypt
-// buffer. It holds O(1) ciphertexts in memory: records live in a
-// fixed-slot temp file (falling back to an in-memory byte buffer where
-// temp files are unavailable), written sequentially by one pass and
-// read back — contiguously or strided — by the next. Encoded records
-// are ~10× smaller than parsed ciphertexts and never enter the heap as
-// group elements until read.
-type spill struct {
-	n       int
-	file    *os.File // nil when memory-backed
-	mem     []byte
-	readBuf []byte
-}
 
 // spillSlot is the fixed record size: a length byte plus the maximal
 // ciphertext encoding (two uncompressed points). Identity points encode
 // shorter; the length byte keeps parsing exact.
 const spillSlot = 1 + 130
 
-// newSpill creates a store for n ciphertexts.
-func newSpill(n int) (*spill, error) {
-	s := &spill{n: n}
-	f, err := os.CreateTemp("", "psc-shuffle-*.spill")
+// ctSpill is the ciphertext codec over a spill.Store: a random-access
+// store of n encoded ciphertexts backing the streaming shuffle's
+// inter-pass vectors, the tally's combined gather table, and the
+// pre-decrypt buffer. It holds O(1) ciphertexts in memory — encoded
+// records are ~10× smaller than parsed ciphertexts and never enter the
+// heap as group elements until read.
+type ctSpill struct {
+	st *spill.Store
+}
+
+// newSpill creates a store for n ciphertexts. The backing respects the
+// process spill dir (-spill-dir), falling back to memory where that dir
+// is unwritable.
+func newSpill(n int) (*ctSpill, error) {
+	st, err := spill.New(n, spillSlot)
 	if err != nil {
-		// No writable temp dir: keep the encoded bytes in memory. Still
-		// far below parsed-ciphertext residency, but not disk-bounded.
-		s.mem = make([]byte, n*spillSlot)
-		return s, nil
+		return nil, err
 	}
-	// Unlink immediately: the kernel reclaims the blocks when the file
-	// handle closes, however the process exits.
-	os.Remove(f.Name())
-	s.file = f
-	return s, nil
+	return &ctSpill{st: st}, nil
 }
 
 // write stores cts at element offset off.
-func (s *spill) write(off int, cts []elgamal.Ciphertext) error {
-	if off < 0 || off+len(cts) > s.n {
-		return fmt.Errorf("psc: spill write [%d,%d) out of range %d", off, off+len(cts), s.n)
-	}
+func (s *ctSpill) write(off int, cts []elgamal.Ciphertext) error {
+	return s.st.WriteAt(off, encodeSlots(cts))
+}
+
+// encodeSlots packs ciphertexts into fixed-size spill records.
+func encodeSlots(cts []elgamal.Ciphertext) []byte {
 	buf := make([]byte, 0, len(cts)*spillSlot)
 	for _, c := range cts {
 		n := len(buf)
@@ -61,20 +51,12 @@ func (s *spill) write(off int, cts []elgamal.Ciphertext) error {
 			buf = append(buf, 0)
 		}
 	}
-	if s.file != nil {
-		_, err := s.file.WriteAt(buf, int64(off)*spillSlot)
-		return err
-	}
-	copy(s.mem[off*spillSlot:], buf)
-	return nil
+	return buf
 }
 
 // readRange returns the count elements starting at off.
-func (s *spill) readRange(off, count int) ([]elgamal.Ciphertext, error) {
-	if off < 0 || count < 0 || off+count > s.n {
-		return nil, fmt.Errorf("psc: spill read [%d,%d) out of range %d", off, off+count, s.n)
-	}
-	raw, err := s.raw(int64(off)*spillSlot, count*spillSlot)
+func (s *ctSpill) readRange(off, count int) ([]elgamal.Ciphertext, error) {
+	raw, err := s.st.ReadRange(off, count)
 	if err != nil {
 		return nil, err
 	}
@@ -89,23 +71,34 @@ func (s *spill) readRange(off, count int) ([]elgamal.Ciphertext, error) {
 	return out, nil
 }
 
+// readRangeScratch is readRange reading through the caller's scratch
+// buffer instead of the store's shared one — for concurrent readers of
+// disjoint ranges (the gather store's stripes). It returns the decoded
+// elements and the possibly-grown scratch for reuse.
+func (s *ctSpill) readRangeScratch(off, count int, scratch []byte) ([]elgamal.Ciphertext, []byte, error) {
+	raw, scratch, err := s.st.ReadRangeInto(off, count, scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	out := make([]elgamal.Ciphertext, 0, count)
+	for i := 0; i < count; i++ {
+		c, err := decodeSlot(raw[i*spillSlot:])
+		if err != nil {
+			return nil, scratch, err
+		}
+		out = append(out, c)
+	}
+	return out, scratch, nil
+}
+
 // readIndices gathers the elements at the given offsets — the strided
-// read of a column pass. One slot is read per index; sequential writes
-// leave the file hot in the page cache, so the gather costs syscalls,
-// not seeks.
-func (s *spill) readIndices(idx []int) ([]elgamal.Ciphertext, error) {
+// read of a column pass.
+func (s *ctSpill) readIndices(idx []int) ([]elgamal.Ciphertext, error) {
 	out := make([]elgamal.Ciphertext, 0, len(idx))
 	var slot [spillSlot]byte
 	for _, i := range idx {
-		if i < 0 || i >= s.n {
-			return nil, fmt.Errorf("psc: spill index %d out of range %d", i, s.n)
-		}
-		if s.file != nil {
-			if _, err := s.file.ReadAt(slot[:], int64(i)*spillSlot); err != nil {
-				return nil, err
-			}
-		} else {
-			copy(slot[:], s.mem[i*spillSlot:])
+		if err := s.st.ReadSlot(i, slot[:]); err != nil {
+			return nil, err
 		}
 		c, err := decodeSlot(slot[:])
 		if err != nil {
@@ -114,21 +107,6 @@ func (s *spill) readIndices(idx []int) ([]elgamal.Ciphertext, error) {
 		out = append(out, c)
 	}
 	return out, nil
-}
-
-// raw returns count bytes at byte offset pos, reusing the read buffer.
-func (s *spill) raw(pos int64, count int) ([]byte, error) {
-	if s.file == nil {
-		return s.mem[pos : pos+int64(count)], nil
-	}
-	if cap(s.readBuf) < count {
-		s.readBuf = make([]byte, count)
-	}
-	buf := s.readBuf[:count]
-	if _, err := s.file.ReadAt(buf, pos); err != nil && err != io.EOF {
-		return nil, err
-	}
-	return buf, nil
 }
 
 // decodeSlot parses one fixed-size record.
@@ -148,24 +126,18 @@ func decodeSlot(b []byte) (elgamal.Ciphertext, error) {
 }
 
 // Close releases the backing storage. Safe to call more than once.
-func (s *spill) Close() error {
-	s.mem, s.readBuf = nil, nil
-	if s.file == nil {
-		return nil
-	}
-	f := s.file
-	s.file = nil
-	return f.Close()
+func (s *ctSpill) Close() error {
+	return s.st.Close()
 }
 
-// lockedSpill serializes a spill shared by concurrent readers (the
+// lockedSpill serializes a ctSpill shared by concurrent readers (the
 // tally's per-CP decrypt streams all walk the final vector) and makes
 // closing safe while readers may still be in flight: a round-failure
 // path can tear the spill down and any late reader gets an error, not
 // a read of released storage.
 type lockedSpill struct {
 	mu     sync.Mutex
-	sp     *spill
+	sp     *ctSpill
 	closed bool
 }
 

@@ -8,8 +8,14 @@ import (
 
 	"repro/internal/elgamal"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/wire"
 )
+
+// gatherFeedTestHook, when set by a test, runs on the completed gather
+// store just before the mix feeder starts re-streaming it — the
+// injection point for spill-failure tests.
+var gatherFeedTestHook func(*gatherStore)
 
 // Tally is the PSC tally server, the coordination role the paper added
 // to the original design (§3.1: "we slightly modify the original PSC
@@ -96,20 +102,24 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 	}
 
 	// Collect encrypted tables from all DCs concurrently, combining
-	// them homomorphically: per-bin ciphertext sums turn into OR in the
-	// exponent. The strict flow merges chunks as they land and holds
-	// only the running combination; the tolerant flow buffers each DC's
-	// table and merges it once complete (see collectTableBuffered).
-	combined := make([]elgamal.Ciphertext, t.cfg.Bins)
-	seen := make([]bool, t.cfg.Bins)
+	// them homomorphically on the spilled gather store: per-bin
+	// ciphertext sums turn into OR in the exponent, and the running
+	// combination lives as encoded bytes on spill storage, not parsed
+	// group elements on the heap. The strict flow merges chunks as they
+	// land; the tolerant flow buffers each DC's table (also spilled)
+	// and merges it once complete (see collectTableBuffered).
+	gs, err := newGatherStore(t.cfg.Bins, t.cfg.ChunkElems)
+	if err != nil {
+		return Result{}, fmt.Errorf("psc ts: gather spill: %w", err)
+	}
 	var rp roundParties
-	var err error
 	if t.cfg.Recover == nil {
-		rp, err = t.gatherStrict(parties, combined, seen)
+		rp, err = t.gatherStrict(parties, gs)
 	} else {
-		rp, err = t.gatherTolerant(parties, combined, seen)
+		rp, err = t.gatherTolerant(parties, gs)
 	}
 	if err != nil {
+		gs.Close()
 		return Result{}, err
 	}
 	cpNames, cpM, cpKeys, joint := rp.cpNames, rp.cpM, rp.cpKeys, rp.joint
@@ -117,19 +127,23 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 	f := newFailer()
 	chunk := chunkOf(t.cfg.ChunkElems)
 
+	if h := gatherFeedTestHook; h != nil {
+		h(gs)
+	}
 	// Mixing pipeline: feeder -> CP 1 -> ... -> CP k -> collector, all
-	// running at once, chunked end to end. The feeder releases each fed
-	// chunk of the combined table so the table's group elements are
-	// collected as the pipeline drains them: from here on the TS holds
-	// O(block) parsed ciphertexts per CP stage.
+	// running at once, chunked end to end. The feeder re-streams the
+	// combined table from the gather spill a chunk at a time, so from
+	// the first byte of the gather to the last decryption share the TS
+	// holds O(chunk) parsed ciphertexts per CP stage. A spill read
+	// failure latches the round error instead of wedging the pipeline.
 	feed := make(chan vchunk, 2)
 	go func() {
 		defer close(feed)
-		_ = forEachChunk(len(combined), chunk, func(off, end int) error {
-			cts := make([]elgamal.Ciphertext, end-off)
-			copy(cts, combined[off:end])
-			for i := off; i < end; i++ {
-				combined[i] = elgamal.Ciphertext{}
+		defer gs.Close()
+		err := forEachChunk(t.cfg.Bins, chunk, func(off, end int) error {
+			cts, err := gs.readRange(off, end-off)
+			if err != nil {
+				return fmt.Errorf("psc ts: gather spill: %w", err)
 			}
 			select {
 			case feed <- vchunk{off: off, cts: cts}:
@@ -138,6 +152,9 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 				return f.err
 			}
 		})
+		if err != nil {
+			f.fail(err)
+		}
 	}()
 	in := feed
 	var mixWG sync.WaitGroup
@@ -202,7 +219,22 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 		shareChans[i] = make(chan decShareChunk, 2)
 		go t.decryptCP(n, cpM[n], cpKeys[n], src, finalN, chunk, f, shareChans[i])
 	}
+	// Each chunk's plaintext recovery is independent once every CP's
+	// verified shares for it are in hand, so the combine runs on its own
+	// shard: the collection loop stays sequential (it merges per-CP
+	// streams in chunk order) and hands each complete chunk to the pool,
+	// whose results a concurrent drainer sums — an Ordered pool's
+	// submitter must never be its only consumer, or the depth bound
+	// wedges the loop.
+	rec := parallel.NewOrdered[int](parallel.PoolSize(), 2*parallel.PoolSize(), "psc-combine")
 	reported := 0
+	recDone := make(chan struct{})
+	go func() {
+		defer close(recDone)
+		for r := range rec.Out() {
+			reported += r.V
+		}
+	}()
 	err = forEachChunk(finalN, chunk, func(off, end int) error {
 		cts, err := src.readRange(off, end-off)
 		if err != nil {
@@ -226,13 +258,19 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 				return f.err
 			}
 		}
-		for _, pt := range elgamal.RecoverBatch(cts, shares) {
-			if !pt.IsIdentity() {
-				reported++
+		rec.Submit(func() (int, error) {
+			n := 0
+			for _, pt := range elgamal.RecoverBatch(cts, shares) {
+				if !pt.IsIdentity() {
+					n++
+				}
 			}
-		}
+			return n, nil
+		})
 		return nil
 	})
+	rec.Close()
+	<-recDone
 	if err != nil {
 		f.fail(err)
 		return Result{}, err
@@ -253,7 +291,7 @@ func (t *Tally) Run(parties []wire.Messenger) (Result, error) {
 // gatherStrict is the pre-churn phase driver: order-agnostic
 // registration, configuration, and table collection, with any party
 // failure failing the round.
-func (t *Tally) gatherStrict(parties []wire.Messenger, combined []elgamal.Ciphertext, seen []bool) (roundParties, error) {
+func (t *Tally) gatherStrict(parties []wire.Messenger, gs *gatherStore) (roundParties, error) {
 	rp := roundParties{cpM: make(map[string]wire.Messenger), cpKeys: make(map[string]elgamal.Point)}
 	dcM := make(map[string]wire.Messenger)
 	var dcNames []string
@@ -296,11 +334,10 @@ func (t *Tally) gatherStrict(parties []wire.Messenger, combined []elgamal.Cipher
 			return rp, fmt.Errorf("psc ts: configure DC %s: %w", n, err)
 		}
 	}
-	var combineMu sync.Mutex
 	tableErrs := make(chan error, len(dcNames))
 	for _, n := range dcNames {
 		go func(name string, m wire.Messenger) {
-			tableErrs <- t.collectTable(name, m, combined, seen, &combineMu)
+			tableErrs <- t.collectTable(name, m, gs)
 		}(n, dcM[n])
 	}
 	// Fail fast on the first error: the caller aborts the round, which
@@ -322,7 +359,7 @@ func (t *Tally) gatherStrict(parties []wire.Messenger, combined []elgamal.Cipher
 // restart on a rejoined session, a declared absence, and failing the
 // round. The round proceeds only if the surviving tables meet the
 // quorum floor and still cover every bin.
-func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciphertext, seen []bool) (roundParties, error) {
+func (t *Tally) gatherTolerant(parties []wire.Messenger, gs *gatherStore) (roundParties, error) {
 	rp := roundParties{cpM: make(map[string]wire.Messenger), cpKeys: make(map[string]elgamal.Point)}
 	for i := 0; i < t.cfg.NumCPs; i++ {
 		var reg RegisterMsg
@@ -357,7 +394,7 @@ func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciph
 	for di := 0; di < t.cfg.NumDCs; di++ {
 		idx := t.cfg.NumCPs + di
 		go func(idx int) {
-			name, absent, err := t.runDC(idx, parties[idx], dcCfg, combined, seen, &mu, owner)
+			name, absent, err := t.runDC(idx, parties[idx], dcCfg, gs, &mu, owner)
 			outcomes <- outcome{name: name, absent: absent, err: err}
 		}(idx)
 	}
@@ -388,10 +425,8 @@ func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciph
 	// A degraded round must still cover the whole table: with >= 1
 	// complete table every bin is populated, but verify rather than
 	// decrypt zero-value ciphertexts.
-	for i, s := range seen {
-		if !s {
-			return rp, fmt.Errorf("psc ts: bin %d has no contribution after degradation", i)
-		}
+	if i := gs.uncovered(); i >= 0 {
+		return rp, fmt.Errorf("psc ts: bin %d has no contribution after degradation", i)
 	}
 	sort.Strings(rp.absent)
 	return rp, nil
@@ -403,7 +438,7 @@ func (t *Tally) gatherTolerant(parties []wire.Messenger, combined []elgamal.Ciph
 // shared combination only once complete, so a failed upload leaves no
 // partial state: every failure before the table's completion is
 // retryable, and a DC declared absent contributed nothing.
-func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex, owner map[string]int) (name string, absent bool, err error) {
+func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, gs *gatherStore, mu *sync.Mutex, owner map[string]int) (name string, absent bool, err error) {
 	attempt := func(m wire.Messenger) (string, error) {
 		var reg RegisterMsg
 		if err := m.Expect(kindRegister, &reg); err != nil {
@@ -424,7 +459,7 @@ func (t *Tally) runDC(idx int, m wire.Messenger, dcCfg ConfigureMsg, combined []
 		if err := m.Send(kindConfig, dcCfg); err != nil {
 			return reg.Name, fmt.Errorf("psc ts: configure DC %s: %w", reg.Name, err)
 		}
-		return reg.Name, t.collectTableBuffered(reg.Name, m, combined, seen, mu)
+		return reg.Name, t.collectTableBuffered(reg.Name, m, gs)
 	}
 
 	name, err = attempt(m)
@@ -508,10 +543,13 @@ func (t *Tally) buildConfigs(rp *roundParties) (cpCfg, dcCfg ConfigureMsg, err e
 
 // collectTable streams one DC's table into the shared combination as
 // chunks arrive — the strict flow's memory-lean path, holding only the
-// running combination. That is safe only because any DC failure fails
+// in-flight chunks. That is safe only because any DC failure fails
 // the whole strict round: a partially merged table can never outlive
-// its round as a completed result.
-func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
+// its round as a completed result. The receive loop stays on the
+// network; each chunk's point parsing and homomorphic merge runs on the
+// gather shard, bounded by the pool depth, so concurrent DC streams
+// decode and merge on every schedulable core.
+func (t *Tally) collectTable(name string, m wire.Messenger, gs *gatherStore) error {
 	var hdr VectorHeader
 	if err := m.Expect(kindTable, &hdr); err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
@@ -519,12 +557,34 @@ func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.C
 	if hdr.N != t.cfg.Bins {
 		return fmt.Errorf("psc ts: DC %s sent %d bins, want %d", name, hdr.N, t.cfg.Bins)
 	}
-	err := recvVectorFunc(m, t.cfg.Bins, func(off int, cts []elgamal.Ciphertext) error {
-		mu.Lock()
-		defer mu.Unlock()
-		mergeChunk(combined, seen, off, cts)
+	merge := parallel.NewOrdered[struct{}](parallel.PoolSize(), 2*parallel.PoolSize(), "psc-gather")
+	var mergeErr error
+	mergeDone := make(chan struct{})
+	go func() {
+		// Drains concurrently with the receive loop so the shard's
+		// depth bound throttles the loop instead of wedging it.
+		defer close(mergeDone)
+		for r := range merge.Out() {
+			if r.Err != nil && mergeErr == nil {
+				mergeErr = r.Err
+			}
+		}
+	}()
+	err := recvVectorRawFunc(m, t.cfg.Bins, func(off, count int, data []byte) error {
+		merge.Submit(func() (struct{}, error) {
+			cts, err := decodeVector(data, count)
+			if err != nil {
+				return struct{}{}, err
+			}
+			return struct{}{}, gs.merge(off, cts)
+		})
 		return nil
 	})
+	merge.Close()
+	<-mergeDone
+	if err == nil {
+		err = mergeErr
+	}
 	if err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
 	}
@@ -536,9 +596,10 @@ func (t *Tally) collectTable(name string, m wire.Messenger, combined []elgamal.C
 // tolerant flow's path. Ciphertext sums cannot be unpicked, so a DC the
 // quorum policy later declares absent must never have touched the
 // shared sum: buffering makes Result.AbsentDCs an exact coverage
-// statement ("none of this DC's table is included") at the cost of up
-// to NumDCs in-flight table buffers instead of one running combination.
-func (t *Tally) collectTableBuffered(name string, m wire.Messenger, combined []elgamal.Ciphertext, seen []bool, mu *sync.Mutex) error {
+// statement ("none of this DC's table is included"). The buffer is
+// itself spilled, so up to NumDCs in-flight tables cost encoded bytes
+// on scratch storage, not parsed ciphertexts on the heap.
+func (t *Tally) collectTableBuffered(name string, m wire.Messenger, gs *gatherStore) error {
 	var hdr VectorHeader
 	if err := m.Expect(kindTable, &hdr); err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
@@ -546,63 +607,78 @@ func (t *Tally) collectTableBuffered(name string, m wire.Messenger, combined []e
 	if hdr.N != t.cfg.Bins {
 		return fmt.Errorf("psc ts: DC %s sent %d bins, want %d", name, hdr.N, t.cfg.Bins)
 	}
-	table, err := recvVector(m, t.cfg.Bins)
+	buf, err := newSpill(t.cfg.Bins)
+	if err != nil {
+		return fmt.Errorf("psc ts: table spill for DC %s: %w", name, err)
+	}
+	defer buf.Close()
+	err = recvVectorFunc(m, t.cfg.Bins, func(off int, cts []elgamal.Ciphertext) error {
+		return buf.write(off, cts)
+	})
 	if err != nil {
 		return fmt.Errorf("psc ts: table from DC %s: %w", name, err)
 	}
-	// recvVector guarantees the chunks tiled [0, Bins) in order, so the
-	// buffer is a whole table; merge it in one shot.
-	mu.Lock()
-	defer mu.Unlock()
-	mergeChunk(combined, seen, 0, table)
+	// recvVectorFunc guarantees the chunks tiled [0, Bins) in order, so
+	// the buffer holds a whole table; fold it into the shared
+	// combination chunk by chunk — DC goroutines fold concurrently, the
+	// store's stripes keep them out of each other's way.
+	err = forEachChunk(t.cfg.Bins, gs.chunk, func(off, end int) error {
+		cts, err := buf.readRange(off, end-off)
+		if err != nil {
+			return err
+		}
+		return gs.merge(off, cts)
+	})
+	if err != nil {
+		return fmt.Errorf("psc ts: table merge for DC %s: %w", name, err)
+	}
 	return nil
-}
-
-// mergeChunk folds cts into the combination at element offset off. The
-// caller holds the combination mutex.
-func mergeChunk(combined []elgamal.Ciphertext, seen []bool, off int, cts []elgamal.Ciphertext) {
-	fresh := true
-	have := true
-	for i := range cts {
-		if seen[off+i] {
-			fresh = false
-		} else {
-			have = false
-		}
-	}
-	switch {
-	case fresh && have: // impossible (empty chunk is rejected upstream)
-	case fresh:
-		copy(combined[off:], cts)
-	case have:
-		// All positions populated: one batch add normalizes the whole
-		// chunk with a single inversion.
-		copy(combined[off:], elgamal.BatchAddCiphertexts(combined[off:off+len(cts)], cts))
-	default:
-		for i, ct := range cts {
-			if seen[off+i] {
-				combined[off+i] = combined[off+i].Add(ct)
-			} else {
-				combined[off+i] = ct
-			}
-		}
-	}
-	for i := range cts {
-		seen[off+i] = true
-	}
 }
 
 // mixCP drives one CP's mixing stage through the streaming block
 // shuffle: a feeder goroutine forwards upstream chunks to the CP while
-// this goroutine verifies, block by block, the CP's noise, every
+// the stream goroutine verifies, block by block, the CP's noise, every
 // block's shuffle argument, the pass-continuity hashes of re-streamed
 // intermediates, and the final pass's blinding — forwarding each
 // verified blinded block downstream before the next arrives. Neither
-// direction ever holds more than O(block) ciphertexts. On any failure
-// it latches the round error; out always closes so downstream stages
-// unwind.
+// direction ever holds more than O(block) ciphertexts. The block
+// shuffle arguments are transcript-sequential and stay on the stream
+// goroutine; the independent batch checks (noise bit proofs, blind
+// DLEQ RLCs) run on the verify shard. On any failure the round error
+// is latched; out always closes so downstream stages unwind.
 func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn int, in <-chan vchunk, out chan<- vchunk, f *failer, chunk int) {
-	defer close(out)
+	// The forwarder owns out: it delivers each verified blinded block
+	// downstream in block order and closes out once the shard drains.
+	// mixCP returns only after that, so the caller's mix WaitGroup
+	// still means "every CP's verification has finished".
+	blind := parallel.NewOrdered[vchunk](parallel.PoolSize(), 2*parallel.PoolSize(), "psc-verify")
+	fwdDone := make(chan struct{})
+	go func() {
+		defer close(fwdDone)
+		defer close(out)
+		for r := range blind.Out() {
+			if r.Err != nil {
+				f.fail(r.Err)
+				continue
+			}
+			if f.latched() != nil {
+				continue
+			}
+			select {
+			case out <- r.V:
+			case <-f.ch:
+			}
+		}
+	}()
+	t.mixCPStream(name, m, joint, nIn, in, blind, f, chunk)
+	blind.Close()
+	<-fwdDone
+}
+
+// mixCPStream is mixCP's protocol loop; it returns after the last
+// block's blind check has been submitted to the shard, or early with
+// the round failure latched.
+func (t *Tally) mixCPStream(name string, m wire.Messenger, joint elgamal.Point, nIn int, in <-chan vchunk, blind *parallel.Ordered[vchunk], f *failer, chunk int) {
 	prove := t.cfg.ShuffleProofRounds > 0
 	total := nIn + t.cfg.NoisePerCP
 	g := newGrid(total, blockOf(t.cfg.ShuffleBlockElems))
@@ -646,45 +722,48 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 	// Noise: the CP sends only its appended elements, bit-verified per
 	// chunk; the input prefix is ours by construction, so a CP cannot
 	// tamper with it. The noise ciphertexts form the tail of the
-	// shuffle input.
+	// shuffle input, so chunk order matters — the shard preserves it
+	// while the per-chunk decodes and bit-proof batches verify
+	// concurrently.
+	noise := parallel.NewOrdered[[]elgamal.Ciphertext](parallel.PoolSize(), 2*parallel.PoolSize(), "psc-verify")
 	noiseCts := make([]elgamal.Ciphertext, 0, t.cfg.NoisePerCP)
-	for len(noiseCts) < t.cfg.NoisePerCP {
+	noiseDone := make(chan struct{})
+	go func() {
+		// Reassembly drains concurrently with the receive loop so the
+		// shard's depth bound throttles the loop instead of wedging it.
+		defer close(noiseDone)
+		for r := range noise.Out() {
+			if r.Err != nil {
+				f.fail(r.Err)
+				continue
+			}
+			noiseCts = append(noiseCts, r.V...)
+		}
+	}()
+	noiseFail := func(err error) {
+		noise.Close()
+		<-noiseDone
+		f.fail(err)
+	}
+	for off := 0; off < t.cfg.NoisePerCP; {
 		var nc NoiseChunkMsg
 		if err := m.Expect(kindNoise, &nc); err != nil {
-			f.fail(fmt.Errorf("psc ts: noise from CP %s: %w", name, err))
+			noiseFail(fmt.Errorf("psc ts: noise from CP %s: %w", name, err))
 			return
 		}
-		if nc.Off != len(noiseCts) || nc.Count <= 0 || nc.Off+nc.Count > t.cfg.NoisePerCP {
-			f.fail(fmt.Errorf("psc ts: CP %s noise chunk [%d,%d) out of order", name, nc.Off, nc.Off+nc.Count))
+		if nc.Off != off || nc.Count <= 0 || nc.Off+nc.Count > t.cfg.NoisePerCP {
+			noiseFail(fmt.Errorf("psc ts: CP %s noise chunk [%d,%d) out of order", name, nc.Off, nc.Off+nc.Count))
 			return
 		}
-		cts, err := decodeVector(nc.Data, nc.Count)
-		if err != nil {
-			f.fail(fmt.Errorf("psc ts: CP %s noise batch: %w", name, err))
-			return
-		}
-		if prove {
-			if len(nc.Proofs) != nc.Count {
-				f.fail(fmt.Errorf("psc ts: CP %s sent %d bit proofs for %d noise elements", name, len(nc.Proofs), nc.Count))
-				return
-			}
-			proofs := make([]elgamal.BitProof, nc.Count)
-			for i, w := range nc.Proofs {
-				proof, err := unpackBitProof(w)
-				if err != nil {
-					f.fail(fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, nc.Off+i, err))
-					return
-				}
-				proofs[i] = proof
-			}
-			// Every appended noise element must provably encrypt a bit.
-			if i, ok := elgamal.VerifyBitsBatch(joint, cts, proofs); !ok {
-				verifyFailure("bit-proof")
-				f.fail(fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, nc.Off+i))
-				return
-			}
-		}
-		noiseCts = append(noiseCts, cts...)
+		noise.Submit(func() ([]elgamal.Ciphertext, error) {
+			return t.verifyNoiseChunk(name, joint, nc, prove)
+		})
+		off += nc.Count
+	}
+	noise.Close()
+	<-noiseDone
+	if f.latched() != nil {
+		return
 	}
 
 	var tr *elgamal.ShuffleTranscript
@@ -711,7 +790,7 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 		}
 		if passes > 1 {
 			prevHashes[b] = elgamal.HashBlock(outB)
-		} else if !t.recvBlindForward(name, m, g.outStart(1, b), outB, out, f) {
+		} else if !t.recvBlindSubmit(name, m, g.outStart(1, b), outB, blind, f) {
 			return
 		}
 	}
@@ -748,7 +827,7 @@ func (t *Tally) mixCP(name string, m wire.Messenger, joint elgamal.Point, nIn in
 			}
 			if p < passes {
 				nextHashes[b] = elgamal.HashBlock(outB)
-			} else if !t.recvBlindForward(name, m, g.outStart(p, b), outB, out, f) {
+			} else if !t.recvBlindSubmit(name, m, g.outStart(p, b), outB, blind, f) {
 				return
 			}
 		}
@@ -890,11 +969,42 @@ func (t *Tally) recvBlock(name string, m wire.Messenger, tr *elgamal.ShuffleTran
 	return outB
 }
 
-// recvBlindForward receives the exponent-blinded form of one verified
-// final-pass block, checks its DLEQ proofs (a per-block RLC), and
-// forwards it downstream. It reports false after latching the round
-// failure.
-func (t *Tally) recvBlindForward(name string, m wire.Messenger, off int, outB []elgamal.Ciphertext, out chan<- vchunk, f *failer) bool {
+// verifyNoiseChunk decodes one noise chunk and verifies its bit proofs
+// as a batch — shard work, independent of every other chunk.
+func (t *Tally) verifyNoiseChunk(name string, joint elgamal.Point, nc NoiseChunkMsg, prove bool) ([]elgamal.Ciphertext, error) {
+	cts, err := decodeVector(nc.Data, nc.Count)
+	if err != nil {
+		return nil, fmt.Errorf("psc ts: CP %s noise batch: %w", name, err)
+	}
+	if !prove {
+		return cts, nil
+	}
+	if len(nc.Proofs) != nc.Count {
+		return nil, fmt.Errorf("psc ts: CP %s sent %d bit proofs for %d noise elements", name, len(nc.Proofs), nc.Count)
+	}
+	proofs := make([]elgamal.BitProof, nc.Count)
+	for i, w := range nc.Proofs {
+		proof, err := unpackBitProof(w)
+		if err != nil {
+			return nil, fmt.Errorf("psc ts: CP %s bit proof %d: %w", name, nc.Off+i, err)
+		}
+		proofs[i] = proof
+	}
+	// Every appended noise element must provably encrypt a bit.
+	if i, ok := elgamal.VerifyBitsBatch(joint, cts, proofs); !ok {
+		verifyFailure("bit-proof")
+		return nil, fmt.Errorf("psc ts: CP %s noise element %d is not a valid bit", name, nc.Off+i)
+	}
+	return cts, nil
+}
+
+// recvBlindSubmit receives the exponent-blinded form of one verified
+// final-pass block and hands its decode and DLEQ check (a per-block
+// RLC) to the verify shard, whose forwarder delivers verified chunks
+// downstream in block order. Only frame validation happens here: the
+// stream goroutine goes straight back to the next transcript-sequential
+// block argument. It reports false after latching the round failure.
+func (t *Tally) recvBlindSubmit(name string, m wire.Messenger, off int, outB []elgamal.Ciphertext, blind *parallel.Ordered[vchunk], f *failer) bool {
 	var bc BlindChunkMsg
 	if err := m.Expect(kindBlind, &bc); err != nil {
 		f.fail(fmt.Errorf("psc ts: blinded from CP %s: %w", name, err))
@@ -904,36 +1014,30 @@ func (t *Tally) recvBlindForward(name string, m wire.Messenger, off int, outB []
 		f.fail(fmt.Errorf("psc ts: CP %s blind chunk [%d,%d), want [%d,%d)", name, bc.Off, bc.Off+bc.Count, off, off+len(outB)))
 		return false
 	}
-	cts, err := decodeVector(bc.Data, bc.Count)
-	if err != nil {
-		f.fail(fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err))
-		return false
-	}
-	if t.cfg.ShuffleProofRounds > 0 {
-		if len(bc.Proofs) != bc.Count {
-			f.fail(fmt.Errorf("psc ts: CP %s sent %d blind proofs for %d elements", name, len(bc.Proofs), bc.Count))
-			return false
+	blind.Submit(func() (vchunk, error) {
+		cts, err := decodeVector(bc.Data, bc.Count)
+		if err != nil {
+			return vchunk{}, fmt.Errorf("psc ts: CP %s blinded batch: %w", name, err)
 		}
-		proofs := make([]elgamal.EqualityProof, bc.Count)
-		for i, w := range bc.Proofs {
-			proof, err := unpackEquality(w)
-			if err != nil {
-				f.fail(fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, off+i, err))
-				return false
+		if t.cfg.ShuffleProofRounds > 0 {
+			if len(bc.Proofs) != bc.Count {
+				return vchunk{}, fmt.Errorf("psc ts: CP %s sent %d blind proofs for %d elements", name, len(bc.Proofs), bc.Count)
 			}
-			proofs[i] = proof
+			proofs := make([]elgamal.EqualityProof, bc.Count)
+			for i, w := range bc.Proofs {
+				proof, err := unpackEquality(w)
+				if err != nil {
+					return vchunk{}, fmt.Errorf("psc ts: CP %s blind proof %d: %w", name, off+i, err)
+				}
+				proofs[i] = proof
+			}
+			if i, ok := elgamal.VerifyBlindsBatch(outB, cts, proofs); !ok {
+				verifyFailure("blind-proof")
+				return vchunk{}, fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, off+i)
+			}
 		}
-		if i, ok := elgamal.VerifyBlindsBatch(outB, cts, proofs); !ok {
-			verifyFailure("blind-proof")
-			f.fail(fmt.Errorf("psc ts: CP %s blinding of element %d unverified", name, off+i))
-			return false
-		}
-	}
-	select {
-	case out <- vchunk{off: off, cts: cts}:
-	case <-f.ch:
-		return false
-	}
+		return vchunk{off: off, cts: cts}, nil
+	})
 	return true
 }
 
@@ -962,7 +1066,37 @@ type decShareChunk struct {
 // is decoded once per CP, not twice. On failure it latches the round
 // error; out always closes.
 func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, src *lockedSpill, n, chunk int, f *failer, out chan<- decShareChunk) {
-	defer close(out)
+	// Share parsing and the per-chunk RLC run on the verify shard; the
+	// forwarder owns out and delivers verified chunks in stream order,
+	// so the combiner still sees them on the boundaries it expects.
+	verify := parallel.NewOrdered[decShareChunk](parallel.PoolSize(), 2*parallel.PoolSize(), "psc-verify")
+	fwdDone := make(chan struct{})
+	go func() {
+		defer close(fwdDone)
+		defer close(out)
+		for r := range verify.Out() {
+			if r.Err != nil {
+				f.fail(r.Err)
+				continue
+			}
+			if f.latched() != nil {
+				continue
+			}
+			select {
+			case out <- r.V:
+			case <-f.ch:
+			}
+		}
+	}()
+	t.decryptCPStream(name, m, cpKey, src, n, chunk, f, verify)
+	verify.Close()
+	<-fwdDone
+}
+
+// decryptCPStream is decryptCP's protocol loop; it returns after the
+// last share chunk has been submitted to the shard, or early with the
+// round failure latched.
+func (t *Tally) decryptCPStream(name string, m wire.Messenger, cpKey elgamal.Point, src *lockedSpill, n, chunk int, f *failer, verify *parallel.Ordered[decShareChunk]) {
 	prove := t.cfg.ShuffleProofRounds > 0
 	sent := make(chan []elgamal.Ciphertext, 2)
 	go func() {
@@ -1020,36 +1154,11 @@ func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, sr
 			f.fail(fmt.Errorf("psc ts: CP %s share chunk [%d,%d), want [%d,%d)", name, sc.Off, sc.Off+sc.Count, off, end))
 			return
 		}
-		shares := make([]elgamal.DecryptionShare, 0, sc.Count)
-		b := sc.Shares
-		for i := 0; i < sc.Count; i++ {
-			pt, used, err := elgamal.ParsePoint(b)
-			if err != nil {
-				f.fail(fmt.Errorf("psc ts: CP %s share %d: %w", name, off+i, err))
-				return
-			}
-			b = b[used:]
-			shares = append(shares, elgamal.DecryptionShare{Share: pt})
-		}
-		if len(b) != 0 {
-			f.fail(fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b)))
-			return
-		}
+		// The matching plaintext chunk must be taken off the sender's
+		// channel here, in stream order; the verification itself is
+		// shard work.
+		var cts []elgamal.Ciphertext
 		if prove {
-			if len(sc.Proofs) != sc.Count {
-				f.fail(fmt.Errorf("psc ts: CP %s sent %d share proofs for %d elements", name, len(sc.Proofs), sc.Count))
-				return
-			}
-			proofs := make([]elgamal.EqualityProof, sc.Count)
-			for i, w := range sc.Proofs {
-				proof, err := unpackEquality(w)
-				if err != nil {
-					f.fail(fmt.Errorf("psc ts: CP %s share proof %d: %w", name, off+i, err))
-					return
-				}
-				proofs[i] = proof
-			}
-			var cts []elgamal.Ciphertext
 			select {
 			case c, ok := <-sent:
 				if !ok {
@@ -1059,17 +1168,47 @@ func (t *Tally) decryptCP(name string, m wire.Messenger, cpKey elgamal.Point, sr
 			case <-f.ch:
 				return
 			}
-			if i, ok := elgamal.VerifySharesBatch(cpKey, cts, shares, proofs); !ok {
-				verifyFailure("share-proof")
-				f.fail(fmt.Errorf("psc ts: CP %s share %d unverified", name, off+i))
-				return
-			}
 		}
-		select {
-		case out <- decShareChunk{off: off, shares: shares}:
-		case <-f.ch:
-			return
-		}
+		verify.Submit(func() (decShareChunk, error) {
+			return t.verifyShareChunk(name, cpKey, sc, cts, prove)
+		})
 		off += sc.Count
 	}
+}
+
+// verifyShareChunk parses one CP's share chunk and verifies its DLEQ
+// RLC against the plaintext chunk the TS sent — shard work, independent
+// of every other chunk.
+func (t *Tally) verifyShareChunk(name string, cpKey elgamal.Point, sc ShareChunkMsg, cts []elgamal.Ciphertext, prove bool) (decShareChunk, error) {
+	shares := make([]elgamal.DecryptionShare, 0, sc.Count)
+	b := sc.Shares
+	for i := 0; i < sc.Count; i++ {
+		pt, used, err := elgamal.ParsePoint(b)
+		if err != nil {
+			return decShareChunk{}, fmt.Errorf("psc ts: CP %s share %d: %w", name, sc.Off+i, err)
+		}
+		b = b[used:]
+		shares = append(shares, elgamal.DecryptionShare{Share: pt})
+	}
+	if len(b) != 0 {
+		return decShareChunk{}, fmt.Errorf("psc ts: CP %s sent %d trailing share bytes", name, len(b))
+	}
+	if prove {
+		if len(sc.Proofs) != sc.Count {
+			return decShareChunk{}, fmt.Errorf("psc ts: CP %s sent %d share proofs for %d elements", name, len(sc.Proofs), sc.Count)
+		}
+		proofs := make([]elgamal.EqualityProof, sc.Count)
+		for i, w := range sc.Proofs {
+			proof, err := unpackEquality(w)
+			if err != nil {
+				return decShareChunk{}, fmt.Errorf("psc ts: CP %s share proof %d: %w", name, sc.Off+i, err)
+			}
+			proofs[i] = proof
+		}
+		if i, ok := elgamal.VerifySharesBatch(cpKey, cts, shares, proofs); !ok {
+			verifyFailure("share-proof")
+			return decShareChunk{}, fmt.Errorf("psc ts: CP %s share %d unverified", name, sc.Off+i)
+		}
+	}
+	return decShareChunk{off: sc.Off, shares: shares}, nil
 }

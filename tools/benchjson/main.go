@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark runs can be committed, diffed,
+// and uploaded as CI artifacts instead of living in build logs.
+//
+// Usage:
+//
+//	go test ./internal/psc/ -bench ... | go run ./tools/benchjson -o BENCH_PR6.json
+//
+// Each benchmark line
+//
+//	BenchmarkName/sub-4   2   123456 ns/op   95.2 peak-heap-MB
+//
+// becomes one entry: the trailing -P GOMAXPROCS suffix is split off,
+// the iteration count kept, and every value/unit pair (including
+// custom ReportMetric units) lands in the metrics map. The goos /
+// goarch / cpu / pkg header lines are carried into the document head.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (empty: stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+func parseBench(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name, iterations, value/unit pairs")
+	}
+	b := Benchmark{Procs: 1, Metrics: make(map[string]float64)}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	// The harness appends -GOMAXPROCS to the name, but only when it is
+	// not 1 — so a trailing number is ambiguous against names like
+	// bins-512. Split it off only when it is a plausible core count;
+	// table-size suffixes are orders of magnitude larger.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 && p <= 64 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations %q: %w", fields[1], err)
+	}
+	b.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
