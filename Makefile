@@ -5,12 +5,17 @@
 #                      benchmarks; catches gross perf regressions fast
 #   make bench-scale - the million-bin regime: the 2^18-bin spilled
 #                      round plus the GOMAXPROCS core-scaling sweep
-#   make bench-json  - bench-scale with output converted to BENCH_PR6.json
+#   make bench-wan   - the WAN-emulated transport arms (wan-tor static
+#                      vs adaptive window, wan-good), to BENCH_WAN.json
+#   make bench-json  - bench-scale + bench-wan arms to BENCH_PR8.json,
+#                      then all committed BENCH_PR*.json folded into
+#                      BENCH_TRAJECTORY.json
+#   make bench-trajectory - re-fold the committed per-PR documents only
 #   make bench    - the full paper-table benchmark harness (slow)
 
 GO ?= go
 
-.PHONY: all build test vet bench-smoke bench-scale bench-json bench
+.PHONY: all build test vet bench-smoke bench-scale bench-wan bench-json bench-trajectory bench
 
 all: build vet test
 
@@ -35,10 +40,18 @@ bench-scale:
 	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/verified/stream/bins-262144' -benchtime=1x -timeout=60m
 	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRoundCores' -benchtime=1x -timeout=90m
 
+bench-wan:
+	$(GO) test ./internal/psc/ -run '^$$' -bench 'BenchmarkPSCRound/wan-' \
+		-benchtime=1x -timeout=30m | $(GO) run ./tools/benchjson -o BENCH_WAN.json
+
 bench-json:
 	$(GO) test ./internal/psc/ -run '^$$' \
-		-bench 'BenchmarkPSCRound/verified/stream/bins-262144|BenchmarkPSCRoundCores' \
-		-benchtime=1x -timeout=150m | $(GO) run ./tools/benchjson -o BENCH_PR6.json
+		-bench 'BenchmarkPSCRound/verified/stream/bins-262144|BenchmarkPSCRound/wan-|BenchmarkPSCRoundCores' \
+		-benchtime=1x -timeout=150m | $(GO) run ./tools/benchjson -o BENCH_PR8.json
+	$(MAKE) bench-trajectory
+
+bench-trajectory:
+	$(GO) run ./tools/benchjson -merge -o BENCH_TRAJECTORY.json BENCH_PR*.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

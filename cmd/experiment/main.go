@@ -29,6 +29,9 @@ func main() {
 	seed := flag.Uint64("seed", 2018, "simulation seed")
 	alexaN := flag.Int("alexa", 200000, "synthetic Alexa list size")
 	proofRounds := flag.Int("proof-rounds", 2, "PSC shuffle-proof rounds (0 = honest-but-curious)")
+	netemSpec := flag.String("netem", "", "WAN emulation profile shaping every party connection (lan, wan-good, wan-tor, or key=value spec; empty: unshaped pipes)")
+	adaptiveWindow := flag.Bool("adaptive-window", true, "autotune stream windows toward the measured bandwidth-delay product")
+	windowCap := flag.Int("window-cap", 0, "adaptive stream-window growth bound in bytes (0: wire default, 16 MiB)")
 	flag.Parse()
 
 	if *list {
@@ -38,7 +41,10 @@ func main() {
 		return
 	}
 
-	env := &core.Env{Scale: *scale, Seed: *seed, AlexaN: *alexaN, ProofRounds: *proofRounds}
+	env := &core.Env{
+		Scale: *scale, Seed: *seed, AlexaN: *alexaN, ProofRounds: *proofRounds,
+		Netem: *netemSpec, AdaptiveWindow: *adaptiveWindow, WindowCap: *windowCap,
+	}
 
 	ids := []string{*id}
 	if *all {

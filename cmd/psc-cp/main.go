@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/spill"
 	"repro/internal/wire"
 )
@@ -39,7 +40,10 @@ func main() {
 	reconnect := flag.Int("reconnect", 8, "max consecutive reconnect attempts before giving up")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
 	spillDir := flag.String("spill-dir", "", "directory for the shuffle's bounded-residency scratch files (empty: system temp)")
-	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
+	streamWindow := flag.Int("stream-window", 0, "initial per-stream flow-control window in bytes (0: wire default, 1 MiB); negotiated per direction with revision-aware peers")
+	netemSpec := flag.String("netem", "", "WAN emulation profile shaping the tally connection (lan, wan-good, wan-tor, or key=value spec; empty: none)")
+	adaptiveWindow := flag.Bool("adaptive-window", true, "autotune stream windows toward the measured bandwidth-delay product (AIMD; active only with negotiation-aware peers)")
+	windowCap := flag.Int("window-cap", 0, "adaptive stream-window growth bound in bytes (0: wire default, 16 MiB)")
 	flag.Parse()
 
 	if *spillDir != "" {
@@ -59,6 +63,14 @@ func main() {
 	var connOpts []wire.Option
 	if *streamWindow > 0 {
 		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
+	}
+	if *adaptiveWindow {
+		connOpts = append(connOpts, wire.WithAdaptiveWindow(*windowCap))
+	}
+	if p, err := netem.ParseProfile(*netemSpec); err != nil {
+		log.Fatalf("psc-cp %s: %v", *name, err)
+	} else if p != nil {
+		connOpts = append(connOpts, netem.WireOption(*p))
 	}
 	hello := engine.Hello{Role: engine.RoleCP, Name: *name, ID: *id, Token: *token}
 	dial := func() (*wire.Session, error) {

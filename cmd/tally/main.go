@@ -58,6 +58,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/spill"
@@ -94,7 +95,10 @@ func main() {
 	budgetFile := flag.String("budget-file", "", "JSON ledger persisting spent budget across restarts (written on every spend)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the ops metrics registry over HTTP at this address (empty: disabled)")
 	spillDir := flag.String("spill-dir", "", "directory for bounded-residency tally scratch files (empty: system temp)")
-	streamWindow := flag.Int("stream-window", 0, "per-stream flow-control window in bytes (0: wire default, 1 MiB); must match on every daemon")
+	streamWindow := flag.Int("stream-window", 0, "initial per-stream flow-control window in bytes (0: wire default, 1 MiB); negotiated per direction with revision-aware peers")
+	netemSpec := flag.String("netem", "", "WAN emulation profile shaping every connection (lan, wan-good, wan-tor, or key=value spec; empty: none)")
+	adaptiveWindow := flag.Bool("adaptive-window", true, "autotune stream windows toward the measured bandwidth-delay product (AIMD; active only with negotiation-aware peers)")
+	windowCap := flag.Int("window-cap", 0, "adaptive stream-window growth bound in bytes (0: wire default, 16 MiB)")
 	rejoinGrace := flag.Duration("rejoin-grace", 0, "how long a round waits for a dropped party to rejoin before degrading (0: degrade immediately)")
 	quorumSpec := flag.String("quorum", "", "DC quorum, e.g. dcs=2: rounds complete degraded with at least this many DCs (empty: all DCs required)")
 	flag.Parse()
@@ -105,6 +109,14 @@ func main() {
 	var connOpts []wire.Option
 	if *streamWindow > 0 {
 		connOpts = append(connOpts, wire.WithWindow(*streamWindow))
+	}
+	if *adaptiveWindow {
+		connOpts = append(connOpts, wire.WithAdaptiveWindow(*windowCap))
+	}
+	if p, err := netem.ParseProfile(*netemSpec); err != nil {
+		log.Fatalf("tally: %v", err)
+	} else if p != nil {
+		connOpts = append(connOpts, netem.WireOption(*p))
 	}
 	var tlsCfg *wire.Identity
 	var ln wire.Listener

@@ -194,7 +194,9 @@ func TestCmdDeploymentChurn(t *testing.T) {
 // TestCmdDeploymentPSC runs the PSC daemons: torsim feeding two
 // datacollectors at guard relays, a tally, and two computation
 // parties, counting unique client IPs across two concurrent rounds
-// over single sessions.
+// over single sessions. Every daemon runs with -netem lan, so the
+// whole round trip flows through shaped connections — the flag, the
+// profile parser, and the write-side shaper are all on the data path.
 func TestCmdDeploymentPSC(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process deployment test skipped in -short mode")
@@ -215,7 +217,7 @@ func TestCmdDeploymentPSC(t *testing.T) {
 	torsimAddr := torsim.waitForAddr(t, "torsim: listening on ")
 
 	tally := newProc(ctx, t, filepath.Join(bindir, "tally"),
-		"-protocol", "psc", "-listen", "127.0.0.1:0",
+		"-protocol", "psc", "-listen", "127.0.0.1:0", "-netem", "lan",
 		"-dcs", "2", "-cps", "2", "-bins", "1024", "-noise", "16", "-proof-rounds", "1",
 		"-rounds", "2", "-concurrency", "2")
 	tallyAddr := tally.waitForAddr(t, "listening on ")
@@ -223,12 +225,12 @@ func TestCmdDeploymentPSC(t *testing.T) {
 	var procs []*proc
 	for i := 0; i < 2; i++ {
 		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "psc-cp"),
-			"-tally", tallyAddr, "-name", fmt.Sprintf("cp-%d", i)))
+			"-tally", tallyAddr, "-netem", "lan", "-name", fmt.Sprintf("cp-%d", i)))
 	}
 	// Guards are relays 6 and 7 in the default consensus.
 	for i := 0; i < 2; i++ {
 		procs = append(procs, newProc(ctx, t, filepath.Join(bindir, "datacollector"),
-			"-tally", tallyAddr, "-torsim", torsimAddr, "-rounds", "2",
+			"-tally", tallyAddr, "-torsim", torsimAddr, "-rounds", "2", "-netem", "lan",
 			"-relay", fmt.Sprintf("%d", 6+i), "-name", fmt.Sprintf("dc-%d", i)))
 	}
 	for _, p := range append(procs, torsim) {

@@ -43,6 +43,15 @@ type Env struct {
 	// scratch files; empty selects the system temp directory. Applied
 	// process-wide when the Env's fleet first starts.
 	SpillDir string
+	// Netem is a WAN emulation profile spec (netem.ParseProfile syntax:
+	// "lan", "wan-tor", "wan-tor,seed=42", ...) applied to every party
+	// connection of the Env's fleet; empty runs over unshaped pipes.
+	Netem string
+	// AdaptiveWindow enables AIMD stream-window autotuning on the
+	// fleet's sessions; WindowCap bounds the growth (0 selects
+	// wire.DefaultWindowCap).
+	AdaptiveWindow bool
+	WindowCap      int
 
 	alexaOnce sync.Once
 	alexaList *alexa.List

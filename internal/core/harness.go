@@ -8,6 +8,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/netem"
 	"repro/internal/privcount"
 	"repro/internal/psc"
 	"repro/internal/spill"
@@ -65,6 +66,9 @@ type dcDelivery struct {
 // partyRuntime is an Env's persistent protocol fleet.
 type partyRuntime struct {
 	eng *engine.Engine
+	// connOpts configures every party pipe: WAN emulation and window
+	// tuning from the Env knobs.
+	connOpts []wire.Option
 
 	mu         sync.Mutex
 	numDCs     int
@@ -83,6 +87,14 @@ func (e *Env) runtime() (*partyRuntime, error) {
 		spill.SetDir(e.SpillDir)
 	}
 	rt := &partyRuntime{eng: engine.New(), deliveries: make(map[uint64]chan dcDelivery)}
+	if p, err := netem.ParseProfile(e.Netem); err != nil {
+		return nil, err
+	} else if p != nil {
+		rt.connOpts = append(rt.connOpts, netem.WireOption(*p))
+	}
+	if e.AdaptiveWindow {
+		rt.connOpts = append(rt.connOpts, wire.WithAdaptiveWindow(e.WindowCap))
+	}
 	for i := 0; i < harnessCPs; i++ {
 		sess, err := rt.attach(engine.RoleCP, fmt.Sprintf("cp-%d", i))
 		if err != nil {
@@ -106,7 +118,7 @@ func (e *Env) runtime() (*partyRuntime, error) {
 // the given role directly (the hello handshake is exercised by the
 // daemon deployment; in process it would only add latency).
 func (rt *partyRuntime) attach(role, name string) (*wire.Session, error) {
-	tsConn, partyConn := wire.Pipe()
+	tsConn, partyConn := wire.Pipe(rt.connOpts...)
 	tsSess := wire.NewSession(tsConn, false)
 	partySess := wire.NewSession(partyConn, true)
 	var err error

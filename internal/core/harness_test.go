@@ -118,6 +118,41 @@ func TestDeterministicReports(t *testing.T) {
 	}
 }
 
+// TestEnvNetemFleet: an Env with a WAN-emulation profile and adaptive
+// windows still runs protocol rounds correctly — the whole fleet's
+// traffic flows through shaped pipes and negotiated windows.
+func TestEnvNetemFleet(t *testing.T) {
+	env := &Env{
+		Scale: 4000, Seed: 99, AlexaN: 20000, ProofRounds: 0,
+		Netem: "lan,seed=5", AdaptiveWindow: true, WindowCap: 4 << 20,
+	}
+	res, err := env.RunPrivCount(PrivCountRun{
+		Fractions: tornet.StudyFractions(),
+		Counters:  []CounterSpec{{Name: "streams", Bins: []string{""}, Sensitivity: 0}},
+		Handle: func(ev event.Event, inc Incrementer) {
+			if _, ok := ev.(*event.StreamEnd); ok {
+				inc("streams", 0, 1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["streams"][0] == 0 {
+		t.Fatal("no streams counted over the shaped fleet")
+	}
+	// A bad profile spec must surface as a round error, not a hang.
+	bad := &Env{Scale: 4000, Seed: 1, AlexaN: 5000, Netem: "no-such-profile"}
+	_, err = bad.RunPrivCount(PrivCountRun{
+		Fractions: tornet.StudyFractions(),
+		Counters:  []CounterSpec{{Name: "x", Bins: []string{""}, Sensitivity: 1}},
+		Handle:    func(event.Event, Incrementer) {},
+	})
+	if err == nil {
+		t.Fatal("unknown netem profile must fail the run")
+	}
+}
+
 // TestEnvCaching: the Alexa list and databases build once per env.
 func TestEnvCaching(t *testing.T) {
 	env := &Env{Scale: 4000, Seed: 1, AlexaN: 5000, ProofRounds: 0}

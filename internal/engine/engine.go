@@ -483,10 +483,18 @@ func (r *Round) finish(err error) {
 		r.timer.Stop()
 	}
 	stats := RoundStats{Seconds: time.Since(r.started).Seconds()}
+	var maxWindow int64
+	var maxRTT time.Duration
 	for _, st := range streams {
-		sent, recv := st.Stats()
-		stats.BytesSent += sent
-		stats.BytesRecv += recv
+		ss := st.Stats()
+		stats.BytesSent += ss.BytesSent
+		stats.BytesRecv += ss.BytesRecv
+		if ss.RecvWindow > maxWindow {
+			maxWindow = ss.RecvWindow
+		}
+		if ss.RTT > maxRTT {
+			maxRTT = ss.RTT
+		}
 	}
 	r.mu.Lock()
 	r.err = err
@@ -516,6 +524,12 @@ func (r *Round) finish(err error) {
 		r.reg.Set("engine/"+r.Label+"/last-round-bytes-sent", float64(stats.BytesSent))
 		r.reg.Set("engine/"+r.Label+"/last-round-bytes-recv", float64(stats.BytesRecv))
 		r.reg.Set("engine/"+r.Label+"/last-round-parties-absent", float64(nAbsent))
+		// Flow-control gauges: the widest stream window of the round and
+		// the smoothed credit-grant RTT, making the adaptive window's
+		// behavior visible on the Prometheus endpoint. Zero when every
+		// stream ran the fixed-window protocol (no probes, no estimate).
+		r.reg.Set("wire/"+r.Label+"/window-bytes", float64(maxWindow))
+		r.reg.Set("wire/"+r.Label+"/rtt-ms", float64(maxRTT)/float64(time.Millisecond))
 		// A degraded round counts exactly once, and only if it actually
 		// completed: a round that also failed (deadline, quorum lost) is
 		// a failure, not a degradation.

@@ -1,0 +1,200 @@
+package netem
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Messenger shapes the send direction of a wire.Messenger at frame
+// granularity: each frame is independently delayed by latency plus
+// jitter (so frames whose sampled delays cross are reordered) and
+// dropped outright with probability Loss. This models an unreliable
+// datagram path; the mux's credit protocol assumes reliable delivery,
+// so this wrapper is for loss-tolerant tests and harnesses, not for
+// wrapping session transports (use Wrap for that).
+type Messenger struct {
+	inner wire.Messenger
+	start time.Time
+
+	mu      sync.Mutex
+	pc      *pacer
+	h       frameHeap
+	seq     int64
+	closed  bool
+	err     error
+	dropped int64
+	wake    chan struct{}
+	done    chan struct{}
+	drained *sync.Cond
+}
+
+// frameOverhead approximates per-frame transport framing cost for
+// bandwidth accounting, mirroring the mux's credit accounting.
+const frameOverhead = 64
+
+// WrapMessenger shapes m's send direction with p.
+func WrapMessenger(m wire.Messenger, p Profile) *Messenger {
+	em := &Messenger{
+		inner: m,
+		start: time.Now(),
+		pc:    newPacer(p, false),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	em.drained = sync.NewCond(&em.mu)
+	go em.run()
+	return em
+}
+
+// Send encodes v exactly as the underlying messenger would and
+// schedules the frame.
+func (m *Messenger) Send(kind string, v interface{}) error {
+	payload, err := wire.EncodePayload(v)
+	if err != nil {
+		return err
+	}
+	return m.SendFrame(wire.Frame{Kind: kind, Payload: payload})
+}
+
+// SendFrame schedules f for delayed (possibly dropped or reordered)
+// delivery and returns immediately.
+func (m *Messenger) SendFrame(f wire.Frame) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return wire.ErrClosed
+	}
+	if m.err != nil {
+		return m.err
+	}
+	due, dropped := m.pc.next(time.Since(m.start), len(f.Payload)+frameOverhead)
+	if dropped {
+		m.dropped++
+		return nil
+	}
+	heap.Push(&m.h, scheduled{f: f, due: due, seq: m.seq})
+	m.seq++
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Recv delegates to the wrapped messenger (the peer's wrapper shapes
+// the other direction).
+func (m *Messenger) Recv() (wire.Frame, error) { return m.inner.Recv() }
+
+// Expect delegates to the wrapped messenger.
+func (m *Messenger) Expect(kind string, v interface{}) error { return m.inner.Expect(kind, v) }
+
+// Dropped reports how many frames the emulated path has discarded.
+func (m *Messenger) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Close waits for the scheduled frames to drain, then closes the
+// wrapped messenger.
+func (m *Messenger) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for m.h.Len() > 0 && m.err == nil {
+		m.drained.Wait()
+	}
+	m.mu.Unlock()
+	close(m.done)
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return m.inner.Close()
+}
+
+// run delivers scheduled frames in due order. Unlike the byte-stream
+// shaper, the heap head can change while sleeping (a later frame with
+// a smaller sampled delay), so the pump re-arms whenever a new frame
+// is scheduled.
+func (m *Messenger) run() {
+	for {
+		m.mu.Lock()
+		if m.h.Len() == 0 {
+			m.mu.Unlock()
+			select {
+			case <-m.wake:
+				continue
+			case <-m.done:
+				return
+			}
+		}
+		head := m.h[0]
+		m.mu.Unlock()
+
+		if d := head.due - time.Since(m.start); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-m.wake:
+				t.Stop()
+				continue
+			case <-m.done:
+				t.Stop()
+				return
+			}
+		}
+
+		m.mu.Lock()
+		if m.h.Len() == 0 || m.h[0].due > time.Since(m.start) {
+			m.mu.Unlock()
+			continue
+		}
+		f := heap.Pop(&m.h).(scheduled).f
+		m.mu.Unlock()
+
+		err := m.inner.SendFrame(f)
+
+		m.mu.Lock()
+		if err != nil && m.err == nil {
+			m.err = err
+		}
+		if m.h.Len() == 0 || m.err != nil {
+			m.drained.Broadcast()
+		}
+		m.mu.Unlock()
+	}
+}
+
+// scheduled is one frame in flight; seq breaks due-time ties so equal
+// delays preserve send order.
+type scheduled struct {
+	f   wire.Frame
+	due time.Duration
+	seq int64
+}
+
+type frameHeap []scheduled
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h frameHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
+func (h *frameHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

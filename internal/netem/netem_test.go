@@ -1,0 +1,297 @@
+package netem
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestPacerDeterministic pins the subsystem's core guarantee: the
+// delivery schedule for a given (profile, write sequence) pair is a
+// pure function of the profile's seed.
+func TestPacerDeterministic(t *testing.T) {
+	p := Profile{
+		Latency: 20 * time.Millisecond, Jitter: 8 * time.Millisecond,
+		Bandwidth: 2_000_000, Loss: 0.05, Seed: 7,
+	}
+	writes := []struct {
+		at time.Duration
+		n  int
+	}{
+		{0, 4096}, {time.Millisecond, 16384}, {time.Millisecond, 512},
+		{5 * time.Millisecond, 16384}, {40 * time.Millisecond, 1000},
+		{41 * time.Millisecond, 16384}, {90 * time.Millisecond, 8192},
+	}
+	schedule := func(p Profile, ordered bool) []time.Duration {
+		pc := newPacer(p, ordered)
+		var out []time.Duration
+		for _, w := range writes {
+			due, dropped := pc.next(w.at, w.n)
+			if dropped {
+				due = -1
+			}
+			out = append(out, due)
+		}
+		return out
+	}
+	for _, ordered := range []bool{true, false} {
+		a, b := schedule(p, ordered), schedule(p, ordered)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ordered=%v: same seed diverged at write %d: %v vs %v", ordered, i, a[i], b[i])
+			}
+		}
+		p2 := p
+		p2.Seed = 8
+		c := schedule(p2, ordered)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("ordered=%v: different seeds produced identical schedules", ordered)
+		}
+	}
+}
+
+// TestPacerOrderedMonotone checks the byte-stream invariants: due
+// times never go backwards, and loss shows up as an RTO-sized stall
+// rather than a drop.
+func TestPacerOrderedMonotone(t *testing.T) {
+	p := Profile{
+		Latency: 10 * time.Millisecond, Jitter: 30 * time.Millisecond,
+		Bandwidth: 1_000_000, Loss: 0.3, Seed: 3,
+	}
+	pc := newPacer(p, true)
+	var last time.Duration
+	for i := 0; i < 500; i++ {
+		due, dropped := pc.next(time.Duration(i)*time.Millisecond, 2000)
+		if dropped {
+			t.Fatal("ordered pacer must never drop")
+		}
+		if due < last {
+			t.Fatalf("due time went backwards: %v after %v", due, last)
+		}
+		last = due
+	}
+}
+
+// TestPacerBandwidth checks the token bucket: a burst of writes at
+// t=0 must serialize at the profile bandwidth.
+func TestPacerBandwidth(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, Bandwidth: 1_000_000, Seed: 1}
+	pc := newPacer(p, true)
+	var due time.Duration
+	for i := 0; i < 10; i++ {
+		due, _ = pc.next(0, 100_000) // 1 MB total at 1 MB/s
+	}
+	if due < time.Second || due > 1200*time.Millisecond {
+		t.Fatalf("1 MB at 1 MB/s should deliver near 1s, got %v", due)
+	}
+}
+
+// TestWrapLatencyAndIntegrity moves bulk data through a netem pipe and
+// checks both the payload integrity and that the one-way latency was
+// actually imposed.
+func TestWrapLatencyAndIntegrity(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	a, b := Pipe(Profile{Latency: lat, Seed: 1})
+	defer a.Close()
+	defer b.Close()
+
+	payload := bytes.Repeat([]byte("netem"), 40_000) // 200 KB, multiple MTUs
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := a.Write(payload)
+		errCh <- err
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted in transit")
+	}
+	if elapsed < lat {
+		t.Fatalf("delivery took %v, faster than the %v one-way latency", elapsed, lat)
+	}
+}
+
+// TestWrapRTT checks that shaping both ends doubles the latency into a
+// full round trip at the wire layer.
+func TestWrapRTT(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	ca, cb := Pipe(Profile{Latency: lat, Seed: 1})
+	a, b := wire.NewConn(ca), wire.NewConn(cb)
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		var v int
+		if err := b.Expect("ping", &v); err != nil {
+			return
+		}
+		b.Send("pong", v)
+	}()
+	start := time.Now()
+	if err := a.Send("ping", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if err := a.Expect("pong", &v); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*lat {
+		t.Fatalf("round trip took %v, want >= %v", rtt, 2*lat)
+	}
+}
+
+// TestMessengerDeterministicLoss runs the frame wrapper twice with the
+// same seeded lossy profile and checks the set of surviving frames is
+// identical: the per-frame loss draws are a pure function of the seed
+// and the send sequence. (Relative delivery order under jitter depends
+// on real send timestamps; the schedule-determinism property itself is
+// pinned by TestPacerDeterministic in virtual time.)
+func TestMessengerDeterministicLoss(t *testing.T) {
+	const frames = 100
+	run := func(seed int64) map[string]bool {
+		ca, cb := wire.Pipe()
+		m := WrapMessenger(ca, Profile{
+			Latency: time.Millisecond, Jitter: 4 * time.Millisecond,
+			Loss: 0.2, Seed: seed,
+		})
+		got := make(map[string]bool)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				f, err := cb.Recv()
+				if err != nil {
+					return
+				}
+				got[f.Kind] = true
+			}
+		}()
+		for i := 0; i < frames; i++ {
+			if err := m.Send(fmt.Sprintf("frame-%d", i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Close()
+		<-done
+		cb.Close()
+		if int64(frames-len(got)) != m.Dropped() {
+			t.Fatalf("dropped count %d disagrees with delivered %d of %d", m.Dropped(), len(got), frames)
+		}
+		return got
+	}
+	a, b := run(11), run(11)
+	if len(a) == 0 || len(a) == frames {
+		t.Fatalf("want some but not all of %d frames delivered with loss=0.2, got %d", frames, len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d frames", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("same seed diverged: %q survived in one run only", k)
+		}
+	}
+	c := run(12)
+	same := len(a) == len(c)
+	if same {
+		for k := range a {
+			if !c[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+// TestParseProfile exercises preset lookup, overrides, custom specs,
+// and rejection of malformed input.
+func TestParseProfile(t *testing.T) {
+	if p, err := ParseProfile(""); err != nil || p != nil {
+		t.Fatalf("empty spec: want nil,nil got %v,%v", p, err)
+	}
+	p, err := ParseProfile("wan-tor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Latency != 300*time.Millisecond || p.Bandwidth != 5_000_000 {
+		t.Fatalf("wan-tor preset wrong: %+v", p)
+	}
+	p, err = ParseProfile("wan-tor,seed=42,loss=0,bw=10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.Loss != 0 || p.Bandwidth != 10_000_000 {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+	p, err = ParseProfile("lat=150ms,jitter=10ms,bw=512Ki,mtu=4Ki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Latency != 150*time.Millisecond || p.Bandwidth != 512<<10 || p.MTU != 4<<10 {
+		t.Fatalf("custom spec wrong: %+v", p)
+	}
+	for _, bad := range []string{"nope", "wan-tor,loss=2", "wan-tor,zap=1", "wan-tor,lat"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Fatalf("spec %q should have failed", bad)
+		}
+	}
+}
+
+// TestWireOptionShapesListenDial checks the plumbing end to end: a
+// Listen/Dial pair built with WireOption sees the emulated round trip.
+func TestWireOptionShapesListenDial(t *testing.T) {
+	const lat = 15 * time.Millisecond
+	opt := WireOption(Profile{Latency: lat, Seed: 1})
+	ln, err := wire.Listen("127.0.0.1:0", nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var v int
+		if err := c.Expect("ping", &v); err != nil {
+			return
+		}
+		c.Send("pong", v)
+	}()
+	c, err := wire.Dial(ln.Addr().String(), nil, 5*time.Second, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send("ping", 7); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if err := c.Expect("pong", &v); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*lat {
+		t.Fatalf("round trip took %v, want >= %v", rtt, 2*lat)
+	}
+}

@@ -1,0 +1,17 @@
+package netem
+
+import (
+	"net"
+
+	"repro/internal/wire"
+)
+
+// WireOption converts a profile into a wire connection option: every
+// Conn built with it (directly, or via wire.Listen/Dial) has its write
+// direction shaped by p. Apply it on both endpoints to emulate the
+// full round trip. This is what the daemons' -netem flag expands to.
+func WireOption(p Profile) wire.Option {
+	return wire.WithTransportWrap(func(c net.Conn) net.Conn {
+		return Wrap(c, p)
+	})
+}

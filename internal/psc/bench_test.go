@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/wire"
 )
 
@@ -154,6 +155,59 @@ func runBenchRound(b *testing.B, cfg Config, items int, mk connPair) {
 	}
 }
 
+// benchWANStream pushes total bytes through one muxed stream whose
+// connection is shaped at both ends by the netem profile p — the bulk
+// table-upload phase of a WAN round, isolated from crypto cost so the
+// flow-control window is the only variable. Goodput is reported as
+// xput-MB/s; with a static window it is bounded by window/RTT, with
+// the adaptive window it should approach the emulated link rate.
+func benchWANStream(b *testing.B, p netem.Profile, total int, opts ...wire.Option) {
+	const chunk = 32 << 10
+	payload := make([]byte, chunk)
+	var secs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca, cb := netem.Pipe(p)
+		party := wire.NewSession(wire.NewConn(ca, opts...), true)
+		ts := wire.NewSession(wire.NewConn(cb, opts...), false)
+		st, err := party.Open(uint64(i)+1, "table-upload")
+		if err != nil {
+			b.Fatal(err)
+		}
+		recvErr := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			tst, err := ts.Accept()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			for got := 0; got < total; {
+				f, err := tst.Recv()
+				if err != nil {
+					recvErr <- err
+					return
+				}
+				got += len(f.Payload)
+			}
+			recvErr <- nil
+		}()
+		for sent := 0; sent < total; sent += chunk {
+			if err := st.SendFrame(wire.Frame{Kind: "table", Payload: payload}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-recvErr; err != nil {
+			b.Fatal(err)
+		}
+		secs += time.Since(start).Seconds()
+		party.Close()
+		ts.Close()
+	}
+	b.SetBytes(int64(total))
+	b.ReportMetric(float64(total)*float64(b.N)/(1<<20)/secs, "xput-MB/s")
+}
+
 func benchRound(b *testing.B, bins, noisePerCP, proofRounds, items int,
 	transport func(*testing.B) (connPair, func())) {
 	cfg := Config{
@@ -203,6 +257,36 @@ func BenchmarkPSCRound(b *testing.B) {
 			b.Skip("skipping 2^16-bin round in -short mode")
 		}
 		benchRound(b, 65536, 128, 1, 4000, pipePair)
+	})
+	// WAN arms: a 2^18-bin table of ciphertexts (~32 MB) uploaded over
+	// the wan-tor profile (300 ms one-way, 5 MB/s, 0.1% loss — the
+	// tor-relay-grade path). The static 1 MiB window is RTT-bound at
+	// ~1.7 MB/s on this path; the adaptive window must grow to the
+	// bandwidth-delay product and at least double that goodput. Gated
+	// on -short (tens of seconds of emulated wall clock each); `make
+	// bench-wan` runs them.
+	wanTor, _ := netem.Lookup("wan-tor")
+	b.Run("wan-tor/static-win-1m", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping WAN-emulated arm in -short mode")
+		}
+		benchWANStream(b, wanTor, 32<<20, wire.WithWindow(1<<20))
+	})
+	b.Run("wan-tor/adaptive", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping WAN-emulated arm in -short mode")
+		}
+		benchWANStream(b, wanTor, 32<<20, wire.WithWindow(1<<20), wire.WithAdaptiveWindow(0))
+	})
+	// The clean-continental path: higher bandwidth, modest latency. The
+	// adaptive window has to push well past the static baseline here
+	// too — its BDP is ~4 MB.
+	b.Run("wan-good/adaptive", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("skipping WAN-emulated arm in -short mode")
+		}
+		wanGood, _ := netem.Lookup("wan-good")
+		benchWANStream(b, wanGood, 64<<20, wire.WithWindow(1<<20), wire.WithAdaptiveWindow(0))
 	})
 	// The million-bin regime this PR targets: 2¹⁸ bins, verified,
 	// gather table and per-DC buffers on spill storage, verify/combine

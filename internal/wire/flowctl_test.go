@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWinControllerAIMD drives the controller through the canonical
+// trajectory: slow-start doubling while window-limited, multiplicative
+// backoff when RTT inflation signals congestion (how loss reaches a
+// reliable transport), additive regrowth afterwards, a hard cap, and a
+// floor at the initial window.
+func TestWinControllerAIMD(t *testing.T) {
+	const initial = 1 << 20
+	const maxWin = 8 << 20
+	c := newWinController(initial, maxWin)
+	base := 100 * time.Millisecond
+
+	// Window-limited at clean RTT: slow-start doubles per probe.
+	w := c.observe(base, initial)
+	if w != 2*initial {
+		t.Fatalf("slow-start: want %d, got %d", 2*initial, w)
+	}
+	w = c.observe(base, w)
+	if w != 4*initial {
+		t.Fatalf("slow-start: want %d, got %d", 4*initial, w)
+	}
+
+	// A congestion event — RTT beyond 2× the minimum (an emulated loss
+	// surfaces exactly like this, as a retransmit stall) — halves.
+	w = c.observe(5*base, w)
+	if w != 2*initial {
+		t.Fatalf("backoff: want %d, got %d", 2*initial, w)
+	}
+	if c.decreases != 1 {
+		t.Fatalf("decreases: want 1, got %d", c.decreases)
+	}
+
+	// Regrowth after a backoff is additive, not doubling.
+	w2 := c.observe(base, w)
+	if w2 != w+flowIncrement {
+		t.Fatalf("additive regrowth: want %d, got %d", w+flowIncrement, w2)
+	}
+
+	// Repeated congestion floors at the initial window, never below.
+	for i := 0; i < 10; i++ {
+		w = c.observe(5*base, w2)
+	}
+	if w != initial {
+		t.Fatalf("floor: want %d, got %d", initial, w)
+	}
+
+	// Sustained window-limited growth clamps at the cap.
+	for i := 0; i < 100; i++ {
+		w = c.observe(base, w)
+	}
+	if w != maxWin {
+		t.Fatalf("cap: want %d, got %d", maxWin, w)
+	}
+
+	// A sender that is not window-limited gets no growth: a bigger
+	// window would only buy buffering.
+	if w := c.observe(base, 1000); w != maxWin {
+		t.Fatalf("idle growth: window moved to %d", w)
+	}
+}
+
+// TestWinControllerEstimators checks the RTT estimators: minRTT tracks
+// the smallest sample, srtt smooths toward recent ones.
+func TestWinControllerEstimators(t *testing.T) {
+	c := newWinController(1<<20, 8<<20)
+	c.observe(100*time.Millisecond, 0)
+	c.observe(60*time.Millisecond, 0)
+	c.observe(80*time.Millisecond, 0)
+	if c.minRTT != 60*time.Millisecond {
+		t.Fatalf("minRTT: want 60ms, got %v", c.minRTT)
+	}
+	if c.srtt < 60*time.Millisecond || c.srtt > 100*time.Millisecond {
+		t.Fatalf("srtt out of sample range: %v", c.srtt)
+	}
+	if c.observe(0, 1<<20) != c.win {
+		t.Fatal("zero-duration sample must be ignored")
+	}
+}

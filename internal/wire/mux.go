@@ -2,7 +2,9 @@ package wire
 
 import (
 	"fmt"
+	"log"
 	"sync"
+	"time"
 )
 
 // Stream multiplexing: a Session carries many logical Streams — one per
@@ -14,37 +16,96 @@ import (
 // memory nor starve the connection for other rounds.
 //
 // The design mirrors HTTP/2 in miniature: the session reader goroutine
-// only demultiplexes (it never writes, so two sessions can never
+// only demultiplexes (it never writes — control replies are handed to a
+// dedicated control-writer goroutine — so two sessions can never
 // deadlock writing window updates at each other); credit is returned
 // from the application's Recv calls; stream IDs carry an initiator bit
 // so both ends can open streams without coordination.
+//
+// Window negotiation (protocol revision 1): the opener's mux/open
+// announces its receive window, its window cap, and its revision; a
+// revision-aware acceptor replies with mux/open-ack carrying its own.
+// The two directions then run asymmetric windows. Revision-0 peers
+// send no revision and get no ack: against them a mismatched window
+// falls back to the smaller of the two announcements (with a logged
+// warning) instead of failing the session, and windows stay fixed.
+// With WithAdaptiveWindow enabled and a revision-aware peer, the
+// receiver tags occasional mux/window2 credit grants with a probe
+// sequence; the sender echoes mux/winack, the measured credit-grant
+// round trip drives the AIMD controller in flowctl.go, and window
+// growth is granted as extra credit in further mux/window2 frames.
+// Shrink cannot claw back granted credit, so it is applied as debt
+// withheld from future refunds.
 
 // Mux control frame kinds. Application kinds must not collide with
 // these; all protocol kinds in this repository are namespaced
 // ("psc/...", "privcount/...") so the "mux/" prefix is reserved.
 const (
-	kindMuxOpen   = "mux/open"
-	kindMuxWindow = "mux/window"
-	kindMuxClose  = "mux/close"
-	kindMuxReset  = "mux/reset"
+	kindMuxOpen    = "mux/open"
+	kindMuxOpenAck = "mux/open-ack"
+	kindMuxWindow  = "mux/window"
+	kindMuxWindow2 = "mux/window2"
+	kindMuxWinAck  = "mux/winack"
+	kindMuxClose   = "mux/close"
+	kindMuxReset   = "mux/reset"
 )
 
-// DefaultWindow is the per-stream flow-control window: the maximum
-// bytes (payload plus per-frame overhead) a sender may have buffered at
-// the receiver. It bounds per-stream memory on both ends.
+// muxRev is the protocol revision this implementation speaks. Revision
+// 1 adds open acknowledgement, asymmetric windows, and the
+// window2/winack credit-probe loop. Revision-0 peers are detected by
+// the zero Rev in their open (gob omits zero fields) and are never
+// sent revision-1 frames, which they would misdeliver as application
+// data.
+const muxRev = 1
+
+// DefaultWindow is the initial per-stream flow-control window: the
+// maximum bytes (payload plus per-frame overhead) a sender may have
+// buffered at the receiver. It bounds per-stream memory on both ends;
+// adaptive streams grow beyond it toward their cap.
 const DefaultWindow = 1 << 20
 
 // frameOverhead is the accounting cost added to each frame's payload
 // length, covering kind string and framing.
 const frameOverhead = 64
 
+// probeStale bounds how long the receiver waits for a winack before
+// considering the probe lost (its sender may be a revision-1 peer that
+// nevertheless failed to echo) and issuing a new one.
+const probeStale = 5 * time.Second
+
 func frameCost(f Frame) int64 { return int64(len(f.Payload)) + frameOverhead }
 
-// openMsg announces a new stream.
+// openMsg announces a new stream. Window is the opener's receive
+// window for this stream (and, symmetrically, the credit it assumes
+// until an ack adjusts it); MaxWindow is the opener's adaptive cap (0:
+// fixed); Rev is the opener's protocol revision. A revision-0 peer
+// omits Rev/MaxWindow entirely — gob drops zero fields — which is
+// exactly how its frames already look, so detection is free.
 type openMsg struct {
-	Round  uint64
-	Label  string
+	Round     uint64
+	Label     string
+	Window    int64
+	MaxWindow int64
+	Rev       int
+}
+
+// openAck is the acceptor's reply to a revision-aware open, announcing
+// the acceptor's own receive window and cap for the stream.
+type openAck struct {
+	Window    int64
+	MaxWindow int64
+	Rev       int
+}
+
+// winUpdate is the revision-1 credit grant: Credit extends the
+// sender's budget (refunds and window growth alike), Window reports
+// the receiver's current window (monotonic high-water on the sender's
+// side), and a nonzero Seq asks the sender to echo a winack so the
+// receiver can time the credit round trip.
+type winUpdate struct {
+	Credit int64
 	Window int64
+	Seq    uint64
 }
 
 // Session multiplexes streams over one Conn. One side is the initiator
@@ -62,6 +123,14 @@ type Session struct {
 
 	acceptCh chan *Stream
 	done     chan struct{}
+
+	// Control frames originated by the read loop (open-acks, winacks,
+	// growth grants) are queued here and written by ctrlLoop, keeping
+	// the read loop write-free.
+	ctrlMu   sync.Mutex
+	ctrlCond *sync.Cond
+	ctrlq    []Frame
+	ctrlDone bool
 }
 
 // NewSession starts a multiplexed session over conn and spawns its
@@ -75,7 +144,9 @@ func NewSession(conn *Conn, initiator bool) *Session {
 		acceptCh:  make(chan *Stream, 1024),
 		done:      make(chan struct{}),
 	}
+	s.ctrlCond = sync.NewCond(&s.ctrlMu)
 	go s.readLoop()
+	go s.ctrlLoop()
 	return s
 }
 
@@ -97,7 +168,10 @@ func (s *Session) Open(round uint64, label string) (*Stream, error) {
 	s.streams[id] = st
 	s.mu.Unlock()
 
-	payload, err := EncodePayload(openMsg{Round: round, Label: label, Window: s.conn.window})
+	payload, err := EncodePayload(openMsg{
+		Round: round, Label: label,
+		Window: s.conn.window, MaxWindow: s.conn.windowCap, Rev: muxRev,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +227,48 @@ func (s *Session) fail(err error) {
 	alreadyClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	s.ctrlMu.Lock()
+	s.ctrlDone = true
+	s.ctrlCond.Broadcast()
+	s.ctrlMu.Unlock()
 	for _, st := range streams {
 		st.abort(err)
 	}
 	if !alreadyClosed {
 		close(s.done)
+	}
+}
+
+// sendCtrl queues a control frame for the control writer.
+func (s *Session) sendCtrl(f Frame) {
+	s.ctrlMu.Lock()
+	if !s.ctrlDone {
+		s.ctrlq = append(s.ctrlq, f)
+		s.ctrlCond.Signal()
+	}
+	s.ctrlMu.Unlock()
+}
+
+// ctrlLoop writes queued control frames. It is the only writer the
+// read loop can enlist, so read-side replies (open-acks, winacks)
+// never block demultiplexing.
+func (s *Session) ctrlLoop() {
+	for {
+		s.ctrlMu.Lock()
+		for len(s.ctrlq) == 0 && !s.ctrlDone {
+			s.ctrlCond.Wait()
+		}
+		if s.ctrlDone {
+			s.ctrlMu.Unlock()
+			return
+		}
+		f := s.ctrlq[0]
+		s.ctrlq = s.ctrlq[1:]
+		s.ctrlMu.Unlock()
+		if err := s.conn.SendFrame(f); err != nil {
+			s.fail(err)
+			return
+		}
 	}
 }
 
@@ -173,9 +284,71 @@ func (s *Session) lookup(id uint64) *Stream {
 	return s.streams[id]
 }
 
+// handleOpen installs a peer-initiated stream. The peer's revision
+// decides the window regime: revision-aware peers get an ack and run
+// asymmetric (possibly adaptive) windows; revision-0 peers keep the
+// fixed-window protocol, with a mismatched announcement degraded to
+// the effective minimum instead of a session failure.
+func (s *Session) handleOpen(f Frame, om openMsg) error {
+	st := newStream(s, f.SID, om.Round, om.Label)
+	st.sendCredit = om.Window
+	st.sendWindow = om.Window
+	st.peerMaxWindow = om.MaxWindow
+	// Until its ack lands, a revision-1 opener sends against its own
+	// announced window, so enforcement must honor the larger of the two
+	// announcements; the same bound covers a revision-0 opener, which
+	// sends against its own window forever.
+	if om.Window > st.maxAdvertised {
+		st.maxAdvertised = om.Window
+	}
+	if om.Rev >= 1 {
+		st.peerRev = om.Rev
+		st.acked = true
+		if s.conn.adaptive {
+			st.ctrl = newWinController(st.recvWindow, s.conn.windowCap)
+		}
+		payload, err := EncodePayload(openAck{Window: st.recvWindow, MaxWindow: s.conn.windowCap, Rev: muxRev})
+		if err != nil {
+			return err
+		}
+		s.sendCtrl(Frame{Kind: kindMuxOpenAck, SID: f.SID, Payload: payload})
+	} else if om.Window != s.conn.window {
+		// Fixed-window peer with a different -stream-window: run at the
+		// smaller of the two instead of killing the session. If the
+		// peer's is larger, the surplus it believes it holds is retired
+		// as debt withheld from refunds; if smaller, it self-limits and
+		// we just batch refunds against its window.
+		log.Printf("wire: peer stream window %d differs from local %d and peer predates negotiation; falling back to %d",
+			om.Window, s.conn.window, min64(om.Window, s.conn.window))
+		if om.Window > s.conn.window {
+			st.debt = om.Window - s.conn.window
+		} else {
+			st.recvWindow = om.Window
+		}
+	}
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	if _, dup := s.streams[f.SID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("wire: duplicate stream id %d", f.SID)
+	}
+	s.streams[f.SID] = st
+	s.mu.Unlock()
+	select {
+	case s.acceptCh <- st:
+		return nil
+	default:
+		return fmt.Errorf("wire: accept backlog overflow")
+	}
+}
+
 // readLoop is the demultiplexer. It never writes to the connection:
-// window updates are sent from application Recv calls, so two sessions
-// can never wedge each other by both blocking on a control write.
+// refunds are sent from application Recv calls and read-side control
+// replies go through ctrlLoop, so two sessions can never wedge each
+// other by both blocking on a control write.
 func (s *Session) readLoop() {
 	for {
 		f, err := s.conn.Recv()
@@ -190,37 +363,18 @@ func (s *Session) readLoop() {
 				s.fail(fmt.Errorf("wire: bad mux open: %w", err))
 				return
 			}
-			// The window must match on both ends: there is no
-			// negotiation, and a sender configured larger than its
-			// receiver would overrun the receiver's enforcement limit
-			// mid-round. Reject the mismatch here, where the error can
-			// name the two values, instead of killing a busy session
-			// with an overrun later.
-			if om.Window != s.conn.window {
-				s.fail(fmt.Errorf("wire: peer stream window %d does not match local %d (set the same -stream-window on both ends)",
-					om.Window, s.conn.window))
+			if err := s.handleOpen(f, om); err != nil {
+				s.fail(err)
 				return
 			}
-			st := newStream(s, f.SID, om.Round, om.Label)
-			st.sendCredit = om.Window
-			st.sendWindow = om.Window
-			s.mu.Lock()
-			if s.err != nil {
-				s.mu.Unlock()
+		case kindMuxOpenAck:
+			var ack openAck
+			if err := DecodePayload(f.Payload, &ack); err != nil {
+				s.fail(fmt.Errorf("wire: bad mux open-ack: %w", err))
 				return
 			}
-			if _, dup := s.streams[f.SID]; dup {
-				s.mu.Unlock()
-				s.fail(fmt.Errorf("wire: duplicate stream id %d", f.SID))
-				return
-			}
-			s.streams[f.SID] = st
-			s.mu.Unlock()
-			select {
-			case s.acceptCh <- st:
-			default:
-				s.fail(fmt.Errorf("wire: accept backlog overflow"))
-				return
+			if st := s.lookup(f.SID); st != nil {
+				st.onOpenAck(ack)
 			}
 		case kindMuxWindow:
 			var credit int64
@@ -230,6 +384,24 @@ func (s *Session) readLoop() {
 			}
 			if st := s.lookup(f.SID); st != nil {
 				st.addCredit(credit)
+			}
+		case kindMuxWindow2:
+			var wu winUpdate
+			if err := DecodePayload(f.Payload, &wu); err != nil {
+				s.fail(fmt.Errorf("wire: bad window2 update: %w", err))
+				return
+			}
+			if st := s.lookup(f.SID); st != nil {
+				st.onWinUpdate(wu)
+			}
+		case kindMuxWinAck:
+			var seq uint64
+			if err := DecodePayload(f.Payload, &seq); err != nil {
+				s.fail(fmt.Errorf("wire: bad winack: %w", err))
+				return
+			}
+			if st := s.lookup(f.SID); st != nil {
+				st.onWinAck(seq)
 			}
 		case kindMuxClose:
 			if st := s.lookup(f.SID); st != nil {
@@ -255,14 +427,38 @@ func (s *Session) readLoop() {
 	}
 }
 
+// StreamStats is the per-stream telemetry surface: byte counters for
+// the round accounting, the live windows, and — when the adaptive
+// controller is running — its RTT estimators and backoff count.
+type StreamStats struct {
+	// BytesSent and BytesRecv count payload bytes moved on the stream.
+	BytesSent int64
+	BytesRecv int64
+	// SendWindow is the peer-announced window governing this end's
+	// sends; RecvWindow is this end's own (current AIMD target when
+	// adaptive).
+	SendWindow int64
+	RecvWindow int64
+	// RTT is the smoothed credit-grant round-trip estimate and MinRTT
+	// the smallest sample seen; both are zero until the first probe
+	// completes (fixed-window streams never probe).
+	RTT    time.Duration
+	MinRTT time.Duration
+	// Decreases counts AIMD multiplicative backoffs.
+	Decreases int64
+	// Throughput is the lifetime average receive rate in bytes/sec.
+	Throughput float64
+}
+
 // Stream is one logical message channel of a Session. It implements
 // Messenger, so every protocol role runs unchanged over a dedicated
 // connection or over one stream of a shared session.
 type Stream struct {
-	sess  *Session
-	id    uint64
-	round uint64
-	label string
+	sess    *Session
+	id      uint64
+	round   uint64
+	label   string
+	created time.Time
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -274,9 +470,30 @@ type Stream struct {
 	sendCredit    int64
 	// sendWindow is the peer's announced receive window (the largest
 	// frame that can ever be covered by credit); recvWindow is this
-	// end's own, governing refunds and overrun detection.
-	sendWindow   int64
-	recvWindow   int64
+	// end's own, governing refunds and the adaptive target.
+	sendWindow int64
+	recvWindow int64
+	// maxAdvertised is the high-water mark of credit the peer may
+	// legitimately act on — the enforcement bound, which only grows.
+	maxAdvertised int64
+	// debt is window shrinkage not yet collected: credit already in
+	// the peer's hands cannot be revoked, so it is withheld from
+	// refunds until paid down.
+	debt int64
+	// ctrl is the AIMD controller; nil on fixed-window streams.
+	ctrl          *winController
+	peerRev       int
+	peerMaxWindow int64
+	// acked reports that the peer has confirmed revision awareness
+	// (its open carried a revision, or its open-ack arrived) — the
+	// gate on sending any revision-1 frame.
+	acked bool
+	// probeSeq numbers credit probes; probeSent is the departure time
+	// of the outstanding probe (zero: none) and probeBytes the recv
+	// counter at that moment.
+	probeSeq     uint64
+	probeSent    time.Time
+	probeBytes   int64
 	err          error
 	failedCh     chan struct{}
 	remoteClosed bool
@@ -287,9 +504,10 @@ type Stream struct {
 
 func newStream(s *Session, id, round uint64, label string) *Stream {
 	st := &Stream{
-		sess: s, id: id, round: round, label: label,
+		sess: s, id: id, round: round, label: label, created: time.Now(),
 		sendCredit: s.conn.window, sendWindow: s.conn.window,
-		recvWindow: s.conn.window, failedCh: make(chan struct{}),
+		recvWindow: s.conn.window, maxAdvertised: s.conn.window,
+		failedCh: make(chan struct{}),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
@@ -316,10 +534,11 @@ func (st *Stream) Send(kind string, v any) error {
 func (st *Stream) SendFrame(f Frame) error {
 	f.SID = st.id
 	cost := frameCost(f)
+	st.mu.Lock()
 	if cost > st.sendWindow {
+		st.mu.Unlock()
 		return ErrFrameTooLarge
 	}
-	st.mu.Lock()
 	for st.err == nil && !st.localClosed && st.sendCredit < cost {
 		st.cond.Wait()
 	}
@@ -341,12 +560,101 @@ func (st *Stream) SendFrame(f Frame) error {
 	return nil
 }
 
-// Stats reports the payload bytes moved on this stream in each
-// direction, feeding the engine's per-round metrics.
-func (st *Stream) Stats() (sent, recv int64) {
+// Stats reports the stream's telemetry: byte counters, live windows,
+// and the adaptive controller's RTT/throughput estimators.
+func (st *Stream) Stats() StreamStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.bytesSent, st.bytesRecv
+	ss := StreamStats{
+		BytesSent:  st.bytesSent,
+		BytesRecv:  st.bytesRecv,
+		SendWindow: st.sendWindow,
+		RecvWindow: st.recvWindow,
+	}
+	if st.ctrl != nil {
+		ss.RTT = st.ctrl.srtt
+		ss.MinRTT = st.ctrl.minRTT
+		ss.Decreases = st.ctrl.decreases
+	}
+	if el := time.Since(st.created).Seconds(); el > 0 {
+		ss.Throughput = float64(st.bytesRecv) / el
+	}
+	return ss
+}
+
+// onOpenAck applies the acceptor's window announcement: the opener
+// assumed a symmetric window at open, so the send budget is adjusted
+// by the difference, and the adaptive controller starts now that the
+// peer is known to speak revision 1.
+func (st *Stream) onOpenAck(ack openAck) {
+	st.mu.Lock()
+	if !st.acked {
+		st.acked = true
+		st.peerRev = ack.Rev
+		st.peerMaxWindow = ack.MaxWindow
+		delta := ack.Window - st.sendWindow
+		st.sendWindow = ack.Window
+		st.sendCredit += delta
+		if st.sess.conn.adaptive && st.ctrl == nil {
+			st.ctrl = newWinController(st.recvWindow, st.sess.conn.windowCap)
+		}
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// onWinUpdate applies a revision-1 credit grant and echoes the probe,
+// if any, through the session's control writer.
+func (st *Stream) onWinUpdate(wu winUpdate) {
+	st.mu.Lock()
+	st.sendCredit += wu.Credit
+	if wu.Window > st.sendWindow {
+		st.sendWindow = wu.Window
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	if wu.Seq != 0 {
+		// The peer sent a revision-1 frame, so it understands the echo.
+		if payload, err := EncodePayload(wu.Seq); err == nil {
+			st.sess.sendCtrl(Frame{Kind: kindMuxWinAck, SID: st.id, Payload: payload})
+		}
+	}
+}
+
+// onWinAck completes a credit probe: the grant-to-echo round trip and
+// the bytes consumed meanwhile feed the AIMD controller, growth is
+// granted as immediate extra credit, and shrinkage becomes refund
+// debt.
+func (st *Stream) onWinAck(seq uint64) {
+	st.mu.Lock()
+	if st.ctrl == nil || seq == 0 || seq != st.probeSeq || st.probeSent.IsZero() {
+		st.mu.Unlock()
+		return
+	}
+	rtt := time.Since(st.probeSent)
+	consumed := st.bytesRecv - st.probeBytes
+	st.probeSent = time.Time{}
+	target := st.ctrl.observe(rtt, consumed)
+	var extra int64
+	switch {
+	case target > st.recvWindow:
+		extra = target - st.recvWindow
+		st.recvWindow = target
+		if target > st.maxAdvertised {
+			st.maxAdvertised = target
+		}
+	case target < st.recvWindow:
+		st.debt += st.recvWindow - target
+		st.recvWindow = target
+	}
+	dead := st.err != nil || st.remoteClosed
+	win := st.recvWindow
+	st.mu.Unlock()
+	if extra > 0 && !dead {
+		if payload, err := EncodePayload(winUpdate{Credit: extra, Window: win}); err == nil {
+			st.sess.sendCtrl(Frame{Kind: kindMuxWindow2, SID: st.id, Payload: payload})
+		}
+	}
 }
 
 // Recv returns the next frame, returning flow-control credit to the
@@ -373,6 +681,7 @@ func (st *Stream) Recv() (Frame, error) {
 	st.rqCost -= cost
 	st.pendingCredit += cost
 	var refund int64
+	var probe uint64
 	// Refund once half a window accumulates (batching window updates),
 	// and always when the queue drains: leaving residual credit
 	// unrefunded across an idle stream would cap the peer below a full
@@ -385,14 +694,45 @@ func (st *Stream) Recv() (Frame, error) {
 	if (st.pendingCredit >= st.recvWindow/2 || len(st.rq) == 0) && !st.remoteClosed && st.err == nil {
 		refund = st.pendingCredit
 		st.pendingCredit = 0
+		// Window shrinkage is collected here: withheld credit retires
+		// debt instead of returning to the peer.
+		if st.debt > 0 {
+			if refund <= st.debt {
+				st.debt -= refund
+				refund = 0
+			} else {
+				refund -= st.debt
+				st.debt = 0
+			}
+		}
+		// Piggyback an RTT probe on the grant when the adaptive loop is
+		// running and no probe is in flight (or the last one went
+		// unanswered long enough to be presumed lost).
+		if st.ctrl != nil && st.acked &&
+			(st.probeSent.IsZero() || time.Since(st.probeSent) > probeStale) {
+			st.probeSeq++
+			probe = st.probeSeq
+			st.probeSent = time.Now()
+			st.probeBytes = st.bytesRecv
+		}
 	}
+	rev1 := st.acked
+	win := st.recvWindow
 	st.mu.Unlock()
-	if refund > 0 {
-		payload, err := EncodePayload(refund)
+	if refund > 0 || probe != 0 {
+		var payload []byte
+		var err error
+		kind := kindMuxWindow
+		if rev1 {
+			kind = kindMuxWindow2
+			payload, err = EncodePayload(winUpdate{Credit: refund, Window: win, Seq: probe})
+		} else {
+			payload, err = EncodePayload(refund)
+		}
 		if err == nil {
 			// A failed window update surfaces on the next Send/Recv via
 			// the session error; ignore it here.
-			_ = st.sess.conn.SendFrame(Frame{Kind: kindMuxWindow, SID: st.id, Payload: payload})
+			_ = st.sess.conn.SendFrame(Frame{Kind: kind, SID: st.id, Payload: payload})
 		}
 	}
 	return f, nil
@@ -458,9 +798,10 @@ func (st *Stream) enqueue(f Frame) bool {
 		return true // stream already dead; drop silently
 	}
 	st.rqCost += frameCost(f)
-	// Allow one window of queued frames plus one max frame of slack for
-	// accounting skew; beyond that the peer is ignoring flow control.
-	if st.rqCost > st.recvWindow+int64(st.sess.conn.maxFrame)+frameOverhead {
+	// Allow the largest window ever advertised plus one max frame of
+	// slack for accounting skew; beyond that the peer is ignoring flow
+	// control.
+	if st.rqCost > st.maxAdvertised+int64(st.sess.conn.maxFrame)+frameOverhead {
 		st.mu.Unlock()
 		return false
 	}
@@ -505,4 +846,11 @@ func (st *Stream) abort(err error) {
 	}
 	st.mu.Unlock()
 	st.cond.Broadcast()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

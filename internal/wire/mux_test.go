@@ -481,22 +481,170 @@ func TestMuxIdleStreamRefundsResidualCredit(t *testing.T) {
 	}
 }
 
-// TestMuxRejectsMismatchedWindow pins the no-negotiation rule: a peer
-// announcing a different stream window is rejected at open with an
-// error naming both values, instead of a mid-round overrun killing a
-// busy session.
-func TestMuxRejectsMismatchedWindow(t *testing.T) {
-	a, b := Pipe() // raw conns; configure the windows asymmetrically
+// TestMuxNegotiatesAsymmetricWindows pins the revision-1 handshake:
+// two ends configured with different windows run them asymmetrically —
+// each direction governed by its receiver's announcement — instead of
+// the pre-negotiation hard rejection. Bulk data in both directions
+// must survive the handover from the opener's assumed window to the
+// acked one.
+func TestMuxNegotiatesAsymmetricWindows(t *testing.T) {
+	a, b := Pipe()
 	WithWindow(4 << 20)(a)
+	WithWindow(64 << 10)(b)
 	client := NewSession(a, true)
 	server := NewSession(b, false)
 	defer client.Close()
 	defer server.Close()
 
-	if _, err := client.Open(1, "mismatch"); err != nil {
+	cst, err := client.Open(1, "asym")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := server.Accept(); err == nil || !strings.Contains(err.Error(), "does not match local") {
-		t.Fatalf("mismatched window accepted: %v", err)
+	sst, err := server.Accept()
+	if err != nil {
+		t.Fatalf("asymmetric windows must negotiate, not fail: %v", err)
+	}
+
+	// Move ~3 MiB each way in 32 KiB frames — enough to force refunds
+	// through both windows, including the small one.
+	const frames = 96
+	payload := make([]byte, 32<<10)
+	errCh := make(chan error, 2)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := cst.SendFrame(Frame{Kind: "c2s", Payload: payload}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := sst.SendFrame(Frame{Kind: "s2c", Payload: payload}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < frames; i++ {
+		if f, err := sst.Recv(); err != nil || f.Kind != "c2s" {
+			t.Fatalf("server frame %d: %v %q", i, err, f.Kind)
+		}
+		if f, err := cst.Recv(); err != nil || f.Kind != "s2c" {
+			t.Fatalf("client frame %d: %v %q", i, err, f.Kind)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the ack the opener's send direction must be governed by the
+	// acceptor's 64 KiB window, and vice versa.
+	if ss := cst.Stats(); ss.SendWindow != 64<<10 {
+		t.Fatalf("opener send window %d, want the acceptor's 64 KiB", ss.SendWindow)
+	}
+	if ss := sst.Stats(); ss.SendWindow != 4<<20 {
+		t.Fatalf("acceptor send window %d, want the opener's 4 MiB", ss.SendWindow)
+	}
+}
+
+// TestMuxOldPeerWindowFallback speaks the revision-0 protocol by hand
+// (an open with no Rev field, like any pre-negotiation build) with a
+// mismatched window: the session must fall back to the effective
+// minimum with a warning instead of failing, must keep moving data,
+// and must never send the old peer a revision-1 frame it would
+// misread as application data.
+func TestMuxOldPeerWindowFallback(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		peerWindow int64
+	}{
+		{"peer-smaller", 32 << 10},
+		{"peer-larger", 4 << 20},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			old, b := Pipe()
+			server := NewSession(b, false)
+			defer server.Close()
+			defer old.Close()
+
+			payload, err := EncodePayload(openMsg{Round: 9, Label: "legacy", Window: tc.peerWindow})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := old.SendFrame(Frame{Kind: kindMuxOpen, SID: 1, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			st, err := server.Accept()
+			if err != nil {
+				t.Fatalf("old-peer window mismatch must fall back, not fail: %v", err)
+			}
+
+			// A real revision-0 peer always has a read loop; emulate it, so
+			// the server's synchronous refunds over the unbuffered pipe have
+			// a reader.
+			oldFrames := make(chan Frame, 64)
+			go func() {
+				defer close(oldFrames)
+				for {
+					f, err := old.Recv()
+					if err != nil {
+						return
+					}
+					oldFrames <- f
+				}
+			}()
+
+			// Old peer sends within the effective window; the server must
+			// receive and refund with the legacy frame kind only.
+			data := make([]byte, 8<<10)
+			for i := 0; i < 4; i++ {
+				if err := old.SendFrame(Frame{Kind: "d", Payload: data, SID: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				if f, err := st.Recv(); err != nil || f.Kind != "d" {
+					t.Fatalf("frame %d: %v %q", i, err, f.Kind)
+				}
+			}
+			if err := st.Send("reply", testMsg{Round: 9}); err != nil {
+				t.Fatal(err)
+			}
+			// Everything the old peer sees must be revision-0: data,
+			// legacy window refunds, close — never open-ack/window2/winack.
+			sawReply := false
+			for !sawReply {
+				f, ok := <-oldFrames
+				if !ok {
+					t.Fatal("old peer connection died before the reply")
+				}
+				switch f.Kind {
+				case kindMuxWindow, "reply":
+					sawReply = f.Kind == "reply"
+				default:
+					t.Fatalf("old peer received revision-1 or unexpected frame %q", f.Kind)
+				}
+			}
+
+			st.mu.Lock()
+			effective, debt := st.recvWindow, st.debt
+			st.mu.Unlock()
+			if tc.peerWindow < DefaultWindow {
+				if effective != tc.peerWindow {
+					t.Fatalf("effective window %d, want fallback to peer's %d", effective, tc.peerWindow)
+				}
+			} else {
+				// The initial surplus, minus what the four drained frames
+				// already withheld instead of refunding.
+				want := tc.peerWindow - DefaultWindow - 4*(8<<10+frameOverhead)
+				if debt != want {
+					t.Fatalf("debt %d, want %d still withheld to shrink the larger peer to local", debt, want)
+				}
+			}
+		})
 	}
 }

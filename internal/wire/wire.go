@@ -61,18 +61,19 @@ func WithMaxFrame(n int) Option {
 	}
 }
 
-// WithWindow overrides the per-stream flow-control window for sessions
-// multiplexed over this connection (default DefaultWindow). Both ends
-// of a connection must agree — the window is announced on stream open
-// and a session rejects a mismatched peer with a clear error, since an
-// unnegotiated asymmetry would let the larger sender overrun the
-// smaller receiver mid-round. A frame costing more than the window can
+// WithWindow overrides the initial per-stream flow-control window for
+// sessions multiplexed over this connection (default DefaultWindow).
+// Each direction's window is announced on stream open; peers that
+// support window negotiation run with asymmetric windows, and against
+// older fixed-window peers the session falls back to the smaller of
+// the two announcements. A frame costing more than the window can
 // never be covered and is rejected with ErrFrameTooLarge, so the
 // window must exceed the largest frame the protocol ships — for PSC at
 // the default chunk/block sizes that is a ~256 KiB share chunk, making
-// 512 KiB a safe practical floor. This is the WAN-tuning knob: a
-// window of at least the bandwidth-delay product keeps a stream's pipe
-// full.
+// 512 KiB a safe practical floor. With adaptive windows enabled (see
+// WithAdaptiveWindow) this is only the starting point; without them it
+// is the WAN-tuning knob: a window of at least the bandwidth-delay
+// product keeps a stream's pipe full.
 func WithWindow(n int) Option {
 	return func(c *Conn) {
 		if n > 0 {
@@ -81,15 +82,50 @@ func WithWindow(n int) Option {
 	}
 }
 
+// WithAdaptiveWindow enables receiver-driven window autotuning for
+// streams multiplexed over this connection: each stream measures the
+// credit-grant round-trip time, grows its receive window toward the
+// measured bandwidth-delay product (slow-start doubling, then additive
+// increase), and halves it when RTT inflation signals congestion —
+// AIMD, never exceeding cap bytes (cap <= 0 selects
+// DefaultWindowCap). The growth is negotiated over the versioned
+// window-update frame, so it activates only when both peers support
+// it; against a fixed-window peer the stream simply keeps its initial
+// window.
+func WithAdaptiveWindow(cap int) Option {
+	return func(c *Conn) {
+		c.adaptive = true
+		if cap > 0 {
+			c.windowCap = int64(cap)
+		} else {
+			c.windowCap = DefaultWindowCap
+		}
+	}
+}
+
+// WithTransportWrap interposes f on the underlying transport before
+// any framing: NewConn (and therefore Listen/Dial) hands the raw
+// net.Conn to f and frames over whatever it returns. This is the hook
+// the netem subsystem uses to shape connections with WAN latency and
+// bandwidth profiles without the wire package knowing about emulation.
+func WithTransportWrap(f func(net.Conn) net.Conn) Option {
+	return func(c *Conn) {
+		c.wrap = f
+	}
+}
+
 // Conn is a framed message connection. Send and Recv are each safe for
 // one concurrent caller (a reader goroutine plus a writer goroutine).
 type Conn struct {
-	c        net.Conn
-	maxFrame int
-	window   int64
-	readMu   sync.Mutex
-	writeMu  sync.Mutex
-	lenBuf   [4]byte
+	c         net.Conn
+	maxFrame  int
+	window    int64
+	windowCap int64
+	adaptive  bool
+	wrap      func(net.Conn) net.Conn
+	readMu    sync.Mutex
+	writeMu   sync.Mutex
+	lenBuf    [4]byte
 }
 
 // NewConn wraps a stream connection.
@@ -97,6 +133,9 @@ func NewConn(c net.Conn, opts ...Option) *Conn {
 	conn := &Conn{c: c, maxFrame: DefaultMaxFrame, window: DefaultWindow}
 	for _, o := range opts {
 		o(conn)
+	}
+	if conn.wrap != nil {
+		conn.c = conn.wrap(conn.c)
 	}
 	return conn
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	go test ./internal/psc/ -bench ... | go run ./tools/benchjson -o BENCH_PR6.json
+//	go test ./internal/psc/ -bench ... | go run ./tools/benchjson -o BENCH_PR8.json
+//	go run ./tools/benchjson -merge -o BENCH_TRAJECTORY.json BENCH_PR*.json
 //
 // Each benchmark line
 //
@@ -14,6 +15,12 @@
 // the iteration count kept, and every value/unit pair (including
 // custom ReportMetric units) lands in the metrics map. The goos /
 // goarch / cpu / pkg header lines are carried into the document head.
+//
+// With -merge, the arguments are previously converted per-PR documents
+// (BENCH_PR6.json, BENCH_PR7.json, ...); the output folds them into one
+// trajectory document: a series per benchmark name, each point tagged
+// with the PR it was measured in, ordered by PR number. The trajectory
+// is how perf over the repo's life stays diffable in one file.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,20 +54,56 @@ type Doc struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// Point is one benchmark measurement in a trajectory series.
+type Point struct {
+	PR         string             `json:"pr"`
+	Procs      int                `json:"procs"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Series is one benchmark's measurements across PRs.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Trajectory is the merged multi-PR document.
+type Trajectory struct {
+	Sources []string `json:"sources"`
+	Series  []Series `json:"series"`
+}
+
 func main() {
 	out := flag.String("o", "", "output file (empty: stdout)")
+	doMerge := flag.Bool("merge", false, "merge per-PR documents (args) into one trajectory instead of converting stdin")
 	flag.Parse()
 
-	doc, err := parse(os.Stdin)
-	if err != nil {
-		log.Fatalf("benchjson: %v", err)
-	}
-	if len(doc.Benchmarks) == 0 {
-		log.Fatal("benchjson: no benchmark lines in input")
-	}
-	enc, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		log.Fatalf("benchjson: %v", err)
+	var enc []byte
+	var what string
+	if *doMerge {
+		tr, err := merge(flag.Args())
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		enc, err = json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		what = fmt.Sprintf("%d series from %d documents", len(tr.Series), len(tr.Sources))
+	} else {
+		doc, err := parse(os.Stdin)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		if len(doc.Benchmarks) == 0 {
+			log.Fatal("benchjson: no benchmark lines in input")
+		}
+		enc, err = json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		what = fmt.Sprintf("%d benchmarks", len(doc.Benchmarks))
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
@@ -68,7 +113,64 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s to %s\n", what, *out)
+}
+
+// prTag extracts the PR label from a committed document's file name:
+// BENCH_PR6.json -> PR6. Any other name is used as-is, extension
+// stripped, so ad-hoc documents still merge.
+func prTag(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(base, "BENCH_")
+}
+
+// prNum orders tags like PR6, PR12 numerically; non-PR tags sort last,
+// alphabetically among themselves.
+func prNum(tag string) int {
+	if n, err := strconv.Atoi(strings.TrimPrefix(tag, "PR")); err == nil {
+		return n
+	}
+	return 1 << 30
+}
+
+func merge(paths []string) (*Trajectory, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-merge needs at least one document argument")
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		ti, tj := prTag(paths[i]), prTag(paths[j])
+		if ni, nj := prNum(ti), prNum(tj); ni != nj {
+			return ni < nj
+		}
+		return ti < tj
+	})
+	tr := &Trajectory{}
+	byName := make(map[string]int)
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc Doc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		tag := prTag(path)
+		tr.Sources = append(tr.Sources, filepath.Base(path))
+		for _, b := range doc.Benchmarks {
+			i, ok := byName[b.Name]
+			if !ok {
+				i = len(tr.Series)
+				byName[b.Name] = i
+				tr.Series = append(tr.Series, Series{Name: b.Name})
+			}
+			tr.Series[i].Points = append(tr.Series[i].Points, Point{
+				PR: tag, Procs: b.Procs, Iterations: b.Iterations, Metrics: b.Metrics,
+			})
+		}
+	}
+	sort.Slice(tr.Series, func(i, j int) bool { return tr.Series[i].Name < tr.Series[j].Name })
+	return tr, nil
 }
 
 func parse(r io.Reader) (*Doc, error) {

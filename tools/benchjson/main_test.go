@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/psc
+cpu: Example CPU @ 2.10GHz
+BenchmarkPSCRound/verified/bins-512         	       2	 123456789 ns/op	        95.20 peak-heap-MB
+BenchmarkPSCRound/wan-tor/adaptive-4        	       1	9423867381 ns/op	   3.56 MB/s	         3.396 xput-MB/s
+PASS
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "repro/internal/psc" {
+		t.Fatalf("header not carried: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	// bins-512 is a table size, not a GOMAXPROCS suffix: must survive.
+	if b0.Name != "PSCRound/verified/bins-512" || b0.Procs != 1 || b0.Iterations != 2 {
+		t.Fatalf("bench 0 parsed wrong: %+v", b0)
+	}
+	if b0.Metrics["peak-heap-MB"] != 95.20 {
+		t.Fatalf("custom metric lost: %+v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "PSCRound/wan-tor/adaptive" || b1.Procs != 4 {
+		t.Fatalf("GOMAXPROCS suffix not split: %+v", b1)
+	}
+	if b1.Metrics["xput-MB/s"] != 3.396 {
+		t.Fatalf("xput metric lost: %+v", b1.Metrics)
+	}
+}
+
+func TestMergeTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Doc) string {
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	bench := func(name string, ns float64) Benchmark {
+		return Benchmark{Name: name, Procs: 1, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+	}
+	// Deliberately passed out of order, with a two-digit PR: the merge
+	// must order points numerically (PR8 before PR12), not textually.
+	paths := []string{
+		write("BENCH_PR12.json", Doc{Benchmarks: []Benchmark{bench("PSCRound/tcp/bins-512", 90)}}),
+		write("BENCH_PR8.json", Doc{Benchmarks: []Benchmark{
+			bench("PSCRound/tcp/bins-512", 100),
+			bench("PSCRound/wan-tor/adaptive", 9e9),
+		}}),
+	}
+	tr, err := merge(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"BENCH_PR8.json", "BENCH_PR12.json"}; len(tr.Sources) != 2 || tr.Sources[0] != want[0] || tr.Sources[1] != want[1] {
+		t.Fatalf("sources out of order: %v", tr.Sources)
+	}
+	if len(tr.Series) != 2 {
+		t.Fatalf("want 2 series, got %+v", tr.Series)
+	}
+	// Series are name-sorted; the shared benchmark carries both points
+	// in PR order.
+	s := tr.Series[0]
+	if s.Name != "PSCRound/tcp/bins-512" || len(s.Points) != 2 {
+		t.Fatalf("series 0 wrong: %+v", s)
+	}
+	if s.Points[0].PR != "PR8" || s.Points[1].PR != "PR12" {
+		t.Fatalf("points out of PR order: %+v", s.Points)
+	}
+	if s.Points[0].Metrics["ns/op"] != 100 || s.Points[1].Metrics["ns/op"] != 90 {
+		t.Fatalf("metrics misattributed: %+v", s.Points)
+	}
+	if tr.Series[1].Name != "PSCRound/wan-tor/adaptive" || len(tr.Series[1].Points) != 1 {
+		t.Fatalf("series 1 wrong: %+v", tr.Series[1])
+	}
+
+	if _, err := merge(nil); err == nil {
+		t.Fatal("merge with no documents must fail")
+	}
+	if _, err := merge([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("merge with a missing document must fail")
+	}
+}
